@@ -1,0 +1,27 @@
+//! Criterion bench behind Table 1: transistor-level vs PW-RBF simulation
+//! of a reduced coupled-line structure (fewer segments / shorter window
+//! than the gen_table1 binary, so the bench suite stays fast; the printed
+//! table uses the full configuration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emc_bench::{driver_model, fig4, Fig4Config};
+
+fn bench_table1(c: &mut Criterion) {
+    let model = driver_model(&refdev::md3()).expect("md3 estimation");
+    let cfg = Fig4Config {
+        segments: 6,
+        t_stop: 8e-9,
+        pattern_active: "0110",
+        ..Default::default()
+    };
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("coupled_structure_both_models", |b| {
+        b.iter(|| fig4(&cfg, Some(model.clone())).expect("fig4 run"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates Figure 5: MD4 receiver input current under a direct
+//! trapezoidal drive — reference vs parametric model vs C–R̂ baseline.
+
+use emc_bench::fig5;
+use macromodel::validate::print_csv;
+
+fn main() -> emc_bench::Result<()> {
+    let data = fig5(None, None)?;
+    eprintln!("# Fig. 5 — MD4 i_in(t), 1 V / 100 ps trapezoid via 60 Ω");
+    eprintln!("# parametric rms error: {:.4e} A", data.rms_parametric);
+    eprintln!("# C-R baseline rms error: {:.4e} A", data.rms_cr);
+    print_csv(
+        &["t_s", "i_reference_A", "i_parametric_A", "i_cr_A"],
+        &[&data.reference, &data.parametric, &data.cr],
+    );
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figure 6: MD4 at the far end of a 10 cm lossy line, pulse
+//! amplitudes 1.9 / 2.2 / 2.6 V — reference vs parametric vs C–R̂.
+
+use emc_bench::fig6;
+use macromodel::validate::print_csv;
+
+fn main() -> emc_bench::Result<()> {
+    let panels = fig6(None, None)?;
+    for p in &panels {
+        eprintln!(
+            "# Fig. 6 (A = {} V): parametric rms {:.4} V / max {:.4} V; C-R rms {:.4} V / max {:.4} V",
+            p.amplitude,
+            p.metrics_parametric.rms_error, p.metrics_parametric.max_error,
+            p.metrics_cr.rms_error, p.metrics_cr.max_error
+        );
+        println!("# amplitude {}", p.amplitude);
+        print_csv(
+            &["t_s", "v_in_reference", "v_in_parametric", "v_in_cr"],
+            &[&p.reference, &p.parametric, &p.cr],
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Regenerates the Section-5 accuracy table: threshold-crossing timing
+//! errors of the PW-RBF models across all driver validation fixtures
+//! (paper: always below ~30 ps, typically 5 ps, at Ts = 25-50 ps).
+
+use emc_bench::{driver_model, fig1, fig2, Fig1Config};
+use macromodel::validate::{resistive_load, validate_driver, AccuracyRow};
+
+fn main() -> emc_bench::Result<()> {
+    let t0 = std::time::Instant::now();
+    let md1_model = driver_model(&refdev::md1())?;
+    let est_s = t0.elapsed().as_secs_f64();
+    println!("Section 5 — accuracy & efficiency (Ts = 25 ps)");
+    println!("  estimation CPU time (MD1): {est_s:.2} s (paper: ~10 s on a Pentium-II 350)");
+
+    let mut rows: Vec<AccuracyRow> = Vec::new();
+    // Resistive validation load (not in the paper's figures, sanity row).
+    let spec = refdev::md1();
+    let v = validate_driver(&spec, &md1_model, "010", 4e-9, 12e-9, resistive_load(50.0))?;
+    rows.push(AccuracyRow { label: "md1-r50".into(), metrics: v.metrics });
+
+    let f1 = fig1(&Fig1Config::default())?;
+    rows.push(AccuracyRow { label: "fig1-pwrbf".into(), metrics: f1.metrics_pwrbf });
+    rows.push(AccuracyRow { label: "fig1-ibis-typ".into(), metrics: f1.metrics_ibis });
+
+    for p in fig2()? {
+        rows.push(AccuracyRow { label: format!("fig2-{}", p.label), metrics: p.metrics });
+    }
+
+    println!("  {:<16} {:>10} {:>10} {:>12}", "experiment", "rms [V]", "max [V]", "timing");
+    for r in &rows {
+        println!("  {r}");
+    }
+    Ok(())
+}

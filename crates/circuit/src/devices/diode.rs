@@ -1,0 +1,164 @@
+//! Junction diode with exponential characteristic and Newton limiting.
+
+use crate::mna::{stamp_linearized_current, EvalCtx};
+use crate::netlist::Node;
+use crate::Device;
+use numkit::Matrix;
+
+/// Diode model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DiodeParams {
+    /// Saturation current (A).
+    pub is: f64,
+    /// Emission coefficient (ideality factor).
+    pub n: f64,
+    /// Thermal voltage kT/q (V).
+    pub vt: f64,
+    /// Series resistance folded into the exponential via current limiting is
+    /// not modeled; use an explicit [`super::Resistor`] when needed.
+    pub gmin: f64,
+}
+
+impl Default for DiodeParams {
+    fn default() -> Self {
+        DiodeParams {
+            is: 1e-14,
+            n: 1.0,
+            vt: 0.02585,
+            gmin: 1e-12,
+        }
+    }
+}
+
+impl DiodeParams {
+    /// Parameters typical of on-chip ESD protection junctions: larger
+    /// saturation current, slightly soft knee.
+    pub fn esd_clamp() -> Self {
+        DiodeParams {
+            is: 1e-12,
+            n: 1.1,
+            ..Default::default()
+        }
+    }
+}
+
+/// A junction diode conducting from anode `a` to cathode `b`.
+///
+/// The exponential is linearly extended above the argument `EXP_CAP` to keep
+/// the Newton iteration finite; combined with the solver's voltage damping
+/// this provides robust convergence without per-device junction limiting
+/// state.
+#[derive(Debug, Clone)]
+pub struct Diode {
+    label: String,
+    a: Node,
+    b: Node,
+    p: DiodeParams,
+}
+
+/// Argument cap for the exponential; beyond this the I–V curve continues
+/// with the tangent at the cap (keeps Jacobians finite).
+const EXP_CAP: f64 = 45.0;
+
+impl Diode {
+    /// Creates a diode with anode `a`, cathode `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are non-physical (`is <= 0`, `n <= 0`, `vt <= 0`).
+    pub fn new(label: impl Into<String>, a: Node, b: Node, p: DiodeParams) -> Self {
+        assert!(p.is > 0.0 && p.n > 0.0 && p.vt > 0.0, "non-physical diode parameters");
+        Diode {
+            label: label.into(),
+            a,
+            b,
+            p,
+        }
+    }
+
+    /// Static I–V characteristic: current (A) and conductance (S) at `v`.
+    pub fn iv(&self, v: f64) -> (f64, f64) {
+        let nvt = self.p.n * self.p.vt;
+        let arg = v / nvt;
+        if arg <= EXP_CAP {
+            let e = arg.exp();
+            let i = self.p.is * (e - 1.0) + self.p.gmin * v;
+            let g = self.p.is * e / nvt + self.p.gmin;
+            (i, g)
+        } else {
+            // Linear extension of the exponential at the cap.
+            let e_cap = EXP_CAP.exp();
+            let g_cap = self.p.is * e_cap / nvt;
+            let i_cap = self.p.is * (e_cap - 1.0);
+            let i = i_cap + g_cap * (v - EXP_CAP * nvt) + self.p.gmin * v;
+            (i, g_cap + self.p.gmin)
+        }
+    }
+}
+
+impl Device for Diode {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+        let v = ctx.v(self.a) - ctx.v(self.b);
+        let (i, g) = self.iv(v);
+        stamp_linearized_current(mat, rhs, self.a, self.b, i, g, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GROUND;
+
+    #[test]
+    fn iv_monotone_and_continuous_at_cap() {
+        let d = Diode::new("d", Node::from_raw(1), GROUND, DiodeParams::default());
+        let nvt = 0.02585;
+        let mut last = f64::NEG_INFINITY;
+        for k in 0..200 {
+            let v = -1.0 + k as f64 * 0.02;
+            let (i, g) = d.iv(v);
+            assert!(i >= last - 1e-18, "I–V must be monotone");
+            assert!(g > 0.0, "conductance must be positive");
+            last = i;
+        }
+        // Continuity across the exponential cap.
+        let v_cap = EXP_CAP * nvt;
+        let (i_lo, _) = d.iv(v_cap - 1e-9);
+        let (i_hi, _) = d.iv(v_cap + 1e-9);
+        assert!((i_hi - i_lo).abs() / i_lo.abs() < 1e-6);
+    }
+
+    #[test]
+    fn reverse_leakage_small() {
+        let d = Diode::new("d", Node::from_raw(1), GROUND, DiodeParams::default());
+        let (i, _) = d.iv(-5.0);
+        assert!(i < 0.0 && i.abs() < 1e-10);
+    }
+
+    #[test]
+    fn esd_params_larger_is() {
+        assert!(DiodeParams::esd_clamp().is > DiodeParams::default().is);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-physical")]
+    fn rejects_bad_params() {
+        Diode::new(
+            "bad",
+            GROUND,
+            GROUND,
+            DiodeParams {
+                is: -1.0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Built-in circuit devices.
+//!
+//! All devices implement the [`crate::Device`] trait. Terminal order follows
+//! the SPICE convention: the first node is the positive reference for the
+//! device voltage, and branch currents flow from the first node to the
+//! second *through* the device.
+
+mod capacitor;
+mod coupled_inductors;
+mod diode;
+mod inductor;
+mod mosfet;
+mod resistor;
+mod sources;
+mod tline;
+
+pub use capacitor::Capacitor;
+pub use coupled_inductors::CoupledInductors;
+pub use diode::{Diode, DiodeParams};
+pub use inductor::Inductor;
+pub use mosfet::{Mosfet, MosfetParams, MosPolarity};
+pub use resistor::Resistor;
+pub use sources::{CurrentSource, SourceWaveform, VoltageSource};
+pub use tline::IdealLine;

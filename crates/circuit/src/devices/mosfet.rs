@@ -1,0 +1,337 @@
+//! Level-1 (Shichman–Hodges) MOSFET.
+
+use crate::mna::{stamp_current_leaving, EvalCtx};
+use crate::netlist::Node;
+use crate::Device;
+use numkit::Matrix;
+
+/// MOSFET channel polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MosPolarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// Level-1 MOSFET parameters.
+///
+/// Gate capacitances are *not* part of this device; reference-device
+/// builders add explicit [`super::Capacitor`] elements for Cgs/Cgd/Cdb so
+/// that the charge bookkeeping stays in one well-tested place.
+#[derive(Debug, Clone, Copy)]
+pub struct MosfetParams {
+    /// Zero-bias threshold voltage (positive for NMOS, negative for PMOS).
+    pub vt0: f64,
+    /// Process transconductance `KP = mu Cox` (A/V²).
+    pub kp: f64,
+    /// Channel width (m).
+    pub w: f64,
+    /// Channel length (m).
+    pub l: f64,
+    /// Channel-length modulation (1/V).
+    pub lambda: f64,
+}
+
+impl MosfetParams {
+    /// Validates the parameter set.
+    fn check(&self) {
+        assert!(
+            self.kp > 0.0 && self.w > 0.0 && self.l > 0.0 && self.lambda >= 0.0,
+            "non-physical MOSFET parameters"
+        );
+    }
+
+    /// Device transconductance factor `beta = KP W / L` (A/V²).
+    pub fn beta(&self) -> f64 {
+        self.kp * self.w / self.l
+    }
+}
+
+/// A Level-1 MOSFET (drain, gate, source terminals; bulk is tied to source).
+///
+/// The model handles `vds < 0` by internally swapping drain and source, so
+/// the device is symmetric like the underlying physics.
+#[derive(Debug, Clone)]
+pub struct Mosfet {
+    label: String,
+    d: Node,
+    g: Node,
+    s: Node,
+    polarity: MosPolarity,
+    p: MosfetParams,
+}
+
+impl Mosfet {
+    /// Creates a MOSFET with the given terminals and parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-physical parameters (see [`MosfetParams`]).
+    pub fn new(
+        label: impl Into<String>,
+        d: Node,
+        g: Node,
+        s: Node,
+        polarity: MosPolarity,
+        p: MosfetParams,
+    ) -> Self {
+        p.check();
+        Mosfet {
+            label: label.into(),
+            d,
+            g,
+            s,
+            polarity,
+            p,
+        }
+    }
+
+    /// Static drain current and small-signal parameters at the given
+    /// terminal voltages (NMOS convention, vds >= 0 handled internally).
+    ///
+    /// Returns `(id, gm, gds)` where `id` flows from drain to source for
+    /// NMOS (source to drain for PMOS after polarity mapping).
+    pub fn dc_current(&self, vgs_ext: f64, vds_ext: f64) -> (f64, f64, f64) {
+        // Map PMOS onto the NMOS equations.
+        let sign = match self.polarity {
+            MosPolarity::Nmos => 1.0,
+            MosPolarity::Pmos => -1.0,
+        };
+        let mut vgs = sign * vgs_ext;
+        let mut vds = sign * vds_ext;
+        let vt = sign * self.p.vt0; // vt0 is negative for PMOS
+        // Swap drain/source for negative vds (symmetric device).
+        let swapped = vds < 0.0;
+        if swapped {
+            vgs -= vds; // vgd becomes the controlling voltage
+            vds = -vds;
+        }
+        let beta = self.p.beta();
+        let vov = vgs - vt;
+        let (mut id, mut gm, mut gds);
+        if vov <= 0.0 {
+            id = 0.0;
+            gm = 0.0;
+            gds = 0.0;
+        } else if vds < vov {
+            // Triode region.
+            let clm = 1.0 + self.p.lambda * vds;
+            id = beta * (vov * vds - 0.5 * vds * vds) * clm;
+            gm = beta * vds * clm;
+            gds = beta * (vov - vds) * clm + beta * (vov * vds - 0.5 * vds * vds) * self.p.lambda;
+        } else {
+            // Saturation.
+            let clm = 1.0 + self.p.lambda * vds;
+            id = 0.5 * beta * vov * vov * clm;
+            gm = beta * vov * clm;
+            gds = 0.5 * beta * vov * vov * self.p.lambda;
+        }
+        if swapped {
+            // Un-swap: current reverses, gm now acts on the original vgd.
+            // After the swap vgs' = vgs - vds, vds' = -vds, id' = -id.
+            // d(id)/d(vgs) = gm ; d(id)/d(vds) = gds.
+            // Chain rule back to the original variables:
+            //   id = -id'(vgs - vds, -vds)
+            //   d id/d vgs = -gm'
+            //   d id/d vds = gm' + gds'
+            let (gmp, gdsp) = (gm, gds);
+            id = -id;
+            gm = -gmp;
+            gds = gmp + gdsp;
+        }
+        // Map back to external polarity: i_ext(v) = sign * i(sign * v), so
+        // derivatives keep their sign.
+        (sign * id, gm, gds)
+    }
+}
+
+impl Device for Mosfet {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+        let vgs = ctx.v(self.g) - ctx.v(self.s);
+        let vds = ctx.v(self.d) - ctx.v(self.s);
+        let (id, gm, gds) = self.dc_current(vgs, vds);
+
+        // Linearized drain current (d -> s):
+        //   i ≈ id + gm (vgs - vgs0) + gds (vds - vds0)
+        let idx = |n: Node| ctx.node_index(n);
+        // Matrix part.
+        if let Some(di) = idx(self.d) {
+            if let Some(gi) = idx(self.g) {
+                mat.add_at(di, gi, gm);
+            }
+            if let Some(si) = idx(self.s) {
+                mat.add_at(di, si, -(gm + gds));
+            }
+            mat.add_at(di, di, gds);
+        }
+        if let Some(si) = idx(self.s) {
+            if let Some(gi) = idx(self.g) {
+                mat.add_at(si, gi, -gm);
+            }
+            mat.add_at(si, si, gm + gds);
+            if let Some(di) = idx(self.d) {
+                mat.add_at(si, di, -gds);
+            }
+        }
+        // Constant part leaving the drain.
+        let c = id - gm * vgs - gds * vds;
+        stamp_current_leaving(rhs, self.d, self.s, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GROUND;
+
+    fn nmos() -> Mosfet {
+        Mosfet::new(
+            "mn",
+            Node::from_raw(1),
+            Node::from_raw(2),
+            GROUND,
+            MosPolarity::Nmos,
+            MosfetParams {
+                vt0: 0.5,
+                kp: 100e-6,
+                w: 10e-6,
+                l: 1e-6,
+                lambda: 0.02,
+            },
+        )
+    }
+
+    fn pmos() -> Mosfet {
+        Mosfet::new(
+            "mp",
+            Node::from_raw(1),
+            Node::from_raw(2),
+            GROUND,
+            MosPolarity::Pmos,
+            MosfetParams {
+                vt0: -0.5,
+                kp: 40e-6,
+                w: 20e-6,
+                l: 1e-6,
+                lambda: 0.02,
+            },
+        )
+    }
+
+    #[test]
+    fn cutoff_region() {
+        let (id, gm, gds) = nmos().dc_current(0.3, 1.0);
+        assert_eq!((id, gm, gds), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn saturation_current_value() {
+        let m = nmos();
+        let beta = 100e-6 * 10.0;
+        let (id, gm, _) = m.dc_current(1.5, 2.0);
+        let expect = 0.5 * beta * 1.0 * (1.0 + 0.02 * 2.0);
+        assert!((id - expect).abs() < 1e-9, "{id} vs {expect}");
+        assert!(gm > 0.0);
+    }
+
+    #[test]
+    fn triode_region_value() {
+        let m = nmos();
+        let beta = 1e-3;
+        let (id, _, gds) = m.dc_current(1.5, 0.4);
+        let clm = 1.0 + 0.02 * 0.4;
+        let expect = beta * (1.0 * 0.4 - 0.08) * clm;
+        assert!((id - expect).abs() < 1e-9);
+        assert!(gds > 0.0);
+    }
+
+    #[test]
+    fn symmetric_in_vds() {
+        // Swapping drain and source with mirrored voltages flips the current.
+        let m = nmos();
+        let (id_fwd, _, _) = m.dc_current(1.5, 0.4);
+        // Same physical bias seen from the other side: vgs' = 1.1, vds' = -0.4
+        let (id_rev, _, _) = m.dc_current(1.1, -0.4);
+        assert!((id_fwd + id_rev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_consistency_fd() {
+        // Finite-difference check of gm and gds in both regions and under swap.
+        let m = nmos();
+        let h = 1e-7;
+        for (vgs, vds) in [(1.2, 2.0), (1.5, 0.3), (1.0, -0.5), (2.0, -0.1)] {
+            let (i0, gm, gds) = m.dc_current(vgs, vds);
+            let (ip, _, _) = m.dc_current(vgs + h, vds);
+            let (iq, _, _) = m.dc_current(vgs, vds + h);
+            let gm_fd = (ip - i0) / h;
+            let gds_fd = (iq - i0) / h;
+            assert!((gm - gm_fd).abs() < 1e-4 * (1.0 + gm.abs()), "gm {gm} vs fd {gm_fd} at ({vgs},{vds})");
+            assert!((gds - gds_fd).abs() < 1e-4 * (1.0 + gds.abs()), "gds {gds} vs fd {gds_fd} at ({vgs},{vds})");
+        }
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let p = pmos();
+        // PMOS with vgs = -1.5, vds = -2.0 conducts (current flows s -> d).
+        let (id, _, _) = p.dc_current(-1.5, -2.0);
+        assert!(id < 0.0, "PMOS drain current should be negative, got {id}");
+        // Cutoff when |vgs| < |vt|.
+        let (id, _, _) = p.dc_current(-0.3, -2.0);
+        assert_eq!(id, 0.0);
+    }
+
+    #[test]
+    fn pmos_derivative_consistency() {
+        let m = pmos();
+        let h = 1e-7;
+        for (vgs, vds) in [(-1.2, -2.0), (-1.5, -0.3), (-1.0, 0.5)] {
+            let (i0, gm, gds) = m.dc_current(vgs, vds);
+            let (ip, _, _) = m.dc_current(vgs + h, vds);
+            let (iq, _, _) = m.dc_current(vgs, vds + h);
+            assert!(((ip - i0) / h - gm).abs() < 1e-4 * (1.0 + gm.abs()));
+            assert!(((iq - i0) / h - gds).abs() < 1e-4 * (1.0 + gds.abs()));
+        }
+    }
+
+    #[test]
+    fn beta_accessor() {
+        let p = MosfetParams {
+            vt0: 0.5,
+            kp: 2e-4,
+            w: 5e-6,
+            l: 1e-6,
+            lambda: 0.0,
+        };
+        assert!((p.beta() - 1e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-physical")]
+    fn rejects_bad_params() {
+        Mosfet::new(
+            "bad",
+            GROUND,
+            GROUND,
+            GROUND,
+            MosPolarity::Nmos,
+            MosfetParams {
+                vt0: 0.5,
+                kp: 0.0,
+                w: 1.0,
+                l: 1.0,
+                lambda: 0.0,
+            },
+        );
+    }
+}

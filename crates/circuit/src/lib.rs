@@ -1,0 +1,202 @@
+//! `circuit` — a small SPICE-like transient circuit simulator.
+//!
+//! The simulator implements Modified Nodal Analysis (MNA) with per-timestep
+//! Newton–Raphson iteration and trapezoidal companion models for reactive
+//! elements. It supports the device set needed to reproduce the experiments
+//! of Stievano et al., DATE 2002:
+//!
+//! * linear elements: [`devices::Resistor`], [`devices::Capacitor`],
+//!   [`devices::Inductor`], [`devices::CoupledInductors`]
+//! * sources: [`devices::VoltageSource`], [`devices::CurrentSource`] driven
+//!   by [`devices::SourceWaveform`] (DC, trapezoidal pulse, PWL, bit pattern)
+//! * nonlinear devices: [`devices::Diode`], [`devices::Mosfet`] (Level 1)
+//! * distributed elements: [`devices::IdealLine`] (method of characteristics)
+//!   and lossy coupled multiconductor lines via [`mtl`] ladder expansion
+//! * user-defined behavioral elements through the public [`Device`] trait
+//!   (used by the `macromodel` crate to install PW-RBF port models)
+//!
+//! # Quickstart: an RC low-pass step response
+//!
+//! ```
+//! use circuit::{Circuit, GROUND, TranParams};
+//! use circuit::devices::{Capacitor, Resistor, SourceWaveform, VoltageSource};
+//!
+//! # fn main() -> Result<(), circuit::Error> {
+//! let mut ckt = Circuit::new();
+//! let n_in = ckt.node("in");
+//! let n_out = ckt.node("out");
+//! ckt.add(VoltageSource::new("vin", n_in, GROUND, SourceWaveform::dc(1.0)));
+//! ckt.add(Resistor::new("r1", n_in, n_out, 1e3));
+//! ckt.add(Capacitor::new("c1", n_out, GROUND, 1e-9));
+//! let result = ckt.transient(TranParams::new(1e-8, 5e-6))?;
+//! let v_end = *result.voltage(n_out).values().last().unwrap();
+//! assert!((v_end - 1.0).abs() < 1e-3); // fully charged after 5 tau
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod devices;
+pub mod mna;
+pub mod mtl;
+pub mod netlist;
+pub mod solver;
+pub mod transient;
+pub mod waveform;
+
+pub use mna::{EvalCtx, Mode};
+pub use netlist::{Circuit, DeviceId, Node, GROUND};
+pub use transient::{TranParams, TranResult};
+pub use waveform::Waveform;
+
+/// Errors produced by circuit construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The Newton iteration failed to converge.
+    NonConvergence {
+        /// Analysis during which the failure happened.
+        analysis: String,
+        /// Simulation time of the failing step (seconds; 0 for DC).
+        time: f64,
+        /// Iterations attempted.
+        iterations: usize,
+    },
+    /// The MNA matrix is singular (e.g. floating subcircuit without gmin).
+    SingularMatrix {
+        /// Analysis during which the failure happened.
+        analysis: String,
+    },
+    /// A device parameter is out of its valid range.
+    InvalidParameter {
+        /// Device label.
+        device: String,
+        /// Description of the violated constraint.
+        message: String,
+    },
+    /// Invalid analysis setup (non-positive timestep, empty circuit, ...).
+    InvalidAnalysis {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A numerical kernel error that could not be mapped to a more specific
+    /// simulator error.
+    Numeric(numkit::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::NonConvergence {
+                analysis,
+                time,
+                iterations,
+            } => write!(
+                f,
+                "newton iteration did not converge in {analysis} at t = {time:.4e} s after {iterations} iterations"
+            ),
+            Error::SingularMatrix { analysis } => {
+                write!(f, "singular MNA matrix in {analysis} (floating node?)")
+            }
+            Error::InvalidParameter { device, message } => {
+                write!(f, "invalid parameter on device '{device}': {message}")
+            }
+            Error::InvalidAnalysis { message } => write!(f, "invalid analysis: {message}"),
+            Error::Numeric(e) => write!(f, "numeric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<numkit::Error> for Error {
+    fn from(e: numkit::Error) -> Self {
+        Error::Numeric(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The device abstraction: anything that can stamp itself into the MNA
+/// system. External crates implement this to add behavioral elements.
+///
+/// # Contract
+///
+/// * `stamp` must add the device's linearized contributions for the candidate
+///   solution in `ctx` to `mat`/`rhs`. It is called once per Newton
+///   iteration and must not mutate logical state (interior mutability for
+///   iteration-local limiting caches is permitted).
+/// * `init_state` is called once after the DC operating point with the DC
+///   solution; `accept_step` after every accepted transient step.
+/// * Devices requiring branch unknowns report the count via `num_branches`
+///   and receive their first absolute unknown index via `set_branch_base`.
+pub trait Device {
+    /// Human-readable instance label (used in error messages).
+    fn label(&self) -> &str;
+
+    /// Number of extra branch-current unknowns this device needs.
+    fn num_branches(&self) -> usize {
+        0
+    }
+
+    /// Receives the absolute index of the first branch unknown.
+    fn set_branch_base(&mut self, base: usize) {
+        let _ = base;
+    }
+
+    /// Whether the device requires Newton iteration (nonlinear or
+    /// history-dependent within a step).
+    fn is_nonlinear(&self) -> bool {
+        false
+    }
+
+    /// Adds the device's linearized MNA contributions.
+    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut numkit::Matrix, rhs: &mut [f64]);
+
+    /// Called once with the converged DC operating point.
+    fn init_state(&mut self, ctx: &EvalCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called with the converged solution after each accepted timestep.
+    fn accept_step(&mut self, ctx: &EvalCtx<'_>) {
+        let _ = ctx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = Error::NonConvergence {
+            analysis: "tran".into(),
+            time: 1e-9,
+            iterations: 50,
+        };
+        assert!(e.to_string().contains("converge"));
+        assert!(Error::SingularMatrix { analysis: "dc".into() }
+            .to_string()
+            .contains("singular"));
+        assert!(Error::InvalidParameter {
+            device: "r1".into(),
+            message: "negative resistance".into()
+        }
+        .to_string()
+        .contains("r1"));
+        assert!(Error::InvalidAnalysis { message: "dt".into() }
+            .to_string()
+            .contains("dt"));
+        let ne: Error = numkit::Error::EmptyInput.into();
+        assert!(ne.to_string().contains("numeric"));
+        use std::error::Error as _;
+        assert!(ne.source().is_some());
+    }
+}

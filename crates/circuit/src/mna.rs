@@ -1,0 +1,254 @@
+//! MNA conventions, evaluation context and stamping helpers.
+//!
+//! # Unknown layout
+//!
+//! The solution vector `x` contains the voltages of nodes `1..n_nodes`
+//! (node 0 is ground and is not an unknown) followed by branch currents of
+//! voltage-defined devices:
+//!
+//! ```text
+//! x = [ v(1), v(2), ..., v(n-1) | i_b0, i_b1, ... ]
+//! ```
+//!
+//! # Sign conventions
+//!
+//! Rows `0..n-1` are KCL equations written as "sum of currents *leaving* the
+//! node = 0". A conductance `g` between `a` and `b` contributes `g (va - vb)`
+//! leaving `a`. A constant current `c` leaving node `a` moves to the RHS as
+//! `rhs[a] -= c` (see [`stamp_current_leaving`]).
+//!
+//! Branch currents are defined as flowing from the device's `a` terminal to
+//! its `b` terminal *through the device*; the current therefore leaves node
+//! `a` and enters node `b`.
+
+use crate::netlist::Node;
+use numkit::Matrix;
+
+/// The analysis mode a device is being stamped for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// DC operating point: capacitors open, inductors short.
+    Dc,
+    /// Transient step ending at time `t`, with step size `dt`.
+    Tran {
+        /// End time of the current step (seconds).
+        t: f64,
+        /// Step size (seconds).
+        dt: f64,
+    },
+}
+
+impl Mode {
+    /// Time associated with the mode (0 for DC).
+    pub fn time(&self) -> f64 {
+        match self {
+            Mode::Dc => 0.0,
+            Mode::Tran { t, .. } => *t,
+        }
+    }
+
+    /// Whether this is a transient stamp.
+    pub fn is_tran(&self) -> bool {
+        matches!(self, Mode::Tran { .. })
+    }
+}
+
+/// Read-only view of a candidate or converged solution, passed to devices.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalCtx<'a> {
+    /// Candidate solution vector (layout described in the module docs).
+    pub x: &'a [f64],
+    /// Number of circuit nodes including ground.
+    pub n_nodes: usize,
+    /// Analysis mode (DC or transient time/step).
+    pub mode: Mode,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Voltage of `node` in the candidate solution (0 for ground).
+    #[inline]
+    pub fn v(&self, node: Node) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            self.x[node.index() - 1]
+        }
+    }
+
+    /// Branch current at absolute unknown index `abs_branch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range of the unknown vector.
+    #[inline]
+    pub fn branch(&self, abs_branch: usize) -> f64 {
+        self.x[abs_branch]
+    }
+
+    /// Absolute unknown index of a node voltage (`None` for ground).
+    #[inline]
+    pub fn node_index(&self, node: Node) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+}
+
+/// Row/column index of a node in the MNA matrix (`None` = ground row).
+#[inline]
+fn idx(node: Node) -> Option<usize> {
+    if node.is_ground() {
+        None
+    } else {
+        Some(node.index() - 1)
+    }
+}
+
+/// Stamps a conductance `g` between nodes `a` and `b`.
+pub fn stamp_conductance(mat: &mut Matrix, a: Node, b: Node, g: f64) {
+    if let Some(ia) = idx(a) {
+        mat.add_at(ia, ia, g);
+    }
+    if let Some(ib) = idx(b) {
+        mat.add_at(ib, ib, g);
+    }
+    if let (Some(ia), Some(ib)) = (idx(a), idx(b)) {
+        mat.add_at(ia, ib, -g);
+        mat.add_at(ib, ia, -g);
+    }
+}
+
+/// Stamps a constant current `c` flowing out of node `a` and into node `b`
+/// (through the device). Constants move to the right-hand side.
+pub fn stamp_current_leaving(rhs: &mut [f64], a: Node, b: Node, c: f64) {
+    if let Some(ia) = idx(a) {
+        rhs[ia] -= c;
+    }
+    if let Some(ib) = idx(b) {
+        rhs[ib] += c;
+    }
+}
+
+/// Stamps a Newton-linearized nonlinear current `i(v_ab)` flowing from `a`
+/// to `b`: given the current value `i0` and conductance `g = di/dv` at the
+/// candidate voltage `v0`, stamps `g` plus the constant `i0 - g*v0`.
+pub fn stamp_linearized_current(
+    mat: &mut Matrix,
+    rhs: &mut [f64],
+    a: Node,
+    b: Node,
+    i0: f64,
+    g: f64,
+    v0: f64,
+) {
+    stamp_conductance(mat, a, b, g);
+    stamp_current_leaving(rhs, a, b, i0 - g * v0);
+}
+
+/// Stamps the KCL coupling of a branch current `i` (absolute unknown index
+/// `br`) defined as flowing from `a` to `b` through the device.
+pub fn stamp_branch_kcl(mat: &mut Matrix, a: Node, b: Node, br: usize) {
+    if let Some(ia) = idx(a) {
+        mat.add_at(ia, br, 1.0);
+    }
+    if let Some(ib) = idx(b) {
+        mat.add_at(ib, br, -1.0);
+    }
+}
+
+/// Adds `coeff * v(node)` to branch equation row `br`.
+pub fn stamp_branch_voltage(mat: &mut Matrix, br: usize, node: Node, coeff: f64) {
+    if let Some(i) = idx(node) {
+        mat.add_at(br, i, coeff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GROUND;
+
+    fn n(i: usize) -> Node {
+        Node::from_raw(i)
+    }
+
+    #[test]
+    fn mode_accessors() {
+        assert_eq!(Mode::Dc.time(), 0.0);
+        assert!(!Mode::Dc.is_tran());
+        let m = Mode::Tran { t: 1e-9, dt: 1e-12 };
+        assert_eq!(m.time(), 1e-9);
+        assert!(m.is_tran());
+    }
+
+    #[test]
+    fn ctx_reads_voltages_and_branches() {
+        let x = [1.0, 2.0, 42.0];
+        let ctx = EvalCtx {
+            x: &x,
+            n_nodes: 3,
+            mode: Mode::Dc,
+        };
+        assert_eq!(ctx.v(GROUND), 0.0);
+        assert_eq!(ctx.v(n(1)), 1.0);
+        assert_eq!(ctx.v(n(2)), 2.0);
+        assert_eq!(ctx.branch(2), 42.0);
+        assert_eq!(ctx.node_index(GROUND), None);
+        assert_eq!(ctx.node_index(n(2)), Some(1));
+    }
+
+    #[test]
+    fn conductance_stamp_pattern() {
+        let mut m = Matrix::zeros(2, 2);
+        stamp_conductance(&mut m, n(1), n(2), 0.5);
+        assert_eq!(m.get(0, 0), 0.5);
+        assert_eq!(m.get(1, 1), 0.5);
+        assert_eq!(m.get(0, 1), -0.5);
+        assert_eq!(m.get(1, 0), -0.5);
+        // Grounded side only touches one diagonal.
+        let mut m = Matrix::zeros(2, 2);
+        stamp_conductance(&mut m, n(1), GROUND, 2.0);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn current_stamp_signs() {
+        let mut rhs = [0.0, 0.0];
+        stamp_current_leaving(&mut rhs, n(1), n(2), 1e-3);
+        assert_eq!(rhs[0], -1e-3);
+        assert_eq!(rhs[1], 1e-3);
+        let mut rhs = [0.0, 0.0];
+        stamp_current_leaving(&mut rhs, GROUND, n(2), 2.0);
+        assert_eq!(rhs, [0.0, 2.0]);
+    }
+
+    #[test]
+    fn linearized_stamp_consistency() {
+        // For a linear conductance i = g v, the linearized stamp must leave
+        // zero constant on the RHS regardless of the linearization point.
+        let mut m = Matrix::zeros(1, 1);
+        let mut rhs = [0.0];
+        let (g, v0) = (0.01, 0.7);
+        let i0 = g * v0;
+        stamp_linearized_current(&mut m, &mut rhs, n(1), GROUND, i0, g, v0);
+        assert_eq!(m.get(0, 0), g);
+        assert!(rhs[0].abs() < 1e-18);
+    }
+
+    #[test]
+    fn branch_stamps() {
+        let mut m = Matrix::zeros(3, 3);
+        stamp_branch_kcl(&mut m, n(1), n(2), 2);
+        assert_eq!(m.get(0, 2), 1.0);
+        assert_eq!(m.get(1, 2), -1.0);
+        stamp_branch_voltage(&mut m, 2, n(1), 1.0);
+        stamp_branch_voltage(&mut m, 2, n(2), -1.0);
+        assert_eq!(m.get(2, 0), 1.0);
+        assert_eq!(m.get(2, 1), -1.0);
+        stamp_branch_voltage(&mut m, 2, GROUND, 5.0); // no-op
+        assert_eq!(m.get(2, 0), 1.0);
+    }
+}

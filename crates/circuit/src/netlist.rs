@@ -1,0 +1,249 @@
+//! Circuit container: nodes, devices and analysis entry points.
+
+use crate::{solver, transient, Device, Error, Result, TranParams, TranResult};
+
+/// A circuit node handle.
+///
+/// Node 0 is always ground ([`GROUND`]). Nodes are created through
+/// [`Circuit::node`] and are only meaningful for the circuit that created
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Node(usize);
+
+/// The ground (reference) node.
+pub const GROUND: Node = Node(0);
+
+impl Node {
+    /// Constructs a node from a raw index. Intended for tests and internal
+    /// use; regular code should obtain nodes from [`Circuit::node`].
+    pub fn from_raw(i: usize) -> Self {
+        Node(i)
+    }
+
+    /// Raw index of the node (0 = ground).
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Whether this is the ground node.
+    #[inline]
+    pub fn is_ground(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_ground() {
+            write!(f, "gnd")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+/// Handle to a device added to a [`Circuit`], used to query branch currents
+/// from analysis results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceId(pub(crate) usize);
+
+/// A netlist: a set of nodes and devices, plus analysis entry points.
+///
+/// See the [crate-level documentation](crate) for a usage example.
+pub struct Circuit {
+    n_nodes: usize,
+    node_names: Vec<String>,
+    devices: Vec<Box<dyn Device>>,
+    /// Branch base per device, relative to the start of the branch block
+    /// (parallel to `devices`).
+    branch_bases: Vec<usize>,
+    n_branches: usize,
+    /// Minimum conductance from every node to ground (numerical safety net).
+    gmin: f64,
+}
+
+impl Default for Circuit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Circuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Circuit")
+            .field("n_nodes", &self.n_nodes)
+            .field("n_devices", &self.devices.len())
+            .field("n_branches", &self.n_branches)
+            .finish()
+    }
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        Circuit {
+            n_nodes: 1,
+            node_names: vec!["gnd".to_string()],
+            devices: Vec::new(),
+            branch_bases: Vec::new(),
+            n_branches: 0,
+            gmin: 1e-12,
+        }
+    }
+
+    /// Creates a new named node and returns its handle.
+    pub fn node(&mut self, name: impl Into<String>) -> Node {
+        let n = Node(self.n_nodes);
+        self.n_nodes += 1;
+        self.node_names.push(name.into());
+        n
+    }
+
+    /// Adds a device and returns its handle.
+    ///
+    /// Branch unknowns are laid out lazily (see [`Circuit::finalize`]), so
+    /// nodes and devices may be interleaved freely during construction.
+    pub fn add<D: Device + 'static>(&mut self, device: D) -> DeviceId {
+        let id = DeviceId(self.devices.len());
+        self.branch_bases.push(self.n_branches);
+        self.n_branches += device.num_branches();
+        self.devices.push(Box::new(device));
+        id
+    }
+
+    /// Assigns every device its absolute branch-unknown base. Called by the
+    /// analyses before solving; safe to call repeatedly.
+    pub(crate) fn finalize(&mut self) {
+        let n_v = self.n_nodes - 1;
+        for (dev, &rel) in self.devices.iter_mut().zip(&self.branch_bases) {
+            dev.set_branch_base(n_v + rel);
+        }
+    }
+
+    /// Number of nodes including ground.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Name of a node (for diagnostics).
+    pub fn node_name(&self, node: Node) -> &str {
+        &self.node_names[node.index()]
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Total number of MNA unknowns (node voltages + branch currents).
+    pub fn unknown_count(&self) -> usize {
+        (self.n_nodes - 1) + self.n_branches
+    }
+
+    /// Absolute unknown index of branch `k` of device `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a device of this circuit.
+    pub fn branch_index(&self, id: DeviceId, k: usize) -> usize {
+        (self.n_nodes - 1) + self.branch_bases[id.0] + k
+    }
+
+    /// Sets the minimum node-to-ground conductance (default `1e-12` S).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAnalysis`] for non-positive values.
+    pub fn set_gmin(&mut self, gmin: f64) -> Result<()> {
+        if gmin <= 0.0 || !gmin.is_finite() {
+            return Err(Error::InvalidAnalysis {
+                message: format!("gmin must be positive and finite, got {gmin}"),
+            });
+        }
+        self.gmin = gmin;
+        Ok(())
+    }
+
+    /// Current gmin value.
+    pub fn gmin(&self) -> f64 {
+        self.gmin
+    }
+
+    /// Read access to the device list (for solvers).
+    pub(crate) fn devices(&self) -> &[Box<dyn Device>] {
+        &self.devices
+    }
+
+    /// Mutable access to the device list (for solvers).
+    pub(crate) fn devices_mut(&mut self) -> &mut [Box<dyn Device>] {
+        &mut self.devices
+    }
+
+    /// Computes the DC operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonConvergence`] or [`Error::SingularMatrix`] if the
+    /// Newton iteration (with gmin stepping) fails.
+    pub fn dc_operating_point(&mut self) -> Result<Vec<f64>> {
+        solver::dc_operating_point(self)
+    }
+
+    /// Runs a transient analysis (includes the initial DC operating point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC/Newton failures and invalid parameter errors.
+    pub fn transient(&mut self, params: TranParams) -> Result<TranResult> {
+        transient::run(self, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{Resistor, SourceWaveform, VoltageSource};
+
+    #[test]
+    fn node_handles() {
+        assert!(GROUND.is_ground());
+        assert_eq!(GROUND.to_string(), "gnd");
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        assert_eq!(a.index(), 1);
+        assert!(!a.is_ground());
+        assert_eq!(a.to_string(), "n1");
+        assert_eq!(ckt.node_name(a), "a");
+        assert_eq!(ckt.n_nodes(), 2);
+    }
+
+    #[test]
+    fn unknown_counting_with_branches() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(Resistor::new("r", a, b, 1.0));
+        assert_eq!(ckt.unknown_count(), 2);
+        let v = ckt.add(VoltageSource::new("v", a, GROUND, SourceWaveform::dc(1.0)));
+        assert_eq!(ckt.unknown_count(), 3);
+        assert_eq!(ckt.branch_index(v, 0), 2);
+        assert_eq!(ckt.n_devices(), 2);
+    }
+
+    #[test]
+    fn gmin_validation() {
+        let mut ckt = Circuit::new();
+        assert!(ckt.set_gmin(0.0).is_err());
+        assert!(ckt.set_gmin(-1.0).is_err());
+        assert!(ckt.set_gmin(f64::NAN).is_err());
+        assert!(ckt.set_gmin(1e-9).is_ok());
+        assert_eq!(ckt.gmin(), 1e-9);
+    }
+
+    #[test]
+    fn debug_impl_nonempty() {
+        let ckt = Circuit::new();
+        assert!(format!("{ckt:?}").contains("Circuit"));
+    }
+}

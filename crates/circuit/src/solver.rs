@@ -1,0 +1,217 @@
+//! Newton–Raphson solver and DC operating point with gmin stepping.
+
+use crate::mna::{EvalCtx, Mode};
+use crate::netlist::Circuit;
+use crate::{Error, Result};
+use numkit::{lu::LuFactor, Matrix};
+
+/// Absolute voltage convergence tolerance (volts).
+const VNTOL: f64 = 1e-6;
+/// Absolute current convergence tolerance (amperes), used for branch unknowns.
+const ABSTOL: f64 = 1e-9;
+/// Relative convergence tolerance.
+const RELTOL: f64 = 1e-3;
+/// Maximum Newton iterations per solve.
+const MAX_ITER: usize = 200;
+/// Per-iteration clamp on node-voltage updates (volts); damps MOSFET chains.
+const MAX_DV: f64 = 1.0;
+
+/// Result of a Newton solve, with iteration diagnostics.
+#[derive(Debug, Clone)]
+pub struct NewtonOutcome {
+    /// Converged solution vector.
+    pub x: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Solves the nonlinear MNA system at the given mode by Newton iteration.
+///
+/// `x0` is the initial guess (length must equal `circuit.unknown_count()`).
+/// `gmin` is added from every node to ground for numerical robustness.
+///
+/// # Errors
+///
+/// * [`Error::NonConvergence`] when iterations are exhausted.
+/// * [`Error::SingularMatrix`] when the Jacobian cannot be factored.
+pub fn solve_newton(
+    circuit: &Circuit,
+    mode: Mode,
+    x0: &[f64],
+    gmin: f64,
+    analysis: &str,
+) -> Result<NewtonOutcome> {
+    let n = circuit.unknown_count();
+    let n_v = circuit.n_nodes() - 1;
+    debug_assert_eq!(x0.len(), n);
+    let mut x = x0.to_vec();
+    let mut mat = Matrix::zeros(n, n);
+    let mut rhs = vec![0.0; n];
+
+    for it in 0..MAX_ITER {
+        mat.fill_zero();
+        rhs.iter_mut().for_each(|v| *v = 0.0);
+        // gmin from every node to ground.
+        for i in 0..n_v {
+            mat.add_at(i, i, gmin);
+        }
+        let ctx = EvalCtx {
+            x: &x,
+            n_nodes: circuit.n_nodes(),
+            mode,
+        };
+        for dev in circuit.devices() {
+            dev.stamp(&ctx, &mut mat, &mut rhs);
+        }
+        let lu = LuFactor::new(&mat).map_err(|_| Error::SingularMatrix {
+            analysis: analysis.to_string(),
+        })?;
+        let x_new = lu.solve(&rhs).map_err(|_| Error::SingularMatrix {
+            analysis: analysis.to_string(),
+        })?;
+
+        // Damped update: clamp the largest node-voltage change.
+        let mut max_dv = 0.0_f64;
+        for i in 0..n_v {
+            max_dv = max_dv.max((x_new[i] - x[i]).abs());
+        }
+        let alpha = if max_dv > MAX_DV { MAX_DV / max_dv } else { 1.0 };
+
+        let mut converged = alpha == 1.0;
+        for i in 0..n {
+            let dx = x_new[i] - x[i];
+            let tol = if i < n_v {
+                VNTOL + RELTOL * x_new[i].abs()
+            } else {
+                ABSTOL + RELTOL * x_new[i].abs()
+            };
+            if dx.abs() > tol {
+                converged = false;
+            }
+            x[i] += alpha * dx;
+        }
+        if converged {
+            return Ok(NewtonOutcome {
+                x,
+                iterations: it + 1,
+            });
+        }
+    }
+    Err(Error::NonConvergence {
+        analysis: analysis.to_string(),
+        time: mode.time(),
+        iterations: MAX_ITER,
+    })
+}
+
+/// Computes the DC operating point with gmin stepping.
+///
+/// First tries a direct Newton solve at the circuit's gmin. On failure,
+/// starts from a heavily damped system (`gmin = 1e-2`) and relaxes it decade
+/// by decade, reusing each solution as the next initial guess.
+///
+/// # Errors
+///
+/// * [`Error::NonConvergence`] if even the stepped continuation fails.
+/// * [`Error::SingularMatrix`] for structurally singular circuits.
+pub fn dc_operating_point(circuit: &mut Circuit) -> Result<Vec<f64>> {
+    circuit.finalize();
+    let n = circuit.unknown_count();
+    if n == 0 {
+        return Err(Error::InvalidAnalysis {
+            message: "circuit has no unknowns (add nodes and devices first)".into(),
+        });
+    }
+    let x0 = vec![0.0; n];
+    let target_gmin = circuit.gmin();
+
+    match solve_newton(circuit, Mode::Dc, &x0, target_gmin, "dc operating point") {
+        Ok(out) => return Ok(out.x),
+        Err(Error::SingularMatrix { .. }) => {
+            return Err(Error::SingularMatrix {
+                analysis: "dc operating point".into(),
+            })
+        }
+        Err(_) => { /* fall through to gmin stepping */ }
+    }
+
+    let mut x = x0;
+    let mut gmin = 1e-2;
+    loop {
+        let out = solve_newton(circuit, Mode::Dc, &x, gmin, "dc gmin stepping")?;
+        x = out.x;
+        if gmin <= target_gmin {
+            return Ok(x);
+        }
+        gmin = (gmin * 0.1).max(target_gmin);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{CurrentSource, Diode, DiodeParams, Resistor, SourceWaveform, VoltageSource};
+    use crate::netlist::GROUND;
+
+    #[test]
+    fn resistive_divider_dc() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(VoltageSource::new("v", a, GROUND, SourceWaveform::dc(3.0)));
+        ckt.add(Resistor::new("r1", a, b, 1e3));
+        ckt.add(Resistor::new("r2", b, GROUND, 2e3));
+        let x = ckt.dc_operating_point().unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-9);
+        assert!((x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(CurrentSource::new("i", GROUND, a, SourceWaveform::dc(1e-3)));
+        ckt.add(Resistor::new("r", a, GROUND, 1e3));
+        let x = ckt.dc_operating_point().unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diode_forward_drop() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(VoltageSource::new("v", a, GROUND, SourceWaveform::dc(5.0)));
+        ckt.add(Resistor::new("r", a, b, 1e3));
+        ckt.add(Diode::new("d", b, GROUND, DiodeParams::default()));
+        let x = ckt.dc_operating_point().unwrap();
+        let vd = x[1];
+        assert!(vd > 0.4 && vd < 0.9, "diode drop {vd} out of range");
+        // Current through R must equal diode current.
+        let ir = (5.0 - vd) / 1e3;
+        assert!(ir > 3e-3 && ir < 5e-3);
+    }
+
+    #[test]
+    fn floating_node_held_by_gmin() {
+        // A node connected only through a capacitor would be floating at DC;
+        // gmin keeps the matrix solvable and pins it near ground.
+        use crate::devices::Capacitor;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(VoltageSource::new("v", a, GROUND, SourceWaveform::dc(1.0)));
+        ckt.add(Capacitor::new("c", a, b, 1e-12));
+        let x = ckt.dc_operating_point().unwrap();
+        assert!(x[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_circuit_rejected() {
+        let mut ckt = Circuit::new();
+        assert!(matches!(
+            ckt.dc_operating_point(),
+            Err(Error::InvalidAnalysis { .. })
+        ));
+    }
+}

@@ -1,0 +1,290 @@
+//! Fixed-step transient analysis.
+
+use crate::mna::{EvalCtx, Mode};
+use crate::netlist::{Circuit, DeviceId, Node};
+use crate::waveform::Waveform;
+use crate::{solver, Error, Result};
+
+/// Transient analysis parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TranParams {
+    /// Fixed timestep (seconds).
+    pub dt: f64,
+    /// Stop time (seconds); the analysis covers `0..=t_stop`.
+    pub t_stop: f64,
+    /// Skip the initial DC operating point and start from all-zeros
+    /// (useful for circuits that are known to start discharged). Note that
+    /// the stored `t = 0` snapshot is then the all-zero vector; device
+    /// initial conditions (e.g. `Capacitor::with_ic`) take effect from the
+    /// first step.
+    pub skip_dc: bool,
+}
+
+impl TranParams {
+    /// Creates parameters with the given step and stop time.
+    pub fn new(dt: f64, t_stop: f64) -> Self {
+        TranParams {
+            dt,
+            t_stop,
+            skip_dc: false,
+        }
+    }
+
+    /// Returns a copy that skips the initial operating point.
+    pub fn with_skip_dc(mut self) -> Self {
+        self.skip_dc = true;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.dt > 0.0) || !self.dt.is_finite() {
+            return Err(Error::InvalidAnalysis {
+                message: format!("timestep must be positive, got {}", self.dt),
+            });
+        }
+        if !(self.t_stop > 0.0) || self.t_stop < self.dt {
+            return Err(Error::InvalidAnalysis {
+                message: format!(
+                    "stop time must be positive and at least one step, got {}",
+                    self.t_stop
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a transient analysis: the full solution history.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    time: Vec<f64>,
+    /// `solutions[k]` is the full unknown vector at `time[k]`.
+    solutions: Vec<Vec<f64>>,
+    /// Newton iterations summed over all steps (efficiency metric).
+    pub total_newton_iterations: usize,
+}
+
+impl TranResult {
+    /// Time axis (seconds), including `t = 0`.
+    pub fn time(&self) -> &[f64] {
+        &self.time
+    }
+
+    /// Number of stored time points.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Whether the result is empty (never true for a successful analysis).
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Voltage waveform of `node`.
+    pub fn voltage(&self, node: Node) -> Waveform {
+        let vals = if node.is_ground() {
+            vec![0.0; self.time.len()]
+        } else {
+            let i = node.index() - 1;
+            self.solutions.iter().map(|x| x[i]).collect()
+        };
+        Waveform::from_parts(self.time.clone(), vals)
+    }
+
+    /// Branch-current waveform for branch `k` of device `id`.
+    ///
+    /// The caller provides the circuit to resolve the branch index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device has no branch `k`.
+    pub fn branch_current(&self, circuit: &Circuit, id: DeviceId, k: usize) -> Waveform {
+        let idx = circuit.branch_index(id, k);
+        let vals = self.solutions.iter().map(|x| x[idx]).collect();
+        Waveform::from_parts(self.time.clone(), vals)
+    }
+
+    /// Raw solution vector at step `k`.
+    pub fn solution(&self, k: usize) -> &[f64] {
+        &self.solutions[k]
+    }
+}
+
+/// Runs the transient analysis on `circuit`.
+///
+/// Sequence: DC operating point (unless skipped) → device state
+/// initialization → fixed-step trapezoidal time stepping with per-step
+/// Newton iteration.
+///
+/// # Errors
+///
+/// Propagates solver failures annotated with the failing time.
+pub fn run(circuit: &mut Circuit, params: TranParams) -> Result<TranResult> {
+    params.validate()?;
+    circuit.finalize();
+    let n = circuit.unknown_count();
+    if n == 0 {
+        return Err(Error::InvalidAnalysis {
+            message: "circuit has no unknowns".into(),
+        });
+    }
+
+    // 1. Initial condition.
+    let x0 = if params.skip_dc {
+        vec![0.0; n]
+    } else {
+        solver::dc_operating_point(circuit)?
+    };
+    let n_nodes = circuit.n_nodes();
+    {
+        let ctx = EvalCtx {
+            x: &x0,
+            n_nodes,
+            mode: Mode::Dc,
+        };
+        for dev in circuit.devices_mut() {
+            dev.init_state(&ctx);
+        }
+    }
+
+    let n_steps = (params.t_stop / params.dt).round() as usize;
+    let mut time = Vec::with_capacity(n_steps + 1);
+    let mut solutions = Vec::with_capacity(n_steps + 1);
+    time.push(0.0);
+    solutions.push(x0.clone());
+
+    let gmin = circuit.gmin();
+    let mut x_prev = x0;
+    let mut total_iters = 0;
+
+    for k in 1..=n_steps {
+        let t = k as f64 * params.dt;
+        let mode = Mode::Tran { t, dt: params.dt };
+        let out = solver::solve_newton(circuit, mode, &x_prev, gmin, "transient")?;
+        total_iters += out.iterations;
+        let ctx = EvalCtx {
+            x: &out.x,
+            n_nodes,
+            mode,
+        };
+        for dev in circuit.devices_mut() {
+            dev.accept_step(&ctx);
+        }
+        time.push(t);
+        solutions.push(out.x.clone());
+        x_prev = out.x;
+    }
+
+    Ok(TranResult {
+        time,
+        solutions,
+        total_newton_iterations: total_iters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{Capacitor, Inductor, Resistor, SourceWaveform, VoltageSource};
+    use crate::netlist::GROUND;
+
+    #[test]
+    fn params_validation() {
+        assert!(TranParams::new(0.0, 1.0).validate().is_err());
+        assert!(TranParams::new(1e-9, 0.0).validate().is_err());
+        assert!(TranParams::new(1e-9, 1e-10).validate().is_err());
+        assert!(TranParams::new(1e-9, 1e-6).validate().is_ok());
+        assert!(TranParams::new(1e-9, 1e-6).with_skip_dc().skip_dc);
+    }
+
+    #[test]
+    fn rc_charge_matches_analytic() {
+        let (r, c) = (1e3, 1e-9);
+        let tau = r * c;
+        let mut ckt = Circuit::new();
+        let nin = ckt.node("in");
+        let nout = ckt.node("out");
+        // Source steps from 0 to 1 V at t = 0+ via pulse with tiny rise.
+        ckt.add(VoltageSource::new(
+            "v",
+            nin,
+            GROUND,
+            SourceWaveform::step(0.0, 1.0, 1e-12),
+        ));
+        ckt.add(Resistor::new("r", nin, nout, r));
+        ckt.add(Capacitor::new("c", nout, GROUND, c));
+        let res = ckt.transient(TranParams::new(tau / 200.0, 5.0 * tau)).unwrap();
+        let v = res.voltage(nout);
+        // Compare against 1 - exp(-t/tau) at a few points.
+        for frac in [0.5, 1.0, 2.0, 4.0] {
+            let t = frac * tau;
+            let expect = 1.0 - (-t / tau).exp();
+            let got = v.sample_at(t);
+            assert!(
+                (got - expect).abs() < 5e-3,
+                "t={t:.3e}: got {got}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn rl_current_rise() {
+        let (r, l) = (10.0, 1e-6);
+        let tau = l / r;
+        let mut ckt = Circuit::new();
+        let nin = ckt.node("in");
+        let nmid = ckt.node("mid");
+        ckt.add(VoltageSource::new(
+            "v",
+            nin,
+            GROUND,
+            SourceWaveform::step(0.0, 1.0, 1e-12),
+        ));
+        ckt.add(Resistor::new("r", nin, nmid, r));
+        let ind = ckt.add(Inductor::new("l", nmid, GROUND, l));
+        let res = ckt.transient(TranParams::new(tau / 200.0, 5.0 * tau)).unwrap();
+        let i = res.branch_current(&ckt, ind, 0);
+        let i_final = *i.values().last().unwrap();
+        assert!((i_final - 0.1).abs() < 1e-3, "final current {i_final}");
+        let at_tau = i.sample_at(tau);
+        let expect = 0.1 * (1.0 - (-1.0_f64).exp());
+        assert!((at_tau - expect).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lc_oscillator_energy_bounded() {
+        // Trapezoidal integration preserves the amplitude of an LC tank.
+        let (l, c) = (1e-6, 1e-9);
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("tank");
+        ckt.add(Capacitor::new("c", n1, GROUND, c).with_ic(1.0));
+        ckt.add(Inductor::new("l", n1, GROUND, l));
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt());
+        let period = 1.0 / f0;
+        let res = ckt
+            .transient(TranParams::new(period / 400.0, 10.0 * period).with_skip_dc())
+            .unwrap();
+        let v = res.voltage(n1);
+        let max_late: f64 = v
+            .values()
+            .iter()
+            .skip(v.len() * 9 / 10)
+            .fold(0.0_f64, |m, &x| m.max(x.abs()));
+        // Amplitude after 9 periods still close to 1 V (no numerical damping).
+        assert!(max_late > 0.95 && max_late < 1.05, "amplitude {max_late}");
+    }
+
+    #[test]
+    fn result_accessors() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(VoltageSource::new("v", a, GROUND, SourceWaveform::dc(1.0)));
+        ckt.add(Resistor::new("r", a, GROUND, 1.0));
+        let res = ckt.transient(TranParams::new(1e-9, 1e-8)).unwrap();
+        assert_eq!(res.len(), 11);
+        assert!(!res.is_empty());
+        assert_eq!(res.voltage(GROUND).values()[0], 0.0);
+        assert_eq!(res.solution(0).len(), ckt.unknown_count());
+        assert!(res.total_newton_iterations >= 10);
+    }
+}

@@ -1,0 +1,245 @@
+//! Integration tests of the simulator against closed-form circuit theory.
+
+use circuit::devices::{
+    Capacitor, CurrentSource, Diode, DiodeParams, IdealLine, Inductor, Mosfet, MosfetParams,
+    MosPolarity, Resistor, SourceWaveform, VoltageSource,
+};
+use circuit::{Circuit, TranParams, GROUND};
+
+/// Series RLC step response: underdamped ringing frequency and decay match
+/// the analytic damped resonance.
+#[test]
+fn rlc_ringing_frequency() {
+    let (r, l, c) = (5.0_f64, 100e-9_f64, 10e-12_f64);
+    let w0 = 1.0 / (l * c).sqrt();
+    let alpha = r / (2.0 * l);
+    let wd = (w0 * w0 - alpha * alpha).sqrt();
+    let f_ring = wd / (2.0 * std::f64::consts::PI);
+
+    let mut ckt = Circuit::new();
+    let nin = ckt.node("in");
+    let nmid = ckt.node("mid");
+    let nout = ckt.node("out");
+    ckt.add(VoltageSource::new(
+        "v",
+        nin,
+        GROUND,
+        SourceWaveform::step(0.0, 1.0, 1e-12),
+    ));
+    ckt.add(Resistor::new("r", nin, nmid, r));
+    ckt.add(Inductor::new("l", nmid, nout, l));
+    ckt.add(Capacitor::new("c", nout, GROUND, c));
+    let period = 1.0 / f_ring;
+    let res = ckt
+        .transient(TranParams::new(period / 200.0, 6.0 * period))
+        .unwrap();
+    let v = res.voltage(nout);
+
+    // Measure the ringing period from successive upward crossings of 1 V.
+    let crossings = v.threshold_crossings(1.0);
+    let ups: Vec<f64> = crossings.iter().filter(|c| c.rising).map(|c| c.time).collect();
+    assert!(ups.len() >= 3, "expected several ringing periods");
+    let t_meas = ups[2] - ups[1];
+    assert!(
+        (t_meas - period).abs() < 0.02 * period,
+        "period {t_meas:.3e} vs analytic {period:.3e}"
+    );
+
+    // Peak overshoot of the underdamped response: 1 + exp(-alpha*pi/wd).
+    let peak_analytic = 1.0 + (-alpha * std::f64::consts::PI / wd).exp();
+    let peak_meas = v.values().iter().fold(0.0_f64, |m, &x| m.max(x));
+    assert!(
+        (peak_meas - peak_analytic).abs() < 0.03,
+        "peak {peak_meas:.3} vs analytic {peak_analytic:.3}"
+    );
+}
+
+/// Mismatched line: successive near-end steps follow the reflection-ladder
+/// (bounce diagram) values.
+#[test]
+fn bounce_diagram_levels() {
+    let z0 = 50.0;
+    let rs = 25.0; // source mismatch
+    let rl = 100.0; // load mismatch
+    let td = 1e-9;
+    let gamma_s: f64 = (rs - z0) / (rs + z0); // -1/3
+    let gamma_l: f64 = (rl - z0) / (rl + z0); // +1/3
+    let v_launch = z0 / (rs + z0); // 2/3
+
+    let mut ckt = Circuit::new();
+    let nsrc = ckt.node("src");
+    let nin = ckt.node("in");
+    let nout = ckt.node("out");
+    ckt.add(VoltageSource::new(
+        "v",
+        nsrc,
+        GROUND,
+        SourceWaveform::step(0.0, 1.0, 1e-12),
+    ));
+    ckt.add(Resistor::new("rs", nsrc, nin, rs));
+    ckt.add(IdealLine::new("t", nin, GROUND, nout, GROUND, z0, td));
+    ckt.add(Resistor::new("rl", nout, GROUND, rl));
+    let res = ckt.transient(TranParams::new(2e-11, 7e-9)).unwrap();
+    let vin = res.voltage(nin);
+    let vout = res.voltage(nout);
+
+    // t in (0, 2Td): near end at the launch voltage.
+    assert!((vin.sample_at(1.0e-9) - v_launch).abs() < 2e-3);
+    // Far end after Td: launch * (1 + gamma_l).
+    let vfe1 = v_launch * (1.0 + gamma_l);
+    assert!((vout.sample_at(1.5e-9) - vfe1).abs() < 2e-3);
+    // Near end after 2Td: + reflected wave and its source re-reflection.
+    let vne2 = v_launch * (1.0 + gamma_l + gamma_l * gamma_s);
+    assert!((vin.sample_at(2.5e-9) - vne2).abs() < 2e-3);
+    // Steady state: plain resistive divider.
+    let v_inf = rl / (rl + rs);
+    assert!((vout.sample_at(6.8e-9) - v_inf).abs() < 5e-3);
+}
+
+/// A diode half-wave rectifier: output follows source minus one diode drop
+/// on positive half-cycles and holds on the RC during negative ones.
+#[test]
+fn diode_rectifier() {
+    let mut ckt = Circuit::new();
+    let nin = ckt.node("in");
+    let nout = ckt.node("out");
+    // 10 MHz sine approximated by PWL over one period.
+    let n = 100;
+    let period = 100e-9;
+    let t: Vec<f64> = (0..=n).map(|k| k as f64 * period / n as f64).collect();
+    let y: Vec<f64> = t
+        .iter()
+        .map(|&tt| 3.0 * (2.0 * std::f64::consts::PI * tt / period).sin())
+        .collect();
+    let pwl = numkit::interp::Pwl::new(t, y).unwrap();
+    ckt.add(VoltageSource::new(
+        "v",
+        nin,
+        GROUND,
+        SourceWaveform::Pwl(pwl),
+    ));
+    ckt.add(Diode::new("d", nin, nout, DiodeParams::default()));
+    ckt.add(Resistor::new("rl", nout, GROUND, 10e3));
+    ckt.add(Capacitor::new("cl", nout, GROUND, 20e-12));
+    let res = ckt.transient(TranParams::new(0.2e-9, period)).unwrap();
+    let v = res.voltage(nout);
+    // Peak output: source peak minus a diode drop.
+    let peak = v.values().iter().fold(0.0_f64, |m, &x| m.max(x));
+    assert!(peak > 2.2 && peak < 2.8, "rectified peak {peak}");
+    // During the negative half-cycle the RC (tau = 200 ns) barely droops.
+    let v_mid_neg = v.sample_at(0.75 * period);
+    assert!(v_mid_neg > 0.6 * peak, "hold voltage {v_mid_neg}");
+}
+
+/// CMOS inverter DC transfer: output swings rail to rail and crosses
+/// mid-supply near the symmetric switching point.
+#[test]
+fn cmos_inverter_vtc() {
+    let vdd = 1.8;
+    let np = MosfetParams {
+        vt0: 0.4,
+        kp: 200e-6,
+        w: 4e-6,
+        l: 1e-6,
+        lambda: 0.02,
+    };
+    let pp = MosfetParams {
+        vt0: -0.4,
+        kp: 100e-6,
+        w: 8e-6,
+        l: 1e-6,
+        lambda: 0.02,
+    };
+    let out_at = |vin: f64| -> f64 {
+        let mut ckt = Circuit::new();
+        let nvdd = ckt.node("vdd");
+        let nin = ckt.node("in");
+        let nout = ckt.node("out");
+        ckt.add(VoltageSource::new("vs", nvdd, GROUND, SourceWaveform::dc(vdd)));
+        ckt.add(VoltageSource::new("vi", nin, GROUND, SourceWaveform::dc(vin)));
+        ckt.add(Mosfet::new("mn", nout, nin, GROUND, MosPolarity::Nmos, np));
+        ckt.add(Mosfet::new("mp", nout, nin, nvdd, MosPolarity::Pmos, pp));
+        ckt.add(Resistor::new("rl", nout, GROUND, 1e9));
+        let x = ckt.dc_operating_point().unwrap();
+        x[nout.index() - 1]
+    };
+    assert!(out_at(0.0) > vdd - 0.01, "logic-low input gives rail-high out");
+    assert!(out_at(vdd) < 0.01, "logic-high input gives rail-low out");
+    // Monotone decreasing transfer curve.
+    let mut prev = f64::INFINITY;
+    for k in 0..=12 {
+        let v = out_at(vdd * k as f64 / 12.0);
+        assert!(v <= prev + 1e-6, "VTC must be monotone");
+        prev = v;
+    }
+    // Beta-matched inverter: switching threshold near vdd/2.
+    let v_half = out_at(vdd / 2.0);
+    assert!(
+        v_half > 0.2 * vdd && v_half < 0.8 * vdd,
+        "mid-supply output {v_half}"
+    );
+}
+
+/// Charge conservation: a current pulse into a floating capacitor leaves
+/// exactly Q = I*t of charge.
+#[test]
+fn capacitor_charge_conservation() {
+    let c = 1e-9;
+    let i0 = 1e-3;
+    let t_on = 1e-6;
+    let mut ckt = Circuit::new();
+    let n = ckt.node("top");
+    ckt.add(CurrentSource::new(
+        "i",
+        GROUND,
+        n,
+        SourceWaveform::Pulse {
+            low: 0.0,
+            high: i0,
+            delay: 0.0,
+            rise: 1e-9,
+            width: t_on,
+            fall: 1e-9,
+        },
+    ));
+    ckt.add(Capacitor::new("c", n, GROUND, c));
+    // Large bleed to keep the DC solvable; negligible during the pulse.
+    ckt.add(Resistor::new("rb", n, GROUND, 1e9));
+    let res = ckt.transient(TranParams::new(2e-9, 1.2 * t_on)).unwrap();
+    let v_end = res.voltage(n).sample_at(1.15 * t_on);
+    let expect = i0 * (t_on + 1e-9) / c; // trapezoid area / C
+    assert!(
+        (v_end - expect).abs() < 0.01 * expect,
+        "v_end {v_end} vs Q/C {expect}"
+    );
+}
+
+/// The transient Newton iteration count stays bounded for a stiff
+/// nonlinear circuit (regression guard on solver behaviour).
+#[test]
+fn newton_iteration_budget() {
+    let mut ckt = Circuit::new();
+    let nin = ckt.node("in");
+    let nout = ckt.node("out");
+    ckt.add(VoltageSource::new(
+        "v",
+        nin,
+        GROUND,
+        SourceWaveform::Pulse {
+            low: -2.0,
+            high: 2.0,
+            delay: 1e-9,
+            rise: 0.2e-9,
+            width: 3e-9,
+            fall: 0.2e-9,
+        },
+    ));
+    ckt.add(Resistor::new("rs", nin, nout, 100.0));
+    ckt.add(Diode::new("d1", nout, GROUND, DiodeParams::default()));
+    ckt.add(Diode::new("d2", GROUND, nout, DiodeParams::esd_clamp()));
+    ckt.add(Capacitor::new("c", nout, GROUND, 1e-12));
+    let res = ckt.transient(TranParams::new(10e-12, 6e-9)).unwrap();
+    let steps = res.len() - 1;
+    let avg = res.total_newton_iterations as f64 / steps as f64;
+    assert!(avg < 12.0, "average Newton iterations {avg:.1} too high");
+}

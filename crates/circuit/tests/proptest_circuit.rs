@@ -1,0 +1,110 @@
+//! Property-based tests of simulator invariants.
+
+use circuit::devices::{Capacitor, Resistor, SourceWaveform, VoltageSource};
+use circuit::{Circuit, TranParams, GROUND};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A resistive ladder driven by a DC source: every node voltage lies
+    /// between the rails (discrete maximum principle / passivity).
+    #[test]
+    fn resistive_ladder_voltages_bounded(
+        rs in prop::collection::vec(1.0f64..10e3, 2..8),
+        v_src in 0.1f64..10.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        ckt.add(VoltageSource::new("v", top, GROUND, SourceWaveform::dc(v_src)));
+        let mut prev = top;
+        for (k, r) in rs.iter().enumerate() {
+            let n = ckt.node(format!("n{k}"));
+            ckt.add(Resistor::new(format!("r{k}"), prev, n, *r));
+            // Shunt to ground so the ladder divides.
+            ckt.add(Resistor::new(format!("g{k}"), n, GROUND, 2.0 * *r));
+            prev = n;
+        }
+        let x = ckt.dc_operating_point().unwrap();
+        for v in &x[..ckt.n_nodes() - 1] {
+            prop_assert!(*v >= -1e-9 && *v <= v_src + 1e-9, "voltage {} escapes rails", v);
+        }
+    }
+
+    /// RC relaxation from an initial condition decays monotonically to zero
+    /// and never goes negative (trapezoidal rule is A-stable and the step
+    /// here is well inside the oscillation-free region).
+    #[test]
+    fn rc_discharge_monotone(
+        r in 10.0f64..10e3,
+        c in 1e-12f64..1e-9,
+        v0 in 0.1f64..5.0,
+    ) {
+        let tau = r * c;
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        ckt.add(Capacitor::new("c", n, GROUND, c).with_ic(v0));
+        ckt.add(Resistor::new("r", n, GROUND, r));
+        let res = ckt
+            .transient(TranParams::new(tau / 100.0, 5.0 * tau).with_skip_dc())
+            .unwrap();
+        let v = res.voltage(n);
+        // Skip the t = 0 snapshot: with `skip_dc` it is the all-zero start
+        // vector; the capacitor initial condition engages from step 1.
+        let mut prev = f64::INFINITY;
+        for &val in &v.values()[1..] {
+            prop_assert!(val <= prev + 1e-12, "discharge must be monotone");
+            prop_assert!(val >= -1e-9, "voltage must stay non-negative");
+            prev = val;
+        }
+        // 1 tau point within 2 % of the analytic value.
+        let at_tau = v.sample_at(tau);
+        prop_assert!((at_tau - v0 * (-1.0f64).exp()).abs() < 0.02 * v0);
+    }
+
+    /// Superposition on a linear network: the response to the sum of two DC
+    /// sources equals the sum of individual responses.
+    #[test]
+    fn linear_superposition(
+        v1 in -5.0f64..5.0,
+        v2 in -5.0f64..5.0,
+        r1 in 10.0f64..1e3,
+        r2 in 10.0f64..1e3,
+        r3 in 10.0f64..1e3,
+    ) {
+        let solve = |va: f64, vb: f64| -> f64 {
+            let mut ckt = Circuit::new();
+            let na = ckt.node("a");
+            let nb = ckt.node("b");
+            let nm = ckt.node("m");
+            ckt.add(VoltageSource::new("va", na, GROUND, SourceWaveform::dc(va)));
+            ckt.add(VoltageSource::new("vb", nb, GROUND, SourceWaveform::dc(vb)));
+            ckt.add(Resistor::new("r1", na, nm, r1));
+            ckt.add(Resistor::new("r2", nb, nm, r2));
+            ckt.add(Resistor::new("r3", nm, GROUND, r3));
+            let x = ckt.dc_operating_point().unwrap();
+            x[nm.index() - 1]
+        };
+        let full = solve(v1, v2);
+        let partial = solve(v1, 0.0) + solve(0.0, v2);
+        prop_assert!((full - partial).abs() < 1e-9, "{} vs {}", full, partial);
+    }
+
+    /// Waveform measurement invariance: shifting a waveform in time shifts
+    /// every threshold crossing by exactly that amount.
+    #[test]
+    fn crossing_shift_invariance(shift in 0.0f64..1.0, th in -0.5f64..0.5) {
+        let t: Vec<f64> = (0..400).map(|k| k as f64 * 0.01).collect();
+        let y: Vec<f64> = t.iter().map(|&x| (x * 3.0).sin()).collect();
+        let w1 = circuit::Waveform::from_parts(t.clone(), y.clone());
+        let t2: Vec<f64> = t.iter().map(|&x| x + shift).collect();
+        let w2 = circuit::Waveform::from_parts(t2, y);
+        let c1 = w1.threshold_crossings(th);
+        let c2 = w2.threshold_crossings(th);
+        prop_assert_eq!(c1.len(), c2.len());
+        for (a, b) in c1.iter().zip(&c2) {
+            prop_assert!((b.time - a.time - shift).abs() < 1e-9);
+            prop_assert_eq!(a.rising, b.rising);
+        }
+    }
+}

@@ -1,0 +1,621 @@
+//! Circuit-simulator devices wrapping the estimated macromodels.
+//!
+//! This is the paper's "implementation in a circuit simulation environment"
+//! step. The discrete-time models advance on their own sample clock `Ts`;
+//! the hosting transient analysis must run with `dt = Ts` (the paper's
+//! models are estimated and exercised at the same fixed sampling time).
+//! Within each step the present port voltage participates in the Newton
+//! iteration through the analytic RBF input gradient.
+
+use crate::driver::PwRbfDriverModel;
+use crate::receiver::{CrModel, ReceiverModel};
+use circuit::devices::Capacitor;
+use circuit::mna::{stamp_linearized_current, EvalCtx, Mode};
+use circuit::{Circuit, Device, Node, GROUND};
+use numkit::interp::Pwl;
+use numkit::Matrix;
+use sysid::narx::NarxModel;
+
+/// Relative tolerance on `dt == Ts`.
+const TS_TOL: f64 = 1e-6;
+
+fn check_sample_clock(label: &str, ts: f64, mode: Mode) {
+    if let Mode::Tran { dt, .. } = mode {
+        assert!(
+            ((dt - ts) / ts).abs() < TS_TOL,
+            "device '{label}': transient dt = {dt:.3e} must equal the model sample time Ts = {ts:.3e}"
+        );
+    }
+}
+
+/// Settles a NARX submodel's output by fixed-point iteration at a constant
+/// input (used to initialize histories from a DC operating point).
+fn settle_narx(model: &NarxModel, v: f64) -> f64 {
+    let o = model.orders();
+    let u_hist = vec![v; o.input_lags + 1];
+    let mut y = 0.0;
+    for _ in 0..64 {
+        let y_hist = vec![y; o.output_lags.max(1)];
+        let y_new = model.one_step(&u_hist, &y_hist);
+        if (y_new - y).abs() < 1e-12 {
+            return y_new;
+        }
+        y = y_new;
+    }
+    y
+}
+
+/// Crate-internal alias used by the estimation pipeline to initialize
+/// submodel free runs from a settled state.
+pub(crate) fn settle_for_pipeline(model: &NarxModel, v: f64) -> f64 {
+    settle_narx(model, v)
+}
+
+/// A scheduled logic edge.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    t: f64,
+    rising: bool,
+}
+
+fn schedule_from_pattern(pattern: &str, bit_time: f64) -> (Vec<Edge>, bool) {
+    let bits: Vec<bool> = pattern
+        .chars()
+        .map(|c| match c {
+            '0' => false,
+            '1' => true,
+            other => panic!("invalid bit character '{other}' in pattern"),
+        })
+        .collect();
+    assert!(!bits.is_empty(), "pattern must not be empty");
+    let mut edges = Vec::new();
+    for k in 1..bits.len() {
+        if bits[k] != bits[k - 1] {
+            edges.push(Edge {
+                t: k as f64 * bit_time,
+                rising: bits[k],
+            });
+        }
+    }
+    (edges, bits[0])
+}
+
+/// The PW-RBF driver installed as a one-port behavioral element.
+///
+/// The device delivers `i(k) = w_H(k) i_H(k) + w_L(k) i_L(k)` into `out`,
+/// where both submodels free-run on the (shared) port-voltage history and
+/// their own current histories.
+///
+/// # Panics
+///
+/// `stamp` panics if the transient step differs from the model sample time
+/// (see the module documentation).
+#[derive(Debug, Clone)]
+pub struct PwRbfDriver {
+    label: String,
+    model: PwRbfDriverModel,
+    out: Node,
+    edges: Vec<Edge>,
+    initial_high: bool,
+    /// Past port voltages, newest first (`v(k-1), v(k-2), ...`).
+    v_past: Vec<f64>,
+    /// Past high-submodel currents, newest first.
+    ih_past: Vec<f64>,
+    /// Past low-submodel currents, newest first.
+    il_past: Vec<f64>,
+}
+
+impl PwRbfDriver {
+    /// Creates a driver producing `pattern` with the given bit time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or non-`0`/`1` pattern (experiment definition
+    /// error) or an invalid model.
+    pub fn new(model: PwRbfDriverModel, out: Node, pattern: &str, bit_time: f64) -> Self {
+        model.validate().expect("invalid PW-RBF model");
+        let (edges, initial_high) = schedule_from_pattern(pattern, bit_time);
+        let lags_v = model
+            .i_high
+            .orders()
+            .input_lags
+            .max(model.i_low.orders().input_lags);
+        let lags_ih = model.i_high.orders().output_lags.max(1);
+        let lags_il = model.i_low.orders().output_lags.max(1);
+        PwRbfDriver {
+            label: format!("{}_pwrbf", model.name),
+            model,
+            out,
+            edges,
+            initial_high,
+            v_past: vec![0.0; lags_v],
+            ih_past: vec![0.0; lags_ih],
+            il_past: vec![0.0; lags_il],
+        }
+    }
+
+    /// Switching weights at absolute time `t`.
+    fn weights_at(&self, t: f64) -> (f64, f64) {
+        let mut state_high = self.initial_high;
+        let mut active: Option<(f64, bool)> = None;
+        for e in &self.edges {
+            if e.t <= t + 1e-18 {
+                state_high = e.rising;
+                active = Some((e.t, e.rising));
+            } else {
+                break;
+            }
+        }
+        if let Some((t0, rising)) = active {
+            let k = ((t - t0) / self.model.ts).round() as usize;
+            let seq = if rising { &self.model.up } else { &self.model.down };
+            if k < seq.len() {
+                return seq.at(k);
+            }
+        }
+        if state_high {
+            (1.0, 0.0)
+        } else {
+            (0.0, 1.0)
+        }
+    }
+
+    fn u_hist(&self, v_now: f64, lags: usize) -> Vec<f64> {
+        let mut u = Vec::with_capacity(lags + 1);
+        u.push(v_now);
+        u.extend_from_slice(&self.v_past[..lags]);
+        u
+    }
+}
+
+impl Device for PwRbfDriver {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+        check_sample_clock(&self.label, self.model.ts, ctx.mode);
+        let v = ctx.v(self.out);
+        let (wh, wl) = self.weights_at(ctx.mode.time());
+        let (ih, gh) = self.model.i_high.one_step_with_gradient(
+            &self.u_hist(v, self.model.i_high.orders().input_lags),
+            &self.ih_past,
+        );
+        let (il, gl) = self.model.i_low.one_step_with_gradient(
+            &self.u_hist(v, self.model.i_low.orders().input_lags),
+            &self.il_past,
+        );
+        let i_del = wh * ih + wl * il;
+        let g_del = wh * gh + wl * gl;
+        // The device injects i_del into the node.
+        stamp_linearized_current(mat, rhs, self.out, GROUND, -i_del, -g_del, v);
+    }
+
+    fn init_state(&mut self, ctx: &EvalCtx<'_>) {
+        let v0 = ctx.v(self.out);
+        for v in &mut self.v_past {
+            *v = v0;
+        }
+        let ih0 = settle_narx(&self.model.i_high, v0);
+        for i in &mut self.ih_past {
+            *i = ih0;
+        }
+        let il0 = settle_narx(&self.model.i_low, v0);
+        for i in &mut self.il_past {
+            *i = il0;
+        }
+    }
+
+    fn accept_step(&mut self, ctx: &EvalCtx<'_>) {
+        if !ctx.mode.is_tran() {
+            return;
+        }
+        let v = ctx.v(self.out);
+        let ih = self.model.i_high.one_step(
+            &self.u_hist(v, self.model.i_high.orders().input_lags),
+            &self.ih_past,
+        );
+        let il = self.model.i_low.one_step(
+            &self.u_hist(v, self.model.i_low.orders().input_lags),
+            &self.il_past,
+        );
+        self.v_past.rotate_right(1);
+        if !self.v_past.is_empty() {
+            self.v_past[0] = v;
+        }
+        self.ih_past.rotate_right(1);
+        self.ih_past[0] = ih;
+        self.il_past.rotate_right(1);
+        self.il_past[0] = il;
+    }
+}
+
+/// The receiver parametric model installed as a one-port load.
+///
+/// # Panics
+///
+/// `stamp` panics if the transient step differs from the model sample time.
+#[derive(Debug, Clone)]
+pub struct ReceiverModelDevice {
+    label: String,
+    model: ReceiverModel,
+    pad: Node,
+    v_past: Vec<f64>,
+    ilin_past: Vec<f64>,
+    iup_past: Vec<f64>,
+    idn_past: Vec<f64>,
+}
+
+impl ReceiverModelDevice {
+    /// Creates the device at `pad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid model.
+    pub fn new(model: ReceiverModel, pad: Node) -> Self {
+        model.validate().expect("invalid receiver model");
+        let lags_v = model
+            .linear
+            .orders()
+            .nb
+            .max(model.up.orders().input_lags)
+            .max(model.down.orders().input_lags);
+        ReceiverModelDevice {
+            label: format!("{}_rxmodel", model.name),
+            pad,
+            v_past: vec![0.0; lags_v.max(1)],
+            ilin_past: vec![0.0; model.linear.orders().na.max(1)],
+            iup_past: vec![0.0; model.up.orders().output_lags.max(1)],
+            idn_past: vec![0.0; model.down.orders().output_lags.max(1)],
+            model,
+        }
+    }
+
+    fn parts(&self, v: f64) -> (f64, f64) {
+        // Linear ARX part: direct feed-through is its derivative w.r.t. v(k).
+        let mut u_lin = Vec::with_capacity(self.model.linear.orders().nb + 1);
+        u_lin.push(v);
+        u_lin.extend_from_slice(&self.v_past[..self.model.linear.orders().nb]);
+        let i_lin = self.model.linear.one_step(&u_lin, &self.ilin_past);
+        let g_lin = self.model.linear.feedthrough();
+
+        let mut u_up = Vec::with_capacity(self.model.up.orders().input_lags + 1);
+        u_up.push(v);
+        u_up.extend_from_slice(&self.v_past[..self.model.up.orders().input_lags]);
+        let (i_up, g_up) = self.model.up.one_step_with_gradient(&u_up, &self.iup_past);
+
+        let mut u_dn = Vec::with_capacity(self.model.down.orders().input_lags + 1);
+        u_dn.push(v);
+        u_dn.extend_from_slice(&self.v_past[..self.model.down.orders().input_lags]);
+        let (i_dn, g_dn) = self
+            .model
+            .down
+            .one_step_with_gradient(&u_dn, &self.idn_past);
+
+        (i_lin + i_up + i_dn, g_lin + g_up + g_dn)
+    }
+}
+
+impl Device for ReceiverModelDevice {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+        check_sample_clock(&self.label, self.model.ts, ctx.mode);
+        let v = ctx.v(self.pad);
+        let (i_in, g) = self.parts(v);
+        // i_in flows from the pad into the device (to ground).
+        stamp_linearized_current(mat, rhs, self.pad, GROUND, i_in, g, v);
+    }
+
+    fn init_state(&mut self, ctx: &EvalCtx<'_>) {
+        let v0 = ctx.v(self.pad);
+        for v in &mut self.v_past {
+            *v = v0;
+        }
+        // The linear part settles to its static gain; protection submodels
+        // to their fixed points.
+        let dc_gain = {
+            // i = sum(a) i + sum(b) v at steady state.
+            let sa: f64 = self.model.linear.a().iter().sum();
+            let sb: f64 = self.model.linear.b().iter().sum();
+            if (1.0 - sa).abs() > 1e-9 {
+                sb / (1.0 - sa) * v0
+            } else {
+                0.0
+            }
+        };
+        for i in &mut self.ilin_past {
+            *i = dc_gain;
+        }
+        let up0 = settle_narx(&self.model.up, v0);
+        for i in &mut self.iup_past {
+            *i = up0;
+        }
+        let dn0 = settle_narx(&self.model.down, v0);
+        for i in &mut self.idn_past {
+            *i = dn0;
+        }
+    }
+
+    fn accept_step(&mut self, ctx: &EvalCtx<'_>) {
+        if !ctx.mode.is_tran() {
+            return;
+        }
+        let v = ctx.v(self.pad);
+        // Advance each submodel with the converged voltage.
+        let mut u_lin = Vec::with_capacity(self.model.linear.orders().nb + 1);
+        u_lin.push(v);
+        u_lin.extend_from_slice(&self.v_past[..self.model.linear.orders().nb]);
+        let i_lin = self.model.linear.one_step(&u_lin, &self.ilin_past);
+
+        let mut u_up = Vec::with_capacity(self.model.up.orders().input_lags + 1);
+        u_up.push(v);
+        u_up.extend_from_slice(&self.v_past[..self.model.up.orders().input_lags]);
+        let i_up = self.model.up.one_step(&u_up, &self.iup_past);
+
+        let mut u_dn = Vec::with_capacity(self.model.down.orders().input_lags + 1);
+        u_dn.push(v);
+        u_dn.extend_from_slice(&self.v_past[..self.model.down.orders().input_lags]);
+        let i_dn = self.model.down.one_step(&u_dn, &self.idn_past);
+
+        self.v_past.rotate_right(1);
+        self.v_past[0] = v;
+        self.ilin_past.rotate_right(1);
+        self.ilin_past[0] = i_lin;
+        self.iup_past.rotate_right(1);
+        self.iup_past[0] = i_up;
+        self.idn_past.rotate_right(1);
+        self.idn_past[0] = i_dn;
+    }
+}
+
+/// A static nonlinear resistor defined by a PWL I–V table (current into the
+/// device versus port voltage). Together with a [`Capacitor`] this realizes
+/// the paper's C–R̂ baseline receiver.
+#[derive(Debug, Clone)]
+pub struct PwlResistor {
+    label: String,
+    a: Node,
+    iv: Pwl,
+}
+
+impl PwlResistor {
+    /// Creates the resistor between `a` and ground.
+    pub fn new(label: impl Into<String>, a: Node, iv: Pwl) -> Self {
+        PwlResistor {
+            label: label.into(),
+            a,
+            iv,
+        }
+    }
+}
+
+impl Device for PwlResistor {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+        let v = ctx.v(self.a);
+        let i = self.iv.eval(v);
+        let g = self.iv.slope(v).max(0.0);
+        stamp_linearized_current(mat, rhs, self.a, GROUND, i, g, v);
+    }
+}
+
+impl CrModel {
+    /// Installs the C–R̂ model at `pad`: a shunt capacitor plus the static
+    /// PWL resistor.
+    pub fn instantiate(&self, ckt: &mut Circuit, pad: Node) {
+        ckt.add(Capacitor::new(format!("{}_c", self.name), pad, GROUND, self.c));
+        ckt.add(PwlResistor::new(
+            format!("{}_rhat", self.name),
+            pad,
+            self.static_iv.clone(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::WeightSequence;
+    use circuit::devices::{Resistor, SourceWaveform, VoltageSource};
+    use circuit::TranParams;
+    use sysid::arx::{ArxModel, ArxOrders};
+    use sysid::narx::NarxOrders;
+    use sysid::rbf::RbfNetwork;
+
+    /// A synthetic PW-RBF model with affine submodels mimicking ideal
+    /// switched conductances:
+    ///   i_H(v) = g (vdd - v)   (sources current when below vdd)
+    ///   i_L(v) = -g v          (sinks current when above 0)
+    fn synthetic_model(g: f64, vdd: f64, n_win: usize) -> PwRbfDriverModel {
+        // dim = input_lags + 1 + output_lags = 3 for r = 1.
+        let high = NarxModel::from_network(
+            NarxOrders::dynamic(1),
+            RbfNetwork::affine(g * vdd, vec![-g, 0.0, 0.0]),
+        )
+        .unwrap();
+        let low = NarxModel::from_network(
+            NarxOrders::dynamic(1),
+            RbfNetwork::affine(0.0, vec![-g, 0.0, 0.0]),
+        )
+        .unwrap();
+        let ramp: Vec<f64> = (0..n_win)
+            .map(|k| k as f64 / (n_win - 1) as f64)
+            .collect();
+        let inv: Vec<f64> = ramp.iter().map(|w| 1.0 - w).collect();
+        PwRbfDriverModel {
+            name: "synth".into(),
+            ts: 25e-12,
+            vdd,
+            i_high: high,
+            i_low: low,
+            up: WeightSequence {
+                w_high: ramp.clone(),
+                w_low: inv.clone(),
+            },
+            down: WeightSequence {
+                w_high: inv,
+                w_low: ramp,
+            },
+        }
+    }
+
+    #[test]
+    fn synthetic_driver_drives_resistive_load() {
+        let vdd = 1.8;
+        let g = 0.05; // 20 Ω output impedance
+        let model = synthetic_model(g, vdd, 20);
+        let ts = model.ts;
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.add(PwRbfDriver::new(model, out, "01", 2e-9));
+        ckt.add(Resistor::new("rl", out, GROUND, 100.0));
+        let res = ckt.transient(TranParams::new(ts, 6e-9)).unwrap();
+        let v = res.voltage(out);
+        // Low state: 0 V; high state: divider vdd * R/(R + 1/g).
+        assert!(v.sample_at(1.5e-9).abs() < 1e-3);
+        let expect = vdd * 100.0 / (100.0 + 1.0 / g);
+        let v_end = v.sample_at(5.9e-9);
+        assert!(
+            (v_end - expect).abs() < 0.02,
+            "v_end {v_end} vs divider {expect}"
+        );
+        // The transition is spread over the 20-sample weight window.
+        let t10 = v.threshold_crossings(0.1 * expect);
+        let t90 = v.threshold_crossings(0.9 * expect);
+        assert!(!t10.is_empty() && !t90.is_empty());
+        let rise = t90[0].time - t10[0].time;
+        assert!(rise > 3.0 * ts && rise < 25.0 * ts, "rise {rise:.3e}");
+    }
+
+    #[test]
+    fn driver_weights_schedule() {
+        let model = synthetic_model(0.05, 1.8, 10);
+        let ts = model.ts;
+        let d = PwRbfDriver::new(model, Node::from_raw(1), "010", 1e-9);
+        assert_eq!(d.weights_at(0.5e-9), (0.0, 1.0));
+        // During the up window at 1 ns.
+        let (wh, wl) = d.weights_at(1e-9 + 5.0 * ts);
+        assert!(wh > 0.0 && wh < 1.0 && wl > 0.0 && wl < 1.0);
+        // Steady high after the window but before the down edge.
+        assert_eq!(d.weights_at(1.9e-9), (1.0, 0.0));
+        // Steady low long after the down edge.
+        assert_eq!(d.weights_at(5e-9), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal the model sample time")]
+    fn driver_rejects_wrong_dt() {
+        let model = synthetic_model(0.05, 1.8, 10);
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.add(PwRbfDriver::new(model, out, "01", 1e-9));
+        ckt.add(Resistor::new("rl", out, GROUND, 100.0));
+        // dt != ts: must panic inside stamp.
+        let _ = ckt.transient(TranParams::new(10e-12, 2e-9));
+    }
+
+    fn synthetic_receiver(c_over_ts: f64) -> ReceiverModel {
+        // i_lin = C/ts (v(k) - v(k-1)): ARX with na = 0, nb = 1.
+        let linear = ArxModel::from_coefficients(
+            ArxOrders { na: 0, nb: 1 },
+            vec![],
+            vec![c_over_ts, -c_over_ts],
+        )
+        .unwrap();
+        let zero = NarxModel::from_network(
+            NarxOrders::dynamic(1),
+            RbfNetwork::affine(0.0, vec![0.0, 0.0, 0.0]),
+        )
+        .unwrap();
+        ReceiverModel {
+            name: "rx_synth".into(),
+            ts: 25e-12,
+            vdd: 1.8,
+            linear,
+            up: zero.clone(),
+            down: zero,
+        }
+    }
+
+    #[test]
+    fn receiver_device_behaves_capacitively() {
+        let ts = 25e-12;
+        let c = 2e-12;
+        let model = synthetic_receiver(c / ts);
+        let mut ckt = Circuit::new();
+        let src = ckt.node("src");
+        let pad = ckt.node("pad");
+        ckt.add(VoltageSource::new(
+            "v",
+            src,
+            GROUND,
+            SourceWaveform::step(0.0, 1.0, 0.5e-9),
+        ));
+        ckt.add(Resistor::new("rs", src, pad, 50.0));
+        ckt.add(ReceiverModelDevice::new(model, pad));
+        let res = ckt.transient(TranParams::new(ts, 3e-9)).unwrap();
+        let v = res.voltage(pad);
+        // The pad follows the source with an RC lag; final value ~1 V.
+        let v_end = v.sample_at(2.9e-9);
+        assert!((v_end - 1.0).abs() < 0.02, "v_end {v_end}");
+        // During the ramp the pad lags the source (capacitive loading).
+        let v_mid = v.sample_at(0.25e-9);
+        assert!(v_mid < 0.5, "pad should lag, got {v_mid}");
+    }
+
+    #[test]
+    fn pwl_resistor_clamps() {
+        let iv = Pwl::new(vec![-1.0, 0.0, 1.0, 2.0], vec![-0.1, 0.0, 0.0, 0.2]).unwrap();
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        let src = ckt.node("src");
+        ckt.add(VoltageSource::new("v", src, GROUND, SourceWaveform::dc(3.0)));
+        ckt.add(Resistor::new("rs", src, n, 10.0));
+        ckt.add(PwlResistor::new("rhat", n, iv));
+        let x = ckt.dc_operating_point().unwrap();
+        let v = x[n.index() - 1];
+        // Solves (3 - v)/10 = iv(v): in the top segment i = 0.2 (v - 1).
+        // (3 - v)/10 = 0.2 v - 0.2 -> 3 - v = 2 v - 2 -> v = 5/3.
+        assert!((v - 5.0 / 3.0).abs() < 1e-6, "v = {v}");
+    }
+
+    #[test]
+    fn cr_model_instantiate() {
+        let iv = Pwl::new(vec![-1.0, 0.0, 1.0], vec![-0.1, 0.0, 0.1]).unwrap();
+        let model = CrModel::new("cr", 1e-12, iv).unwrap();
+        let mut ckt = Circuit::new();
+        let src = ckt.node("src");
+        let pad = ckt.node("pad");
+        ckt.add(VoltageSource::new(
+            "v",
+            src,
+            GROUND,
+            SourceWaveform::step(0.0, 0.5, 0.2e-9),
+        ));
+        ckt.add(Resistor::new("rs", src, pad, 50.0));
+        model.instantiate(&mut ckt, pad);
+        let res = ckt.transient(TranParams::new(10e-12, 2e-9)).unwrap();
+        let v_end = res.voltage(pad).sample_at(1.9e-9);
+        // Static resistor draws 0.1 A/V * v; divider with the 50 Ω source:
+        // (0.5 - v)/50 = 0.1 v -> 0.5 - v = 5 v -> v = 0.5/6.
+        assert!((v_end - 0.5 / 6.0).abs() < 5e-3, "v_end {v_end}");
+    }
+}

@@ -1,0 +1,540 @@
+//! End-to-end estimation pipelines: reference device → macromodel.
+//!
+//! The modeling process follows the paper:
+//!
+//! **Drivers** (Section 2):
+//! 1. hold the port in each logic state and excite the pad with a
+//!    multilevel voltage waveform spanning the output range
+//!    (identification signals);
+//! 2. estimate the RBF submodels `i_H`, `i_L` from the recorded port
+//!    voltage/current (OLS center selection, affine augmentation);
+//! 3. record complete Up and Down state switchings on **two identification
+//!    loads** and obtain the weight sequences `w_H(k)`, `w_L(k)` by linear
+//!    inversion of equation (1).
+//!
+//! **Receivers** (Section 3):
+//! 1. estimate the linear ARX submodel from a step waveform spanning the
+//!    supply range inside the rails;
+//! 2. estimate the up/down RBF submodels from multilevel waveforms reaching
+//!    into the protection regions, on the residual after the linear part;
+//! 3. the C–R̂ baseline takes `C` from the linear fit and `R̂(v)` from a DC
+//!    sweep.
+
+use crate::driver::{estimate_switching_weights, PwRbfDriverModel};
+use crate::receiver::{CrModel, ReceiverModel};
+use crate::{Error, Result};
+use circuit::devices::{Resistor, SourceWaveform, VoltageSource};
+use circuit::{Waveform, GROUND};
+use numkit::interp::Pwl;
+use refdev::extraction::{capture_driver, capture_receiver, receiver_input_iv};
+use refdev::{CmosDriverSpec, ReceiverSpec};
+use sysid::arx::{ArxModel, ArxOrders};
+use sysid::narx::{NarxModel, NarxOrders, RbfTrainConfig};
+use sysid::signals;
+
+/// Configuration of the driver estimation pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverEstimationConfig {
+    /// Model sample time (s). The paper reports Ts in the 25–50 ps range.
+    pub ts: f64,
+    /// Dynamic order `r` of the submodels.
+    pub order: usize,
+    /// RBF training configuration (centers, width, OLS stop).
+    pub rbf: RbfTrainConfig,
+    /// Excitation margin beyond the rails (V).
+    pub v_margin: f64,
+    /// Number of levels in the multilevel identification signal.
+    pub n_levels: usize,
+    /// Samples per level.
+    pub dwell: usize,
+    /// Edge samples of the identification signal.
+    pub edge_samples: usize,
+    /// First identification load: resistance to ground (Ω).
+    pub r_load_a: f64,
+    /// Second identification load: resistance to VDD (Ω).
+    pub r_load_b: f64,
+    /// Pre-edge settling time in the switching captures (s).
+    pub t_pre: f64,
+    /// Transition window captured after the edge (s).
+    pub t_window: f64,
+    /// Seed of the multilevel signal generator.
+    pub seed: u64,
+}
+
+impl Default for DriverEstimationConfig {
+    fn default() -> Self {
+        DriverEstimationConfig {
+            ts: 25e-12,
+            order: 2,
+            rbf: RbfTrainConfig {
+                max_centers: 15,
+                candidate_pool: 160,
+                width_scale: 1.0,
+                ols_tolerance: 1e-7,
+            },
+            v_margin: 0.3,
+            n_levels: 60,
+            dwell: 24,
+            edge_samples: 6,
+            r_load_a: 50.0,
+            r_load_b: 50.0,
+            t_pre: 2e-9,
+            t_window: 4e-9,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Identification record of one state submodel (kept for diagnostics).
+#[derive(Debug, Clone)]
+pub struct StateIdRecord {
+    /// Port voltage identification signal.
+    pub voltage: Waveform,
+    /// Recorded port current.
+    pub current: Waveform,
+    /// Free-run NMSE of the fitted submodel on its own identification data.
+    pub nmse: f64,
+}
+
+/// Estimates a PW-RBF driver model from a transistor-level reference.
+///
+/// # Errors
+///
+/// Returns [`Error::Estimation`] with the failing stage, or propagates
+/// simulation/identification errors.
+pub fn estimate_driver(
+    spec: &CmosDriverSpec,
+    cfg: DriverEstimationConfig,
+) -> Result<PwRbfDriverModel> {
+    let (model, _, _) = estimate_driver_with_records(spec, cfg)?;
+    Ok(model)
+}
+
+/// Like [`estimate_driver`], additionally returning the identification
+/// records of the High and Low submodels.
+pub fn estimate_driver_with_records(
+    spec: &CmosDriverSpec,
+    cfg: DriverEstimationConfig,
+) -> Result<(PwRbfDriverModel, StateIdRecord, StateIdRecord)> {
+    if cfg.ts <= 0.0 || cfg.order == 0 {
+        return Err(Error::InvalidModel {
+            message: "ts must be positive and order at least 1".into(),
+        });
+    }
+    // --- 1. state submodels ---
+    let (i_high, rec_high) = estimate_state_submodel(spec, true, &cfg)?;
+    let (i_low, rec_low) = estimate_state_submodel(spec, false, &cfg)?;
+
+    // --- 2. switching captures on the two identification loads ---
+    let cap = |pattern: &str, to_vdd: bool, r: f64| -> Result<(Vec<f64>, Vec<f64>)> {
+        let t_stop = cfg.t_pre + cfg.t_window;
+        let c = capture_driver(
+            spec,
+            spec.pattern(pattern, cfg.t_pre),
+            |ckt, pad| {
+                if to_vdd {
+                    let nv = ckt.node("idl_vdd");
+                    ckt.add(VoltageSource::new(
+                        "idl_vsrc",
+                        nv,
+                        GROUND,
+                        SourceWaveform::dc(spec.vdd),
+                    ));
+                    ckt.add(Resistor::new("idl_r", pad, nv, r));
+                } else {
+                    ckt.add(Resistor::new("idl_r", pad, GROUND, r));
+                }
+                Ok(())
+            },
+            cfg.ts,
+            t_stop,
+        )?;
+        Ok((c.voltage.values().to_vec(), c.current.values().to_vec()))
+    };
+
+    let k_edge = (cfg.t_pre / cfg.ts).round() as usize;
+    let mut weights = Vec::with_capacity(2);
+    for (pattern, anchors) in [
+        ("01", ((0.0, 1.0), (1.0, 0.0))),
+        ("10", ((1.0, 0.0), (0.0, 1.0))),
+    ] {
+        let (v_a, i_a) = cap(pattern, false, cfg.r_load_a)?;
+        let (v_b, i_b) = cap(pattern, true, cfg.r_load_b)?;
+        // Submodel free runs on the recorded voltages, from settled initial
+        // conditions at the first sample.
+        let run = |m: &NarxModel, v: &[f64]| -> Vec<f64> {
+            let y0 = crate::device::settle_for_pipeline(m, v[0]);
+            let init = vec![y0; m.orders().start().max(1)];
+            m.simulate(v, &init)
+        };
+        let slice = |s: Vec<f64>| s[k_edge..].to_vec();
+        let ih_a = slice(run(&i_high, &v_a));
+        let il_a = slice(run(&i_low, &v_a));
+        let ih_b = slice(run(&i_high, &v_b));
+        let il_b = slice(run(&i_low, &v_b));
+        let meas_a = slice(i_a);
+        let meas_b = slice(i_b);
+        let w = estimate_switching_weights(&ih_a, &il_a, &meas_a, &ih_b, &il_b, &meas_b, anchors)?;
+        weights.push(w);
+    }
+    let down = weights.pop().expect("two transitions captured");
+    let up = weights.pop().expect("two transitions captured");
+
+    let model = PwRbfDriverModel {
+        name: spec.name.to_string(),
+        ts: cfg.ts,
+        vdd: spec.vdd,
+        i_high,
+        i_low,
+        up,
+        down,
+    };
+    model.validate()?;
+    Ok((model, rec_high, rec_low))
+}
+
+/// Estimates one state submodel (driver held High or Low, pad excited by a
+/// multilevel source).
+fn estimate_state_submodel(
+    spec: &CmosDriverSpec,
+    high: bool,
+    cfg: &DriverEstimationConfig,
+) -> Result<(NarxModel, StateIdRecord)> {
+    let lo = -cfg.v_margin;
+    let hi = spec.vdd + cfg.v_margin;
+    let sig = signals::multilevel(
+        lo,
+        hi,
+        cfg.n_levels,
+        cfg.dwell,
+        cfg.edge_samples,
+        cfg.seed ^ (high as u64),
+    );
+    let times: Vec<f64> = (0..sig.len()).map(|k| k as f64 * cfg.ts).collect();
+    let pwl = Pwl::new(times.clone(), sig).map_err(|e| Error::Estimation {
+        stage: "identification signal".into(),
+        message: e.to_string(),
+    })?;
+    let t_stop = *times.last().expect("non-empty signal");
+    let input_level = if high { spec.vdd } else { 0.0 };
+    let capture = capture_driver(
+        spec,
+        SourceWaveform::dc(input_level),
+        move |ckt, pad| {
+            ckt.add(VoltageSource::new("id_src", pad, GROUND, SourceWaveform::Pwl(pwl)));
+            Ok(())
+        },
+        cfg.ts,
+        t_stop,
+    )?;
+    let v = capture.voltage.values().to_vec();
+    let i = capture.current.values().to_vec();
+    let narx = NarxModel::fit(&v, &i, NarxOrders::dynamic(cfg.order), cfg.rbf)?;
+    // Self-consistency metric on the identification data.
+    let sim = narx.simulate(&v, &i[..cfg.order.max(1)]);
+    let nmse = numkit::stats::nmse(&sim, &i);
+    Ok((
+        narx,
+        StateIdRecord {
+            voltage: capture.voltage,
+            current: capture.current,
+            nmse,
+        },
+    ))
+}
+
+/// Configuration of the receiver estimation pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct ReceiverEstimationConfig {
+    /// Model sample time (s).
+    pub ts: f64,
+    /// ARX order of the linear submodel (`na = nb = r_lin`).
+    pub r_lin: usize,
+    /// Dynamic order of the up-protection submodel.
+    pub r_up: usize,
+    /// Dynamic order of the down-protection submodel.
+    pub r_down: usize,
+    /// RBF training configuration.
+    pub rbf: RbfTrainConfig,
+    /// Overdrive beyond the rails for the protection signals (V).
+    pub v_over: f64,
+    /// Number of levels in protection identification signals.
+    pub n_levels: usize,
+    /// Samples per level.
+    pub dwell: usize,
+    /// Edge samples.
+    pub edge_samples: usize,
+    /// Seed of the multilevel generator.
+    pub seed: u64,
+}
+
+impl Default for ReceiverEstimationConfig {
+    fn default() -> Self {
+        ReceiverEstimationConfig {
+            ts: 25e-12,
+            r_lin: 2,
+            r_up: 2,
+            r_down: 3,
+            rbf: RbfTrainConfig {
+                max_centers: 18,
+                candidate_pool: 220,
+                width_scale: 1.0,
+                ols_tolerance: 1e-8,
+            },
+            v_over: 0.9,
+            n_levels: 50,
+            dwell: 24,
+            edge_samples: 6,
+            seed: 0xace,
+        }
+    }
+}
+
+/// Fits an ARX model and guards against spurious marginal poles: smooth
+/// identification steps under-determine the AR part of nearly capacitive
+/// ports, so least squares occasionally parks a pole on the unit circle.
+/// The AR order is reduced until the spectral radius is safely inside.
+fn fit_stable_arx(v: &[f64], i: &[f64], r_lin: usize) -> Result<ArxModel> {
+    let mut last_err: Option<Error> = None;
+    for na in (0..=r_lin).rev() {
+        match ArxModel::fit(v, i, ArxOrders { na, nb: r_lin }) {
+            Ok(m) if m.spectral_radius() < 0.99 => return Ok(m),
+            Ok(_) => continue,
+            Err(e) => last_err = Some(e.into()),
+        }
+    }
+    Err(last_err.unwrap_or(Error::Estimation {
+        stage: "linear receiver submodel".into(),
+        message: "no stable ARX structure found".into(),
+    }))
+}
+
+/// Captures a receiver excited directly by a sampled voltage waveform.
+fn capture_rx(
+    spec: &ReceiverSpec,
+    sig: Vec<f64>,
+    ts: f64,
+) -> Result<(Vec<f64>, Vec<f64>)> {
+    let times: Vec<f64> = (0..sig.len()).map(|k| k as f64 * ts).collect();
+    let t_stop = *times.last().expect("non-empty signal");
+    let pwl = Pwl::new(times, sig).map_err(|e| Error::Estimation {
+        stage: "receiver identification signal".into(),
+        message: e.to_string(),
+    })?;
+    let cap = capture_receiver(
+        spec,
+        move |ckt, pad| {
+            ckt.add(VoltageSource::new("id_src", pad, GROUND, SourceWaveform::Pwl(pwl)));
+            Ok(())
+        },
+        ts,
+        t_stop,
+    )?;
+    Ok((cap.voltage.values().to_vec(), cap.current.values().to_vec()))
+}
+
+/// Estimates the full receiver parametric model (equation 2).
+///
+/// # Errors
+///
+/// Returns [`Error::Estimation`] / identification errors from the stages.
+pub fn estimate_receiver(
+    spec: &ReceiverSpec,
+    cfg: ReceiverEstimationConfig,
+) -> Result<ReceiverModel> {
+    if cfg.ts <= 0.0 {
+        return Err(Error::InvalidModel {
+            message: "ts must be positive".into(),
+        });
+    }
+    // --- 1. linear submodel: steps inside the rails ---
+    let lin_sig = signals::step_train(
+        0.1 * spec.vdd,
+        0.9 * spec.vdd,
+        6,
+        cfg.dwell * 2,
+        cfg.edge_samples,
+    );
+    let (v_lin, i_lin) = capture_rx(spec, lin_sig, cfg.ts)?;
+    let linear = fit_stable_arx(&v_lin, &i_lin, cfg.r_lin)?;
+
+    // --- 2. protection submodels on the residual ---
+    // Protection submodels are estimated without output feedback (NFIR
+    // structure: present + past voltages only). The protection network is a
+    // voltage-driven one-port, so its current is determined by the voltage
+    // history; removing the output lags eliminates the free-run instability
+    // that teacher-forced training can otherwise bake into the feedback
+    // path when the residual is near zero over most of the record.
+    //
+    // Both submodels are trained over the *full* excursion range so that
+    // their (small) affine tails are constrained everywhere; the split into
+    // `up` and `down` is realized by sequential residual fitting: `up`
+    // absorbs the residual after the linear part, `down` what remains.
+    // Inside the rails both are taught to be (near) zero by construction.
+    let lo = -cfg.v_over;
+    let hi = spec.vdd + cfg.v_over;
+    let sig_up = signals::multilevel(lo, hi, cfg.n_levels, cfg.dwell, cfg.edge_samples, cfg.seed);
+    let (v_up, i_up) = capture_rx(spec, sig_up, cfg.ts)?;
+    let lin_up = linear.simulate(&v_up);
+    let resid_up: Vec<f64> = i_up.iter().zip(&lin_up).map(|(a, b)| a - b).collect();
+    let up = NarxModel::fit(
+        &v_up,
+        &resid_up,
+        NarxOrders {
+            input_lags: cfg.r_up,
+            output_lags: 0,
+        },
+        cfg.rbf,
+    )?;
+
+    let sig_dn = signals::multilevel(
+        lo,
+        hi,
+        cfg.n_levels,
+        cfg.dwell,
+        cfg.edge_samples,
+        cfg.seed ^ 0xffff,
+    );
+    let (v_dn, i_dn) = capture_rx(spec, sig_dn, cfg.ts)?;
+    let lin_dn = linear.simulate(&v_dn);
+    let up_dn = up.simulate(&v_dn, &[]);
+    let resid_dn: Vec<f64> = i_dn
+        .iter()
+        .zip(&lin_dn)
+        .zip(&up_dn)
+        .map(|((a, b), c)| a - b - c)
+        .collect();
+    let down = NarxModel::fit(
+        &v_dn,
+        &resid_dn,
+        NarxOrders {
+            input_lags: cfg.r_down,
+            output_lags: 0,
+        },
+        cfg.rbf,
+    )?;
+
+    let model = ReceiverModel {
+        name: spec.name.to_string(),
+        ts: cfg.ts,
+        vdd: spec.vdd,
+        linear,
+        up,
+        down,
+    };
+    model.validate()?;
+    Ok(model)
+}
+
+/// Builds the paper's C–R̂ baseline for a receiver: `C` from a low-order
+/// linear fit inside the rails, `R̂(v)` from a DC sweep.
+///
+/// # Errors
+///
+/// Propagates capture and fit failures.
+pub fn estimate_cr_baseline(spec: &ReceiverSpec, ts: f64) -> Result<CrModel> {
+    // C from an ARX(0,1) fit: i = (C/ts) v(k) - (C/ts) v(k-1).
+    let sig = signals::step_train(0.1 * spec.vdd, 0.9 * spec.vdd, 6, 40, 6);
+    let (v, i) = capture_rx(spec, sig, ts)?;
+    let fit = ArxModel::fit(&v, &i, ArxOrders { na: 0, nb: 1 })?;
+    let c = (fit.b()[0] - fit.b()[1]) * 0.5 * ts;
+    let c = c.max(1e-15);
+    // Static resistor from the DC sweep.
+    let sweep = receiver_input_iv(spec, (-1.2, spec.vdd + 1.2), 49)?;
+    let static_iv = Pwl::new(sweep.voltages, sweep.currents).map_err(|e| Error::Estimation {
+        stage: "C-R baseline DC sweep".into(),
+        message: e.to_string(),
+    })?;
+    CrModel::new(format!("{}_cr", spec.name), c, static_iv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refdev::{md1, md4};
+
+    fn fast_driver_cfg() -> DriverEstimationConfig {
+        DriverEstimationConfig {
+            n_levels: 24,
+            dwell: 16,
+            rbf: RbfTrainConfig {
+                max_centers: 8,
+                candidate_pool: 60,
+                width_scale: 1.0,
+                ols_tolerance: 1e-6,
+            },
+            t_pre: 1.5e-9,
+            t_window: 3e-9,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn driver_estimation_end_to_end() {
+        let spec = md1();
+        let (model, rec_h, rec_l) =
+            estimate_driver_with_records(&spec, fast_driver_cfg()).unwrap();
+        assert!(model.validate().is_ok());
+        // Submodels fit their own identification data well.
+        assert!(rec_h.nmse < 0.05, "high NMSE {}", rec_h.nmse);
+        assert!(rec_l.nmse < 0.05, "low NMSE {}", rec_l.nmse);
+        // Weight windows are anchored at the steady states.
+        assert_eq!(model.up.at(0), (0.0, 1.0));
+        assert_eq!(model.up.at(model.up.len() - 1), (1.0, 0.0));
+        assert_eq!(model.down.at(0), (1.0, 0.0));
+        assert!(model.total_basis_functions() > 0);
+    }
+
+    #[test]
+    fn driver_estimation_rejects_bad_config() {
+        let cfg = DriverEstimationConfig {
+            ts: 0.0,
+            ..Default::default()
+        };
+        assert!(estimate_driver(&md1(), cfg).is_err());
+        let cfg = DriverEstimationConfig {
+            order: 0,
+            ..Default::default()
+        };
+        assert!(estimate_driver(&md1(), cfg).is_err());
+    }
+
+    #[test]
+    fn receiver_estimation_end_to_end() {
+        let spec = md4();
+        let cfg = ReceiverEstimationConfig {
+            n_levels: 24,
+            dwell: 16,
+            ..Default::default()
+        };
+        let model = estimate_receiver(&spec, cfg).unwrap();
+        assert!(model.validate().is_ok());
+        // Static behaviour: inside the rails the total current at steady
+        // state is (near) zero; above VDD the up model dominates.
+        let n = 400;
+        let v_hold = vec![0.5 * spec.vdd; n];
+        let i = model.simulate(&v_hold);
+        assert!(i[n - 1].abs() < 2e-3, "mid-rail leakage {}", i[n - 1]);
+        let v_over = vec![spec.vdd + 0.8; n];
+        let i = model.simulate(&v_over);
+        assert!(i[n - 1] > 5e-3, "clamp current {}", i[n - 1]);
+    }
+
+    #[test]
+    fn cr_baseline_extraction() {
+        let spec = md4();
+        let cr = estimate_cr_baseline(&spec, 25e-12).unwrap();
+        // The estimated C is within a factor of two of the physical total
+        // (the gate RC hides part of it at this sample rate).
+        let c_phys = spec.total_capacitance();
+        assert!(
+            cr.c > 0.3 * c_phys && cr.c < 2.0 * c_phys,
+            "C {} vs physical {}",
+            cr.c,
+            c_phys
+        );
+        // Static curve: conducting above the rail.
+        assert!(cr.static_iv.eval(spec.vdd + 1.0) > 1e-3);
+        assert!(cr.static_iv.eval(0.5 * spec.vdd).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,256 @@
+//! Reference-vs-model validation harness and Section-5 accuracy metrics.
+
+use crate::device::PwRbfDriver;
+use crate::driver::PwRbfDriverModel;
+use crate::Result;
+use circuit::waveform::{max_difference, rms_difference, timing_error};
+use circuit::{Circuit, Node, TranParams, Waveform, GROUND};
+use refdev::extraction::capture_driver;
+use refdev::CmosDriverSpec;
+
+/// Accuracy metrics between a model waveform and its reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationMetrics {
+    /// Root-mean-square voltage difference (V).
+    pub rms_error: f64,
+    /// Maximum absolute voltage difference (V).
+    pub max_error: f64,
+    /// Maximum threshold-crossing timing error (s); `None` when either
+    /// waveform never crosses the threshold.
+    pub timing_error: Option<f64>,
+    /// Threshold used for the timing measurement (V).
+    pub threshold: f64,
+}
+
+impl ValidationMetrics {
+    /// Computes the metric set between `model` and `reference` waveforms.
+    pub fn between(model: &Waveform, reference: &Waveform, threshold: f64) -> Self {
+        ValidationMetrics {
+            rms_error: rms_difference(reference, model),
+            max_error: max_difference(reference, model),
+            timing_error: timing_error(reference, model, threshold),
+            threshold,
+        }
+    }
+}
+
+/// Result of one driver validation run: both waveforms plus metrics.
+#[derive(Debug, Clone)]
+pub struct DriverValidation {
+    /// Pad voltage of the transistor-level reference.
+    pub reference: Waveform,
+    /// Pad voltage predicted by the PW-RBF model.
+    pub model: Waveform,
+    /// Comparison metrics at `vdd/2`.
+    pub metrics: ValidationMetrics,
+}
+
+/// Runs the transistor-level reference and the PW-RBF model against the
+/// *same* load network and compares the pad voltages.
+///
+/// `load` is invoked once per simulation with the circuit and the pad/output
+/// node; it must build identical load networks both times (it receives a
+/// fresh circuit each time).
+///
+/// # Errors
+///
+/// Propagates simulation failures from either run.
+pub fn validate_driver<F>(
+    spec: &CmosDriverSpec,
+    model: &PwRbfDriverModel,
+    pattern: &str,
+    bit_time: f64,
+    t_stop: f64,
+    mut load: F,
+) -> Result<DriverValidation>
+where
+    F: FnMut(&mut Circuit, Node) -> Result<()>,
+{
+    // Reference run (transistor level), sampled at the model clock so the
+    // comparison grids line up.
+    let reference = capture_driver(
+        spec,
+        spec.pattern(pattern, bit_time),
+        |ckt, pad| {
+            load(ckt, pad).map_err(|e| refdev::Error::InvalidSpec {
+                message: format!("load construction failed: {e}"),
+            })?;
+            Ok(())
+        },
+        model.ts,
+        t_stop,
+    )?;
+
+    // Macromodel run.
+    let mut ckt = Circuit::new();
+    let out = ckt.node(format!("{}_out", model.name));
+    ckt.add(PwRbfDriver::new(model.clone(), out, pattern, bit_time));
+    load(&mut ckt, out)?;
+    let res = ckt.transient(TranParams::new(model.ts, t_stop))?;
+    let v_model = res.voltage(out);
+
+    let metrics = ValidationMetrics::between(&v_model, &reference.voltage, 0.5 * spec.vdd);
+    Ok(DriverValidation {
+        reference: reference.voltage,
+        model: v_model,
+        metrics,
+    })
+}
+
+/// Convenience: a resistive load to ground.
+pub fn resistive_load(r: f64) -> impl FnMut(&mut Circuit, Node) -> Result<()> {
+    move |ckt, pad| {
+        ckt.add(circuit::devices::Resistor::new("val_rload", pad, GROUND, r));
+        Ok(())
+    }
+}
+
+/// Convenience: an ideal transmission line terminated by a capacitor — the
+/// Fig. 1 validation fixture.
+pub fn line_cap_load(z0: f64, td: f64, c_load: f64) -> impl FnMut(&mut Circuit, Node) -> Result<()> {
+    move |ckt, pad| {
+        let far = ckt.node("val_far");
+        ckt.add(circuit::devices::IdealLine::new(
+            "val_line",
+            pad,
+            GROUND,
+            far,
+            GROUND,
+            z0,
+            td,
+        ));
+        ckt.add(circuit::devices::Capacitor::new(
+            "val_cload",
+            far,
+            GROUND,
+            c_load,
+        ));
+        Ok(())
+    }
+}
+
+/// Runs a stimulus waveform through an arbitrary one-port circuit builder —
+/// generic scaffolding used by the receiver figures, where the "device under
+/// test" side varies (reference, parametric model, C–R̂ model).
+///
+/// Builds a fresh circuit, lets `build` install everything (sources, lines,
+/// device) and returns the voltage at the node `build` returns.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_fixture<F>(dt: f64, t_stop: f64, build: F) -> Result<Waveform>
+where
+    F: FnOnce(&mut Circuit) -> Result<Node>,
+{
+    let mut ckt = Circuit::new();
+    let probe_node = build(&mut ckt)?;
+    let res = ckt.transient(TranParams::new(dt, t_stop))?;
+    Ok(res.voltage(probe_node))
+}
+
+/// Per-experiment accuracy summary row (EXPERIMENTS.md bookkeeping).
+#[derive(Debug, Clone)]
+pub struct AccuracyRow {
+    /// Experiment label (e.g. "fig1", "fig4-active").
+    pub label: String,
+    /// Metrics of the PW-RBF (or receiver parametric) model.
+    pub metrics: ValidationMetrics,
+}
+
+impl std::fmt::Display for AccuracyRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<16} rms = {:.4} V, max = {:.4} V, timing = {}",
+            self.label,
+            self.metrics.rms_error,
+            self.metrics.max_error,
+            match self.metrics.timing_error {
+                Some(te) => format!("{:.1} ps", te * 1e12),
+                None => "n/a".to_string(),
+            }
+        )
+    }
+}
+
+/// Helper for figure binaries: prints aligned CSV rows of several waveforms
+/// on the time axis of the first.
+pub fn print_csv(header: &[&str], waveforms: &[&Waveform]) {
+    println!("{}", header.join(","));
+    if waveforms.is_empty() {
+        return;
+    }
+    let t_axis = waveforms[0].times();
+    for (idx, &t) in t_axis.iter().enumerate() {
+        let mut row = Vec::with_capacity(waveforms.len() + 1);
+        row.push(format!("{:.6e}", t));
+        for w in waveforms {
+            let v = if std::ptr::eq(*w, waveforms[0]) {
+                w.values()[idx]
+            } else {
+                w.sample_at(t)
+            };
+            row.push(format!("{:.6e}", v));
+        }
+        println!("{}", row.join(","));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_between_identical_waveforms() {
+        let t: Vec<f64> = (0..100).map(|k| k as f64 * 1e-11).collect();
+        let y: Vec<f64> = t.iter().map(|&x| (x * 1e10).tanh()).collect();
+        let w = Waveform::from_parts(t, y);
+        let m = ValidationMetrics::between(&w, &w, 0.5);
+        assert_eq!(m.rms_error, 0.0);
+        assert_eq!(m.max_error, 0.0);
+        assert_eq!(m.timing_error, Some(0.0));
+        assert_eq!(m.threshold, 0.5);
+    }
+
+    #[test]
+    fn accuracy_row_display() {
+        let row = AccuracyRow {
+            label: "fig1".into(),
+            metrics: ValidationMetrics {
+                rms_error: 0.01,
+                max_error: 0.05,
+                timing_error: Some(5e-12),
+                threshold: 1.65,
+            },
+        };
+        let s = row.to_string();
+        assert!(s.contains("fig1"));
+        assert!(s.contains("5.0 ps"));
+        let row = AccuracyRow {
+            label: "x".into(),
+            metrics: ValidationMetrics {
+                rms_error: 0.0,
+                max_error: 0.0,
+                timing_error: None,
+                threshold: 0.0,
+            },
+        };
+        assert!(row.to_string().contains("n/a"));
+    }
+
+    #[test]
+    fn run_fixture_simple_divider() {
+        use circuit::devices::{Resistor, SourceWaveform, VoltageSource};
+        let v = run_fixture(1e-10, 1e-8, |ckt| {
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            ckt.add(VoltageSource::new("v", a, GROUND, SourceWaveform::dc(2.0)));
+            ckt.add(Resistor::new("r1", a, b, 100.0));
+            ckt.add(Resistor::new("r2", b, GROUND, 100.0));
+            Ok(b)
+        })
+        .unwrap();
+        assert!((v.values().last().unwrap() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,198 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+
+use crate::{Error, Matrix, Result};
+
+/// Cholesky factorization `A = L L^T` of a symmetric positive-definite matrix.
+///
+/// Used for normal-equation solves in regularized regression where the Gram
+/// matrix is SPD by construction.
+///
+/// # Example
+///
+/// ```
+/// use numkit::{Matrix, cholesky::CholeskyFactor};
+/// # fn main() -> Result<(), numkit::Error> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let x = CholeskyFactor::new(&a)?.solve(&[2.0, 1.0])?;
+/// assert!((4.0 * x[0] + 2.0 * x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    /// Lower-triangular factor.
+    l: Matrix,
+}
+
+impl CholeskyFactor {
+    /// Factorizes the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry is assumed.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] if `a` is not square.
+    /// * [`Error::NotPositiveDefinite`] if a non-positive pivot appears.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(Error::DimensionMismatch {
+                expected: "square matrix".into(),
+                got: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(Error::EmptyInput);
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a.get(j, j);
+            for k in 0..j {
+                d -= l.get(j, k) * l.get(j, k);
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(Error::NotPositiveDefinite { column: j });
+            }
+            let dj = d.sqrt();
+            l.set(j, j, dj);
+            for i in (j + 1)..n {
+                let mut s = a.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, s / dj);
+            }
+        }
+        Ok(CholeskyFactor { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` using forward + backward substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(Error::DimensionMismatch {
+                expected: format!("rhs of length {n}"),
+                got: format!("rhs of length {}", b.len()),
+            });
+        }
+        // L y = b
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut s = y[i];
+            for k in 0..i {
+                s -= self.l.get(i, k) * y[k];
+            }
+            y[i] = s / self.l.get(i, i);
+        }
+        // L^T x = y
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l.get(k, i) * y[k];
+            }
+            y[i] = s / self.l.get(i, i);
+        }
+        Ok(y)
+    }
+
+    /// Returns a reference to the lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+/// Solves the ridge-regularized normal equations
+/// `(A^T A + lambda I) x = A^T b`.
+///
+/// This is the standard fallback when a regression matrix is numerically
+/// rank-deficient; `lambda` trades bias for conditioning.
+///
+/// # Errors
+///
+/// Propagates shape errors and [`Error::NotPositiveDefinite`] (possible only
+/// for `lambda = 0` with rank-deficient `A`).
+pub fn ridge_solve(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    let mut g = a.gram();
+    for i in 0..g.rows() {
+        g.add_at(i, i, lambda);
+    }
+    let rhs = a.t_matvec(b)?;
+    CholeskyFactor::new(&g)?.solve(&rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_and_solve_spd() {
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+            .unwrap();
+        let chol = CholeskyFactor::new(&a).unwrap();
+        // Known factor from the classic example.
+        let l = chol.l();
+        assert!((l.get(0, 0) - 5.0).abs() < 1e-12);
+        assert!((l.get(1, 0) - 3.0).abs() < 1e-12);
+        assert!((l.get(2, 2) - 3.0).abs() < 1e-12);
+        let b = [1.0, 2.0, 3.0];
+        let x = chol.solve(&b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            CholeskyFactor::new(&a),
+            Err(Error::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(CholeskyFactor::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(CholeskyFactor::new(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let chol = CholeskyFactor::new(&Matrix::identity(2)).unwrap();
+        assert!(chol.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn ridge_matches_ls_when_lambda_zero() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let ls = crate::qr::solve_ls(&a, &b).unwrap();
+        let ridge = ridge_solve(&a, &b, 0.0).unwrap();
+        for (p, q) in ls.iter().zip(&ridge) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ridge_handles_rank_deficiency() {
+        // Columns are parallel: plain LS fails, ridge succeeds.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        assert!(crate::qr::solve_ls(&a, &b).is_err());
+        let x = ridge_solve(&a, &b, 1e-8).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-3);
+        }
+    }
+}

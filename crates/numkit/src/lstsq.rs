@@ -1,0 +1,153 @@
+//! High-level least-squares helpers used by the identification code.
+
+use crate::{cholesky, qr, Error, Matrix, Result};
+
+/// Result of a least-squares fit: coefficients plus quality indicators.
+#[derive(Debug, Clone)]
+pub struct LsFit {
+    /// Estimated coefficient vector.
+    pub coeffs: Vec<f64>,
+    /// Residual sum of squares `||A x - b||^2`.
+    pub rss: f64,
+    /// Number of observations (rows of the regression matrix).
+    pub n_obs: usize,
+}
+
+impl LsFit {
+    /// Root-mean-square residual.
+    pub fn rms(&self) -> f64 {
+        if self.n_obs == 0 {
+            return 0.0;
+        }
+        (self.rss / self.n_obs as f64).sqrt()
+    }
+}
+
+/// Solves `min ||A x - b||` by Householder QR, falling back to a tiny ridge
+/// regularization if the columns of `A` are numerically dependent.
+///
+/// The fallback keeps identification pipelines robust when a candidate
+/// regressor happens to be (nearly) redundant; the bias introduced by the
+/// `1e-10`-scaled ridge is far below waveform noise levels.
+///
+/// # Errors
+///
+/// Returns shape errors from the underlying factorizations.
+pub fn robust_ls(a: &Matrix, b: &[f64]) -> Result<LsFit> {
+    if a.rows() != b.len() {
+        return Err(Error::DimensionMismatch {
+            expected: format!("rhs of length {}", a.rows()),
+            got: format!("rhs of length {}", b.len()),
+        });
+    }
+    let coeffs = match qr::solve_ls(a, b) {
+        Ok(x) => x,
+        Err(Error::Singular { .. }) => {
+            let scale = a.max_abs().max(1.0);
+            cholesky::ridge_solve(a, b, 1e-10 * scale * scale)?
+        }
+        Err(e) => return Err(e),
+    };
+    let pred = a.matvec(&coeffs)?;
+    let rss = pred
+        .iter()
+        .zip(b)
+        .map(|(p, y)| (p - y) * (p - y))
+        .sum::<f64>();
+    Ok(LsFit {
+        coeffs,
+        rss,
+        n_obs: b.len(),
+    })
+}
+
+/// Fits a polynomial of degree `deg` to `(x, y)` samples, returning
+/// coefficients in ascending-power order `c0 + c1 x + ...`.
+///
+/// # Errors
+///
+/// * [`Error::DimensionMismatch`] if `x.len() != y.len()`.
+/// * [`Error::EmptyInput`] if fewer than `deg + 1` samples are given.
+pub fn polyfit(x: &[f64], y: &[f64], deg: usize) -> Result<Vec<f64>> {
+    if x.len() != y.len() {
+        return Err(Error::DimensionMismatch {
+            expected: format!("y of length {}", x.len()),
+            got: format!("y of length {}", y.len()),
+        });
+    }
+    if x.len() < deg + 1 {
+        return Err(Error::EmptyInput);
+    }
+    let mut a = Matrix::zeros(x.len(), deg + 1);
+    for (r, &xi) in x.iter().enumerate() {
+        let mut p = 1.0;
+        for c in 0..=deg {
+            a.set(r, c, p);
+            p *= xi;
+        }
+    }
+    Ok(robust_ls(&a, y)?.coeffs)
+}
+
+/// Evaluates a polynomial with ascending-power coefficients at `x`.
+pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn robust_ls_plain_case() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let b = [1.0, 1.0, 2.0];
+        let fit = robust_ls(&a, &b).unwrap();
+        assert!((fit.coeffs[0] - 1.0).abs() < 1e-12);
+        assert!((fit.coeffs[1] - 1.0).abs() < 1e-12);
+        assert!(fit.rss < 1e-20);
+        assert!(fit.rms() < 1e-10);
+    }
+
+    #[test]
+    fn robust_ls_survives_dependent_columns() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        let b = [2.0, 4.0, 6.0];
+        let fit = robust_ls(&a, &b).unwrap();
+        // Prediction must still be accurate even though the split between the
+        // two coefficients is arbitrary.
+        let pred = a.matvec(&fit.coeffs).unwrap();
+        for (p, y) in pred.iter().zip(&b) {
+            assert!((p - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn robust_ls_checks_shape() {
+        let a = Matrix::identity(2);
+        assert!(robust_ls(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn polyfit_recovers_cubic() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.3 - 3.0).collect();
+        let truth = [1.0, -2.0, 0.5, 0.25];
+        let ys: Vec<f64> = xs.iter().map(|&x| polyval(&truth, x)).collect();
+        let c = polyfit(&xs, &ys, 3).unwrap();
+        for (a, b) in c.iter().zip(&truth) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn polyfit_shape_errors() {
+        assert!(polyfit(&[1.0], &[1.0, 2.0], 1).is_err());
+        assert!(polyfit(&[1.0, 2.0], &[1.0, 2.0], 3).is_err());
+    }
+
+    #[test]
+    fn polyval_constant_and_empty() {
+        assert_eq!(polyval(&[5.0], 100.0), 5.0);
+        assert_eq!(polyval(&[], 1.0), 0.0);
+    }
+}

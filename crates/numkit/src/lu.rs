@@ -1,0 +1,245 @@
+//! LU factorization with partial pivoting.
+
+use crate::{Error, Matrix, Result};
+
+/// LU factorization `P A = L U` of a square matrix, with partial pivoting.
+///
+/// This is the workhorse solver for the circuit simulator's MNA systems.
+///
+/// # Example
+///
+/// ```
+/// use numkit::{Matrix, lu::LuFactor};
+/// # fn main() -> Result<(), numkit::Error> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let x = LuFactor::new(&a)?.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12 && (x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row stored at position `i`.
+    perm: Vec<usize>,
+    /// Number of row swaps (for the determinant sign).
+    swaps: usize,
+}
+
+/// Relative pivot threshold below which a matrix is declared singular.
+const SINGULAR_EPS: f64 = 1e-13;
+
+impl LuFactor {
+    /// Factorizes `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] if `a` is not square.
+    /// * [`Error::Singular`] if a pivot falls below the singularity threshold
+    ///   relative to the matrix scale.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(Error::DimensionMismatch {
+                expected: "square matrix".into(),
+                got: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(Error::EmptyInput);
+        }
+        // Per-column scales: badly scaled but solvable systems (e.g. MNA
+        // matrices mixing kilo-siemens diode conductances with unit branch
+        // entries) must not be declared singular on their small columns.
+        let mut col_scale = vec![f64::MIN_POSITIVE; n];
+        for r in 0..n {
+            for (c, s) in col_scale.iter_mut().enumerate() {
+                *s = s.max(a.get(r, c).abs());
+            }
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut swaps = 0;
+
+        for k in 0..n {
+            // Partial pivoting: find the largest |a_ik| for i >= k.
+            let mut p = k;
+            let mut best = lu.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = lu.get(i, k).abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < SINGULAR_EPS * col_scale[k] {
+                return Err(Error::Singular { pivot: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    let tmp = lu.get(k, c);
+                    lu.set(k, c, lu.get(p, c));
+                    lu.set(p, c, tmp);
+                }
+                perm.swap(k, p);
+                swaps += 1;
+            }
+            let pivot = lu.get(k, k);
+            for i in (k + 1)..n {
+                let m = lu.get(i, k) / pivot;
+                lu.set(i, k, m);
+                if m != 0.0 {
+                    for c in (k + 1)..n {
+                        lu.add_at(i, c, -m * lu.get(k, c));
+                    }
+                }
+            }
+        }
+        Ok(LuFactor { lu, perm, swaps })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(Error::DimensionMismatch {
+                expected: format!("rhs of length {n}"),
+                got: format!("rhs of length {}", b.len()),
+            });
+        }
+        // Apply permutation, then forward substitution (unit lower).
+        let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 1..n {
+            let mut s = y[i];
+            for k in 0..i {
+                s -= self.lu.get(i, k) * y[k];
+            }
+            y[i] = s;
+        }
+        // Back substitution (upper).
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.lu.get(i, k) * y[k];
+            }
+            y[i] = s / self.lu.get(i, i);
+        }
+        Ok(y)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = if self.swaps % 2 == 0 { 1.0 } else { -1.0 };
+        for i in 0..self.dim() {
+            d *= self.lu.get(i, i);
+        }
+        d
+    }
+}
+
+/// One-shot solve of `A x = b` (factors and discards).
+///
+/// # Errors
+///
+/// Propagates errors from [`LuFactor::new`] and [`LuFactor::solve`].
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    LuFactor::new(a)?.solve(b)
+}
+
+/// Inverse of a square matrix (column-by-column solve).
+///
+/// # Errors
+///
+/// Propagates errors from [`LuFactor::new`].
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    let n = a.rows();
+    let lu = LuFactor::new(a)?;
+    let mut inv = Matrix::zeros(n, n);
+    let mut e = vec![0.0; n];
+    for c in 0..n {
+        e[c] = 1.0;
+        let col = lu.solve(&e)?;
+        e[c] = 0.0;
+        for r in 0..n {
+            inv.set(r, c, col[r]);
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[3.0, 4.0, 4.0], &[5.0, 6.0, 3.0]])
+            .unwrap();
+        let b = [3.0, 7.0, 8.0];
+        let x = solve(&a, &b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero on the (0,0) position forces a swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[2.0, 5.0]).unwrap();
+        assert_eq!(x, vec![5.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(LuFactor::new(&a), Err(Error::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(LuFactor::new(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let a = Matrix::zeros(0, 0);
+        assert!(LuFactor::new(&a).is_err());
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(3);
+        let lu = LuFactor::new(&a).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn determinant_known() {
+        let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]).unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        assert!((lu.det() + 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.0, 3.0, 1.0], &[1.0, 0.0, 2.0]])
+            .unwrap();
+        let inv = inverse(&a).unwrap();
+        let prod = inv.matmul(&a).unwrap();
+        let i = Matrix::identity(3);
+        assert!(prod.sub(&i).unwrap().max_abs() < 1e-12);
+    }
+}

@@ -1,0 +1,245 @@
+//! Householder QR factorization and least-squares solves.
+
+use crate::{Error, Matrix, Result};
+
+/// Householder QR factorization of an `m x n` matrix with `m >= n`.
+///
+/// Stores the Householder vectors in the lower trapezoid and `R` in the upper
+/// triangle, which is all that is needed for least-squares solves without
+/// explicitly forming `Q`.
+///
+/// # Example
+///
+/// ```
+/// use numkit::{Matrix, qr::QrFactor};
+/// # fn main() -> Result<(), numkit::Error> {
+/// // Overdetermined fit of y = 2x + 1 from noisy-free data.
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0]])?;
+/// let x = QrFactor::new(&a)?.solve_ls(&[1.0, 3.0, 5.0])?;
+/// assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrFactor {
+    /// Householder vectors (below diagonal) and R (upper triangle).
+    qr: Matrix,
+    /// Scalar tau for each Householder reflector.
+    tau: Vec<f64>,
+}
+
+impl QrFactor {
+    /// Factorizes `a` (`m x n`, requires `m >= n >= 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] for under-determined shapes and
+    /// [`Error::EmptyInput`] for empty matrices.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = (a.rows(), a.cols());
+        if m == 0 || n == 0 {
+            return Err(Error::EmptyInput);
+        }
+        if m < n {
+            return Err(Error::DimensionMismatch {
+                expected: "rows >= cols".into(),
+                got: format!("{m}x{n}"),
+            });
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Householder reflector annihilating qr[k+1.., k].
+            let mut norm2 = 0.0;
+            for i in k..m {
+                let v = qr.get(i, k);
+                norm2 += v * v;
+            }
+            let norm = norm2.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let akk = qr.get(k, k);
+            let alpha = if akk >= 0.0 { -norm } else { norm };
+            // v = x - alpha e1, stored normalized so v[k] = 1.
+            let v0 = akk - alpha;
+            // tau = -v0 / alpha  (standard LAPACK-style scaling)
+            tau[k] = -v0 / alpha;
+            for i in (k + 1)..m {
+                let v = qr.get(i, k) / v0;
+                qr.set(i, k, v);
+            }
+            qr.set(k, k, alpha);
+            // Apply reflector to remaining columns.
+            for c in (k + 1)..n {
+                let mut s = qr.get(k, c);
+                for i in (k + 1)..m {
+                    s += qr.get(i, k) * qr.get(i, c);
+                }
+                s *= tau[k];
+                qr.add_at(k, c, -s);
+                for i in (k + 1)..m {
+                    let vik = qr.get(i, k);
+                    qr.add_at(i, c, -s * vik);
+                }
+            }
+        }
+        Ok(QrFactor { qr, tau })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// Applies `Q^T` to a copy of `b` and returns it.
+    fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
+        let (m, n) = (self.qr.rows(), self.qr.cols());
+        let mut y = b.to_vec();
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut s = y[k];
+            for i in (k + 1)..m {
+                s += self.qr.get(i, k) * y[i];
+            }
+            s *= self.tau[k];
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr.get(i, k);
+            }
+        }
+        y
+    }
+
+    /// Solves the least-squares problem `min ||A x - b||_2`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] if `b.len() != rows()`.
+    /// * [`Error::Singular`] if `R` has a (near-)zero diagonal, i.e. the
+    ///   columns of `A` are linearly dependent.
+    pub fn solve_ls(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = (self.qr.rows(), self.qr.cols());
+        if b.len() != m {
+            return Err(Error::DimensionMismatch {
+                expected: format!("rhs of length {m}"),
+                got: format!("rhs of length {}", b.len()),
+            });
+        }
+        let y = self.apply_qt(b);
+        let scale = self.qr.max_abs().max(f64::MIN_POSITIVE);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.qr.get(i, k) * x[k];
+            }
+            let rii = self.qr.get(i, i);
+            if rii.abs() < 1e-13 * scale {
+                return Err(Error::Singular { pivot: i });
+            }
+            x[i] = s / rii;
+        }
+        Ok(x)
+    }
+
+    /// Squared residual `||A x - b||^2` of the least-squares solution,
+    /// computed from the tail of `Q^T b` without forming the solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `b.len() != rows()`.
+    pub fn residual_sq(&self, b: &[f64]) -> Result<f64> {
+        let (m, n) = (self.qr.rows(), self.qr.cols());
+        if b.len() != m {
+            return Err(Error::DimensionMismatch {
+                expected: format!("rhs of length {m}"),
+                got: format!("rhs of length {}", b.len()),
+            });
+        }
+        let y = self.apply_qt(b);
+        Ok(y[n..].iter().map(|v| v * v).sum())
+    }
+}
+
+/// One-shot least-squares solve `min ||A x - b||`.
+///
+/// # Errors
+///
+/// Propagates errors from [`QrFactor::new`] and [`QrFactor::solve_ls`].
+pub fn solve_ls(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    QrFactor::new(a)?.solve_ls(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_solve_matches_lu() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = [9.0, 8.0];
+        let x_qr = solve_ls(&a, &b).unwrap();
+        let x_lu = crate::lu::solve(&a, &b).unwrap();
+        for (p, q) in x_qr.iter().zip(&x_lu) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overdetermined_exact_fit() {
+        // Data exactly on the model y = 3 x - 2.
+        let xs = [0.0_f64, 0.5, 1.0, 2.0, 3.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 1.0]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&refs).unwrap();
+        let b: Vec<f64> = xs.iter().map(|&x| 3.0 * x - 2.0).collect();
+        let x = solve_ls(&a, &b).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] + 2.0).abs() < 1e-12);
+        let qr = QrFactor::new(&a).unwrap();
+        assert!(qr.residual_sq(&b).unwrap() < 1e-20);
+    }
+
+    #[test]
+    fn overdetermined_minimizes_residual() {
+        // Inconsistent system: residual of LS solution must be <= residual of
+        // any perturbed solution.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let b = [1.0, 1.0, 0.0];
+        let x = solve_ls(&a, &b).unwrap();
+        let res = |x: &[f64]| -> f64 {
+            let r = a.matvec(x).unwrap();
+            r.iter().zip(&b).map(|(ri, bi)| (ri - bi).powi(2)).sum()
+        };
+        let base = res(&x);
+        for d in [[1e-3, 0.0], [0.0, 1e-3], [-1e-3, 1e-3]] {
+            let xp = [x[0] + d[0], x[1] + d[1]];
+            assert!(res(&xp) >= base - 1e-15);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = QrFactor::new(&a).unwrap();
+        assert!(matches!(qr.solve_ls(&[1.0, 2.0, 3.0]), Err(Error::Singular { .. })));
+    }
+
+    #[test]
+    fn shape_checks() {
+        assert!(QrFactor::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(QrFactor::new(&Matrix::zeros(0, 0)).is_err());
+        let qr = QrFactor::new(&Matrix::identity(2)).unwrap();
+        assert!(qr.solve_ls(&[1.0]).is_err());
+        assert!(qr.residual_sq(&[1.0]).is_err());
+    }
+}

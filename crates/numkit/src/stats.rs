@@ -1,0 +1,150 @@
+//! Descriptive statistics for waveform and residual analysis.
+
+/// Arithmetic mean; zero for an empty slice.
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Population variance; zero for slices shorter than 2.
+pub fn variance(v: &[f64]) -> f64 {
+    if v.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(v);
+    v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+}
+
+/// Root-mean-square value; zero for an empty slice.
+pub fn rms(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+/// Maximum absolute value; zero for an empty slice.
+pub fn max_abs(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+}
+
+/// Minimum value; `+inf` for an empty slice.
+pub fn min(v: &[f64]) -> f64 {
+    v.iter().fold(f64::INFINITY, |m, &x| m.min(x))
+}
+
+/// Maximum value; `-inf` for an empty slice.
+pub fn max(v: &[f64]) -> f64 {
+    v.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x))
+}
+
+/// Median of a slice (averaging the two middle values for even lengths);
+/// zero for an empty slice. Not-a-number values are sorted last.
+pub fn median(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mut s = v.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        0.5 * (s[n / 2 - 1] + s[n / 2])
+    }
+}
+
+/// Root-mean-square error between two equally long signals.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmse requires equal-length inputs");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (ss / a.len() as f64).sqrt()
+}
+
+/// Normalized mean-square error `||a - b||^2 / ||b - mean(b)||^2`.
+///
+/// A value of 0 is a perfect match; 1 means the model is no better than the
+/// mean of the reference. Returns `+inf` when the reference is constant but
+/// the signals differ.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn nmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "nmse requires equal-length inputs");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    let mb = mean(b);
+    let den: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_rms() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&v), 2.5);
+        assert!((variance(&v) - 1.25).abs() < 1e-15);
+        assert!((rms(&[3.0, 4.0]) - (12.5_f64).sqrt()).abs() < 1e-15);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn extrema() {
+        let v = [-3.0, 1.0, 2.0];
+        assert_eq!(max_abs(&v), 3.0);
+        assert_eq!(min(&v), -3.0);
+        assert_eq!(max(&v), 2.0);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn rmse_nmse() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(nmse(&a, &a), 0.0);
+        let b = [1.0, 2.0, 4.0];
+        assert!(rmse(&a, &b) > 0.0);
+        assert!(nmse(&a, &b) > 0.0);
+        // Constant reference, differing signal -> infinity.
+        assert_eq!(nmse(&[1.0, 2.0], &[0.0, 0.0]), f64::INFINITY);
+        assert_eq!(nmse(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn rmse_length_panics() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

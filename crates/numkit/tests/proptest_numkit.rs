@@ -1,0 +1,131 @@
+//! Property-based tests for the numerical kernel.
+
+use numkit::{cholesky::CholeskyFactor, interp, lstsq, lu::LuFactor, qr, stats, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a well-conditioned square matrix built as D + small perturbation,
+/// where D is diagonally dominant.
+fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+        let mut m = Matrix::from_vec(n, n, vals).expect("sized vec");
+        for i in 0..n {
+            // Diagonal dominance guarantees non-singularity.
+            let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| m.get(i, j).abs()).sum();
+            m.set(i, i, row_sum + 1.0 + m.get(i, i).abs());
+        }
+        m
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solves_dominant_systems((a, b) in (2usize..7).prop_flat_map(|n| (dominant_matrix(n), vector(n)))) {
+        let lu = LuFactor::new(&a).expect("dominant matrices are non-singular");
+        let x = lu.solve(&b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            prop_assert!((ri - bi).abs() < 1e-8, "residual too large: {} vs {}", ri, bi);
+        }
+    }
+
+    #[test]
+    fn lu_det_sign_consistent(a in (2usize..5).prop_flat_map(dominant_matrix)) {
+        // Diagonally dominant with positive diagonal entries: determinant
+        // must be nonzero.
+        let lu = LuFactor::new(&a).unwrap();
+        prop_assert!(lu.det().abs() > 0.0);
+    }
+
+    #[test]
+    fn qr_least_squares_residual_orthogonal(
+        (rows, cols) in (3usize..8).prop_flat_map(|m| (Just(m), 1usize..3)),
+        seed in any::<u64>(),
+    ) {
+        // Random full-rank tall matrix via seeded values plus identity block.
+        let mut vals = Vec::with_capacity(rows * cols);
+        let mut s = seed;
+        for _ in 0..rows * cols {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            vals.push(((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0);
+        }
+        let mut a = Matrix::from_vec(rows, cols, vals).unwrap();
+        for c in 0..cols {
+            a.add_at(c, c, 3.0); // boost rank
+        }
+        let b: Vec<f64> = (0..rows).map(|i| (i as f64).sin()).collect();
+        let x = qr::solve_ls(&a, &b).unwrap();
+        // Normal equations: A^T (A x - b) = 0.
+        let ax = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        let atr = a.t_matvec(&resid).unwrap();
+        for v in atr {
+            prop_assert!(v.abs() < 1e-7, "normal equations violated: {}", v);
+        }
+    }
+
+    #[test]
+    fn cholesky_solves_spd((a, b) in (2usize..6).prop_flat_map(|n| (dominant_matrix(n), vector(n)))) {
+        // Make SPD: G = A A^T + I.
+        let mut g = a.matmul(&a.transpose()).unwrap();
+        for i in 0..g.rows() {
+            g.add_at(i, i, 1.0);
+        }
+        let chol = CholeskyFactor::new(&g).expect("A A^T + I is SPD");
+        let x = chol.solve(&b).unwrap();
+        let r = g.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            prop_assert!((ri - bi).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pwl_eval_within_hull(ys in prop::collection::vec(-5.0f64..5.0, 2..10), t in -2.0f64..12.0) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let f = interp::Pwl::new(xs, ys.clone()).unwrap();
+        let v = f.eval(t);
+        let lo = stats::min(&ys);
+        let hi = stats::max(&ys);
+        // Linear interpolation + clamping never escapes the value hull.
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn resample_preserves_linear(ts in prop::collection::vec(0.001f64..0.5, 3..20), dt in 0.01f64..0.3) {
+        // Build strictly increasing time axis from positive increments.
+        let mut t = vec![0.0];
+        for d in &ts {
+            t.push(t.last().unwrap() + d);
+        }
+        let y: Vec<f64> = t.iter().map(|&x| -2.0 * x + 0.7).collect();
+        let (tu, yu) = interp::resample_uniform(&t, &y, dt).unwrap();
+        for (tk, yk) in tu.iter().zip(&yu) {
+            prop_assert!((yk - (-2.0 * tk + 0.7)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn polyfit_reproduces_line(c0 in -5.0f64..5.0, c1 in -5.0f64..5.0) {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 0.37).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| c0 + c1 * x).collect();
+        let c = lstsq::polyfit(&xs, &ys, 1).unwrap();
+        prop_assert!((c[0] - c0).abs() < 1e-8);
+        prop_assert!((c[1] - c1).abs() < 1e-8);
+    }
+
+    #[test]
+    fn stats_invariants(v in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        prop_assert!(stats::rms(&v) >= 0.0);
+        prop_assert!(stats::variance(&v) >= 0.0);
+        prop_assert!(stats::min(&v) <= stats::mean(&v) + 1e-9);
+        prop_assert!(stats::max(&v) >= stats::mean(&v) - 1e-9);
+        prop_assert!(stats::max_abs(&v) >= 0.0);
+        let med = stats::median(&v);
+        prop_assert!(med >= stats::min(&v) && med <= stats::max(&v));
+    }
+}

@@ -1,0 +1,252 @@
+//! Waveform and I–V extraction harnesses.
+//!
+//! These helpers run the transistor-level reference devices through the
+//! circuit simulator to produce the raw data consumed by both the IBIS
+//! builder and the macromodel identification pipeline:
+//!
+//! * [`driver_output_iv`] — static output I–V curves with the device held in
+//!   a logic state (IBIS pullup/pulldown tables, PW-RBF static references);
+//! * [`capture_driver`] — transient port voltage/current waveforms while the
+//!   driver runs an arbitrary stimulus into an arbitrary load;
+//! * [`capture_receiver`] — transient pad waveforms of a receiver excited by
+//!   an arbitrary source network.
+
+use crate::drivers::CmosDriverSpec;
+use crate::receiver::ReceiverSpec;
+use crate::Result;
+use circuit::devices::{SourceWaveform, VoltageSource};
+use circuit::{Circuit, Node, TranParams, Waveform, GROUND};
+
+/// A static port sweep: current delivered by the device versus port voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortSweep {
+    /// Port voltages (V), strictly increasing.
+    pub voltages: Vec<f64>,
+    /// Current delivered by the device into the external source (A).
+    pub currents: Vec<f64>,
+}
+
+/// Sweeps the driver output statically with the core input held at a logic
+/// level. Returns the current *delivered by the driver* at each voltage.
+///
+/// This reproduces the IBIS pullup (logic high) / pulldown (logic low)
+/// table extraction; ESD clamp currents are included in the curves, as is
+/// conventional for non-tristate outputs.
+///
+/// # Errors
+///
+/// Propagates spec validation and DC-solve failures.
+pub fn driver_output_iv(
+    spec: &CmosDriverSpec,
+    logic_high: bool,
+    v_range: (f64, f64),
+    n_points: usize,
+) -> Result<PortSweep> {
+    let mut voltages = Vec::with_capacity(n_points);
+    let mut currents = Vec::with_capacity(n_points);
+    let input = if logic_high { spec.vdd } else { 0.0 };
+    for k in 0..n_points {
+        let v = v_range.0 + (v_range.1 - v_range.0) * k as f64 / (n_points - 1).max(1) as f64;
+        let mut ckt = Circuit::new();
+        let ports = spec.instantiate(&mut ckt, SourceWaveform::dc(input))?;
+        ckt.add(VoltageSource::new(
+            "v_ext",
+            ports.pad,
+            GROUND,
+            SourceWaveform::dc(v),
+        ));
+        let x = ckt.dc_operating_point()?;
+        let i = x[ckt.branch_index(ports.probe, 0)];
+        voltages.push(v);
+        currents.push(i);
+    }
+    Ok(PortSweep { voltages, currents })
+}
+
+/// Sweeps a receiver pad statically. Returns the current flowing *into* the
+/// receiver at each voltage (protection-circuit characteristic).
+///
+/// # Errors
+///
+/// Propagates spec validation and DC-solve failures.
+pub fn receiver_input_iv(
+    spec: &ReceiverSpec,
+    v_range: (f64, f64),
+    n_points: usize,
+) -> Result<PortSweep> {
+    let mut voltages = Vec::with_capacity(n_points);
+    let mut currents = Vec::with_capacity(n_points);
+    for k in 0..n_points {
+        let v = v_range.0 + (v_range.1 - v_range.0) * k as f64 / (n_points - 1).max(1) as f64;
+        let mut ckt = Circuit::new();
+        let ports = spec.instantiate(&mut ckt)?;
+        ckt.add(VoltageSource::new(
+            "v_ext",
+            ports.pad,
+            GROUND,
+            SourceWaveform::dc(v),
+        ));
+        let x = ckt.dc_operating_point()?;
+        voltages.push(v);
+        currents.push(x[ckt.branch_index(ports.probe, 0)]);
+    }
+    Ok(PortSweep { voltages, currents })
+}
+
+/// Captured transient port signals.
+#[derive(Debug, Clone)]
+pub struct PortCapture {
+    /// Pad voltage (V).
+    pub voltage: Waveform,
+    /// Current delivered by the device into the external circuit (A).
+    /// For receivers this is the current flowing *into* the pad.
+    pub current: Waveform,
+}
+
+/// Runs the driver with stimulus `input` into a load built by `load`, which
+/// receives the circuit and the pad node. Returns the pad voltage and the
+/// delivered current sampled on the fixed grid `dt` up to `t_stop`.
+///
+/// # Errors
+///
+/// Propagates construction and transient failures.
+pub fn capture_driver(
+    spec: &CmosDriverSpec,
+    input: SourceWaveform,
+    load: impl FnOnce(&mut Circuit, Node) -> Result<()>,
+    dt: f64,
+    t_stop: f64,
+) -> Result<PortCapture> {
+    let mut ckt = Circuit::new();
+    let ports = spec.instantiate(&mut ckt, input)?;
+    load(&mut ckt, ports.pad)?;
+    let res = ckt.transient(TranParams::new(dt, t_stop))?;
+    Ok(PortCapture {
+        voltage: res.voltage(ports.pad),
+        current: res.branch_current(&ckt, ports.probe, 0),
+    })
+}
+
+/// Runs a receiver excited by a source network built by `source`, which
+/// receives the circuit and the pad node. Returns pad voltage and the
+/// current flowing into the receiver.
+///
+/// # Errors
+///
+/// Propagates construction and transient failures.
+pub fn capture_receiver(
+    spec: &ReceiverSpec,
+    source: impl FnOnce(&mut Circuit, Node) -> Result<()>,
+    dt: f64,
+    t_stop: f64,
+) -> Result<PortCapture> {
+    let mut ckt = Circuit::new();
+    let ports = spec.instantiate(&mut ckt)?;
+    source(&mut ckt, ports.pad)?;
+    let res = ckt.transient(TranParams::new(dt, t_stop))?;
+    Ok(PortCapture {
+        voltage: res.voltage(ports.pad),
+        current: res.branch_current(&ckt, ports.probe, 0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drivers::md1;
+    use crate::receiver::md4;
+    use circuit::devices::Resistor;
+
+    #[test]
+    fn pulldown_curve_shape() {
+        let sweep = driver_output_iv(&md1(), false, (0.0, 3.3), 12).unwrap();
+        assert_eq!(sweep.voltages.len(), 12);
+        // Logic low, v = 0: no current. v > 0: the NMOS sinks (delivered
+        // current negative).
+        assert!(sweep.currents[0].abs() < 1e-4);
+        assert!(sweep.currents[6] < -5e-3, "sink current {}", sweep.currents[6]);
+        // Monotone decreasing over the main range.
+        for w in sweep.currents.windows(2).take(8) {
+            assert!(w[1] <= w[0] + 1e-6);
+        }
+    }
+
+    #[test]
+    fn pullup_curve_shape() {
+        let sweep = driver_output_iv(&md1(), true, (0.0, 3.3), 12).unwrap();
+        // v = 0: strong source current; v = vdd: none.
+        assert!(sweep.currents[0] > 10e-3);
+        assert!(sweep.currents[11].abs() < 1e-3);
+    }
+
+    #[test]
+    fn receiver_iv_clamps() {
+        let sweep = receiver_input_iv(&md4(), (-1.0, 3.0), 9).unwrap();
+        // Below ground the down clamp sources current out of the pad
+        // (negative into-device current), above vdd the up clamp sinks.
+        assert!(sweep.currents[0] < -1e-4, "down clamp {}", sweep.currents[0]);
+        assert!(
+            *sweep.currents.last().unwrap() > 1e-4,
+            "up clamp {}",
+            sweep.currents.last().unwrap()
+        );
+        // Near mid-rail: leakage only.
+        assert!(sweep.currents[4].abs() < 1e-5);
+    }
+
+    #[test]
+    fn capture_driver_runs() {
+        let spec = md1();
+        let cap = capture_driver(
+            &spec,
+            spec.pattern("01", 4e-9),
+            |ckt, pad| {
+                ckt.add(Resistor::new("rload", pad, GROUND, 50.0));
+                Ok(())
+            },
+            25e-12,
+            8e-9,
+        )
+        .unwrap();
+        assert_eq!(cap.voltage.len(), cap.current.len());
+        // Ohm's law at the load holds sample by sample.
+        for (v, i) in cap
+            .voltage
+            .values()
+            .iter()
+            .zip(cap.current.values())
+            .skip(10)
+        {
+            assert!((v / 50.0 - i).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn capture_receiver_runs() {
+        let spec = md4();
+        let cap = capture_receiver(
+            &spec,
+            |ckt, pad| {
+                let src = ckt.node("src");
+                ckt.add(VoltageSource::new(
+                    "vs",
+                    src,
+                    GROUND,
+                    SourceWaveform::step(0.0, 1.5, 200e-12),
+                ));
+                ckt.add(Resistor::new("rs", src, pad, 60.0));
+                Ok(())
+            },
+            10e-12,
+            3e-9,
+        )
+        .unwrap();
+        // Charging current spike during the edge.
+        let peak = cap
+            .current
+            .values()
+            .iter()
+            .fold(0.0_f64, |m, &v| m.max(v.abs()));
+        assert!(peak > 1e-3, "peak charging current {peak}");
+    }
+}

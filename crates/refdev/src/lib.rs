@@ -1,0 +1,100 @@
+//! `refdev` — transistor-level reference models of digital I/O ports and an
+//! IBIS-style extractor/simulator baseline.
+//!
+//! The paper estimates macromodels from waveforms of *reference models*:
+//! detailed transistor-level descriptions of commercial devices (a 74LVC244
+//! octal buffer and IBM mainframe drivers/receivers). Those netlists are
+//! proprietary, so this crate provides parameterized CMOS equivalents that
+//! exercise the same identification path:
+//!
+//! * [`drivers`] — tapered CMOS inverter-chain output buffers with ESD clamp
+//!   diodes and package parasitics; presets [`drivers::md1`] (3.3 V
+//!   LVC-class), [`drivers::md2`] (1.8 V) and [`drivers::md3`] (1.5 V);
+//! * [`receiver`] — input ports: pad capacitance, dual ESD clamp diodes and
+//!   gate load; preset [`receiver::md4`] (1.8 V);
+//! * [`extraction`] — DC sweeps and switching-waveform capture used both by
+//!   the IBIS builder and by the macromodel identification pipeline;
+//! * [`ibis`] — an IBIS 2.1-style behavioral model (I–V tables + switching
+//!   coefficients from two V–T waveforms) with slow/typical/fast corners,
+//!   implementable as a [`circuit::Device`]. This is the baseline the paper
+//!   compares against in Fig. 1.
+
+pub mod drivers;
+pub mod extraction;
+pub mod ibis;
+pub mod receiver;
+
+pub use drivers::{md1, md2, md3, CmosDriverSpec, DriverPorts};
+pub use ibis::{IbisCorner, IbisDriver, IbisModel};
+pub use receiver::{md4, ReceiverPorts, ReceiverSpec};
+
+/// Errors produced by reference-device construction and extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A spec parameter is out of range.
+    InvalidSpec {
+        /// Description of the violated constraint.
+        message: String,
+    },
+    /// An underlying circuit analysis failed.
+    Circuit(circuit::Error),
+    /// A numerical routine failed during extraction.
+    Numeric(numkit::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidSpec { message } => write!(f, "invalid device spec: {message}"),
+            Error::Circuit(e) => write!(f, "circuit analysis failed: {e}"),
+            Error::Numeric(e) => write!(f, "numeric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Circuit(e) => Some(e),
+            Error::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<circuit::Error> for Error {
+    fn from(e: circuit::Error) -> Self {
+        Error::Circuit(e)
+    }
+}
+
+impl From<numkit::Error> for Error {
+    fn from(e: numkit::Error) -> Self {
+        Error::Numeric(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_sources() {
+        use std::error::Error as _;
+        let e = Error::InvalidSpec {
+            message: "bad".into(),
+        };
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+        let e: Error = circuit::Error::InvalidAnalysis {
+            message: "x".into(),
+        }
+        .into();
+        assert!(e.source().is_some());
+        let e: Error = numkit::Error::EmptyInput.into();
+        assert!(e.to_string().contains("numeric"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Transistor-level receiver (input port) reference device.
+//!
+//! Receivers present a mostly capacitive load inside the supply range and a
+//! strongly nonlinear one outside it, where the ESD protection network
+//! conducts — exactly the structure the paper's equation (2) exploits.
+
+use crate::{Error, Result};
+use circuit::devices::{
+    Capacitor, Diode, DiodeParams, Resistor, SourceWaveform, VoltageSource,
+};
+use circuit::{Circuit, DeviceId, Node, GROUND};
+
+/// Specification of a reference receiver.
+#[derive(Debug, Clone)]
+pub struct ReceiverSpec {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Pad capacitance (F).
+    pub c_pad: f64,
+    /// Series resistance from pad to the gate of the input stage (Ω).
+    pub r_series: f64,
+    /// Input-stage gate capacitance (F).
+    pub c_gate: f64,
+    /// Up (pad → VDD) protection diode parameters.
+    pub d_up: DiodeParams,
+    /// Down (GND → pad) protection diode parameters.
+    pub d_down: DiodeParams,
+    /// Series resistance of each protection branch (Ω).
+    pub r_esd: f64,
+    /// Small leakage resistance from pad to ground (Ω).
+    pub r_leak: f64,
+}
+
+/// Nodes of an instantiated receiver.
+#[derive(Debug, Clone, Copy)]
+pub struct ReceiverPorts {
+    /// Supply node.
+    pub vdd: Node,
+    /// Input pad node — connect the interconnect here.
+    pub pad: Node,
+    /// Probe whose branch 0 carries the current flowing *into* the pad.
+    pub probe: DeviceId,
+}
+
+impl ReceiverSpec {
+    fn validate(&self) -> Result<()> {
+        if self.vdd <= 0.0 {
+            return Err(Error::InvalidSpec {
+                message: format!("vdd must be positive, got {}", self.vdd),
+            });
+        }
+        if self.c_pad <= 0.0 || self.c_gate <= 0.0 || self.r_series <= 0.0 || self.r_leak <= 0.0 {
+            return Err(Error::InvalidSpec {
+                message: "capacitances and resistances must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Instantiates the receiver into `ckt`. The external circuit connects
+    /// to `ReceiverPorts::pad`; the probe measures the current entering the
+    /// device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] for inconsistent specs.
+    pub fn instantiate(&self, ckt: &mut Circuit) -> Result<ReceiverPorts> {
+        self.validate()?;
+        let nm = self.name;
+        let vdd = ckt.node(format!("{nm}_vdd"));
+        ckt.add(VoltageSource::new(
+            format!("{nm}_vdd_src"),
+            vdd,
+            GROUND,
+            SourceWaveform::dc(self.vdd),
+        ));
+        let pad = ckt.node(format!("{nm}_pad"));
+        let pad_int = ckt.node(format!("{nm}_pad_i"));
+        // Probe in series: current from pad (external) into the device.
+        let probe = ckt.add(VoltageSource::probe(format!("{nm}_iprobe"), pad, pad_int));
+
+        ckt.add(Capacitor::new(format!("{nm}_cpad"), pad_int, GROUND, self.c_pad));
+        let n_up = ckt.node(format!("{nm}_esd_up"));
+        ckt.add(Diode::new(format!("{nm}_dup"), pad_int, n_up, self.d_up));
+        ckt.add(Resistor::new(
+            format!("{nm}_resd_up"),
+            n_up,
+            vdd,
+            self.r_esd.max(0.1),
+        ));
+        let n_dn = ckt.node(format!("{nm}_esd_dn"));
+        ckt.add(Diode::new(format!("{nm}_ddn"), n_dn, pad_int, self.d_down));
+        ckt.add(Resistor::new(
+            format!("{nm}_resd_dn"),
+            GROUND,
+            n_dn,
+            self.r_esd.max(0.1),
+        ));
+        ckt.add(Resistor::new(format!("{nm}_rleak"), pad_int, GROUND, self.r_leak));
+        let gate = ckt.node(format!("{nm}_gate"));
+        ckt.add(Resistor::new(format!("{nm}_rs"), pad_int, gate, self.r_series));
+        ckt.add(Capacitor::new(format!("{nm}_cg"), gate, GROUND, self.c_gate));
+
+        Ok(ReceiverPorts { vdd, pad, probe })
+    }
+
+    /// Total low-frequency input capacitance (pad + gate).
+    pub fn total_capacitance(&self) -> f64 {
+        self.c_pad + self.c_gate
+    }
+}
+
+/// MD4: a 1.8 V receiver of the same product family as [`crate::md2`] /
+/// [`crate::md3`].
+pub fn md4() -> ReceiverSpec {
+    ReceiverSpec {
+        name: "md4",
+        vdd: 1.8,
+        c_pad: 1.4e-12,
+        r_series: 350.0,
+        c_gate: 2.2e-12,
+        d_up: DiodeParams::esd_clamp(),
+        d_down: DiodeParams::esd_clamp(),
+        r_esd: 4.0,
+        r_leak: 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::TranParams;
+
+    #[test]
+    fn preset_validates() {
+        assert!(md4().validate().is_ok());
+        assert!((md4().total_capacitance() - 3.6e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        let mut s = md4();
+        s.c_pad = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = md4();
+        s.vdd = -1.0;
+        assert!(s.validate().is_err());
+    }
+
+    /// Inside the rails the receiver draws (almost) no DC current.
+    #[test]
+    fn high_impedance_inside_rails() {
+        let spec = md4();
+        let mut ckt = Circuit::new();
+        let ports = spec.instantiate(&mut ckt).unwrap();
+        ckt.add(VoltageSource::new(
+            "vext",
+            ports.pad,
+            GROUND,
+            SourceWaveform::dc(0.9),
+        ));
+        let res = ckt.transient(TranParams::new(1e-10, 1e-8)).unwrap();
+        let i = res.branch_current(&ckt, ports.probe, 0);
+        let i_end = *i.values().last().unwrap();
+        assert!(i_end.abs() < 5e-6, "leakage-only current, got {i_end}");
+    }
+
+    /// Above VDD the up-protection conducts strongly.
+    #[test]
+    fn protection_conducts_above_vdd() {
+        let spec = md4();
+        let mut ckt = Circuit::new();
+        let ports = spec.instantiate(&mut ckt).unwrap();
+        let next = ckt.node("ext");
+        ckt.add(Resistor::new("rext", next, ports.pad, 50.0));
+        ckt.add(VoltageSource::new(
+            "vext",
+            next,
+            GROUND,
+            SourceWaveform::dc(spec.vdd + 1.2),
+        ));
+        let res = ckt.transient(TranParams::new(1e-10, 1e-8)).unwrap();
+        let i = res.branch_current(&ckt, ports.probe, 0);
+        let i_end = *i.values().last().unwrap();
+        assert!(i_end > 1e-3, "clamp should conduct mA, got {i_end}");
+    }
+
+    /// The transient charging current integrates to C * dV.
+    #[test]
+    fn capacitive_charge_balance() {
+        let spec = md4();
+        let mut ckt = Circuit::new();
+        let ports = spec.instantiate(&mut ckt).unwrap();
+        let next = ckt.node("ext");
+        ckt.add(Resistor::new("rext", next, ports.pad, 100.0));
+        ckt.add(VoltageSource::new(
+            "vext",
+            next,
+            GROUND,
+            SourceWaveform::step(0.0, 1.0, 100e-12),
+        ));
+        let res = ckt.transient(TranParams::new(5e-12, 5e-9)).unwrap();
+        let i = res.branch_current(&ckt, ports.probe, 0);
+        // Trapezoidal integral of the current.
+        let t = i.times();
+        let y = i.values();
+        let mut q = 0.0;
+        for k in 1..t.len() {
+            q += 0.5 * (y[k] + y[k - 1]) * (t[k] - t[k - 1]);
+        }
+        let expect = spec.total_capacitance() * 1.0;
+        assert!(
+            (q - expect).abs() < 0.15 * expect,
+            "charge {q:.3e} vs C*dV {expect:.3e}"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Family-wide invariants of the reference devices: every driver preset
+//! must satisfy the structural properties the identification pipeline
+//! relies on.
+
+use circuit::devices::{Resistor, SourceWaveform, VoltageSource};
+use circuit::{Circuit, TranParams, GROUND};
+use refdev::extraction::driver_output_iv;
+use refdev::{md1, md2, md3, CmosDriverSpec};
+
+fn all_drivers() -> Vec<CmosDriverSpec> {
+    vec![md1(), md2(), md3()]
+}
+
+/// Static logic levels: pads reach the rails into a light load.
+#[test]
+fn all_drivers_reach_rails() {
+    for spec in all_drivers() {
+        for (input, expect) in [(0.0, 0.0), (spec.vdd, spec.vdd)] {
+            let mut ckt = Circuit::new();
+            let ports = spec
+                .instantiate(&mut ckt, SourceWaveform::dc(input))
+                .expect("instantiate");
+            ckt.add(Resistor::new("rl", ports.pad, GROUND, 1e6));
+            let x = ckt.dc_operating_point().expect("dc");
+            let v = x[ports.pad.index() - 1];
+            assert!(
+                (v - expect).abs() < 0.05,
+                "{}: input {input} gives pad {v}, expected {expect}",
+                spec.name
+            );
+        }
+    }
+}
+
+/// Pulldown I–V curves are monotone non-increasing inside the rails for
+/// every driver — the property that makes the PW-RBF submodels well posed.
+#[test]
+fn all_drivers_monotone_pulldown() {
+    for spec in all_drivers() {
+        let sweep = driver_output_iv(&spec, false, (0.0, spec.vdd), 15).expect("sweep");
+        for w in sweep.currents.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-6,
+                "{}: pulldown curve not monotone",
+                spec.name
+            );
+        }
+        // Sinks at least a few mA mid-rail (drive strength).
+        assert!(
+            sweep.currents[7] < -3e-3,
+            "{}: weak pulldown {}",
+            spec.name,
+            sweep.currents[7]
+        );
+    }
+}
+
+/// Pullup curves source current below VDD and roll off to zero at the rail.
+#[test]
+fn all_drivers_pullup_shape() {
+    for spec in all_drivers() {
+        let sweep = driver_output_iv(&spec, true, (0.0, spec.vdd), 15).expect("sweep");
+        assert!(
+            sweep.currents[0] > 5e-3,
+            "{}: weak pullup {}",
+            spec.name,
+            sweep.currents[0]
+        );
+        assert!(
+            sweep.currents[14].abs() < 2e-3,
+            "{}: pullup should vanish at vdd, got {}",
+            spec.name,
+            sweep.currents[14]
+        );
+    }
+}
+
+/// Full-swing switching into a line-like resistive load with plausible,
+/// device-limited edges for each family member.
+#[test]
+fn all_drivers_switch_cleanly() {
+    for spec in all_drivers() {
+        let mut ckt = Circuit::new();
+        let ports = spec
+            .instantiate(&mut ckt, spec.pattern("010", 3e-9))
+            .expect("instantiate");
+        ckt.add(Resistor::new("rl", ports.pad, GROUND, 75.0));
+        let res = ckt.transient(TranParams::new(10e-12, 9e-9)).expect("tran");
+        let v = res.voltage(ports.pad);
+        let v_high = v.sample_at(5.8e-9);
+        // Divider against the output impedance: at least 70 % of VDD.
+        assert!(
+            v_high > 0.7 * spec.vdd,
+            "{}: high level {v_high} of vdd {}",
+            spec.name,
+            spec.vdd
+        );
+        let v_low = v.sample_at(8.8e-9);
+        assert!(v_low < 0.1 * spec.vdd, "{}: low level {v_low}", spec.name);
+        // Edge exists and is resolved by the 10 ps grid.
+        let cr = v.threshold_crossings(0.5 * v_high);
+        assert!(cr.len() >= 2, "{}: expected two edges", spec.name);
+    }
+}
+
+/// Supply current is drawn from the internal VDD source, not conjured at
+/// the pad: KCL sanity through the probe under static high drive.
+#[test]
+fn probe_matches_external_current() {
+    for spec in all_drivers() {
+        let mut ckt = Circuit::new();
+        let ports = spec
+            .instantiate(&mut ckt, SourceWaveform::dc(spec.vdd))
+            .expect("instantiate");
+        let rl = 200.0;
+        ckt.add(Resistor::new("rl", ports.pad, GROUND, rl));
+        let res = ckt.transient(TranParams::new(50e-12, 4e-9)).expect("tran");
+        let i_probe = *res
+            .branch_current(&ckt, ports.probe, 0)
+            .values()
+            .last()
+            .unwrap();
+        let v_pad = *res.voltage(ports.pad).values().last().unwrap();
+        assert!(
+            (i_probe - v_pad / rl).abs() < 1e-5,
+            "{}: probe {i_probe} vs pad/R {}",
+            spec.name,
+            v_pad / rl
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Fit-quality metrics for identification and validation.
+
+pub use numkit::stats::{nmse, rmse};
+
+/// "Fit percentage" as used by common identification toolboxes:
+/// `100 * (1 - ||y - y_hat|| / ||y - mean(y)||)`. 100 is a perfect match,
+/// 0 means no better than the mean, negative values are worse than the mean.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn fit_percent(y_hat: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(y_hat.len(), y.len(), "fit_percent requires equal lengths");
+    if y.is_empty() {
+        return 100.0;
+    }
+    let mean = numkit::stats::mean(y);
+    let num: f64 = y_hat
+        .iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>().sqrt();
+    if den == 0.0 {
+        if num == 0.0 {
+            return 100.0;
+        }
+        return f64::NEG_INFINITY;
+    }
+    100.0 * (1.0 - num / den)
+}
+
+/// Maximum absolute error between two equal-length signals.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn max_abs_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_error requires equal lengths");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0_f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_percent_perfect_and_mean() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(fit_percent(&y, &y), 100.0);
+        let mean = [2.0, 2.0, 2.0];
+        assert!(fit_percent(&mean, &y).abs() < 1e-9);
+        assert_eq!(fit_percent(&[], &[]), 100.0);
+        // Constant reference.
+        assert_eq!(fit_percent(&[5.0], &[5.0]), 100.0);
+        assert_eq!(fit_percent(&[4.0], &[5.0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn max_abs_error_basics() {
+        assert_eq!(max_abs_error(&[1.0, 2.0], &[1.5, 1.0]), 1.0);
+        assert_eq!(max_abs_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn reexports_available() {
+        assert_eq!(rmse(&[1.0], &[1.0]), 0.0);
+        assert_eq!(nmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Orthogonal-least-squares forward selection of regressors.
+//!
+//! Implementation of the center-selection algorithm of Chen, Cowan & Grant
+//! (*Orthogonal Least Squares Learning Algorithm for Radial Basis Function
+//! Networks*, IEEE Trans. Neural Networks, 1991): candidate regressor
+//! columns are orthogonalized incrementally (modified Gram–Schmidt) and at
+//! each step the candidate with the largest *error reduction ratio*
+//!
+//! ```text
+//! err_i = (w_i^T y)^2 / (w_i^T w_i · y^T y)
+//! ```
+//!
+//! is selected, until either a maximum count is reached or the unexplained
+//! energy drops below a tolerance.
+
+use crate::{Error, Result};
+use numkit::Matrix;
+
+/// Outcome of a forward-selection run.
+#[derive(Debug, Clone)]
+pub struct OlsSelection {
+    /// Indices of the selected candidate columns, in selection order.
+    pub selected: Vec<usize>,
+    /// Error reduction ratio of each selected column.
+    pub err: Vec<f64>,
+    /// Unexplained energy fraction `1 - sum(err)` after selection.
+    pub residual_ratio: f64,
+}
+
+/// Stopping rule for [`select`].
+#[derive(Debug, Clone, Copy)]
+pub struct OlsStop {
+    /// Maximum number of columns to select.
+    pub max_terms: usize,
+    /// Stop once `1 - sum(err) < tolerance`.
+    pub tolerance: f64,
+}
+
+impl Default for OlsStop {
+    fn default() -> Self {
+        OlsStop {
+            max_terms: 30,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// Selects candidate columns of `p` (N×M) that best explain `y` (length N).
+///
+/// # Errors
+///
+/// * [`Error::LengthMismatch`] if `y.len() != p.rows()`.
+/// * [`Error::InvalidStructure`] if `max_terms == 0`.
+/// * [`Error::InsufficientData`] for an empty target.
+pub fn select(p: &Matrix, y: &[f64], stop: OlsStop) -> Result<OlsSelection> {
+    if y.len() != p.rows() {
+        return Err(Error::LengthMismatch {
+            message: format!("target length {} != candidate rows {}", y.len(), p.rows()),
+        });
+    }
+    if stop.max_terms == 0 {
+        return Err(Error::InvalidStructure {
+            message: "max_terms must be positive".into(),
+        });
+    }
+    let n = p.rows();
+    let m = p.cols();
+    if n == 0 {
+        return Err(Error::InsufficientData { needed: 1, got: 0 });
+    }
+    let yty: f64 = y.iter().map(|v| v * v).sum();
+    if yty == 0.0 {
+        // Nothing to explain.
+        return Ok(OlsSelection {
+            selected: Vec::new(),
+            err: Vec::new(),
+            residual_ratio: 0.0,
+        });
+    }
+
+    // Working copies of the candidate columns, orthogonalized in place
+    // against the already-selected set.
+    let mut cols: Vec<Vec<f64>> = (0..m).map(|c| p.col_vec(c)).collect();
+    let mut available: Vec<bool> = vec![true; m];
+    let mut selected = Vec::new();
+    let mut errs = Vec::new();
+    let mut explained = 0.0;
+
+    let max_terms = stop.max_terms.min(m).min(n);
+    for _ in 0..max_terms {
+        // Pick the available column with the largest error reduction ratio.
+        let mut best: Option<(usize, f64, f64, f64)> = None; // (idx, err, wty, wtw)
+        for (i, col) in cols.iter().enumerate() {
+            if !available[i] {
+                continue;
+            }
+            let wtw: f64 = col.iter().map(|v| v * v).sum();
+            if wtw < 1e-20 {
+                continue; // numerically dependent on the selected set
+            }
+            let wty: f64 = col.iter().zip(y).map(|(a, b)| a * b).sum();
+            let err = wty * wty / (wtw * yty);
+            if best.map_or(true, |(_, e, _, _)| err > e) {
+                best = Some((i, err, wty, wtw));
+            }
+        }
+        let Some((idx, err, _, wtw)) = best else {
+            break; // all remaining candidates are dependent
+        };
+        available[idx] = false;
+        let w_sel = cols[idx].clone();
+        explained += err;
+        selected.push(idx);
+        errs.push(err);
+
+        if 1.0 - explained < stop.tolerance {
+            break;
+        }
+        // Orthogonalize the remaining candidates against the new basis
+        // vector (modified Gram–Schmidt step).
+        for (i, col) in cols.iter_mut().enumerate() {
+            if !available[i] {
+                continue;
+            }
+            let proj: f64 = col.iter().zip(&w_sel).map(|(a, b)| a * b).sum::<f64>() / wtw;
+            for (cv, wv) in col.iter_mut().zip(&w_sel) {
+                *cv -= proj * wv;
+            }
+        }
+    }
+
+    Ok(OlsSelection {
+        selected,
+        err: errs,
+        residual_ratio: (1.0 - explained).max(0.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y is exactly column 2 of the candidates: selection must find it first
+    /// and explain everything with one term.
+    #[test]
+    fn picks_exact_match_first() {
+        let n = 50;
+        let mut p = Matrix::zeros(n, 3);
+        let mut y = vec![0.0; n];
+        for r in 0..n {
+            let t = r as f64 * 0.1;
+            p.set(r, 0, t.sin());
+            p.set(r, 1, (2.0 * t).cos());
+            p.set(r, 2, (0.5 * t).sin() * t);
+            y[r] = p.get(r, 2);
+        }
+        let sel = select(&p, &y, OlsStop::default()).unwrap();
+        assert_eq!(sel.selected[0], 2);
+        assert!(sel.residual_ratio < 1e-9);
+        assert!(sel.err[0] > 1.0 - 1e-9);
+    }
+
+    /// y is a combination of two columns: both are selected and the residual
+    /// vanishes even with a distractor column present.
+    #[test]
+    fn selects_combination() {
+        let n = 80;
+        let mut p = Matrix::zeros(n, 3);
+        let mut y = vec![0.0; n];
+        for r in 0..n {
+            let t = r as f64 * 0.05;
+            p.set(r, 0, t.sin());
+            p.set(r, 1, (3.0 * t + 0.4).cos());
+            p.set(r, 2, (7.0 * t).sin()); // distractor
+            y[r] = 2.0 * t.sin() - 0.7 * (3.0 * t + 0.4).cos();
+        }
+        let sel = select(&p, &y, OlsStop { max_terms: 2, tolerance: 1e-12 }).unwrap();
+        let mut s = sel.selected.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1]);
+        assert!(sel.residual_ratio < 1e-9, "residual {}", sel.residual_ratio);
+    }
+
+    #[test]
+    fn tolerance_stops_early() {
+        let n = 40;
+        let mut p = Matrix::zeros(n, 4);
+        let mut y = vec![0.0; n];
+        for r in 0..n {
+            let t = r as f64 * 0.1;
+            p.set(r, 0, t.sin());
+            p.set(r, 1, t.cos());
+            p.set(r, 2, (2.0 * t).sin());
+            p.set(r, 3, (3.0 * t).cos());
+            y[r] = t.sin() + 1e-6 * (3.0 * t).cos();
+        }
+        let sel = select(&p, &y, OlsStop { max_terms: 4, tolerance: 1e-6 }).unwrap();
+        assert!(sel.selected.len() <= 2, "selected {:?}", sel.selected);
+        assert_eq!(sel.selected[0], 0);
+    }
+
+    #[test]
+    fn dependent_columns_skipped() {
+        // Two identical columns: only one can be selected.
+        let n = 30;
+        let mut p = Matrix::zeros(n, 2);
+        let mut y = vec![0.0; n];
+        for r in 0..n {
+            let t = r as f64;
+            p.set(r, 0, t);
+            p.set(r, 1, t);
+            y[r] = 3.0 * t + ((r % 3) as f64 - 1.0); // not exactly in span
+        }
+        let sel = select(&p, &y, OlsStop { max_terms: 2, tolerance: 0.0 }).unwrap();
+        assert_eq!(sel.selected.len(), 1);
+    }
+
+    #[test]
+    fn zero_target_short_circuits() {
+        let p = Matrix::zeros(5, 2);
+        let sel = select(&p, &[0.0; 5], OlsStop::default()).unwrap();
+        assert!(sel.selected.is_empty());
+        assert_eq!(sel.residual_ratio, 0.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let p = Matrix::zeros(5, 2);
+        assert!(select(&p, &[0.0; 4], OlsStop::default()).is_err());
+        assert!(select(
+            &p,
+            &[0.0; 5],
+            OlsStop {
+                max_terms: 0,
+                tolerance: 0.0
+            }
+        )
+        .is_err());
+    }
+}

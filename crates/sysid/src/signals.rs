@@ -1,0 +1,205 @@
+//! Identification signal generators.
+//!
+//! The estimation quality of black-box port models depends strongly on the
+//! excitation. Following the paper:
+//!
+//! * receivers' *linear* submodel: a waveform "composed of few steps and
+//!   spanning the range of the power supply" → [`step_train`];
+//! * receivers' *nonlinear* (protection) submodels: "a multilevel voltage
+//!   waveform within the port voltage range where the protection circuit
+//!   cannot be neglected" → [`multilevel`];
+//! * drivers' state submodels: the port is held in a logic state while the
+//!   load side is excited across the output voltage range → [`multilevel`]
+//!   again, with dwell times comparable to the device transition time.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic multilevel staircase with smooth (raised-cosine) level
+/// transitions, spanning `[lo, hi]`.
+///
+/// * `n_levels` random levels are drawn uniformly in the range;
+/// * each level lasts `dwell` samples;
+/// * transitions take `edge` samples (`edge < dwell`);
+/// * `seed` makes the signal reproducible.
+///
+/// Returns a signal of `n_levels * dwell` samples.
+///
+/// # Panics
+///
+/// Panics if `dwell == 0`, `edge >= dwell`, or `hi <= lo` — generator
+/// misconfiguration is a programming error in the experiment definition.
+pub fn multilevel(
+    lo: f64,
+    hi: f64,
+    n_levels: usize,
+    dwell: usize,
+    edge: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(dwell > 0, "dwell must be positive");
+    assert!(edge < dwell, "edge must be shorter than dwell");
+    assert!(hi > lo, "range must be non-degenerate");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut levels: Vec<f64> = (0..n_levels).map(|_| rng.gen_range(lo..=hi)).collect();
+    // Make sure the extremes are visited so the fit covers the full range.
+    if n_levels >= 2 {
+        levels[0] = lo;
+        levels[1] = hi;
+    }
+    let mut out = Vec::with_capacity(n_levels * dwell);
+    let mut prev = levels[0];
+    for &level in &levels {
+        for k in 0..dwell {
+            if k < edge && edge > 0 {
+                // Raised-cosine edge from prev to level.
+                let f = 0.5 * (1.0 - (std::f64::consts::PI * k as f64 / edge as f64).cos());
+                out.push(prev + (level - prev) * f);
+            } else {
+                out.push(level);
+            }
+        }
+        prev = level;
+    }
+    out
+}
+
+/// A staircase of `n_steps` equal steps from `lo` to `hi` and back down,
+/// each level lasting `dwell` samples with raised-cosine edges of `edge`
+/// samples. Used to excite the nearly linear region of receivers.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`multilevel`].
+pub fn step_train(lo: f64, hi: f64, n_steps: usize, dwell: usize, edge: usize) -> Vec<f64> {
+    assert!(n_steps > 0, "n_steps must be positive");
+    assert!(dwell > 0, "dwell must be positive");
+    assert!(edge < dwell, "edge must be shorter than dwell");
+    let mut levels = Vec::with_capacity(2 * n_steps + 1);
+    for k in 0..=n_steps {
+        levels.push(lo + (hi - lo) * k as f64 / n_steps as f64);
+    }
+    for k in (0..n_steps).rev() {
+        levels.push(lo + (hi - lo) * k as f64 / n_steps as f64);
+    }
+    let mut out = Vec::with_capacity(levels.len() * dwell);
+    let mut prev = levels[0];
+    for &level in &levels {
+        for k in 0..dwell {
+            if k < edge && edge > 0 {
+                let f = 0.5 * (1.0 - (std::f64::consts::PI * k as f64 / edge as f64).cos());
+                out.push(prev + (level - prev) * f);
+            } else {
+                out.push(level);
+            }
+        }
+        prev = level;
+    }
+    out
+}
+
+/// A single sampled trapezoidal pulse: `low` baseline, rising to `high`
+/// after `delay` samples with `rise` samples of edge, holding for `width`
+/// samples, falling over `fall` samples, then `tail` samples of baseline.
+pub fn trapezoid(
+    low: f64,
+    high: f64,
+    delay: usize,
+    rise: usize,
+    width: usize,
+    fall: usize,
+    tail: usize,
+) -> Vec<f64> {
+    let n = delay + rise + width + fall + tail;
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let v = if k < delay {
+            low
+        } else if k < delay + rise {
+            low + (high - low) * (k - delay) as f64 / rise.max(1) as f64
+        } else if k < delay + rise + width {
+            high
+        } else if k < delay + rise + width + fall {
+            high - (high - low) * (k - delay - rise - width) as f64 / fall.max(1) as f64
+        } else {
+            low
+        };
+        out.push(v);
+    }
+    out
+}
+
+/// A random bit string of `n` bits (reproducible via `seed`), formatted as
+/// a `'0'`/`'1'` string for [`circuit`] bit-pattern sources.
+pub fn random_bits(n: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| if rng.gen::<bool>() { '1' } else { '0' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multilevel_spans_range_and_is_reproducible() {
+        let s1 = multilevel(-1.0, 2.0, 20, 50, 10, 42);
+        let s2 = multilevel(-1.0, 2.0, 20, 50, 10, 42);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 1000);
+        let lo = s1.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = s1.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!((lo + 1.0).abs() < 1e-9, "min {lo}");
+        assert!((hi - 2.0).abs() < 1e-9, "max {hi}");
+        // Different seed, different signal.
+        let s3 = multilevel(-1.0, 2.0, 20, 50, 10, 43);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn multilevel_edges_are_smooth() {
+        let s = multilevel(0.0, 1.0, 6, 40, 8, 7);
+        // Maximum per-sample jump bounded by the raised-cosine slope.
+        let max_step = s
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0_f64, f64::max);
+        // Full swing over 8 samples, peak slope pi/2/edge.
+        assert!(max_step < 1.0 * std::f64::consts::PI / 16.0 + 1e-9);
+    }
+
+    #[test]
+    fn step_train_shape() {
+        let s = step_train(0.0, 3.0, 3, 20, 4);
+        assert_eq!(s.len(), 7 * 20);
+        // Peak equals hi.
+        assert!(s.iter().any(|&v| (v - 3.0).abs() < 1e-12));
+        // Ends at lo.
+        assert!((s.last().unwrap() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trapezoid_shape() {
+        let s = trapezoid(0.0, 2.0, 5, 4, 10, 4, 5);
+        assert_eq!(s.len(), 28);
+        assert_eq!(s[0], 0.0);
+        assert_eq!(s[9], 2.0); // top
+        assert_eq!(s[27], 0.0);
+        assert!((s[5 + 2] - 1.0).abs() < 1e-12); // mid-rise
+    }
+
+    #[test]
+    fn random_bits_reproducible() {
+        let a = random_bits(64, 9);
+        let b = random_bits(64, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        assert!(a.chars().all(|c| c == '0' || c == '1'));
+        assert_ne!(a, random_bits(64, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge must be shorter")]
+    fn multilevel_validates_edge() {
+        multilevel(0.0, 1.0, 4, 10, 10, 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! `emc-io-macromodel` — behavioral macromodels of digital I/O ports for
+//! EMC / signal-integrity simulation.
+//!
+//! This is the umbrella crate of the workspace reproducing Stievano et al.,
+//! *"Macromodeling of Digital I/O Ports for System EMC Assessment"*
+//! (DATE 2002). It re-exports the member crates:
+//!
+//! * [`numkit`] — dense linear algebra, interpolation, statistics;
+//! * [`circuit`] — the MNA transient circuit simulator;
+//! * [`refdev`] — transistor-level reference drivers/receivers and the IBIS
+//!   baseline;
+//! * [`sysid`] — ARX / RBF / OLS identification machinery;
+//! * [`macromodel`] — the PW-RBF driver and parametric receiver models.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use emc_io_macromodel::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Take a transistor-level reference device.
+//! let spec = refdev::md1();
+//! // 2. Estimate its PW-RBF macromodel.
+//! let model = estimate_driver(&spec, DriverEstimationConfig::default())?;
+//! // 3. Validate on a transmission-line load.
+//! let run = validate_driver(&spec, &model, "01", 4e-9, 12e-9,
+//!                           line_cap_load(50.0, 0.8e-9, 10e-12))?;
+//! println!("timing error: {:?} s", run.metrics.timing_error);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use circuit;
+pub use macromodel;
+pub use numkit;
+pub use refdev;
+pub use sysid;
+
+/// Commonly used items, one `use` away.
+pub mod prelude {
+    pub use circuit::devices::{
+        Capacitor, CurrentSource, Diode, IdealLine, Inductor, Mosfet, Resistor, SourceWaveform,
+        VoltageSource,
+    };
+    pub use circuit::{Circuit, TranParams, Waveform, GROUND};
+    pub use macromodel::device::{PwRbfDriver, ReceiverModelDevice};
+    pub use macromodel::pipeline::{
+        estimate_cr_baseline, estimate_driver, estimate_receiver, DriverEstimationConfig,
+        ReceiverEstimationConfig,
+    };
+    pub use macromodel::validate::{
+        line_cap_load, resistive_load, validate_driver, ValidationMetrics,
+    };
+    pub use macromodel::{CrModel, PwRbfDriverModel, ReceiverModel};
+    pub use refdev::{md1, md2, md3, md4, IbisCorner, IbisModel};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_links() {
+        use crate::prelude::*;
+        let _ = md1();
+        let _ = md4();
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        ckt.add(Resistor::new("r", n, GROUND, 1.0));
+    }
+}
