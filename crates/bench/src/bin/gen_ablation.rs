@@ -20,7 +20,7 @@ fn main() -> Result<()> {
     // A badly configured variant may produce a model that makes the Newton
     // iteration diverge — that is itself an ablation result, so report it
     // instead of aborting the sweep.
-    let mut run = |label: &str, cfg: DriverEstimationConfig| -> Result<()> {
+    let run = |label: &str, cfg: DriverEstimationConfig| -> Result<()> {
         let outcome = estimate_driver(&spec, cfg).and_then(|model| {
             validate_driver(
                 &spec,
@@ -51,7 +51,10 @@ fn main() -> Result<()> {
 
     // Dynamic order sweep (paper reports r = 2 for MD1).
     for r in [1usize, 2, 3] {
-        run(&format!("order r = {r}"), DriverEstimationConfig { order: r, ..base })?;
+        run(
+            &format!("order r = {r}"),
+            DriverEstimationConfig { order: r, ..base },
+        )?;
     }
 
     // Center budget sweep.
@@ -69,13 +72,20 @@ fn main() -> Result<()> {
     }
 
     // Transition-window length for the switching weights.
-    for (label, t_window) in [("window 2 ns", 2e-9), ("window 4 ns", 4e-9), ("window 6 ns", 6e-9)]
-    {
-        run(&format!("{label}"), DriverEstimationConfig { t_window, ..base })?;
+    for (label, t_window) in [
+        ("window 2 ns", 2e-9),
+        ("window 4 ns", 4e-9),
+        ("window 6 ns", 6e-9),
+    ] {
+        run(label, DriverEstimationConfig { t_window, ..base })?;
     }
 
     // Identification-signal richness.
-    for (label, n_levels) in [("20 levels", 20usize), ("60 levels", 60), ("120 levels", 120)] {
+    for (label, n_levels) in [
+        ("20 levels", 20usize),
+        ("60 levels", 60),
+        ("120 levels", 120),
+    ] {
         run(
             &format!("excitation {label}"),
             DriverEstimationConfig { n_levels, ..base },

@@ -9,17 +9,32 @@ fn main() -> emc_bench::Result<()> {
     eprintln!("# Fig. 1 — MD1 on 50 Ω / 0.8 ns ideal line + 10 pF, bit \"01\"");
     eprintln!(
         "# PW-RBF : rms {:.4} V, max {:.4} V, timing {:?}",
-        data.metrics_pwrbf.rms_error, data.metrics_pwrbf.max_error,
+        data.metrics_pwrbf.rms_error,
+        data.metrics_pwrbf.max_error,
         data.metrics_pwrbf.timing_error.map(|t| t * 1e12)
     );
     eprintln!(
         "# IBIS   : rms {:.4} V, max {:.4} V, timing {:?}",
-        data.metrics_ibis.rms_error, data.metrics_ibis.max_error,
+        data.metrics_ibis.rms_error,
+        data.metrics_ibis.max_error,
         data.metrics_ibis.timing_error.map(|t| t * 1e12)
     );
     print_csv(
-        &["t_s", "v_reference", "v_pwrbf", "v_ibis_typ", "v_ibis_slow", "v_ibis_fast"],
-        &[&data.reference, &data.pwrbf, &data.ibis_typ, &data.ibis_slow, &data.ibis_fast],
+        &[
+            "t_s",
+            "v_reference",
+            "v_pwrbf",
+            "v_ibis_typ",
+            "v_ibis_slow",
+            "v_ibis_fast",
+        ],
+        &[
+            &data.reference,
+            &data.pwrbf,
+            &data.ibis_typ,
+            &data.ibis_slow,
+            &data.ibis_fast,
+        ],
     );
     Ok(())
 }

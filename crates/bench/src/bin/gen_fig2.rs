@@ -9,11 +9,18 @@ fn main() -> emc_bench::Result<()> {
     for p in &panels {
         eprintln!(
             "# Fig. 2({}) — Z0 = {} Ω, Td = {:.2e} s: rms {:.4} V, max {:.4} V, timing {:?} ps",
-            p.label, p.z0, p.td, p.metrics.rms_error, p.metrics.max_error,
+            p.label,
+            p.z0,
+            p.td,
+            p.metrics.rms_error,
+            p.metrics.max_error,
             p.metrics.timing_error.map(|t| t * 1e12)
         );
         println!("# panel {}", p.label);
-        print_csv(&["t_s", "v_fe_reference", "v_fe_pwrbf"], &[&p.reference, &p.pwrbf]);
+        print_csv(
+            &["t_s", "v_fe_reference", "v_fe_pwrbf"],
+            &[&p.reference, &p.pwrbf],
+        );
     }
     Ok(())
 }

@@ -9,7 +9,8 @@ fn main() -> emc_bench::Result<()> {
     eprintln!("# Fig. 4 — coupled MCM structure, active pattern 011011101010000");
     eprintln!(
         "# active land: rms {:.4} V, max {:.4} V, timing {:?} ps",
-        data.metrics_active.rms_error, data.metrics_active.max_error,
+        data.metrics_active.rms_error,
+        data.metrics_active.max_error,
         data.metrics_active.timing_error.map(|t| t * 1e12)
     );
     eprintln!(
@@ -18,11 +19,24 @@ fn main() -> emc_bench::Result<()> {
     );
     eprintln!(
         "# CPU: transistor {:.2} s, PW-RBF {:.2} s, speedup {:.1}x",
-        data.cpu_reference, data.cpu_pwrbf, data.cpu_reference / data.cpu_pwrbf
+        data.cpu_reference,
+        data.cpu_pwrbf,
+        data.cpu_reference / data.cpu_pwrbf
     );
     print_csv(
-        &["t_s", "v21_reference", "v21_pwrbf", "v22_reference", "v22_pwrbf"],
-        &[&data.v21_reference, &data.v21_pwrbf, &data.v22_reference, &data.v22_pwrbf],
+        &[
+            "t_s",
+            "v21_reference",
+            "v21_pwrbf",
+            "v22_reference",
+            "v22_pwrbf",
+        ],
+        &[
+            &data.v21_reference,
+            &data.v21_pwrbf,
+            &data.v22_reference,
+            &data.v22_pwrbf,
+        ],
     );
     Ok(())
 }

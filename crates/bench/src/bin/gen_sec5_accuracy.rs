@@ -16,17 +16,32 @@ fn main() -> emc_bench::Result<()> {
     // Resistive validation load (not in the paper's figures, sanity row).
     let spec = refdev::md1();
     let v = validate_driver(&spec, &md1_model, "010", 4e-9, 12e-9, resistive_load(50.0))?;
-    rows.push(AccuracyRow { label: "md1-r50".into(), metrics: v.metrics });
+    rows.push(AccuracyRow {
+        label: "md1-r50".into(),
+        metrics: v.metrics,
+    });
 
     let f1 = fig1(&Fig1Config::default())?;
-    rows.push(AccuracyRow { label: "fig1-pwrbf".into(), metrics: f1.metrics_pwrbf });
-    rows.push(AccuracyRow { label: "fig1-ibis-typ".into(), metrics: f1.metrics_ibis });
+    rows.push(AccuracyRow {
+        label: "fig1-pwrbf".into(),
+        metrics: f1.metrics_pwrbf,
+    });
+    rows.push(AccuracyRow {
+        label: "fig1-ibis-typ".into(),
+        metrics: f1.metrics_ibis,
+    });
 
     for p in fig2()? {
-        rows.push(AccuracyRow { label: format!("fig2-{}", p.label), metrics: p.metrics });
+        rows.push(AccuracyRow {
+            label: format!("fig2-{}", p.label),
+            metrics: p.metrics,
+        });
     }
 
-    println!("  {:<16} {:>10} {:>10} {:>12}", "experiment", "rms [V]", "max [V]", "timing");
+    println!(
+        "  {:<16} {:>10} {:>10} {:>12}",
+        "experiment", "rms [V]", "max [V]", "timing"
+    );
     for r in &rows {
         println!("  {r}");
     }

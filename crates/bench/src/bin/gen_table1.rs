@@ -14,7 +14,10 @@ fn main() -> emc_bench::Result<()> {
     let data = fig4(&Fig4Config::default(), Some(model))?;
     println!("Table 1 — CPU time, coupled structure of Fig. 3");
     println!("  model estimation (one-off) : {:>8.2} s", t_est);
-    println!("  transistor level           : {:>8.2} s", data.cpu_reference);
+    println!(
+        "  transistor level           : {:>8.2} s",
+        data.cpu_reference
+    );
     println!("  PW-RBF                     : {:>8.2} s", data.cpu_pwrbf);
     println!(
         "  speedup                    : {:>8.1} x (paper: >20x rule of thumb)",

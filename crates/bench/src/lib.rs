@@ -217,7 +217,15 @@ pub fn fig2() -> Result<Vec<Fig2Panel>> {
     ] {
         let build = |ckt: &mut Circuit, pad: circuit::Node| -> circuit::Node {
             let far = ckt.node("fig2_far");
-            ckt.add(IdealLine::new("fig2_line", pad, GROUND, far, GROUND, z0, td));
+            ckt.add(IdealLine::new(
+                "fig2_line",
+                pad,
+                GROUND,
+                far,
+                GROUND,
+                z0,
+                td,
+            ));
             ckt.add(Capacitor::new("fig2_cl", far, GROUND, c_load));
             far
         };

@@ -160,7 +160,9 @@ mod tests {
             } else {
                 ckt.add(crate::devices::Inductor::new("l", nmid, GROUND, l_val))
             };
-            let res = ckt.transient(TranParams::new(tau / 100.0, 3.0 * tau)).unwrap();
+            let res = ckt
+                .transient(TranParams::new(tau / 100.0, 3.0 * tau))
+                .unwrap();
             res.branch_current(&ckt, id, 0)
         };
 

@@ -67,7 +67,10 @@ impl Diode {
     ///
     /// Panics if parameters are non-physical (`is <= 0`, `n <= 0`, `vt <= 0`).
     pub fn new(label: impl Into<String>, a: Node, b: Node, p: DiodeParams) -> Self {
-        assert!(p.is > 0.0 && p.n > 0.0 && p.vt > 0.0, "non-physical diode parameters");
+        assert!(
+            p.is > 0.0 && p.n > 0.0 && p.vt > 0.0,
+            "non-physical diode parameters"
+        );
         Diode {
             label: label.into(),
             a,

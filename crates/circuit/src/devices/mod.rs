@@ -18,7 +18,7 @@ pub use capacitor::Capacitor;
 pub use coupled_inductors::CoupledInductors;
 pub use diode::{Diode, DiodeParams};
 pub use inductor::Inductor;
-pub use mosfet::{Mosfet, MosfetParams, MosPolarity};
+pub use mosfet::{MosPolarity, Mosfet, MosfetParams};
 pub use resistor::Resistor;
 pub use sources::{CurrentSource, SourceWaveform, VoltageSource};
 pub use tline::IdealLine;

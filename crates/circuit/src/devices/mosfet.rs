@@ -101,7 +101,7 @@ impl Mosfet {
         let mut vgs = sign * vgs_ext;
         let mut vds = sign * vds_ext;
         let vt = sign * self.p.vt0; // vt0 is negative for PMOS
-        // Swap drain/source for negative vds (symmetric device).
+                                    // Swap drain/source for negative vds (symmetric device).
         let swapped = vds < 0.0;
         if swapped {
             vgs -= vds; // vgd becomes the controlling voltage
@@ -275,8 +275,14 @@ mod tests {
             let (iq, _, _) = m.dc_current(vgs, vds + h);
             let gm_fd = (ip - i0) / h;
             let gds_fd = (iq - i0) / h;
-            assert!((gm - gm_fd).abs() < 1e-4 * (1.0 + gm.abs()), "gm {gm} vs fd {gm_fd} at ({vgs},{vds})");
-            assert!((gds - gds_fd).abs() < 1e-4 * (1.0 + gds.abs()), "gds {gds} vs fd {gds_fd} at ({vgs},{vds})");
+            assert!(
+                (gm - gm_fd).abs() < 1e-4 * (1.0 + gm.abs()),
+                "gm {gm} vs fd {gm_fd} at ({vgs},{vds})"
+            );
+            assert!(
+                (gds - gds_fd).abs() < 1e-4 * (1.0 + gds.abs()),
+                "gds {gds} vs fd {gds_fd} at ({vgs},{vds})"
+            );
         }
     }
 

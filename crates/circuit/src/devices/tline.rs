@@ -90,7 +90,10 @@ impl IdealLine {
             return (last.1, last.2);
         }
         // Binary search on the time axis.
-        let idx = self.hist.partition_point(|h| h.0 <= t).clamp(1, self.hist.len() - 1);
+        let idx = self
+            .hist
+            .partition_point(|h| h.0 <= t)
+            .clamp(1, self.hist.len() - 1);
         let (t0, w10, w20) = self.hist[idx - 1];
         let (t1, w11, w21) = self.hist[idx];
         let f = (t - t0) / (t1 - t0);

@@ -182,18 +182,22 @@ mod tests {
             iterations: 50,
         };
         assert!(e.to_string().contains("converge"));
-        assert!(Error::SingularMatrix { analysis: "dc".into() }
-            .to_string()
-            .contains("singular"));
+        assert!(Error::SingularMatrix {
+            analysis: "dc".into()
+        }
+        .to_string()
+        .contains("singular"));
         assert!(Error::InvalidParameter {
             device: "r1".into(),
             message: "negative resistance".into()
         }
         .to_string()
         .contains("r1"));
-        assert!(Error::InvalidAnalysis { message: "dt".into() }
-            .to_string()
-            .contains("dt"));
+        assert!(Error::InvalidAnalysis {
+            message: "dt".into()
+        }
+        .to_string()
+        .contains("dt"));
         let ne: Error = numkit::Error::EmptyInput.into();
         assert!(ne.to_string().contains("numeric"));
         use std::error::Error as _;

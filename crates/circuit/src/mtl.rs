@@ -377,7 +377,11 @@ mod tests {
         let s = CoupledLineSpec::mcm_date02();
         assert!(s.validate().is_ok());
         assert!((s.z0(0) - 64.7).abs() < 1.0, "z0 = {}", s.z0(0));
-        assert!((s.delay(0) - 0.69e-9).abs() < 0.05e-9, "td = {}", s.delay(0));
+        assert!(
+            (s.delay(0) - 0.69e-9).abs() < 0.05e-9,
+            "td = {}",
+            s.delay(0)
+        );
         let single = CoupledLineSpec::lossy_single(0.1);
         assert!(single.validate().is_ok());
         assert!((single.z0(0) - 50.0).abs() < 1.0);
@@ -456,8 +460,14 @@ mod tests {
         let res = ckt.transient(TranParams::new(1e-11, 3e-9)).unwrap();
         let v_active = res.voltage(line.far[0]);
         let v_quiet = res.voltage(line.far[1]);
-        let peak_active = v_active.values().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
-        let peak_quiet = v_quiet.values().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+        let peak_active = v_active
+            .values()
+            .iter()
+            .fold(0.0_f64, |m, &v| m.max(v.abs()));
+        let peak_quiet = v_quiet
+            .values()
+            .iter()
+            .fold(0.0_f64, |m, &v| m.max(v.abs()));
         assert!(peak_active > 0.3, "active peak {peak_active}");
         assert!(
             peak_quiet > 1e-4 && peak_quiet < 0.5 * peak_active,

@@ -75,7 +75,11 @@ pub fn solve_newton(
         for i in 0..n_v {
             max_dv = max_dv.max((x_new[i] - x[i]).abs());
         }
-        let alpha = if max_dv > MAX_DV { MAX_DV / max_dv } else { 1.0 };
+        let alpha = if max_dv > MAX_DV {
+            MAX_DV / max_dv
+        } else {
+            1.0
+        };
 
         let mut converged = alpha == 1.0;
         for i in 0..n {
@@ -150,7 +154,9 @@ pub fn dc_operating_point(circuit: &mut Circuit) -> Result<Vec<f64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::devices::{CurrentSource, Diode, DiodeParams, Resistor, SourceWaveform, VoltageSource};
+    use crate::devices::{
+        CurrentSource, Diode, DiodeParams, Resistor, SourceWaveform, VoltageSource,
+    };
     use crate::netlist::GROUND;
 
     #[test]

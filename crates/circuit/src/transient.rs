@@ -37,12 +37,12 @@ impl TranParams {
     }
 
     fn validate(&self) -> Result<()> {
-        if !(self.dt > 0.0) || !self.dt.is_finite() {
+        if self.dt <= 0.0 || !self.dt.is_finite() {
             return Err(Error::InvalidAnalysis {
                 message: format!("timestep must be positive, got {}", self.dt),
             });
         }
-        if !(self.t_stop > 0.0) || self.t_stop < self.dt {
+        if self.t_stop <= 0.0 || self.t_stop < self.dt || !self.t_stop.is_finite() {
             return Err(Error::InvalidAnalysis {
                 message: format!(
                     "stop time must be positive and at least one step, got {}",
@@ -213,7 +213,9 @@ mod tests {
         ));
         ckt.add(Resistor::new("r", nin, nout, r));
         ckt.add(Capacitor::new("c", nout, GROUND, c));
-        let res = ckt.transient(TranParams::new(tau / 200.0, 5.0 * tau)).unwrap();
+        let res = ckt
+            .transient(TranParams::new(tau / 200.0, 5.0 * tau))
+            .unwrap();
         let v = res.voltage(nout);
         // Compare against 1 - exp(-t/tau) at a few points.
         for frac in [0.5, 1.0, 2.0, 4.0] {
@@ -242,7 +244,9 @@ mod tests {
         ));
         ckt.add(Resistor::new("r", nin, nmid, r));
         let ind = ckt.add(Inductor::new("l", nmid, GROUND, l));
-        let res = ckt.transient(TranParams::new(tau / 200.0, 5.0 * tau)).unwrap();
+        let res = ckt
+            .transient(TranParams::new(tau / 200.0, 5.0 * tau))
+            .unwrap();
         let i = res.branch_current(&ckt, ind, 0);
         let i_final = *i.values().last().unwrap();
         assert!((i_final - 0.1).abs() < 1e-3, "final current {i_final}");

@@ -1,8 +1,8 @@
 //! Integration tests of the simulator against closed-form circuit theory.
 
 use circuit::devices::{
-    Capacitor, CurrentSource, Diode, DiodeParams, IdealLine, Inductor, Mosfet, MosfetParams,
-    MosPolarity, Resistor, SourceWaveform, VoltageSource,
+    Capacitor, CurrentSource, Diode, DiodeParams, IdealLine, Inductor, MosPolarity, Mosfet,
+    MosfetParams, Resistor, SourceWaveform, VoltageSource,
 };
 use circuit::{Circuit, TranParams, GROUND};
 
@@ -37,7 +37,11 @@ fn rlc_ringing_frequency() {
 
     // Measure the ringing period from successive upward crossings of 1 V.
     let crossings = v.threshold_crossings(1.0);
-    let ups: Vec<f64> = crossings.iter().filter(|c| c.rising).map(|c| c.time).collect();
+    let ups: Vec<f64> = crossings
+        .iter()
+        .filter(|c| c.rising)
+        .map(|c| c.time)
+        .collect();
     assert!(ups.len() >= 3, "expected several ringing periods");
     let t_meas = ups[2] - ups[1];
     assert!(
@@ -155,15 +159,28 @@ fn cmos_inverter_vtc() {
         let nvdd = ckt.node("vdd");
         let nin = ckt.node("in");
         let nout = ckt.node("out");
-        ckt.add(VoltageSource::new("vs", nvdd, GROUND, SourceWaveform::dc(vdd)));
-        ckt.add(VoltageSource::new("vi", nin, GROUND, SourceWaveform::dc(vin)));
+        ckt.add(VoltageSource::new(
+            "vs",
+            nvdd,
+            GROUND,
+            SourceWaveform::dc(vdd),
+        ));
+        ckt.add(VoltageSource::new(
+            "vi",
+            nin,
+            GROUND,
+            SourceWaveform::dc(vin),
+        ));
         ckt.add(Mosfet::new("mn", nout, nin, GROUND, MosPolarity::Nmos, np));
         ckt.add(Mosfet::new("mp", nout, nin, nvdd, MosPolarity::Pmos, pp));
         ckt.add(Resistor::new("rl", nout, GROUND, 1e9));
         let x = ckt.dc_operating_point().unwrap();
         x[nout.index() - 1]
     };
-    assert!(out_at(0.0) > vdd - 0.01, "logic-low input gives rail-high out");
+    assert!(
+        out_at(0.0) > vdd - 0.01,
+        "logic-low input gives rail-high out"
+    );
     assert!(out_at(vdd) < 0.01, "logic-high input gives rail-low out");
     // Monotone decreasing transfer curve.
     let mut prev = f64::INFINITY;

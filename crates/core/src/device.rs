@@ -148,7 +148,11 @@ impl PwRbfDriver {
         }
         if let Some((t0, rising)) = active {
             let k = ((t - t0) / self.model.ts).round() as usize;
-            let seq = if rising { &self.model.up } else { &self.model.down };
+            let seq = if rising {
+                &self.model.up
+            } else {
+                &self.model.down
+            };
             if k < seq.len() {
                 return seq.at(k);
             }
@@ -421,7 +425,12 @@ impl CrModel {
     /// Installs the C–R̂ model at `pad`: a shunt capacitor plus the static
     /// PWL resistor.
     pub fn instantiate(&self, ckt: &mut Circuit, pad: Node) {
-        ckt.add(Capacitor::new(format!("{}_c", self.name), pad, GROUND, self.c));
+        ckt.add(Capacitor::new(
+            format!("{}_c", self.name),
+            pad,
+            GROUND,
+            self.c,
+        ));
         ckt.add(PwlResistor::new(
             format!("{}_rhat", self.name),
             pad,
@@ -456,9 +465,7 @@ mod tests {
             RbfNetwork::affine(0.0, vec![-g, 0.0, 0.0]),
         )
         .unwrap();
-        let ramp: Vec<f64> = (0..n_win)
-            .map(|k| k as f64 / (n_win - 1) as f64)
-            .collect();
+        let ramp: Vec<f64> = (0..n_win).map(|k| k as f64 / (n_win - 1) as f64).collect();
         let inv: Vec<f64> = ramp.iter().map(|w| 1.0 - w).collect();
         PwRbfDriverModel {
             name: "synth".into(),
@@ -587,7 +594,12 @@ mod tests {
         let mut ckt = Circuit::new();
         let n = ckt.node("n");
         let src = ckt.node("src");
-        ckt.add(VoltageSource::new("v", src, GROUND, SourceWaveform::dc(3.0)));
+        ckt.add(VoltageSource::new(
+            "v",
+            src,
+            GROUND,
+            SourceWaveform::dc(3.0),
+        ));
         ckt.add(Resistor::new("rs", src, n, 10.0));
         ckt.add(PwlResistor::new("rhat", n, iv));
         let x = ckt.dc_operating_point().unwrap();

@@ -92,7 +92,7 @@ impl PwRbfDriverModel {
     ///
     /// Returns [`Error::InvalidModel`] describing the first violation.
     pub fn validate(&self) -> Result<()> {
-        if !(self.ts > 0.0) || !self.ts.is_finite() {
+        if self.ts <= 0.0 || !self.ts.is_finite() {
             return Err(Error::InvalidModel {
                 message: format!("sample time must be positive, got {}", self.ts),
             });
@@ -154,9 +154,15 @@ pub fn estimate_switching_weights(
     (start, end): ((f64, f64), (f64, f64)),
 ) -> Result<WeightSequence> {
     let n = i_h_a.len();
-    if [i_l_a.len(), i_meas_a.len(), i_h_b.len(), i_l_b.len(), i_meas_b.len()]
-        .iter()
-        .any(|&l| l != n)
+    if [
+        i_l_a.len(),
+        i_meas_a.len(),
+        i_h_b.len(),
+        i_l_b.len(),
+        i_meas_b.len(),
+    ]
+    .iter()
+    .any(|&l| l != n)
     {
         return Err(Error::InvalidModel {
             message: "weight-inversion sequences differ in length".into(),
@@ -267,13 +273,23 @@ mod tests {
     fn weight_inversion_exact_recovery() {
         let n = 40;
         // Known smooth weight trajectories.
-        let wh_true: Vec<f64> = (0..n).map(|k| (k as f64 / (n - 1) as f64).powi(2)).collect();
+        let wh_true: Vec<f64> = (0..n)
+            .map(|k| (k as f64 / (n - 1) as f64).powi(2))
+            .collect();
         let wl_true: Vec<f64> = wh_true.iter().map(|w| 1.0 - w).collect();
         // Two independent submodel current patterns per load.
-        let i_h_a: Vec<f64> = (0..n).map(|k| 0.02 + 0.01 * (k as f64 * 0.3).sin()).collect();
-        let i_l_a: Vec<f64> = (0..n).map(|k| -0.015 + 0.004 * (k as f64 * 0.21).cos()).collect();
-        let i_h_b: Vec<f64> = (0..n).map(|k| 0.03 - 0.008 * (k as f64 * 0.17).cos()).collect();
-        let i_l_b: Vec<f64> = (0..n).map(|k| -0.02 - 0.006 * (k as f64 * 0.4).sin()).collect();
+        let i_h_a: Vec<f64> = (0..n)
+            .map(|k| 0.02 + 0.01 * (k as f64 * 0.3).sin())
+            .collect();
+        let i_l_a: Vec<f64> = (0..n)
+            .map(|k| -0.015 + 0.004 * (k as f64 * 0.21).cos())
+            .collect();
+        let i_h_b: Vec<f64> = (0..n)
+            .map(|k| 0.03 - 0.008 * (k as f64 * 0.17).cos())
+            .collect();
+        let i_l_b: Vec<f64> = (0..n)
+            .map(|k| -0.02 - 0.006 * (k as f64 * 0.4).sin())
+            .collect();
         let meas_a: Vec<f64> = (0..n)
             .map(|k| wh_true[k] * i_h_a[k] + wl_true[k] * i_l_a[k])
             .collect();
@@ -331,8 +347,15 @@ mod tests {
 
     #[test]
     fn weight_inversion_validations() {
-        let e = estimate_switching_weights(&[1.0], &[1.0, 2.0], &[0.0], &[1.0], &[1.0], &[0.0],
-            ((0.0, 1.0), (1.0, 0.0)));
+        let e = estimate_switching_weights(
+            &[1.0],
+            &[1.0, 2.0],
+            &[0.0],
+            &[1.0],
+            &[1.0],
+            &[0.0],
+            ((0.0, 1.0), (1.0, 0.0)),
+        );
         assert!(e.is_err());
         let e = estimate_switching_weights(&[], &[], &[], &[], &[], &[], ((0.0, 1.0), (1.0, 0.0)));
         assert!(e.is_err());

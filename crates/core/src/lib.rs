@@ -138,12 +138,22 @@ mod tests {
         assert!(e.source().is_none());
         let e: Error = sysid::Error::InsufficientData { needed: 2, got: 1 }.into();
         assert!(e.source().is_some());
-        let e: Error = refdev::Error::InvalidSpec { message: "x".into() }.into();
+        let e: Error = refdev::Error::InvalidSpec {
+            message: "x".into(),
+        }
+        .into();
         assert!(e.to_string().contains("reference"));
-        let e: Error = circuit::Error::InvalidAnalysis { message: "x".into() }.into();
+        let e: Error = circuit::Error::InvalidAnalysis {
+            message: "x".into(),
+        }
+        .into();
         assert!(e.to_string().contains("circuit"));
         let e: Error = numkit::Error::EmptyInput.into();
         assert!(e.to_string().contains("numeric"));
-        assert!(Error::InvalidModel { message: "m".into() }.to_string().contains("m"));
+        assert!(Error::InvalidModel {
+            message: "m".into()
+        }
+        .to_string()
+        .contains("m"));
     }
 }

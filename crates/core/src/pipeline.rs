@@ -221,7 +221,12 @@ fn estimate_state_submodel(
         spec,
         SourceWaveform::dc(input_level),
         move |ckt, pad| {
-            ckt.add(VoltageSource::new("id_src", pad, GROUND, SourceWaveform::Pwl(pwl)));
+            ckt.add(VoltageSource::new(
+                "id_src",
+                pad,
+                GROUND,
+                SourceWaveform::Pwl(pwl),
+            ));
             Ok(())
         },
         cfg.ts,
@@ -310,11 +315,7 @@ fn fit_stable_arx(v: &[f64], i: &[f64], r_lin: usize) -> Result<ArxModel> {
 }
 
 /// Captures a receiver excited directly by a sampled voltage waveform.
-fn capture_rx(
-    spec: &ReceiverSpec,
-    sig: Vec<f64>,
-    ts: f64,
-) -> Result<(Vec<f64>, Vec<f64>)> {
+fn capture_rx(spec: &ReceiverSpec, sig: Vec<f64>, ts: f64) -> Result<(Vec<f64>, Vec<f64>)> {
     let times: Vec<f64> = (0..sig.len()).map(|k| k as f64 * ts).collect();
     let t_stop = *times.last().expect("non-empty signal");
     let pwl = Pwl::new(times, sig).map_err(|e| Error::Estimation {
@@ -324,7 +325,12 @@ fn capture_rx(
     let cap = capture_receiver(
         spec,
         move |ckt, pad| {
-            ckt.add(VoltageSource::new("id_src", pad, GROUND, SourceWaveform::Pwl(pwl)));
+            ckt.add(VoltageSource::new(
+                "id_src",
+                pad,
+                GROUND,
+                SourceWaveform::Pwl(pwl),
+            ));
             Ok(())
         },
         ts,
@@ -472,8 +478,7 @@ mod tests {
     #[test]
     fn driver_estimation_end_to_end() {
         let spec = md1();
-        let (model, rec_h, rec_l) =
-            estimate_driver_with_records(&spec, fast_driver_cfg()).unwrap();
+        let (model, rec_h, rec_l) = estimate_driver_with_records(&spec, fast_driver_cfg()).unwrap();
         assert!(model.validate().is_ok());
         // Submodels fit their own identification data well.
         assert!(rec_h.nmse < 0.05, "high NMSE {}", rec_h.nmse);

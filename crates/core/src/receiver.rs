@@ -41,7 +41,7 @@ impl ReceiverModel {
     ///
     /// Returns [`Error::InvalidModel`] describing the first violation.
     pub fn validate(&self) -> Result<()> {
-        if !(self.ts > 0.0) || !self.ts.is_finite() {
+        if self.ts <= 0.0 || !self.ts.is_finite() {
             return Err(Error::InvalidModel {
                 message: format!("sample time must be positive, got {}", self.ts),
             });
@@ -113,7 +113,7 @@ impl CrModel {
     ///
     /// Returns [`Error::InvalidModel`] for non-positive capacitance.
     pub fn new(name: impl Into<String>, c: f64, static_iv: Pwl) -> Result<Self> {
-        if !(c > 0.0) || !c.is_finite() {
+        if c <= 0.0 || !c.is_finite() {
             return Err(Error::InvalidModel {
                 message: format!("capacitance must be positive, got {c}"),
             });
@@ -144,12 +144,9 @@ mod tests {
     use sysid::rbf::RbfNetwork;
 
     fn dummy_receiver() -> ReceiverModel {
-        let linear = ArxModel::from_coefficients(
-            ArxOrders { na: 1, nb: 1 },
-            vec![0.5],
-            vec![0.1, -0.1],
-        )
-        .unwrap();
+        let linear =
+            ArxModel::from_coefficients(ArxOrders { na: 1, nb: 1 }, vec![0.5], vec![0.1, -0.1])
+                .unwrap();
         let up = NarxModel::from_network(
             NarxOrders::dynamic(1),
             RbfNetwork::affine(0.0, vec![0.0, 0.0, 0.0]),

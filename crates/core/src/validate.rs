@@ -107,17 +107,15 @@ pub fn resistive_load(r: f64) -> impl FnMut(&mut Circuit, Node) -> Result<()> {
 
 /// Convenience: an ideal transmission line terminated by a capacitor — the
 /// Fig. 1 validation fixture.
-pub fn line_cap_load(z0: f64, td: f64, c_load: f64) -> impl FnMut(&mut Circuit, Node) -> Result<()> {
+pub fn line_cap_load(
+    z0: f64,
+    td: f64,
+    c_load: f64,
+) -> impl FnMut(&mut Circuit, Node) -> Result<()> {
     move |ckt, pad| {
         let far = ckt.node("val_far");
         ckt.add(circuit::devices::IdealLine::new(
-            "val_line",
-            pad,
-            GROUND,
-            far,
-            GROUND,
-            z0,
-            td,
+            "val_line", pad, GROUND, far, GROUND, z0, td,
         ));
         ckt.add(circuit::devices::Capacitor::new(
             "val_cload",

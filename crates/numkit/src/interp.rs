@@ -90,10 +90,7 @@ impl Pwl {
         if t < self.x[0] || t > self.x[n - 1] || n == 1 {
             return 0.0;
         }
-        let idx = self
-            .x
-            .partition_point(|&v| v <= t)
-            .clamp(1, n - 1);
+        let idx = self.x.partition_point(|&v| v <= t).clamp(1, n - 1);
         (self.y[idx] - self.y[idx - 1]) / (self.x[idx] - self.x[idx - 1])
     }
 }

@@ -69,14 +69,20 @@ impl std::fmt::Display for Error {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
             Error::Singular { pivot } => {
-                write!(f, "matrix is singular to working precision at pivot {pivot}")
+                write!(
+                    f,
+                    "matrix is singular to working precision at pivot {pivot}"
+                )
             }
             Error::NotPositiveDefinite { column } => {
                 write!(f, "matrix is not positive definite at column {column}")
             }
             Error::EmptyInput => write!(f, "empty input where data is required"),
             Error::NonMonotonicAbscissa { index } => {
-                write!(f, "abscissa values must be strictly increasing at index {index}")
+                write!(
+                    f,
+                    "abscissa values must be strictly increasing at index {index}"
+                )
             }
         }
     }

@@ -139,7 +139,11 @@ impl LuFactor {
 
     /// Determinant of the original matrix.
     pub fn det(&self) -> f64 {
-        let mut d = if self.swaps % 2 == 0 { 1.0 } else { -1.0 };
+        let mut d = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         for i in 0..self.dim() {
             d *= self.lu.get(i, i);
         }
@@ -183,8 +187,7 @@ mod tests {
 
     #[test]
     fn solves_known_system() {
-        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[3.0, 4.0, 4.0], &[5.0, 6.0, 3.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[3.0, 4.0, 4.0], &[5.0, 6.0, 3.0]]).unwrap();
         let b = [3.0, 7.0, 8.0];
         let x = solve(&a, &b).unwrap();
         let r = a.matvec(&x).unwrap();
@@ -235,8 +238,7 @@ mod tests {
 
     #[test]
     fn inverse_times_matrix_is_identity() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.0, 3.0, 1.0], &[1.0, 0.0, 2.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.0, 3.0, 1.0], &[1.0, 0.0, 2.0]]).unwrap();
         let inv = inverse(&a).unwrap();
         let prod = inv.matmul(&a).unwrap();
         let i = Matrix::identity(3);

@@ -231,7 +231,10 @@ mod tests {
     fn rank_deficient_detected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
         let qr = QrFactor::new(&a).unwrap();
-        assert!(matches!(qr.solve_ls(&[1.0, 2.0, 3.0]), Err(Error::Singular { .. })));
+        assert!(matches!(
+            qr.solve_ls(&[1.0, 2.0, 3.0]),
+            Err(Error::Singular { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Golden-value tests for the decomposition kernels: small systems whose
+//! factors and solutions are worked out by hand, complementing the
+//! statistical coverage of `proptest_numkit.rs` with exact known answers.
+
+use numkit::cholesky::CholeskyFactor;
+use numkit::lu::LuFactor;
+use numkit::{lstsq, lu, qr, Matrix};
+
+const TOL: f64 = 1e-12;
+
+fn assert_close(got: &[f64], want: &[f64], tol: f64) {
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        assert!((g - w).abs() < tol, "got {g}, want {w}");
+    }
+}
+
+#[test]
+fn lu_solves_2x2_hand_system() {
+    // [2 1; 1 3] x = [3; 5]  =>  x = (4/5, 7/5), det = 5.
+    let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+    let f = LuFactor::new(&a).unwrap();
+    assert_close(&f.solve(&[3.0, 5.0]).unwrap(), &[0.8, 1.4], TOL);
+    assert!((f.det() - 5.0).abs() < TOL);
+}
+
+#[test]
+fn lu_det_with_pivoting() {
+    // [4 3; 6 3]: partial pivoting swaps the rows once; det = 4*3 - 3*6 = -6.
+    let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]).unwrap();
+    assert!((LuFactor::new(&a).unwrap().det() + 6.0).abs() < TOL);
+}
+
+#[test]
+fn lu_solves_3x3_hand_system() {
+    // A = [2 0 1; 1 3 2; 0 1 4], det = 2*(12-2) + 1*(1-0) = 21.
+    // Ax = [5; 13; 14] has the exact solution x = (1, 2, 3).
+    let a = Matrix::from_rows(&[&[2.0, 0.0, 1.0], &[1.0, 3.0, 2.0], &[0.0, 1.0, 4.0]]).unwrap();
+    let f = LuFactor::new(&a).unwrap();
+    assert!((f.det() - 21.0).abs() < 1e-10);
+    assert_close(
+        &f.solve(&[5.0, 13.0, 14.0]).unwrap(),
+        &[1.0, 2.0, 3.0],
+        1e-10,
+    );
+}
+
+#[test]
+fn lu_inverse_2x2() {
+    // inv([2 1; 1 3]) = 1/5 * [3 -1; -1 2].
+    let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+    let inv = lu::inverse(&a).unwrap();
+    let want = [[0.6, -0.2], [-0.2, 0.4]];
+    for r in 0..2 {
+        for c in 0..2 {
+            assert!((inv.get(r, c) - want[r][c]).abs() < TOL);
+        }
+    }
+}
+
+#[test]
+fn qr_line_fit_golden() {
+    // Fit y = c0 + c1 x through (0,6), (1,0), (2,0).
+    // Normal equations give c0 = 5, c1 = -3; residuals (1,-2,1), rss = 6.
+    let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+    let b = [6.0, 0.0, 0.0];
+    let x = qr::solve_ls(&a, &b).unwrap();
+    assert_close(&x, &[5.0, -3.0], 1e-10);
+    let f = qr::QrFactor::new(&a).unwrap();
+    assert!((f.residual_sq(&b).unwrap() - 6.0).abs() < 1e-10);
+}
+
+#[test]
+fn qr_square_exact_solve() {
+    // For square non-singular A the LS solution is the exact solution.
+    let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+    // A (2, -1) = (5, 0).
+    assert_close(&qr::solve_ls(&a, &[5.0, 0.0]).unwrap(), &[2.0, -1.0], 1e-10);
+}
+
+#[test]
+fn cholesky_factor_golden() {
+    // G = [4 2; 2 3] = L L^T with L = [2 0; 1 sqrt(2)].
+    let g = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+    let f = CholeskyFactor::new(&g).unwrap();
+    let l = f.l();
+    assert!((l.get(0, 0) - 2.0).abs() < TOL);
+    assert!((l.get(1, 0) - 1.0).abs() < TOL);
+    assert!((l.get(1, 1) - 2.0_f64.sqrt()).abs() < TOL);
+    // G x = [8; 7]  =>  x = (1.25, 1.5).
+    assert_close(&f.solve(&[8.0, 7.0]).unwrap(), &[1.25, 1.5], TOL);
+}
+
+#[test]
+fn cholesky_rejects_indefinite() {
+    // [1 2; 2 1] has eigenvalues 3 and -1: not positive definite.
+    let g = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+    assert!(CholeskyFactor::new(&g).is_err());
+}
+
+#[test]
+fn robust_ls_matches_hand_line_fit() {
+    let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+    let fit = lstsq::robust_ls(&a, &[6.0, 0.0, 0.0]).unwrap();
+    assert_close(&fit.coeffs, &[5.0, -3.0], 1e-10);
+    assert!((fit.rss - 6.0).abs() < 1e-9);
+    assert_eq!(fit.n_obs, 3);
+    assert!((fit.rms() - 2.0_f64.sqrt()).abs() < 1e-9);
+}
+
+#[test]
+fn robust_ls_survives_duplicate_column() {
+    // Two identical columns: plain QR is singular, the ridge fallback must
+    // still reproduce b = col * 2 up to the tiny regularization bias.
+    let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+    let b = [2.0, 4.0, 6.0];
+    let fit = lstsq::robust_ls(&a, &b).unwrap();
+    let pred: Vec<f64> = (0..3)
+        .map(|r| fit.coeffs[0] * a.get(r, 0) + fit.coeffs[1] * a.get(r, 1))
+        .collect();
+    assert_close(&pred, &b, 1e-6);
+}
+
+#[test]
+fn polyfit_recovers_exact_quadratic() {
+    // y = 1 + x + x^2 sampled at x = 0..4 (ascending-power coefficients).
+    let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+    let y: Vec<f64> = x.iter().map(|&v| 1.0 + v + v * v).collect();
+    let c = lstsq::polyfit(&x, &y, 2).unwrap();
+    assert_close(&c, &[1.0, 1.0, 1.0], 1e-9);
+    assert!((lstsq::polyval(&c, 5.0) - 31.0).abs() < 1e-8);
+}

@@ -15,7 +15,7 @@
 
 use crate::{Error, Result};
 use circuit::devices::{
-    Capacitor, Diode, DiodeParams, Inductor, Mosfet, MosfetParams, MosPolarity, Resistor,
+    Capacitor, Diode, DiodeParams, Inductor, MosPolarity, Mosfet, MosfetParams, Resistor,
     SourceWaveform, VoltageSource,
 };
 use circuit::{Circuit, DeviceId, Node, GROUND};
@@ -116,12 +116,17 @@ impl CmosDriverSpec {
         ));
 
         let n_in = ckt.node(format!("{nm}_core_in"));
-        ckt.add(VoltageSource::new(format!("{nm}_core"), n_in, GROUND, input));
+        ckt.add(VoltageSource::new(
+            format!("{nm}_core"),
+            n_in,
+            GROUND,
+            input,
+        ));
 
         // Pre-driver chain. An even total inversion count keeps the pad
         // non-inverting: chain stages + final stage must be even.
         let mut stages = self.stages;
-        if (stages + 1) % 2 != 0 {
+        if !(stages + 1).is_multiple_of(2) {
             stages += 1;
         }
         // Smallest stage W/L so that the chain tapers up to the final stage.
@@ -147,7 +152,12 @@ impl CmosDriverSpec {
 
         // Package and pad.
         let mid = ckt.node(format!("{nm}_pkg"));
-        ckt.add(Resistor::new(format!("{nm}_rpkg"), drain, mid, self.r_pkg.max(1e-3)));
+        ckt.add(Resistor::new(
+            format!("{nm}_rpkg"),
+            drain,
+            mid,
+            self.r_pkg.max(1e-3),
+        ));
         let pad_int = ckt.node(format!("{nm}_pad_i"));
         ckt.add(Inductor::new(
             format!("{nm}_lpkg"),
@@ -400,9 +410,7 @@ mod tests {
     fn probe_reads_load_current() {
         let spec = md1();
         let mut ckt = Circuit::new();
-        let ports = spec
-            .instantiate(&mut ckt, SourceWaveform::dc(3.3))
-            .unwrap();
+        let ports = spec.instantiate(&mut ckt, SourceWaveform::dc(3.3)).unwrap();
         ckt.add(Resistor::new("rload", ports.pad, GROUND, 330.0));
         let res = ckt.transient(TranParams::new(50e-12, 3e-9)).unwrap();
         let i = res.branch_current(&ckt, ports.probe, 0);
@@ -422,9 +430,7 @@ mod tests {
     fn clamps_conduct_beyond_rails() {
         let spec = md3();
         let mut ckt = Circuit::new();
-        let ports = spec
-            .instantiate(&mut ckt, SourceWaveform::dc(0.0))
-            .unwrap();
+        let ports = spec.instantiate(&mut ckt, SourceWaveform::dc(0.0)).unwrap();
         let next = ckt.node("ext");
         ckt.add(Resistor::new("rext", ports.pad, next, 10.0));
         ckt.add(VoltageSource::new(

@@ -164,7 +164,11 @@ mod tests {
         // Logic low, v = 0: no current. v > 0: the NMOS sinks (delivered
         // current negative).
         assert!(sweep.currents[0].abs() < 1e-4);
-        assert!(sweep.currents[6] < -5e-3, "sink current {}", sweep.currents[6]);
+        assert!(
+            sweep.currents[6] < -5e-3,
+            "sink current {}",
+            sweep.currents[6]
+        );
         // Monotone decreasing over the main range.
         for w in sweep.currents.windows(2).take(8) {
             assert!(w[1] <= w[0] + 1e-6);
@@ -184,7 +188,11 @@ mod tests {
         let sweep = receiver_input_iv(&md4(), (-1.0, 3.0), 9).unwrap();
         // Below ground the down clamp sources current out of the pad
         // (negative into-device current), above vdd the up clamp sinks.
-        assert!(sweep.currents[0] < -1e-4, "down clamp {}", sweep.currents[0]);
+        assert!(
+            sweep.currents[0] < -1e-4,
+            "down clamp {}",
+            sweep.currents[0]
+        );
         assert!(
             *sweep.currents.last().unwrap() > 1e-4,
             "up clamp {}",

@@ -470,10 +470,7 @@ mod tests {
         let res = ckt.transient(TranParams::new(50e-12, 6e-9)).unwrap();
         let v_ibis = res.voltage(out);
         // Compare after the edge has begun.
-        let err = circuit::waveform::rms_difference(
-            &v_ibis.window(2.5e-9, 6e-9),
-            &ref_cap.voltage,
-        );
+        let err = circuit::waveform::rms_difference(&v_ibis.window(2.5e-9, 6e-9), &ref_cap.voltage);
         assert!(err < 0.25, "rms error on extraction fixture {err}");
     }
 

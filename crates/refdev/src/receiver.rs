@@ -5,9 +5,7 @@
 //! conducts — exactly the structure the paper's equation (2) exploits.
 
 use crate::{Error, Result};
-use circuit::devices::{
-    Capacitor, Diode, DiodeParams, Resistor, SourceWaveform, VoltageSource,
-};
+use circuit::devices::{Capacitor, Diode, DiodeParams, Resistor, SourceWaveform, VoltageSource};
 use circuit::{Circuit, DeviceId, Node, GROUND};
 
 /// Specification of a reference receiver.
@@ -81,7 +79,12 @@ impl ReceiverSpec {
         // Probe in series: current from pad (external) into the device.
         let probe = ckt.add(VoltageSource::probe(format!("{nm}_iprobe"), pad, pad_int));
 
-        ckt.add(Capacitor::new(format!("{nm}_cpad"), pad_int, GROUND, self.c_pad));
+        ckt.add(Capacitor::new(
+            format!("{nm}_cpad"),
+            pad_int,
+            GROUND,
+            self.c_pad,
+        ));
         let n_up = ckt.node(format!("{nm}_esd_up"));
         ckt.add(Diode::new(format!("{nm}_dup"), pad_int, n_up, self.d_up));
         ckt.add(Resistor::new(
@@ -98,10 +101,25 @@ impl ReceiverSpec {
             n_dn,
             self.r_esd.max(0.1),
         ));
-        ckt.add(Resistor::new(format!("{nm}_rleak"), pad_int, GROUND, self.r_leak));
+        ckt.add(Resistor::new(
+            format!("{nm}_rleak"),
+            pad_int,
+            GROUND,
+            self.r_leak,
+        ));
         let gate = ckt.node(format!("{nm}_gate"));
-        ckt.add(Resistor::new(format!("{nm}_rs"), pad_int, gate, self.r_series));
-        ckt.add(Capacitor::new(format!("{nm}_cg"), gate, GROUND, self.c_gate));
+        ckt.add(Resistor::new(
+            format!("{nm}_rs"),
+            pad_int,
+            gate,
+            self.r_series,
+        ));
+        ckt.add(Capacitor::new(
+            format!("{nm}_cg"),
+            gate,
+            GROUND,
+            self.c_gate,
+        ));
 
         Ok(ReceiverPorts { vdd, pad, probe })
     }

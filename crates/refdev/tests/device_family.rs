@@ -2,7 +2,7 @@
 //! must satisfy the structural properties the identification pipeline
 //! relies on.
 
-use circuit::devices::{Resistor, SourceWaveform, VoltageSource};
+use circuit::devices::{Resistor, SourceWaveform};
 use circuit::{Circuit, TranParams, GROUND};
 use refdev::extraction::driver_output_iv;
 use refdev::{md1, md2, md3, CmosDriverSpec};

@@ -194,9 +194,7 @@ impl ArxModel {
             let mut w = vec![0.0; na];
             // First row: a coefficients.
             w[0] = self.a.iter().zip(&v).map(|(ai, vi)| ai * vi).sum();
-            for i in 1..na {
-                w[i] = v[i - 1];
-            }
+            w[1..na].copy_from_slice(&v[..na - 1]);
             let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
             if norm == 0.0 {
                 return 0.0;
@@ -303,10 +301,10 @@ mod tests {
 
     #[test]
     fn from_coefficients_validates() {
-        assert!(ArxModel::from_coefficients(ArxOrders { na: 1, nb: 0 }, vec![], vec![1.0]).is_err());
         assert!(
-            ArxModel::from_coefficients(ArxOrders { na: 0, nb: 0 }, vec![], vec![1.0]).is_ok()
+            ArxModel::from_coefficients(ArxOrders { na: 1, nb: 0 }, vec![], vec![1.0]).is_err()
         );
+        assert!(ArxModel::from_coefficients(ArxOrders { na: 0, nb: 0 }, vec![], vec![1.0]).is_ok());
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Error::InsufficientData { needed, got } => {
-                write!(f, "insufficient data: need at least {needed} samples, got {got}")
+                write!(
+                    f,
+                    "insufficient data: need at least {needed} samples, got {got}"
+                )
             }
             Error::LengthMismatch { message } => write!(f, "length mismatch: {message}"),
             Error::InvalidStructure { message } => write!(f, "invalid structure: {message}"),

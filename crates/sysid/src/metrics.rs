@@ -21,7 +21,11 @@ pub fn fit_percent(y_hat: &[f64], y: &[f64]) -> f64 {
         .map(|(a, b)| (a - b) * (a - b))
         .sum::<f64>()
         .sqrt();
-    let den: f64 = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>().sqrt();
+    let den: f64 = y
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        .sqrt();
     if den == 0.0 {
         if num == 0.0 {
             return 100.0;

@@ -245,11 +245,7 @@ impl NarxModel {
         let mut phi = Matrix::zeros(n_rows, candidates.len());
         for (r, row) in rows.iter().enumerate() {
             for (c, (cand, w)) in candidates.iter().enumerate() {
-                let d2: f64 = row
-                    .iter()
-                    .zip(cand)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let d2: f64 = row.iter().zip(cand).map(|(a, b)| (a - b) * (a - b)).sum();
                 phi.set(r, c, (-d2 / (2.0 * w * w)).exp());
             }
         }
@@ -321,7 +317,7 @@ pub fn select_order(
         };
         let y_sim = model.simulate(u_val, y_val);
         let nmse = numkit::stats::nmse(&y_sim, y_val);
-        if best.as_ref().map_or(true, |(_, b)| nmse < *b) {
+        if best.as_ref().is_none_or(|(_, b)| nmse < *b) {
             best = Some((model, nmse));
         }
     }
@@ -364,13 +360,8 @@ mod tests {
     fn fit_and_free_run_accuracy() {
         let u = rich_input(600, 0.0);
         let y = nonlinear_system(&u);
-        let model = NarxModel::fit(
-            &u,
-            &y,
-            NarxOrders::dynamic(1),
-            RbfTrainConfig::default(),
-        )
-        .unwrap();
+        let model =
+            NarxModel::fit(&u, &y, NarxOrders::dynamic(1), RbfTrainConfig::default()).unwrap();
         // Validate on a different input.
         let uv = rich_input(300, 2.0);
         let yv = nonlinear_system(&uv);
@@ -435,9 +426,12 @@ mod tests {
         for k in 2..uv.len() {
             yv[k] = 1.1 * yv[k - 1] - 0.4 * yv[k - 2] + uv[k] - 0.5 * uv[k - 1];
         }
-        let (model, nmse) =
-            select_order(&u, &y, &uv, &yv, 3, RbfTrainConfig::default()).unwrap();
-        assert!(model.orders().output_lags >= 2, "picked order {}", model.orders().output_lags);
+        let (model, nmse) = select_order(&u, &y, &uv, &yv, 3, RbfTrainConfig::default()).unwrap();
+        assert!(
+            model.orders().output_lags >= 2,
+            "picked order {}",
+            model.orders().output_lags
+        );
         assert!(nmse < 1e-3, "NMSE {nmse}");
     }
 

@@ -100,7 +100,7 @@ pub fn select(p: &Matrix, y: &[f64], stop: OlsStop) -> Result<OlsSelection> {
             }
             let wty: f64 = col.iter().zip(y).map(|(a, b)| a * b).sum();
             let err = wty * wty / (wtw * yty);
-            if best.map_or(true, |(_, e, _, _)| err > e) {
+            if best.is_none_or(|(_, e, _, _)| err > e) {
                 best = Some((i, err, wty, wtw));
             }
         }
@@ -174,7 +174,15 @@ mod tests {
             p.set(r, 2, (7.0 * t).sin()); // distractor
             y[r] = 2.0 * t.sin() - 0.7 * (3.0 * t + 0.4).cos();
         }
-        let sel = select(&p, &y, OlsStop { max_terms: 2, tolerance: 1e-12 }).unwrap();
+        let sel = select(
+            &p,
+            &y,
+            OlsStop {
+                max_terms: 2,
+                tolerance: 1e-12,
+            },
+        )
+        .unwrap();
         let mut s = sel.selected.clone();
         s.sort_unstable();
         assert_eq!(s, vec![0, 1]);
@@ -194,7 +202,15 @@ mod tests {
             p.set(r, 3, (3.0 * t).cos());
             y[r] = t.sin() + 1e-6 * (3.0 * t).cos();
         }
-        let sel = select(&p, &y, OlsStop { max_terms: 4, tolerance: 1e-6 }).unwrap();
+        let sel = select(
+            &p,
+            &y,
+            OlsStop {
+                max_terms: 4,
+                tolerance: 1e-6,
+            },
+        )
+        .unwrap();
         assert!(sel.selected.len() <= 2, "selected {:?}", sel.selected);
         assert_eq!(sel.selected[0], 0);
     }
@@ -211,7 +227,15 @@ mod tests {
             p.set(r, 1, t);
             y[r] = 3.0 * t + ((r % 3) as f64 - 1.0); // not exactly in span
         }
-        let sel = select(&p, &y, OlsStop { max_terms: 2, tolerance: 0.0 }).unwrap();
+        let sel = select(
+            &p,
+            &y,
+            OlsStop {
+                max_terms: 2,
+                tolerance: 0.0,
+            },
+        )
+        .unwrap();
         assert_eq!(sel.selected.len(), 1);
     }
 

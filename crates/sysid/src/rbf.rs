@@ -178,7 +178,7 @@ pub fn width_heuristic(centers: &[Vec<f64>], scale: f64) -> f64 {
     'outer: for i in 0..centers.len() {
         for j in (i + 1)..centers.len() {
             count += 1;
-            if count % stride != 0 {
+            if !count.is_multiple_of(stride) {
                 continue;
             }
             let d2: f64 = centers[i]
@@ -279,15 +279,10 @@ mod tests {
             vec![0.0, 0.0]
         )
         .is_err());
-        assert!(RbfNetwork::from_parts(
-            1,
-            vec![vec![0.0]],
-            vec![0.0],
-            vec![1.0],
-            0.0,
-            vec![0.0]
-        )
-        .is_err());
+        assert!(
+            RbfNetwork::from_parts(1, vec![vec![0.0]], vec![0.0], vec![1.0], 0.0, vec![0.0])
+                .is_err()
+        );
         // Zero centers is fine (widths unused).
         assert!(RbfNetwork::from_parts(1, vec![], vec![], vec![], 0.0, vec![0.0]).is_ok());
     }

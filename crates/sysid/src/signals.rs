@@ -18,7 +18,10 @@ use rand::{Rng, SeedableRng};
 /// A deterministic multilevel staircase with smooth (raised-cosine) level
 /// transitions, spanning `[lo, hi]`.
 ///
-/// * `n_levels` random levels are drawn uniformly in the range;
+/// * `n_levels` random levels are drawn by stratified sampling: one uniform
+///   draw inside each of `n_levels` equal sub-intervals of the range, then
+///   shuffled — unlike plain uniform draws this cannot cluster and leave
+///   coverage gaps, so the downstream RBF fit always sees the full range;
 /// * each level lasts `dwell` samples;
 /// * transitions take `edge` samples (`edge < dwell`);
 /// * `seed` makes the signal reproducible.
@@ -41,9 +44,36 @@ pub fn multilevel(
     assert!(edge < dwell, "edge must be shorter than dwell");
     assert!(hi > lo, "range must be non-degenerate");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut levels: Vec<f64> = (0..n_levels).map(|_| rng.gen_range(lo..=hi)).collect();
-    // Make sure the extremes are visited so the fit covers the full range.
+    // Stratified levels: one draw per equal-width stratum, then a
+    // Fisher-Yates shuffle so consecutive levels still jump randomly.
+    let width = (hi - lo) / n_levels as f64;
+    let mut levels: Vec<f64> = (0..n_levels)
+        .map(|i| lo + (i as f64 + rng.gen_range(0.0..1.0)) * width)
+        .collect();
+    for i in (1..n_levels).rev() {
+        let j = rng.gen_range(0..=i);
+        levels.swap(i, j);
+    }
+    // Make sure the extremes are visited so the fit covers the full range:
+    // move the lowest and highest draws (the stratum-0 and stratum-(n-1)
+    // representatives) to the front and snap them to the endpoints, so no
+    // interior stratum loses its representative.
     if n_levels >= 2 {
+        let i_min = levels
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("n_levels >= 2")
+            .0;
+        levels.swap(0, i_min);
+        let i_max = levels
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("n_levels >= 2")
+            .0;
+        levels.swap(1, i_max);
         levels[0] = lo;
         levels[1] = hi;
     }
@@ -133,7 +163,9 @@ pub fn trapezoid(
 /// a `'0'`/`'1'` string for [`circuit`] bit-pattern sources.
 pub fn random_bits(n: usize, seed: u64) -> String {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| if rng.gen::<bool>() { '1' } else { '0' }).collect()
+    (0..n)
+        .map(|_| if rng.gen::<bool>() { '1' } else { '0' })
+        .collect()
 }
 
 #[cfg(test)]

@@ -47,7 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ckt = Circuit::new();
     let line = expand_coupled_line(&mut ckt, &line_spec, segments, (1e8, 2e10))?;
     let d1 = ckt.node("drv1");
-    ckt.add(PwRbfDriver::new(model.clone(), d1, pattern_active, bit_time));
+    ckt.add(PwRbfDriver::new(
+        model.clone(),
+        d1,
+        pattern_active,
+        bit_time,
+    ));
     let d2 = ckt.node("drv2");
     ckt.add(PwRbfDriver::new(model, d2, pattern_quiet, bit_time));
     ckt.add(Resistor::new("j1", d1, line.near[0], 1e-3));
@@ -64,7 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "active land : rms {:.1} mV, max {:.1} mV, timing {:?} ps",
         m_active.rms_error * 1e3,
         m_active.max_error * 1e3,
-        m_active.timing_error.map(|t| (t * 1e12 * 10.0).round() / 10.0)
+        m_active
+            .timing_error
+            .map(|t| (t * 1e12 * 10.0).round() / 10.0)
     );
     let xtalk_peak = v22_ref
         .values()

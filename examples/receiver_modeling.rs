@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("  {}", model.summary());
     let cr = estimate_cr_baseline(&spec, model.ts)?;
-    println!("  C-R baseline: C = {:.2} pF + static PWL resistor", cr.c * 1e12);
+    println!(
+        "  C-R baseline: C = {:.2} pF + static PWL resistor",
+        cr.c * 1e12
+    );
 
     // Fixture: 10 cm lossy line driven through 50 ohms by a pulse whose
     // amplitude exceeds VDD, so the up-protection circuit conducts.
@@ -40,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_stop = 8e-9;
     let ts = model.ts;
 
-    let run = |dut: &dyn Fn(&mut Circuit, circuit::Node) -> Result<(), Box<dyn std::error::Error>>|
+    let run = |dut: &dyn Fn(
+        &mut Circuit,
+        circuit::Node,
+    ) -> Result<(), Box<dyn std::error::Error>>|
      -> Result<Waveform, Box<dyn std::error::Error>> {
         let mut ckt = Circuit::new();
         let s = ckt.node("src");

@@ -12,8 +12,7 @@ fn pwrbf_beats_ibis_on_reactive_load() {
     // accuracy ordering, so both models get their best-quality extraction.
     let pwrbf =
         estimate_driver(&spec, DriverEstimationConfig::default()).expect("pwrbf estimation");
-    let ibis =
-        IbisModel::extract(&spec, IbisExtractConfig::default()).expect("ibis extraction");
+    let ibis = IbisModel::extract(&spec, IbisExtractConfig::default()).expect("ibis extraction");
 
     let (z0, td, c_load) = (50.0, 0.8e-9, 10e-12);
     let (bit_time, t_stop) = (4e-9, 12e-9);

@@ -1,0 +1,142 @@
+//! Offline stub of `rand`, covering the slice of the 0.8 API this
+//! workspace uses: `StdRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range`.
+//!
+//! The core generator is SplitMix64 — statistically fine for signal
+//! synthesis, deterministic across platforms, and dependency-free. Streams
+//! differ from upstream `StdRng` (ChaCha12), which only matters if golden
+//! values were recorded against the real crate.
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sample ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+/// Minimal core-RNG interface (`rand_core::RngCore` stand-in).
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform in `[0, 1)` with 53 mantissa bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Value-level sampling, mirroring `rand::distributions::Standard`.
+pub trait Standard: Sized {
+    fn sample_standard(rng: &mut impl RngCore) -> Self;
+}
+
+impl Standard for bool {
+    fn sample_standard(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard(rng: &mut impl RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard(rng: &mut impl RngCore) -> Self {
+        rng.next_f64()
+    }
+}
+
+/// High-level sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng: &mut impl RngCore) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample(self, rng: &mut impl RngCore) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + (hi - lo) * rng.next_f64()
+    }
+}
+
+impl SampleRange<usize> for std::ops::Range<usize> {
+    fn sample(self, rng: &mut impl RngCore) -> usize {
+        debug_assert!(self.end > self.start);
+        self.start + (rng.next_u64() as usize) % (self.end - self.start)
+    }
+}
+
+impl SampleRange<usize> for std::ops::RangeInclusive<usize> {
+    fn sample(self, rng: &mut impl RngCore) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + (rng.next_u64() as usize) % (hi - lo + 1)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn reproducible_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: f64 = a.gen_range(-2.0..3.0);
+            let y: f64 = b.gen_range(-2.0..3.0);
+            assert_eq!(x, y);
+            assert!((-2.0..3.0).contains(&x));
+        }
+        let bits: Vec<bool> = (0..64).map(|_| a.gen::<bool>()).collect();
+        assert!(bits.iter().any(|&v| v) && bits.iter().any(|&v| !v));
+    }
+}

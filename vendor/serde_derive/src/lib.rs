@@ -1,0 +1,19 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate accepts `#[derive(Serialize, Deserialize)]` (including `#[serde]`
+//! helper attributes) and expands to nothing. Types stay annotated exactly
+//! as they would be against real serde; swapping the real crates back in is
+//! a Cargo.toml-only change.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
