@@ -23,11 +23,40 @@ use refdev::extraction::{capture_driver, capture_receiver};
 use refdev::ibis::IbisExtractConfig;
 use refdev::{CmosDriverSpec, IbisCorner, IbisModel, ReceiverSpec};
 
-/// Shared result alias (boxed error keeps the harness code terse).
-pub type Result<T> = std::result::Result<T, Box<dyn std::error::Error>>;
+/// Shared result alias (boxed error keeps the harness code terse; `Send +
+/// Sync` so experiment results can cross scoped-worker boundaries).
+pub type Result<T> = std::result::Result<T, Box<dyn std::error::Error + Send + Sync>>;
 
 /// The model sample time used across all experiments (s).
 pub const TS: f64 = 25e-12;
+
+/// Maps `f` over `items` on scoped worker threads — the harness for
+/// embarrassingly parallel experiment sweeps (IBIS corners, figure panels,
+/// amplitude sweeps). The last item runs on the calling thread; worker
+/// panics are re-raised here.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut items = items;
+        let last = items.pop();
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| s.spawn(move || f(item)))
+            .collect();
+        let tail = last.map(f);
+        let mut out: Vec<R> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect();
+        out.extend(tail);
+        out
+    })
+}
 
 /// Estimates the PW-RBF model of a driver with the experiment defaults.
 pub fn driver_model(spec: &CmosDriverSpec) -> Result<PwRbfDriverModel> {
@@ -128,31 +157,40 @@ pub fn fig1(cfg: &Fig1Config) -> Result<Fig1Data> {
     let model = driver_model(&spec)?;
     let ibis = IbisModel::extract(&spec, IbisExtractConfig::default())?;
 
-    // Reference.
-    let mut load = fig1_load(cfg);
-    let reference = capture_driver(
-        &spec,
-        spec.pattern("01", cfg.bit_time),
-        |ckt, pad| {
-            load(ckt, pad);
-            Ok(())
-        },
-        TS,
-        cfg.t_stop,
-    )?
-    .voltage;
+    // Reference (scoped worker) and PW-RBF run concurrently.
+    let (reference, pwrbf) = std::thread::scope(|s| {
+        let reference = s.spawn(|| -> Result<Waveform> {
+            let mut load = fig1_load(cfg);
+            Ok(capture_driver(
+                &spec,
+                spec.pattern("01", cfg.bit_time),
+                |ckt, pad| {
+                    load(ckt, pad);
+                    Ok(())
+                },
+                TS,
+                cfg.t_stop,
+            )?
+            .voltage)
+        });
+        let pwrbf = (|| -> Result<Waveform> {
+            let mut ckt = Circuit::new();
+            let out = ckt.node("out");
+            ckt.add(PwRbfDriver::new(model, out, "01", cfg.bit_time));
+            fig1_load(cfg)(&mut ckt, out);
+            let res = ckt.transient(TranParams::new(TS, cfg.t_stop))?;
+            Ok(res.voltage(out))
+        })();
+        (
+            reference
+                .join()
+                .unwrap_or_else(|p| std::panic::resume_unwind(p)),
+            pwrbf,
+        )
+    });
+    let (reference, pwrbf) = (reference?, pwrbf?);
 
-    // PW-RBF.
-    let pwrbf = {
-        let mut ckt = Circuit::new();
-        let out = ckt.node("out");
-        ckt.add(PwRbfDriver::new(model, out, "01", cfg.bit_time));
-        fig1_load(cfg)(&mut ckt, out);
-        let res = ckt.transient(TranParams::new(TS, cfg.t_stop))?;
-        res.voltage(out)
-    };
-
-    // IBIS corners.
+    // IBIS corners: one run per corner, swept in parallel.
     let run_ibis = |corner: IbisCorner| -> Result<Waveform> {
         let m = ibis.with_corner(corner)?;
         let mut ckt = Circuit::new();
@@ -161,9 +199,14 @@ pub fn fig1(cfg: &Fig1Config) -> Result<Fig1Data> {
         let res = ckt.transient(TranParams::new(TS, cfg.t_stop))?;
         Ok(res.voltage(out))
     };
-    let ibis_typ = run_ibis(IbisCorner::Typical)?;
-    let ibis_slow = run_ibis(IbisCorner::Slow)?;
-    let ibis_fast = run_ibis(IbisCorner::Fast)?;
+    let mut corner_waves = par_map(
+        vec![IbisCorner::Typical, IbisCorner::Slow, IbisCorner::Fast],
+        run_ibis,
+    )
+    .into_iter();
+    let ibis_typ = corner_waves.next().expect("three corners")?;
+    let ibis_slow = corner_waves.next().expect("three corners")?;
+    let ibis_fast = corner_waves.next().expect("three corners")?;
 
     let threshold = 0.5 * spec.vdd;
     Ok(Fig1Data {
@@ -209,52 +252,57 @@ pub fn fig2() -> Result<Vec<Fig2Panel>> {
     let c_load = 5e-12;
     let bit = 1e-9;
     let t_stop = 8e-9;
-    let mut panels = Vec::new();
-    for (label, z0, td) in [
-        ("a", 30.0, 0.5e-9),
-        ("b", 120.0, 0.5e-9),
-        ("c", 75.0, 60e-12),
-    ] {
-        let build = |ckt: &mut Circuit, pad: circuit::Node| -> circuit::Node {
-            let far = ckt.node("fig2_far");
-            ckt.add(IdealLine::new(
-                "fig2_line",
-                pad,
-                GROUND,
-                far,
-                GROUND,
+    // The three panels are independent fixture sweeps: run them in parallel.
+    let spec = &spec;
+    let model = &model;
+    let panel_results = par_map(
+        vec![
+            ("a", 30.0, 0.5e-9),
+            ("b", 120.0, 0.5e-9),
+            ("c", 75.0, 60e-12),
+        ],
+        move |(label, z0, td)| -> Result<Fig2Panel> {
+            let build = |ckt: &mut Circuit, pad: circuit::Node| -> circuit::Node {
+                let far = ckt.node("fig2_far");
+                ckt.add(IdealLine::new(
+                    "fig2_line",
+                    pad,
+                    GROUND,
+                    far,
+                    GROUND,
+                    z0,
+                    td,
+                ));
+                ckt.add(Capacitor::new("fig2_cl", far, GROUND, c_load));
+                far
+            };
+            // Reference: need the far-end node voltage, so build manually.
+            let reference = {
+                let mut ckt = Circuit::new();
+                let ports = spec.instantiate(&mut ckt, spec.pattern("010", bit))?;
+                let far = build(&mut ckt, ports.pad);
+                let res = ckt.transient(TranParams::new(TS, t_stop))?;
+                res.voltage(far)
+            };
+            let pwrbf = {
+                let mut ckt = Circuit::new();
+                let out = ckt.node("out");
+                ckt.add(PwRbfDriver::new(model.clone(), out, "010", bit));
+                let far = build(&mut ckt, out);
+                let res = ckt.transient(TranParams::new(TS, t_stop))?;
+                res.voltage(far)
+            };
+            Ok(Fig2Panel {
+                label,
                 z0,
                 td,
-            ));
-            ckt.add(Capacitor::new("fig2_cl", far, GROUND, c_load));
-            far
-        };
-        // Reference: need the far-end node voltage, so build manually.
-        let reference = {
-            let mut ckt = Circuit::new();
-            let ports = spec.instantiate(&mut ckt, spec.pattern("010", bit))?;
-            let far = build(&mut ckt, ports.pad);
-            let res = ckt.transient(TranParams::new(TS, t_stop))?;
-            res.voltage(far)
-        };
-        let pwrbf = {
-            let mut ckt = Circuit::new();
-            let out = ckt.node("out");
-            ckt.add(PwRbfDriver::new(model.clone(), out, "010", bit));
-            let far = build(&mut ckt, out);
-            let res = ckt.transient(TranParams::new(TS, t_stop))?;
-            res.voltage(far)
-        };
-        panels.push(Fig2Panel {
-            label,
-            z0,
-            td,
-            metrics: ValidationMetrics::between(&pwrbf, &reference, 0.5 * spec.vdd),
-            reference,
-            pwrbf,
-        });
-    }
-    Ok(panels)
+                metrics: ValidationMetrics::between(&pwrbf, &reference, 0.5 * spec.vdd),
+                reference,
+                pwrbf,
+            })
+        },
+    );
+    panel_results.into_iter().collect()
 }
 
 // ---------------------------------------------------------------------
@@ -535,8 +583,9 @@ pub fn fig6(model: Option<ReceiverModel>, cr: Option<CrModel>) -> Result<Vec<Fig
     let t_stop = 8e-9;
     let r_src = 50.0;
 
-    let mut panels = Vec::new();
-    for amplitude in [1.9, 2.2, 2.6] {
+    // The three amplitude panels are independent: sweep them in parallel.
+    let (spec, model, cr, line_spec) = (&spec, &model, &cr, &line_spec);
+    let panels = par_map(vec![1.9, 2.2, 2.6], move |amplitude| -> Result<Fig6Panel> {
         let stim = SourceWaveform::Pulse {
             low: 0.0,
             high: amplitude,
@@ -552,7 +601,7 @@ pub fn fig6(model: Option<ReceiverModel>, cr: Option<CrModel>) -> Result<Vec<Fig
             let mut ckt = Circuit::new();
             let s = ckt.node("src");
             ckt.add(VoltageSource::new("vs", s, GROUND, stim.clone()));
-            let line = expand_coupled_line(&mut ckt, &line_spec, segments, f_band)?;
+            let line = expand_coupled_line(&mut ckt, line_spec, segments, f_band)?;
             ckt.add(Resistor::new("rs", s, line.near[0], r_src));
             let far = line.far[0];
             dut(&mut ckt, far)?;
@@ -585,16 +634,16 @@ pub fn fig6(model: Option<ReceiverModel>, cr: Option<CrModel>) -> Result<Vec<Fig
             TS,
         )?;
         let threshold = 0.5 * spec.vdd;
-        panels.push(Fig6Panel {
+        Ok(Fig6Panel {
             amplitude,
             metrics_parametric: ValidationMetrics::between(&parametric, &reference, threshold),
             metrics_cr: ValidationMetrics::between(&cr_wave, &reference, threshold),
             reference,
             parametric,
             cr: cr_wave,
-        });
-    }
-    Ok(panels)
+        })
+    });
+    panels.into_iter().collect()
 }
 
 #[cfg(test)]

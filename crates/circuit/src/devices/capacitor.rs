@@ -1,9 +1,9 @@
 //! Linear capacitor with a trapezoidal companion model.
 
-use crate::mna::{stamp_conductance, stamp_current_leaving, EvalCtx, Mode};
+use crate::mna::{register_conductance, stamp_conductance, stamp_current_leaving, EvalCtx, Mode};
 use crate::netlist::Node;
+use crate::workspace::{PatternBuilder, StampWorkspace};
 use crate::Device;
-use numkit::Matrix;
 
 /// A linear two-terminal capacitor.
 ///
@@ -70,7 +70,12 @@ impl Device for Capacitor {
         &self.label
     }
 
-    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+    fn register(&self, pb: &mut PatternBuilder) {
+        // Transient companion conductance; nothing extra at DC.
+        register_conductance(pb, self.a, self.b);
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
         match ctx.mode {
             Mode::Dc => {
                 // Open circuit at DC: nothing to stamp.
@@ -78,10 +83,10 @@ impl Device for Capacitor {
             Mode::Tran { dt, .. } => {
                 let geq = 2.0 * self.c / dt;
                 // Trapezoidal: i = geq * v - (geq * v_prev + i_prev)
-                stamp_conductance(mat, self.a, self.b, geq);
+                stamp_conductance(ws, self.a, self.b, geq);
                 let hist = geq * self.v_prev + self.i_prev;
                 // `-hist` is a constant current leaving node a.
-                stamp_current_leaving(rhs, self.a, self.b, -hist);
+                stamp_current_leaving(ws, self.a, self.b, -hist);
             }
         }
     }
@@ -114,17 +119,16 @@ mod tests {
     fn dc_stamp_is_empty() {
         let c = Capacitor::new("c", Node::from_raw(1), GROUND, 1e-9);
         assert_eq!(c.capacitance(), 1e-9);
-        let mut m = Matrix::zeros(1, 1);
-        let mut rhs = [0.0];
+        let mut ws = StampWorkspace::dense(1);
         let x = [0.0];
         let ctx = EvalCtx {
             x: &x,
             n_nodes: 2,
             mode: Mode::Dc,
         };
-        c.stamp(&ctx, &mut m, &mut rhs);
-        assert_eq!(m.get(0, 0), 0.0);
-        assert_eq!(rhs[0], 0.0);
+        c.stamp(&ctx, &mut ws);
+        assert_eq!(ws.value_at(0, 0), 0.0);
+        assert_eq!(ws.rhs()[0], 0.0);
     }
 
     #[test]
@@ -137,18 +141,17 @@ mod tests {
             mode: Mode::Dc,
         };
         c.init_state(&dc_ctx);
-        let mut m = Matrix::zeros(1, 1);
-        let mut rhs = [0.0];
+        let mut ws = StampWorkspace::dense(1);
         let ctx = EvalCtx {
             x: &x,
             n_nodes: 2,
             mode: Mode::Tran { t: 1e-9, dt: 1e-9 },
         };
-        c.stamp(&ctx, &mut m, &mut rhs);
+        c.stamp(&ctx, &mut ws);
         let geq = 2.0 * 1e-9 / 1e-9;
-        assert!((m.get(0, 0) - geq).abs() < 1e-12);
+        assert!((ws.value_at(0, 0) - geq).abs() < 1e-12);
         // History current: geq * v_prev with i_prev = 0.
-        assert!((rhs[0] - geq * 2.0).abs() < 1e-12);
+        assert!((ws.rhs()[0] - geq * 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! Magnetically coupled inductor bank (full inductance matrix).
 
-use crate::mna::{stamp_branch_kcl, stamp_branch_voltage, EvalCtx, Mode};
+use crate::mna::{
+    register_branch_kcl, register_branch_voltage, stamp_branch_kcl, stamp_branch_voltage, EvalCtx,
+    Mode,
+};
 use crate::netlist::Node;
+use crate::workspace::{PatternBuilder, StampWorkspace};
 use crate::Device;
 use numkit::Matrix;
 
@@ -79,13 +83,27 @@ impl Device for CoupledInductors {
         self.branch = base;
     }
 
-    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+    fn register(&self, pb: &mut PatternBuilder) {
         let k = self.order();
         for j in 0..k {
             let br = self.branch + j;
-            stamp_branch_kcl(mat, self.a[j], self.b[j], br);
-            stamp_branch_voltage(mat, br, self.a[j], 1.0);
-            stamp_branch_voltage(mat, br, self.b[j], -1.0);
+            register_branch_kcl(pb, self.a[j], self.b[j], br);
+            register_branch_voltage(pb, br, self.a[j]);
+            register_branch_voltage(pb, br, self.b[j]);
+            // Dense branch-branch coupling block of the inductance matrix.
+            for m in 0..k {
+                pb.add(br, self.branch + m);
+            }
+        }
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
+        let k = self.order();
+        for j in 0..k {
+            let br = self.branch + j;
+            stamp_branch_kcl(ws, self.a[j], self.b[j], br);
+            stamp_branch_voltage(ws, br, self.a[j], 1.0);
+            stamp_branch_voltage(ws, br, self.b[j], -1.0);
         }
         match ctx.mode {
             Mode::Dc => { /* rows already read v_aj - v_bj = 0 */ }
@@ -96,10 +114,10 @@ impl Device for CoupledInductors {
                     let mut hist = -self.v_prev[j];
                     for m in 0..k {
                         let req = f * self.l.get(j, m);
-                        mat.add_at(br, self.branch + m, -req);
+                        ws.add(br, self.branch + m, -req);
                         hist -= req * self.i_prev[m];
                     }
-                    rhs[br] += hist;
+                    ws.rhs_add(br, hist);
                 }
             }
         }

@@ -1,9 +1,9 @@
 //! Junction diode with exponential characteristic and Newton limiting.
 
-use crate::mna::{stamp_linearized_current, EvalCtx};
+use crate::mna::{register_conductance, stamp_linearized_current, EvalCtx};
 use crate::netlist::Node;
+use crate::workspace::{PatternBuilder, StampWorkspace};
 use crate::Device;
-use numkit::Matrix;
 
 /// Diode model parameters.
 #[derive(Debug, Clone, Copy)]
@@ -108,10 +108,14 @@ impl Device for Diode {
         true
     }
 
-    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+    fn register(&self, pb: &mut PatternBuilder) {
+        register_conductance(pb, self.a, self.b);
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
         let v = ctx.v(self.a) - ctx.v(self.b);
         let (i, g) = self.iv(v);
-        stamp_linearized_current(mat, rhs, self.a, self.b, i, g, v);
+        stamp_linearized_current(ws, self.a, self.b, i, g, v);
     }
 }
 

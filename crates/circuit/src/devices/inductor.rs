@@ -1,9 +1,12 @@
 //! Linear inductor with a trapezoidal companion model (branch formulation).
 
-use crate::mna::{stamp_branch_kcl, stamp_branch_voltage, EvalCtx, Mode};
+use crate::mna::{
+    register_branch_kcl, register_branch_voltage, stamp_branch_kcl, stamp_branch_voltage, EvalCtx,
+    Mode,
+};
 use crate::netlist::Node;
+use crate::workspace::{PatternBuilder, StampWorkspace};
 use crate::Device;
-use numkit::Matrix;
 
 /// A linear two-terminal inductor.
 ///
@@ -62,11 +65,19 @@ impl Device for Inductor {
         self.branch = base;
     }
 
-    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+    fn register(&self, pb: &mut PatternBuilder) {
         let br = self.branch;
-        stamp_branch_kcl(mat, self.a, self.b, br);
-        stamp_branch_voltage(mat, br, self.a, 1.0);
-        stamp_branch_voltage(mat, br, self.b, -1.0);
+        register_branch_kcl(pb, self.a, self.b, br);
+        register_branch_voltage(pb, br, self.a);
+        register_branch_voltage(pb, br, self.b);
+        pb.add(br, br); // transient companion resistance
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
+        let br = self.branch;
+        stamp_branch_kcl(ws, self.a, self.b, br);
+        stamp_branch_voltage(ws, br, self.a, 1.0);
+        stamp_branch_voltage(ws, br, self.b, -1.0);
         match ctx.mode {
             Mode::Dc => {
                 // Short circuit: v(a) - v(b) = 0; nothing more to stamp.
@@ -74,8 +85,8 @@ impl Device for Inductor {
             Mode::Tran { dt, .. } => {
                 let req = 2.0 * self.l / dt;
                 // v - Req i = -(Req i_prev + v_prev)
-                mat.add_at(br, br, -req);
-                rhs[br] = -(req * self.i_prev + self.v_prev);
+                ws.add(br, br, -req);
+                ws.rhs_add(br, -(req * self.i_prev + self.v_prev));
             }
         }
     }
@@ -107,20 +118,19 @@ mod tests {
         assert_eq!(l.inductance(), 1e-6);
         assert_eq!(l.num_branches(), 1);
         l.set_branch_base(1);
-        let mut m = Matrix::zeros(2, 2);
-        let mut rhs = [0.0, 0.0];
+        let mut ws = StampWorkspace::dense(2);
         let x = [0.0, 0.0];
         let ctx = EvalCtx {
             x: &x,
             n_nodes: 2,
             mode: Mode::Dc,
         };
-        l.stamp(&ctx, &mut m, &mut rhs);
+        l.stamp(&ctx, &mut ws);
         // Branch row: v(a) = 0 at DC (short).
-        assert_eq!(m.get(1, 0), 1.0);
-        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(ws.value_at(1, 0), 1.0);
+        assert_eq!(ws.value_at(1, 1), 0.0);
         // KCL column coupling.
-        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(ws.value_at(0, 1), 1.0);
     }
 
     #[test]
@@ -133,16 +143,15 @@ mod tests {
             n_nodes: 2,
             mode: Mode::Dc,
         });
-        let mut m = Matrix::zeros(2, 2);
-        let mut rhs = [0.0, 0.0];
+        let mut ws = StampWorkspace::dense(2);
         let ctx = EvalCtx {
             x: &x,
             n_nodes: 2,
             mode: Mode::Tran { t: 1e-9, dt: 1e-9 },
         };
-        l.stamp(&ctx, &mut m, &mut rhs);
+        l.stamp(&ctx, &mut ws);
         let req = 2.0 * 1e-6 / 1e-9;
-        assert!((m.get(1, 1) + req).abs() < 1e-9);
+        assert!((ws.value_at(1, 1) + req).abs() < 1e-9);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use crate::mna::{stamp_current_leaving, EvalCtx};
 use crate::netlist::Node;
+use crate::workspace::{PatternBuilder, StampWorkspace};
 use crate::Device;
-use numkit::Matrix;
 
 /// MOSFET channel polarity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,7 +155,30 @@ impl Device for Mosfet {
         true
     }
 
-    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+    fn register(&self, pb: &mut PatternBuilder) {
+        // Mirror of `stamp`: same position set, values ignored.
+        let idx = crate::mna::idx;
+        if let Some(di) = idx(self.d) {
+            if let Some(gi) = idx(self.g) {
+                pb.add(di, gi);
+            }
+            if let Some(si) = idx(self.s) {
+                pb.add(di, si);
+            }
+            pb.add(di, di);
+        }
+        if let Some(si) = idx(self.s) {
+            if let Some(gi) = idx(self.g) {
+                pb.add(si, gi);
+            }
+            pb.add(si, si);
+            if let Some(di) = idx(self.d) {
+                pb.add(si, di);
+            }
+        }
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
         let vgs = ctx.v(self.g) - ctx.v(self.s);
         let vds = ctx.v(self.d) - ctx.v(self.s);
         let (id, gm, gds) = self.dc_current(vgs, vds);
@@ -166,25 +189,25 @@ impl Device for Mosfet {
         // Matrix part.
         if let Some(di) = idx(self.d) {
             if let Some(gi) = idx(self.g) {
-                mat.add_at(di, gi, gm);
+                ws.add(di, gi, gm);
             }
             if let Some(si) = idx(self.s) {
-                mat.add_at(di, si, -(gm + gds));
+                ws.add(di, si, -(gm + gds));
             }
-            mat.add_at(di, di, gds);
+            ws.add(di, di, gds);
         }
         if let Some(si) = idx(self.s) {
             if let Some(gi) = idx(self.g) {
-                mat.add_at(si, gi, -gm);
+                ws.add(si, gi, -gm);
             }
-            mat.add_at(si, si, gm + gds);
+            ws.add(si, si, gm + gds);
             if let Some(di) = idx(self.d) {
-                mat.add_at(si, di, -gds);
+                ws.add(si, di, -gds);
             }
         }
         // Constant part leaving the drain.
         let c = id - gm * vgs - gds * vds;
-        stamp_current_leaving(rhs, self.d, self.s, c);
+        stamp_current_leaving(ws, self.d, self.s, c);
     }
 }
 

@@ -1,9 +1,9 @@
 //! Linear resistor.
 
-use crate::mna::{stamp_conductance, EvalCtx};
+use crate::mna::{register_conductance, stamp_conductance, EvalCtx};
 use crate::netlist::Node;
+use crate::workspace::{PatternBuilder, StampWorkspace};
 use crate::Device;
-use numkit::Matrix;
 
 /// A linear two-terminal resistor.
 ///
@@ -56,8 +56,12 @@ impl Device for Resistor {
         &self.label
     }
 
-    fn stamp(&self, _ctx: &EvalCtx<'_>, mat: &mut Matrix, _rhs: &mut [f64]) {
-        stamp_conductance(mat, self.a, self.b, self.conductance);
+    fn register(&self, pb: &mut PatternBuilder) {
+        register_conductance(pb, self.a, self.b);
+    }
+
+    fn stamp(&self, _ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
+        stamp_conductance(ws, self.a, self.b, self.conductance);
     }
 }
 
@@ -72,16 +76,15 @@ mod tests {
         let r = Resistor::new("r", Node::from_raw(1), GROUND, 100.0);
         assert_eq!(r.label(), "r");
         assert_eq!(r.resistance(), 100.0);
-        let mut m = Matrix::zeros(1, 1);
-        let mut rhs = [0.0];
+        let mut ws = StampWorkspace::dense(1);
         let x = [0.0];
         let ctx = EvalCtx {
             x: &x,
             n_nodes: 2,
             mode: Mode::Dc,
         };
-        r.stamp(&ctx, &mut m, &mut rhs);
-        assert!((m.get(0, 0) - 0.01).abs() < 1e-15);
+        r.stamp(&ctx, &mut ws);
+        assert!((ws.value_at(0, 0) - 0.01).abs() < 1e-15);
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Independent voltage and current sources and their drive waveforms.
 
-use crate::mna::{stamp_branch_kcl, stamp_branch_voltage, stamp_current_leaving, EvalCtx};
+use crate::mna::{
+    register_branch_kcl, register_branch_voltage, stamp_branch_kcl, stamp_branch_voltage,
+    stamp_current_leaving, EvalCtx,
+};
 use crate::netlist::Node;
+use crate::workspace::{PatternBuilder, StampWorkspace};
 use crate::Device;
 use numkit::interp::Pwl;
-use numkit::Matrix;
 
 /// Time-dependent source waveform.
 ///
@@ -218,6 +221,14 @@ impl VoltageSource {
     pub fn waveform(&self) -> &SourceWaveform {
         &self.wave
     }
+
+    /// Replaces the drive waveform in place. Together with
+    /// [`crate::Circuit::device_mut`] this lets sweep harnesses update a
+    /// source value between solves instead of rebuilding the circuit (the
+    /// stamp pattern is unaffected, so cached solver structures stay valid).
+    pub fn set_waveform(&mut self, wave: SourceWaveform) {
+        self.wave = wave;
+    }
 }
 
 impl Device for VoltageSource {
@@ -233,12 +244,19 @@ impl Device for VoltageSource {
         self.branch = base;
     }
 
-    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+    fn register(&self, pb: &mut PatternBuilder) {
         let br = self.branch;
-        stamp_branch_kcl(mat, self.a, self.b, br);
-        stamp_branch_voltage(mat, br, self.a, 1.0);
-        stamp_branch_voltage(mat, br, self.b, -1.0);
-        rhs[br] += self.wave.value_at(ctx.mode.time());
+        register_branch_kcl(pb, self.a, self.b, br);
+        register_branch_voltage(pb, br, self.a);
+        register_branch_voltage(pb, br, self.b);
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
+        let br = self.branch;
+        stamp_branch_kcl(ws, self.a, self.b, br);
+        stamp_branch_voltage(ws, br, self.a, 1.0);
+        stamp_branch_voltage(ws, br, self.b, -1.0);
+        ws.rhs_add(br, self.wave.value_at(ctx.mode.time()));
     }
 }
 
@@ -269,9 +287,9 @@ impl Device for CurrentSource {
         &self.label
     }
 
-    fn stamp(&self, ctx: &EvalCtx<'_>, _mat: &mut Matrix, rhs: &mut [f64]) {
+    fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
         let i = self.wave.value_at(ctx.mode.time());
-        stamp_current_leaving(rhs, self.a, self.b, i);
+        stamp_current_leaving(ws, self.a, self.b, i);
     }
 }
 

@@ -1,9 +1,12 @@
 //! Ideal lossless transmission line (Branin's method of characteristics).
 
-use crate::mna::{stamp_branch_kcl, stamp_branch_voltage, EvalCtx, Mode};
+use crate::mna::{
+    register_branch_kcl, register_branch_voltage, stamp_branch_kcl, stamp_branch_voltage, EvalCtx,
+    Mode,
+};
 use crate::netlist::Node;
+use crate::workspace::{PatternBuilder, StampWorkspace};
 use crate::Device;
-use numkit::Matrix;
 
 /// An ideal two-port lossless transmission line.
 ///
@@ -122,34 +125,52 @@ impl Device for IdealLine {
         self.branch = base;
     }
 
-    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+    fn register(&self, pb: &mut PatternBuilder) {
         let br1 = self.branch;
         let br2 = self.branch + 1;
-        stamp_branch_kcl(mat, self.a1, self.b1, br1);
-        stamp_branch_kcl(mat, self.a2, self.b2, br2);
+        register_branch_kcl(pb, self.a1, self.b1, br1);
+        register_branch_kcl(pb, self.a2, self.b2, br2);
+        // Union of the DC (transparent connection) and transient (method of
+        // characteristics) stamps.
+        register_branch_voltage(pb, br1, self.a1);
+        register_branch_voltage(pb, br1, self.b1);
+        register_branch_voltage(pb, br1, self.a2);
+        register_branch_voltage(pb, br1, self.b2);
+        register_branch_voltage(pb, br2, self.a2);
+        register_branch_voltage(pb, br2, self.b2);
+        pb.add(br1, br1);
+        pb.add(br2, br1);
+        pb.add(br2, br2);
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
+        let br1 = self.branch;
+        let br2 = self.branch + 1;
+        stamp_branch_kcl(ws, self.a1, self.b1, br1);
+        stamp_branch_kcl(ws, self.a2, self.b2, br2);
         match ctx.mode {
             Mode::Dc => {
                 // v1 - v2 = 0
-                stamp_branch_voltage(mat, br1, self.a1, 1.0);
-                stamp_branch_voltage(mat, br1, self.b1, -1.0);
-                stamp_branch_voltage(mat, br1, self.a2, -1.0);
-                stamp_branch_voltage(mat, br1, self.b2, 1.0);
+                stamp_branch_voltage(ws, br1, self.a1, 1.0);
+                stamp_branch_voltage(ws, br1, self.b1, -1.0);
+                stamp_branch_voltage(ws, br1, self.a2, -1.0);
+                stamp_branch_voltage(ws, br1, self.b2, 1.0);
                 // i1 + i2 = 0
-                mat.add_at(br2, br1, 1.0);
-                mat.add_at(br2, br2, 1.0);
+                ws.add(br2, br1, 1.0);
+                ws.add(br2, br2, 1.0);
             }
             Mode::Tran { t, .. } => {
                 let (w1_del, w2_del) = self.waves_at(t - self.td);
                 // v1 - Z0 i1 = w2(t - Td)
-                stamp_branch_voltage(mat, br1, self.a1, 1.0);
-                stamp_branch_voltage(mat, br1, self.b1, -1.0);
-                mat.add_at(br1, br1, -self.z0);
-                rhs[br1] += w2_del;
+                stamp_branch_voltage(ws, br1, self.a1, 1.0);
+                stamp_branch_voltage(ws, br1, self.b1, -1.0);
+                ws.add(br1, br1, -self.z0);
+                ws.rhs_add(br1, w2_del);
                 // v2 - Z0 i2 = w1(t - Td)
-                stamp_branch_voltage(mat, br2, self.a2, 1.0);
-                stamp_branch_voltage(mat, br2, self.b2, -1.0);
-                mat.add_at(br2, br2, -self.z0);
-                rhs[br2] += w1_del;
+                stamp_branch_voltage(ws, br2, self.a2, 1.0);
+                stamp_branch_voltage(ws, br2, self.b2, -1.0);
+                ws.add(br2, br2, -self.z0);
+                ws.rhs_add(br2, w1_del);
             }
         }
     }

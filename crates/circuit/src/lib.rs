@@ -42,11 +42,13 @@ pub mod netlist;
 pub mod solver;
 pub mod transient;
 pub mod waveform;
+pub mod workspace;
 
 pub use mna::{EvalCtx, Mode};
 pub use netlist::{Circuit, DeviceId, Node, GROUND};
 pub use transient::{TranParams, TranResult};
 pub use waveform::Waveform;
+pub use workspace::{PatternBuilder, SolveStats, StampWorkspace};
 
 /// Errors produced by circuit construction and analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,15 +130,24 @@ pub type Result<T> = std::result::Result<T, Error>;
 ///
 /// # Contract
 ///
-/// * `stamp` must add the device's linearized contributions for the candidate
-///   solution in `ctx` to `mat`/`rhs`. It is called once per Newton
-///   iteration and must not mutate logical state (interior mutability for
-///   iteration-local limiting caches is permitted).
+/// * `register` declares every matrix position the device may ever write,
+///   across all analysis modes. It is called once when a solver workspace is
+///   built ([`Circuit::make_workspace`]); the positions become cached value
+///   slots. Writing to an undeclared position still works — the pattern
+///   grows dynamically — but costs an extra symbolic analysis.
+/// * `stamp` must add the device's linearized contributions for the
+///   candidate solution in `ctx` to the workspace. It is called once per
+///   Newton iteration and must not mutate logical state (interior
+///   mutability for iteration-local limiting caches is permitted).
 /// * `init_state` is called once after the DC operating point with the DC
 ///   solution; `accept_step` after every accepted transient step.
 /// * Devices requiring branch unknowns report the count via `num_branches`
 ///   and receive their first absolute unknown index via `set_branch_base`.
-pub trait Device {
+///
+/// The `Any` supertrait allows typed access to installed devices through
+/// [`Circuit::device_mut`] (e.g. updating a source value between sweep
+/// points without rebuilding the netlist).
+pub trait Device: std::any::Any {
     /// Human-readable instance label (used in error messages).
     fn label(&self) -> &str;
 
@@ -156,8 +167,13 @@ pub trait Device {
         false
     }
 
+    /// Declares the device's potential matrix positions (see the contract).
+    fn register(&self, pb: &mut PatternBuilder) {
+        let _ = pb;
+    }
+
     /// Adds the device's linearized MNA contributions.
-    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut numkit::Matrix, rhs: &mut [f64]);
+    fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace);
 
     /// Called once with the converged DC operating point.
     fn init_state(&mut self, ctx: &EvalCtx<'_>) {

@@ -20,9 +20,17 @@
 //! Branch currents are defined as flowing from the device's `a` terminal to
 //! its `b` terminal *through the device*; the current therefore leaves node
 //! `a` and enters node `b`.
+//!
+//! # Stamping versus registration
+//!
+//! Every `stamp_*` helper writing matrix positions has a `register_*` twin
+//! that declares the same positions with a [`PatternBuilder`]. A device's
+//! [`crate::Device::register`] should mirror its `stamp` so the workspace
+//! pattern covers all modes (register the *union* of DC and transient
+//! stamps).
 
 use crate::netlist::Node;
-use numkit::Matrix;
+use crate::workspace::{PatternBuilder, StampWorkspace};
 
 /// The analysis mode a device is being stamped for.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,7 +106,7 @@ impl<'a> EvalCtx<'a> {
 
 /// Row/column index of a node in the MNA matrix (`None` = ground row).
 #[inline]
-fn idx(node: Node) -> Option<usize> {
+pub(crate) fn idx(node: Node) -> Option<usize> {
     if node.is_ground() {
         None
     } else {
@@ -107,27 +115,41 @@ fn idx(node: Node) -> Option<usize> {
 }
 
 /// Stamps a conductance `g` between nodes `a` and `b`.
-pub fn stamp_conductance(mat: &mut Matrix, a: Node, b: Node, g: f64) {
+pub fn stamp_conductance(ws: &mut StampWorkspace, a: Node, b: Node, g: f64) {
     if let Some(ia) = idx(a) {
-        mat.add_at(ia, ia, g);
+        ws.add(ia, ia, g);
     }
     if let Some(ib) = idx(b) {
-        mat.add_at(ib, ib, g);
+        ws.add(ib, ib, g);
     }
     if let (Some(ia), Some(ib)) = (idx(a), idx(b)) {
-        mat.add_at(ia, ib, -g);
-        mat.add_at(ib, ia, -g);
+        ws.add(ia, ib, -g);
+        ws.add(ib, ia, -g);
+    }
+}
+
+/// Registers the positions touched by [`stamp_conductance`].
+pub fn register_conductance(pb: &mut PatternBuilder, a: Node, b: Node) {
+    if let Some(ia) = idx(a) {
+        pb.add(ia, ia);
+    }
+    if let Some(ib) = idx(b) {
+        pb.add(ib, ib);
+    }
+    if let (Some(ia), Some(ib)) = (idx(a), idx(b)) {
+        pb.add(ia, ib);
+        pb.add(ib, ia);
     }
 }
 
 /// Stamps a constant current `c` flowing out of node `a` and into node `b`
 /// (through the device). Constants move to the right-hand side.
-pub fn stamp_current_leaving(rhs: &mut [f64], a: Node, b: Node, c: f64) {
+pub fn stamp_current_leaving(ws: &mut StampWorkspace, a: Node, b: Node, c: f64) {
     if let Some(ia) = idx(a) {
-        rhs[ia] -= c;
+        ws.rhs_add(ia, -c);
     }
     if let Some(ib) = idx(b) {
-        rhs[ib] += c;
+        ws.rhs_add(ib, c);
     }
 }
 
@@ -135,33 +157,49 @@ pub fn stamp_current_leaving(rhs: &mut [f64], a: Node, b: Node, c: f64) {
 /// to `b`: given the current value `i0` and conductance `g = di/dv` at the
 /// candidate voltage `v0`, stamps `g` plus the constant `i0 - g*v0`.
 pub fn stamp_linearized_current(
-    mat: &mut Matrix,
-    rhs: &mut [f64],
+    ws: &mut StampWorkspace,
     a: Node,
     b: Node,
     i0: f64,
     g: f64,
     v0: f64,
 ) {
-    stamp_conductance(mat, a, b, g);
-    stamp_current_leaving(rhs, a, b, i0 - g * v0);
+    stamp_conductance(ws, a, b, g);
+    stamp_current_leaving(ws, a, b, i0 - g * v0);
 }
 
 /// Stamps the KCL coupling of a branch current `i` (absolute unknown index
 /// `br`) defined as flowing from `a` to `b` through the device.
-pub fn stamp_branch_kcl(mat: &mut Matrix, a: Node, b: Node, br: usize) {
+pub fn stamp_branch_kcl(ws: &mut StampWorkspace, a: Node, b: Node, br: usize) {
     if let Some(ia) = idx(a) {
-        mat.add_at(ia, br, 1.0);
+        ws.add(ia, br, 1.0);
     }
     if let Some(ib) = idx(b) {
-        mat.add_at(ib, br, -1.0);
+        ws.add(ib, br, -1.0);
+    }
+}
+
+/// Registers the positions touched by [`stamp_branch_kcl`].
+pub fn register_branch_kcl(pb: &mut PatternBuilder, a: Node, b: Node, br: usize) {
+    if let Some(ia) = idx(a) {
+        pb.add(ia, br);
+    }
+    if let Some(ib) = idx(b) {
+        pb.add(ib, br);
     }
 }
 
 /// Adds `coeff * v(node)` to branch equation row `br`.
-pub fn stamp_branch_voltage(mat: &mut Matrix, br: usize, node: Node, coeff: f64) {
+pub fn stamp_branch_voltage(ws: &mut StampWorkspace, br: usize, node: Node, coeff: f64) {
     if let Some(i) = idx(node) {
-        mat.add_at(br, i, coeff);
+        ws.add(br, i, coeff);
+    }
+}
+
+/// Registers the position touched by [`stamp_branch_voltage`].
+pub fn register_branch_voltage(pb: &mut PatternBuilder, br: usize, node: Node) {
+    if let Some(i) = idx(node) {
+        pb.add(br, i);
     }
 }
 
@@ -201,54 +239,72 @@ mod tests {
 
     #[test]
     fn conductance_stamp_pattern() {
-        let mut m = Matrix::zeros(2, 2);
-        stamp_conductance(&mut m, n(1), n(2), 0.5);
-        assert_eq!(m.get(0, 0), 0.5);
-        assert_eq!(m.get(1, 1), 0.5);
-        assert_eq!(m.get(0, 1), -0.5);
-        assert_eq!(m.get(1, 0), -0.5);
+        let mut ws = StampWorkspace::dense(2);
+        stamp_conductance(&mut ws, n(1), n(2), 0.5);
+        assert_eq!(ws.value_at(0, 0), 0.5);
+        assert_eq!(ws.value_at(1, 1), 0.5);
+        assert_eq!(ws.value_at(0, 1), -0.5);
+        assert_eq!(ws.value_at(1, 0), -0.5);
         // Grounded side only touches one diagonal.
-        let mut m = Matrix::zeros(2, 2);
-        stamp_conductance(&mut m, n(1), GROUND, 2.0);
-        assert_eq!(m.get(0, 0), 2.0);
-        assert_eq!(m.get(1, 1), 0.0);
+        let mut ws = StampWorkspace::dense(2);
+        stamp_conductance(&mut ws, n(1), GROUND, 2.0);
+        assert_eq!(ws.value_at(0, 0), 2.0);
+        assert_eq!(ws.value_at(1, 1), 0.0);
     }
 
     #[test]
     fn current_stamp_signs() {
-        let mut rhs = [0.0, 0.0];
-        stamp_current_leaving(&mut rhs, n(1), n(2), 1e-3);
-        assert_eq!(rhs[0], -1e-3);
-        assert_eq!(rhs[1], 1e-3);
-        let mut rhs = [0.0, 0.0];
-        stamp_current_leaving(&mut rhs, GROUND, n(2), 2.0);
-        assert_eq!(rhs, [0.0, 2.0]);
+        let mut ws = StampWorkspace::dense(2);
+        stamp_current_leaving(&mut ws, n(1), n(2), 1e-3);
+        assert_eq!(ws.rhs()[0], -1e-3);
+        assert_eq!(ws.rhs()[1], 1e-3);
+        let mut ws = StampWorkspace::dense(2);
+        stamp_current_leaving(&mut ws, GROUND, n(2), 2.0);
+        assert_eq!(ws.rhs(), [0.0, 2.0]);
     }
 
     #[test]
     fn linearized_stamp_consistency() {
         // For a linear conductance i = g v, the linearized stamp must leave
         // zero constant on the RHS regardless of the linearization point.
-        let mut m = Matrix::zeros(1, 1);
-        let mut rhs = [0.0];
+        let mut ws = StampWorkspace::dense(1);
         let (g, v0) = (0.01, 0.7);
         let i0 = g * v0;
-        stamp_linearized_current(&mut m, &mut rhs, n(1), GROUND, i0, g, v0);
-        assert_eq!(m.get(0, 0), g);
-        assert!(rhs[0].abs() < 1e-18);
+        stamp_linearized_current(&mut ws, n(1), GROUND, i0, g, v0);
+        assert_eq!(ws.value_at(0, 0), g);
+        assert!(ws.rhs()[0].abs() < 1e-18);
     }
 
     #[test]
     fn branch_stamps() {
-        let mut m = Matrix::zeros(3, 3);
-        stamp_branch_kcl(&mut m, n(1), n(2), 2);
-        assert_eq!(m.get(0, 2), 1.0);
-        assert_eq!(m.get(1, 2), -1.0);
-        stamp_branch_voltage(&mut m, 2, n(1), 1.0);
-        stamp_branch_voltage(&mut m, 2, n(2), -1.0);
-        assert_eq!(m.get(2, 0), 1.0);
-        assert_eq!(m.get(2, 1), -1.0);
-        stamp_branch_voltage(&mut m, 2, GROUND, 5.0); // no-op
-        assert_eq!(m.get(2, 0), 1.0);
+        let mut ws = StampWorkspace::dense(3);
+        stamp_branch_kcl(&mut ws, n(1), n(2), 2);
+        assert_eq!(ws.value_at(0, 2), 1.0);
+        assert_eq!(ws.value_at(1, 2), -1.0);
+        stamp_branch_voltage(&mut ws, 2, n(1), 1.0);
+        stamp_branch_voltage(&mut ws, 2, n(2), -1.0);
+        assert_eq!(ws.value_at(2, 0), 1.0);
+        assert_eq!(ws.value_at(2, 1), -1.0);
+        stamp_branch_voltage(&mut ws, 2, GROUND, 5.0); // no-op
+        assert_eq!(ws.value_at(2, 0), 1.0);
+    }
+
+    #[test]
+    fn register_helpers_cover_stamp_positions() {
+        let mut pb = PatternBuilder::new(3);
+        register_conductance(&mut pb, n(1), n(2));
+        register_branch_kcl(&mut pb, n(1), GROUND, 2);
+        register_branch_voltage(&mut pb, 2, n(1));
+        register_branch_voltage(&mut pb, 2, GROUND); // no-op
+        let mut ws = StampWorkspace::from_pattern(pb);
+        // Every registered position is writable without overflow; verify by
+        // stamping and reading back.
+        ws.begin();
+        stamp_conductance(&mut ws, n(1), n(2), 2.0);
+        stamp_branch_kcl(&mut ws, n(1), GROUND, 2);
+        stamp_branch_voltage(&mut ws, 2, n(1), 1.0);
+        assert_eq!(ws.value_at(0, 0), 2.0);
+        assert_eq!(ws.value_at(0, 2), 1.0);
+        assert_eq!(ws.value_at(2, 0), 1.0);
     }
 }

@@ -1,5 +1,6 @@
 //! Circuit container: nodes, devices and analysis entry points.
 
+use crate::workspace::{PatternBuilder, StampWorkspace};
 use crate::{solver, transient, Device, Error, Result, TranParams, TranResult};
 
 /// A circuit node handle.
@@ -180,6 +181,39 @@ impl Circuit {
         &mut self.devices
     }
 
+    /// Typed mutable access to an installed device, e.g. to update a source
+    /// value between sweep points without rebuilding the netlist. Returns
+    /// `None` if `D` does not match the installed device type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a device of this circuit.
+    pub fn device_mut<D: Device>(&mut self, id: DeviceId) -> Option<&mut D> {
+        let dev: &mut dyn Device = self.devices[id.0].as_mut();
+        let any: &mut dyn std::any::Any = dev;
+        any.downcast_mut::<D>()
+    }
+
+    /// Builds the persistent solver workspace for this circuit: finalizes
+    /// branch layout, collects every device's stamp pattern and sets up the
+    /// slot-cached sparse (or small-system dense) backend.
+    ///
+    /// Reuse one workspace across repeated solves of the same circuit — the
+    /// symbolic LU analysis is performed once and shared.
+    pub fn make_workspace(&mut self) -> StampWorkspace {
+        self.finalize();
+        let n = self.unknown_count();
+        let mut pb = PatternBuilder::new(n);
+        // The solver's gmin safety net touches every node diagonal.
+        for i in 0..self.n_nodes.saturating_sub(1) {
+            pb.add(i, i);
+        }
+        for dev in &self.devices {
+            dev.register(&mut pb);
+        }
+        StampWorkspace::from_pattern(pb)
+    }
+
     /// Computes the DC operating point.
     ///
     /// # Errors
@@ -188,6 +222,21 @@ impl Circuit {
     /// Newton iteration (with gmin stepping) fails.
     pub fn dc_operating_point(&mut self) -> Result<Vec<f64>> {
         solver::dc_operating_point(self)
+    }
+
+    /// Computes the DC operating point against a caller-held workspace,
+    /// optionally warm-started from a previous solution — the fast path for
+    /// DC sweeps (see [`solver::dc_operating_point_ws`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Circuit::dc_operating_point`].
+    pub fn dc_operating_point_ws(
+        &mut self,
+        ws: &mut StampWorkspace,
+        x0: Option<&[f64]>,
+    ) -> Result<Vec<f64>> {
+        solver::dc_operating_point_ws(self, ws, x0)
     }
 
     /// Runs a transient analysis (includes the initial DC operating point).

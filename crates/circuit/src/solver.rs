@@ -1,9 +1,14 @@
 //! Newton–Raphson solver and DC operating point with gmin stepping.
+//!
+//! All solves run through a persistent [`StampWorkspace`]: the stamp pattern
+//! and the LU symbolic structure are computed once per circuit and reused
+//! across Newton iterations, timesteps, and (for sweep harnesses) entire
+//! analyses.
 
 use crate::mna::{EvalCtx, Mode};
 use crate::netlist::Circuit;
+use crate::workspace::StampWorkspace;
 use crate::{Error, Result};
-use numkit::{lu::LuFactor, Matrix};
 
 /// Absolute voltage convergence tolerance (volts).
 const VNTOL: f64 = 1e-6;
@@ -23,12 +28,19 @@ pub struct NewtonOutcome {
     pub x: Vec<f64>,
     /// Iterations used.
     pub iterations: usize,
+    /// Matrix factorizations performed during this solve (one per
+    /// iteration; equals `iterations` unless the workspace had to repeat a
+    /// stamping pass).
+    pub factorizations: usize,
 }
 
 /// Solves the nonlinear MNA system at the given mode by Newton iteration.
 ///
 /// `x0` is the initial guess (length must equal `circuit.unknown_count()`).
 /// `gmin` is added from every node to ground for numerical robustness.
+/// `ws` is the persistent solver workspace built by
+/// [`Circuit::make_workspace`]; reusing one workspace across calls is what
+/// caches the symbolic LU structure.
 ///
 /// # Errors
 ///
@@ -40,20 +52,20 @@ pub fn solve_newton(
     x0: &[f64],
     gmin: f64,
     analysis: &str,
+    ws: &mut StampWorkspace,
 ) -> Result<NewtonOutcome> {
     let n = circuit.unknown_count();
     let n_v = circuit.n_nodes() - 1;
     debug_assert_eq!(x0.len(), n);
+    debug_assert_eq!(ws.n(), n);
     let mut x = x0.to_vec();
-    let mut mat = Matrix::zeros(n, n);
-    let mut rhs = vec![0.0; n];
+    let fac_before = ws.stats().factorizations;
 
     for it in 0..MAX_ITER {
-        mat.fill_zero();
-        rhs.iter_mut().for_each(|v| *v = 0.0);
+        ws.begin();
         // gmin from every node to ground.
         for i in 0..n_v {
-            mat.add_at(i, i, gmin);
+            ws.add(i, i, gmin);
         }
         let ctx = EvalCtx {
             x: &x,
@@ -61,12 +73,9 @@ pub fn solve_newton(
             mode,
         };
         for dev in circuit.devices() {
-            dev.stamp(&ctx, &mut mat, &mut rhs);
+            dev.stamp(&ctx, ws);
         }
-        let lu = LuFactor::new(&mat).map_err(|_| Error::SingularMatrix {
-            analysis: analysis.to_string(),
-        })?;
-        let x_new = lu.solve(&rhs).map_err(|_| Error::SingularMatrix {
+        let x_new = ws.solve().map_err(|_| Error::SingularMatrix {
             analysis: analysis.to_string(),
         })?;
 
@@ -98,6 +107,7 @@ pub fn solve_newton(
             return Ok(NewtonOutcome {
                 x,
                 iterations: it + 1,
+                factorizations: ws.stats().factorizations - fac_before,
             });
         }
     }
@@ -119,6 +129,27 @@ pub fn solve_newton(
 /// * [`Error::NonConvergence`] if even the stepped continuation fails.
 /// * [`Error::SingularMatrix`] for structurally singular circuits.
 pub fn dc_operating_point(circuit: &mut Circuit) -> Result<Vec<f64>> {
+    let mut ws = circuit.make_workspace();
+    dc_operating_point_ws(circuit, &mut ws, None)
+}
+
+/// [`dc_operating_point`] against a caller-held workspace, optionally
+/// warm-started from a previous solution (`x0`).
+///
+/// Sweep harnesses use this to change one source value between solves while
+/// keeping the cached stamp pattern and LU structure, and to start each
+/// point's Newton iteration from the neighboring point's solution (voltage
+/// continuation). A failed warm start falls back to the cold-start gmin
+/// stepping path.
+///
+/// # Errors
+///
+/// Same failure modes as [`dc_operating_point`].
+pub fn dc_operating_point_ws(
+    circuit: &mut Circuit,
+    ws: &mut StampWorkspace,
+    x0: Option<&[f64]>,
+) -> Result<Vec<f64>> {
     circuit.finalize();
     let n = circuit.unknown_count();
     if n == 0 {
@@ -126,10 +157,20 @@ pub fn dc_operating_point(circuit: &mut Circuit) -> Result<Vec<f64>> {
             message: "circuit has no unknowns (add nodes and devices first)".into(),
         });
     }
-    let x0 = vec![0.0; n];
     let target_gmin = circuit.gmin();
+    let start = match x0 {
+        Some(prev) => prev.to_vec(),
+        None => vec![0.0; n],
+    };
 
-    match solve_newton(circuit, Mode::Dc, &x0, target_gmin, "dc operating point") {
+    match solve_newton(
+        circuit,
+        Mode::Dc,
+        &start,
+        target_gmin,
+        "dc operating point",
+        ws,
+    ) {
         Ok(out) => return Ok(out.x),
         Err(Error::SingularMatrix { .. }) => {
             return Err(Error::SingularMatrix {
@@ -139,10 +180,10 @@ pub fn dc_operating_point(circuit: &mut Circuit) -> Result<Vec<f64>> {
         Err(_) => { /* fall through to gmin stepping */ }
     }
 
-    let mut x = x0;
+    let mut x = vec![0.0; n];
     let mut gmin = 1e-2;
     loop {
-        let out = solve_newton(circuit, Mode::Dc, &x, gmin, "dc gmin stepping")?;
+        let out = solve_newton(circuit, Mode::Dc, &x, gmin, "dc gmin stepping", ws)?;
         x = out.x;
         if gmin <= target_gmin {
             return Ok(x);

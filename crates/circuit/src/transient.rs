@@ -3,6 +3,7 @@
 use crate::mna::{EvalCtx, Mode};
 use crate::netlist::{Circuit, DeviceId, Node};
 use crate::waveform::Waveform;
+use crate::workspace::SolveStats;
 use crate::{solver, Error, Result};
 
 /// Transient analysis parameters.
@@ -62,6 +63,10 @@ pub struct TranResult {
     solutions: Vec<Vec<f64>>,
     /// Newton iterations summed over all steps (efficiency metric).
     pub total_newton_iterations: usize,
+    /// Workspace diagnostics accumulated over the whole analysis (including
+    /// the initial DC operating point). A well-behaved circuit shows exactly
+    /// one symbolic analysis here.
+    pub solve_stats: SolveStats,
 }
 
 impl TranResult {
@@ -128,12 +133,16 @@ pub fn run(circuit: &mut Circuit, params: TranParams) -> Result<TranResult> {
             message: "circuit has no unknowns".into(),
         });
     }
+    // One persistent workspace for the whole analysis: the stamp pattern and
+    // the LU symbolic structure are shared between the DC operating point
+    // and every timestep.
+    let mut ws = circuit.make_workspace();
 
     // 1. Initial condition.
     let x0 = if params.skip_dc {
         vec![0.0; n]
     } else {
-        solver::dc_operating_point(circuit)?
+        solver::dc_operating_point_ws(circuit, &mut ws, None)?
     };
     let n_nodes = circuit.n_nodes();
     {
@@ -160,7 +169,7 @@ pub fn run(circuit: &mut Circuit, params: TranParams) -> Result<TranResult> {
     for k in 1..=n_steps {
         let t = k as f64 * params.dt;
         let mode = Mode::Tran { t, dt: params.dt };
-        let out = solver::solve_newton(circuit, mode, &x_prev, gmin, "transient")?;
+        let out = solver::solve_newton(circuit, mode, &x_prev, gmin, "transient", &mut ws)?;
         total_iters += out.iterations;
         let ctx = EvalCtx {
             x: &out.x,
@@ -179,6 +188,7 @@ pub fn run(circuit: &mut Circuit, params: TranParams) -> Result<TranResult> {
         time,
         solutions,
         total_newton_iterations: total_iters,
+        solve_stats: ws.stats(),
     })
 }
 

@@ -1,0 +1,455 @@
+//! Persistent solver workspace: slot-cached sparse stamping plus a reusable
+//! LU structure.
+//!
+//! The MNA matrix of a circuit is re-stamped with fresh numeric values every
+//! Newton iteration of every timestep, but its *sparsity pattern never
+//! changes*: device terminals are fixed at netlist construction time. The
+//! [`StampWorkspace`] exploits this:
+//!
+//! * at build time ([`crate::Circuit::make_workspace`]) every device
+//!   registers its potential nonzero positions once via
+//!   [`crate::Device::register`], producing a column-compressed pattern;
+//! * each Newton iteration, devices write numeric values through
+//!   [`StampWorkspace::add`], which resolves `(row, col)` to a cached value
+//!   slot — no per-iteration allocation, no dense `n × n` zero-fill;
+//! * [`StampWorkspace::solve`] factors the system with
+//!   [`numkit::sparse::SparseLu`]: one symbolic analysis per circuit, then
+//!   numeric-only refactorizations per iteration.
+//!
+//! Very small systems (`n <` [`DENSE_LIMIT`]) keep the dense
+//! [`numkit::lu::LuFactor`] path — the sparse bookkeeping would cost more
+//! than it saves.
+//!
+//! A device that writes to a position it never registered does not break
+//! anything: the write lands in an overflow list and the pattern grows at
+//! the next [`StampWorkspace::solve`], at the cost of one extra symbolic
+//! analysis (visible in [`SolveStats::symbolic_analyses`]).
+
+use numkit::sparse::{CscPattern, SparseLu};
+use numkit::{lu::LuFactor, Matrix};
+
+/// Below this unknown count the workspace uses the dense LU path.
+pub const DENSE_LIMIT: usize = 4;
+
+/// Above this dimension the O(n²)-memory slot map is replaced by per-column
+/// binary search.
+const SLOT_MAP_LIMIT: usize = 1024;
+
+/// Collects the structural nonzero positions of a circuit's MNA matrix.
+/// Devices receive one in [`crate::Device::register`] and add every `(row,
+/// column)` they may ever touch, across all analysis modes.
+#[derive(Debug)]
+pub struct PatternBuilder {
+    n: usize,
+    entries: Vec<(usize, usize)>,
+}
+
+impl PatternBuilder {
+    /// Creates a builder for an `n`-unknown system.
+    pub fn new(n: usize) -> Self {
+        PatternBuilder {
+            n,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Registers a potential nonzero at `(r, c)`. Duplicates are merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range — registering a position outside
+    /// the system is a device implementation bug.
+    pub fn add(&mut self, r: usize, c: usize) {
+        assert!(
+            r < self.n && c < self.n,
+            "pattern position ({r}, {c}) out of range for {} unknowns",
+            self.n
+        );
+        self.entries.push((r, c));
+    }
+
+    /// System dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// Cumulative solver diagnostics of a workspace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Symbolic analyses performed (pattern ordering + fill computation +
+    /// pivot discovery). A well-behaved circuit needs exactly one.
+    pub symbolic_analyses: usize,
+    /// Numeric factorizations (dense or sparse refactorizations).
+    pub factorizations: usize,
+}
+
+struct SparseState {
+    pattern: CscPattern,
+    values: Vec<f64>,
+    /// Dense `(r, c) -> slot` map (`u32::MAX` = structurally zero);
+    /// empty when `n > SLOT_MAP_LIMIT` (binary search instead).
+    slot: Vec<u32>,
+    lu: Option<SparseLu>,
+    /// Writes to unregistered positions, merged at the next solve.
+    overflow: Vec<(usize, usize, f64)>,
+}
+
+enum Backend {
+    Dense { mat: Matrix },
+    Sparse(Box<SparseState>),
+}
+
+/// The per-analysis stamping and solving workspace. See the [module
+/// docs](self) for the lifecycle.
+pub struct StampWorkspace {
+    n: usize,
+    rhs: Vec<f64>,
+    backend: Backend,
+    stats: SolveStats,
+    x_out: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl std::fmt::Debug for StampWorkspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StampWorkspace")
+            .field("n", &self.n)
+            .field("dense", &matches!(self.backend, Backend::Dense { .. }))
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+fn build_slot_map(n: usize, pattern: &CscPattern) -> Vec<u32> {
+    if n > SLOT_MAP_LIMIT {
+        return Vec::new();
+    }
+    let mut slot = vec![u32::MAX; n * n];
+    for c in 0..n {
+        for (r, s) in pattern.col_entries(c) {
+            slot[r * n + c] = s as u32;
+        }
+    }
+    slot
+}
+
+impl StampWorkspace {
+    /// Builds a workspace from a registered pattern. Falls back to the
+    /// dense path for `n <` [`DENSE_LIMIT`].
+    pub fn from_pattern(pb: PatternBuilder) -> Self {
+        let n = pb.n;
+        let backend = if n < DENSE_LIMIT {
+            Backend::Dense {
+                mat: Matrix::zeros(n, n),
+            }
+        } else {
+            let pattern = CscPattern::from_entries(n, &pb.entries)
+                .expect("PatternBuilder validated every entry");
+            let slot = build_slot_map(n, &pattern);
+            Backend::Sparse(Box::new(SparseState {
+                values: vec![0.0; pattern.nnz()],
+                slot,
+                pattern,
+                lu: None,
+                overflow: Vec::new(),
+            }))
+        };
+        StampWorkspace {
+            n,
+            rhs: vec![0.0; n],
+            backend,
+            stats: SolveStats::default(),
+            x_out: vec![0.0; n],
+            scratch: vec![0.0; n],
+        }
+    }
+
+    /// A dense workspace with no registered pattern — for unit tests that
+    /// stamp a device in isolation and inspect the matrix.
+    pub fn dense(n: usize) -> Self {
+        StampWorkspace {
+            n,
+            rhs: vec![0.0; n],
+            backend: Backend::Dense {
+                mat: Matrix::zeros(n, n),
+            },
+            stats: SolveStats::default(),
+            x_out: vec![0.0; n],
+            scratch: vec![0.0; n],
+        }
+    }
+
+    /// Number of unknowns.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Zeroes values and right-hand side for a fresh stamping pass.
+    pub fn begin(&mut self) {
+        self.rhs.iter_mut().for_each(|v| *v = 0.0);
+        match &mut self.backend {
+            Backend::Dense { mat } => mat.fill_zero(),
+            Backend::Sparse(state) => {
+                state.values.iter_mut().for_each(|v| *v = 0.0);
+                state.overflow.clear();
+            }
+        }
+    }
+
+    /// Accumulates `v` into matrix position `(r, c)`.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(
+            r < self.n && c < self.n,
+            "stamp position ({r}, {c}) out of range for {} unknowns",
+            self.n
+        );
+        match &mut self.backend {
+            Backend::Dense { mat } => mat.add_at(r, c, v),
+            Backend::Sparse(state) => {
+                let s = if state.slot.is_empty() {
+                    state.pattern.index_of(r, c)
+                } else {
+                    let cached = state.slot[r * state.pattern.n() + c];
+                    if cached == u32::MAX {
+                        None
+                    } else {
+                        Some(cached as usize)
+                    }
+                };
+                match s {
+                    Some(s) => state.values[s] += v,
+                    None => state.overflow.push((r, c, v)),
+                }
+            }
+        }
+    }
+
+    /// Accumulates `v` into right-hand-side row `r`.
+    #[inline]
+    pub fn rhs_add(&mut self, r: usize, v: f64) {
+        self.rhs[r] += v;
+    }
+
+    /// Read access to the right-hand side (diagnostics and tests).
+    pub fn rhs(&self) -> &[f64] {
+        &self.rhs
+    }
+
+    /// Current numeric value at `(r, c)` (0 for structural zeros) —
+    /// diagnostics and tests.
+    pub fn value_at(&self, r: usize, c: usize) -> f64 {
+        match &self.backend {
+            Backend::Dense { mat } => mat.get(r, c),
+            Backend::Sparse(state) => {
+                let mut v = state
+                    .pattern
+                    .index_of(r, c)
+                    .map_or(0.0, |s| state.values[s]);
+                for &(orow, ocol, ov) in &state.overflow {
+                    if orow == r && ocol == c {
+                        v += ov;
+                    }
+                }
+                v
+            }
+        }
+    }
+
+    /// Cumulative diagnostics.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Merges overflowed (unregistered) positions into the pattern,
+    /// invalidating the symbolic structure.
+    fn grow_pattern(&mut self) {
+        let Backend::Sparse(state) = &mut self.backend else {
+            return;
+        };
+        let SparseState {
+            pattern,
+            values,
+            slot,
+            lu,
+            overflow,
+        } = state.as_mut();
+        let n = pattern.n();
+        let mut entries: Vec<(usize, usize)> = Vec::with_capacity(pattern.nnz() + overflow.len());
+        let mut vals: Vec<(usize, usize, f64)> = Vec::with_capacity(entries.capacity());
+        for c in 0..n {
+            for (r, s) in pattern.col_entries(c) {
+                entries.push((r, c));
+                vals.push((r, c, values[s]));
+            }
+        }
+        for &(r, c, v) in overflow.iter() {
+            entries.push((r, c));
+            vals.push((r, c, v));
+        }
+        let grown = CscPattern::from_entries(n, &entries).expect("positions validated on add");
+        let mut new_values = vec![0.0; grown.nnz()];
+        for (r, c, v) in vals {
+            let s = grown.index_of(r, c).expect("entry just inserted");
+            new_values[s] += v;
+        }
+        *slot = build_slot_map(n, &grown);
+        *pattern = grown;
+        *values = new_values;
+        *lu = None;
+        overflow.clear();
+    }
+
+    /// Factors the stamped system and solves it against the stamped
+    /// right-hand side. Reuses the symbolic structure whenever possible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`numkit::Error`] for singular systems.
+    pub fn solve(&mut self) -> numkit::Result<&[f64]> {
+        if let Backend::Sparse(state) = &self.backend {
+            if !state.overflow.is_empty() {
+                self.grow_pattern();
+            }
+        }
+        match &mut self.backend {
+            Backend::Dense { mat } => {
+                let lu = LuFactor::new(mat)?;
+                self.stats.factorizations += 1;
+                if self.stats.symbolic_analyses == 0 {
+                    self.stats.symbolic_analyses = 1;
+                }
+                let x = lu.solve(&self.rhs)?;
+                self.x_out.copy_from_slice(&x);
+            }
+            Backend::Sparse(state) => {
+                let SparseState {
+                    pattern,
+                    values,
+                    lu,
+                    ..
+                } = state.as_mut();
+                let refreshed = match lu {
+                    Some(f) => f.refactor(values).is_ok(),
+                    None => false,
+                };
+                if !refreshed {
+                    // First factorization, grown pattern, or a frozen pivot
+                    // decayed: run the full symbolic + numeric analysis.
+                    *lu = Some(SparseLu::factor(pattern, values)?);
+                    self.stats.symbolic_analyses += 1;
+                }
+                self.stats.factorizations += 1;
+                let f = lu.as_ref().expect("factorization just ensured");
+                f.solve_into(&self.rhs, &mut self.x_out, &mut self.scratch)?;
+            }
+        }
+        Ok(&self.x_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag_pattern(n: usize) -> PatternBuilder {
+        let mut pb = PatternBuilder::new(n);
+        for i in 0..n {
+            pb.add(i, i);
+        }
+        pb
+    }
+
+    #[test]
+    fn dense_path_for_tiny_systems() {
+        let ws = StampWorkspace::from_pattern(diag_pattern(2));
+        assert!(matches!(ws.backend, Backend::Dense { .. }));
+        let ws = StampWorkspace::from_pattern(diag_pattern(DENSE_LIMIT));
+        assert!(matches!(ws.backend, Backend::Sparse(_)));
+    }
+
+    #[test]
+    fn sparse_solve_reuses_symbolic() {
+        let n = 5;
+        let mut pb = diag_pattern(n);
+        for i in 1..n {
+            pb.add(i - 1, i);
+            pb.add(i, i - 1);
+        }
+        let mut ws = StampWorkspace::from_pattern(pb);
+        for pass in 0..3 {
+            ws.begin();
+            let d = 4.0 + pass as f64;
+            for i in 0..n {
+                ws.add(i, i, d);
+            }
+            for i in 1..n {
+                ws.add(i - 1, i, -1.0);
+                ws.add(i, i - 1, -1.0);
+            }
+            ws.rhs_add(0, 1.0);
+            let x = ws.solve().unwrap().to_vec();
+            // Residual check of the tridiagonal solve.
+            for i in 0..n {
+                let mut r = d * x[i];
+                if i > 0 {
+                    r -= x[i - 1];
+                }
+                if i + 1 < n {
+                    r -= x[i + 1];
+                }
+                let b = if i == 0 { 1.0 } else { 0.0 };
+                assert!((r - b).abs() < 1e-12, "pass {pass} row {i}");
+            }
+        }
+        let stats = ws.stats();
+        assert_eq!(stats.symbolic_analyses, 1, "one symbolic analysis total");
+        assert_eq!(stats.factorizations, 3);
+    }
+
+    #[test]
+    fn unregistered_write_grows_pattern() {
+        let n = 4;
+        let mut ws = StampWorkspace::from_pattern(diag_pattern(n));
+        ws.begin();
+        for i in 0..n {
+            ws.add(i, i, 2.0);
+        }
+        // Position (0, 3) was never registered.
+        ws.add(0, 3, 1.0);
+        assert_eq!(ws.value_at(0, 3), 1.0);
+        ws.rhs_add(3, 2.0);
+        let x = ws.solve().unwrap().to_vec();
+        // Row 0: 2 x0 + x3 = 0, row 3: 2 x3 = 2.
+        assert!((x[3] - 1.0).abs() < 1e-12);
+        assert!((x[0] + 0.5).abs() < 1e-12);
+        assert_eq!(ws.stats().symbolic_analyses, 1);
+        // Next pass stamps the same position without growing again.
+        ws.begin();
+        for i in 0..n {
+            ws.add(i, i, 2.0);
+        }
+        ws.add(0, 3, 1.0);
+        ws.rhs_add(0, 2.0);
+        ws.solve().unwrap();
+        assert_eq!(ws.stats().symbolic_analyses, 1);
+        assert_eq!(ws.stats().factorizations, 2);
+    }
+
+    #[test]
+    fn singular_system_reported() {
+        let mut ws = StampWorkspace::from_pattern(diag_pattern(5));
+        ws.begin();
+        // Leave every value zero: structurally present diagonal, numerically
+        // singular.
+        assert!(ws.solve().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pattern_rejects_out_of_range() {
+        let mut pb = PatternBuilder::new(2);
+        pb.add(2, 0);
+    }
+}

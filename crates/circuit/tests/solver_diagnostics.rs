@@ -1,0 +1,88 @@
+//! Solver workspace diagnostics: the symbolic LU analysis must be computed
+//! once per circuit and reused across the DC operating point and every
+//! transient timestep.
+
+use circuit::devices::{Capacitor, Diode, DiodeParams, Resistor, SourceWaveform, VoltageSource};
+use circuit::{Circuit, TranParams, GROUND};
+
+/// A 12-node RC ladder: large enough for the sparse solver path, values
+/// stable enough that the pivot order chosen at DC stays valid for every
+/// transient step.
+fn rc_ladder(n_sections: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    ckt.add(VoltageSource::new(
+        "vs",
+        prev,
+        GROUND,
+        SourceWaveform::step(0.0, 1.0, 1e-10),
+    ));
+    for k in 0..n_sections {
+        let next = ckt.node(format!("n{k}"));
+        ckt.add(Resistor::new(format!("r{k}"), prev, next, 100.0));
+        ckt.add(Capacitor::new(format!("c{k}"), next, GROUND, 1e-12));
+        prev = next;
+    }
+    ckt
+}
+
+#[test]
+fn transient_performs_one_symbolic_analysis() {
+    let mut ckt = rc_ladder(12);
+    let res = ckt.transient(TranParams::new(1e-11, 2e-9)).unwrap();
+    let stats = res.solve_stats;
+    assert_eq!(
+        stats.symbolic_analyses,
+        1,
+        "the stamp pattern never changes: exactly one symbolic analysis \
+         must cover the DC operating point and all {} steps",
+        res.len() - 1
+    );
+    // Every Newton iteration refactors once; the DC solve adds its own
+    // iterations on top of the transient ones.
+    assert!(
+        stats.factorizations >= res.total_newton_iterations,
+        "factorizations {} < newton iterations {}",
+        stats.factorizations,
+        res.total_newton_iterations
+    );
+    assert!(
+        stats.factorizations >= res.len() - 1,
+        "at least one factorization per timestep"
+    );
+}
+
+#[test]
+fn nonlinear_circuit_reanalyses_only_on_pivot_decay() {
+    // Diodes swing their conductance over decades during the edge; the
+    // workspace may legitimately re-pivot a handful of times, but must
+    // never fall back to per-iteration symbolic analysis.
+    let mut ckt = rc_ladder(10);
+    let pad = ckt.node("pad");
+    ckt.add(Resistor::new("rpad", GROUND, pad, 1e3));
+    ckt.add(Diode::new("dclamp", pad, GROUND, DiodeParams::default()));
+    let res = ckt.transient(TranParams::new(1e-11, 2e-9)).unwrap();
+    let stats = res.solve_stats;
+    assert!(
+        stats.symbolic_analyses <= 4,
+        "symbolic analyses {} should stay far below the {} factorizations",
+        stats.symbolic_analyses,
+        stats.factorizations
+    );
+    assert!(stats.factorizations >= res.total_newton_iterations);
+}
+
+#[test]
+fn repeated_dc_solves_share_one_workspace() {
+    // The sweep-harness usage: one workspace, many DC solves with changed
+    // source values — still a single symbolic analysis.
+    let mut ckt = rc_ladder(8);
+    let mut ws = ckt.make_workspace();
+    let mut prev: Option<Vec<f64>> = None;
+    for _ in 0..10 {
+        let x = ckt.dc_operating_point_ws(&mut ws, prev.as_deref()).unwrap();
+        prev = Some(x);
+    }
+    assert_eq!(ws.stats().symbolic_analyses, 1);
+    assert!(ws.stats().factorizations >= 10);
+}

@@ -10,10 +10,9 @@
 use crate::driver::PwRbfDriverModel;
 use crate::receiver::{CrModel, ReceiverModel};
 use circuit::devices::Capacitor;
-use circuit::mna::{stamp_linearized_current, EvalCtx, Mode};
-use circuit::{Circuit, Device, Node, GROUND};
+use circuit::mna::{register_conductance, stamp_linearized_current, EvalCtx, Mode};
+use circuit::{Circuit, Device, Node, PatternBuilder, StampWorkspace, GROUND};
 use numkit::interp::Pwl;
-use numkit::Matrix;
 use sysid::narx::NarxModel;
 
 /// Relative tolerance on `dt == Ts`.
@@ -181,7 +180,11 @@ impl Device for PwRbfDriver {
         true
     }
 
-    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+    fn register(&self, pb: &mut PatternBuilder) {
+        register_conductance(pb, self.out, GROUND);
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
         check_sample_clock(&self.label, self.model.ts, ctx.mode);
         let v = ctx.v(self.out);
         let (wh, wl) = self.weights_at(ctx.mode.time());
@@ -196,7 +199,7 @@ impl Device for PwRbfDriver {
         let i_del = wh * ih + wl * il;
         let g_del = wh * gh + wl * gl;
         // The device injects i_del into the node.
-        stamp_linearized_current(mat, rhs, self.out, GROUND, -i_del, -g_del, v);
+        stamp_linearized_current(ws, self.out, GROUND, -i_del, -g_del, v);
     }
 
     fn init_state(&mut self, ctx: &EvalCtx<'_>) {
@@ -313,12 +316,16 @@ impl Device for ReceiverModelDevice {
         true
     }
 
-    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+    fn register(&self, pb: &mut PatternBuilder) {
+        register_conductance(pb, self.pad, GROUND);
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
         check_sample_clock(&self.label, self.model.ts, ctx.mode);
         let v = ctx.v(self.pad);
         let (i_in, g) = self.parts(v);
         // i_in flows from the pad into the device (to ground).
-        stamp_linearized_current(mat, rhs, self.pad, GROUND, i_in, g, v);
+        stamp_linearized_current(ws, self.pad, GROUND, i_in, g, v);
     }
 
     fn init_state(&mut self, ctx: &EvalCtx<'_>) {
@@ -413,11 +420,15 @@ impl Device for PwlResistor {
         true
     }
 
-    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+    fn register(&self, pb: &mut PatternBuilder) {
+        register_conductance(pb, self.a, GROUND);
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
         let v = ctx.v(self.a);
         let i = self.iv.eval(v);
         let g = self.iv.slope(v).max(0.0);
-        stamp_linearized_current(mat, rhs, self.a, GROUND, i, g, v);
+        stamp_linearized_current(ws, self.a, GROUND, i, g, v);
     }
 }
 

@@ -28,6 +28,7 @@ use circuit::{Waveform, GROUND};
 use numkit::interp::Pwl;
 use refdev::extraction::{capture_driver, capture_receiver, receiver_input_iv};
 use refdev::{CmosDriverSpec, ReceiverSpec};
+use std::thread;
 use sysid::arx::{ArxModel, ArxOrders};
 use sysid::narx::{NarxModel, NarxOrders, RbfTrainConfig};
 use sysid::signals;
@@ -85,6 +86,13 @@ impl Default for DriverEstimationConfig {
     }
 }
 
+/// Unwraps a scoped worker, re-raising panics on the calling thread.
+fn join_worker<T>(handle: thread::ScopedJoinHandle<'_, T>) -> T {
+    handle
+        .join()
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+}
+
 /// Identification record of one state submodel (kept for diagnostics).
 #[derive(Debug, Clone)]
 pub struct StateIdRecord {
@@ -122,8 +130,15 @@ pub fn estimate_driver_with_records(
         });
     }
     // --- 1. state submodels ---
-    let (i_high, rec_high) = estimate_state_submodel(spec, true, &cfg)?;
-    let (i_low, rec_low) = estimate_state_submodel(spec, false, &cfg)?;
+    // The High and Low identifications are independent simulate-and-fit
+    // jobs: run one on a scoped worker, one on the current thread.
+    let (high, low) = thread::scope(|s| {
+        let high = s.spawn(|| estimate_state_submodel(spec, true, &cfg));
+        let low = estimate_state_submodel(spec, false, &cfg);
+        (join_worker(high), low)
+    });
+    let (i_high, rec_high) = high?;
+    let (i_low, rec_low) = low?;
 
     // --- 2. switching captures on the two identification loads ---
     let cap = |pattern: &str, to_vdd: bool, r: f64| -> Result<(Vec<f64>, Vec<f64>)> {
@@ -151,15 +166,28 @@ pub fn estimate_driver_with_records(
         )?;
         Ok((c.voltage.values().to_vec(), c.current.values().to_vec()))
     };
+    // Four independent transient captures (two patterns × two loads).
+    let cap = &cap;
+    let (c01a, c01b, c10a, c10b) = thread::scope(|s| {
+        let c01a = s.spawn(move || cap("01", false, cfg.r_load_a));
+        let c01b = s.spawn(move || cap("01", true, cfg.r_load_b));
+        let c10a = s.spawn(move || cap("10", false, cfg.r_load_a));
+        let c10b = cap("10", true, cfg.r_load_b);
+        (
+            join_worker(c01a),
+            join_worker(c01b),
+            join_worker(c10a),
+            c10b,
+        )
+    });
 
     let k_edge = (cfg.t_pre / cfg.ts).round() as usize;
     let mut weights = Vec::with_capacity(2);
-    for (pattern, anchors) in [
-        ("01", ((0.0, 1.0), (1.0, 0.0))),
-        ("10", ((1.0, 0.0), (0.0, 1.0))),
+    for (captures, anchors) in [
+        ((c01a?, c01b?), ((0.0, 1.0), (1.0, 0.0))),
+        ((c10a?, c10b?), ((1.0, 0.0), (0.0, 1.0))),
     ] {
-        let (v_a, i_a) = cap(pattern, false, cfg.r_load_a)?;
-        let (v_b, i_b) = cap(pattern, true, cfg.r_load_b)?;
+        let ((v_a, i_a), (v_b, i_b)) = captures;
         // Submodel free runs on the recorded voltages, from settled initial
         // conditions at the first sample.
         let run = |m: &NarxModel, v: &[f64]| -> Vec<f64> {
@@ -353,7 +381,11 @@ pub fn estimate_receiver(
             message: "ts must be positive".into(),
         });
     }
-    // --- 1. linear submodel: steps inside the rails ---
+    // All three identification captures (linear steps, up-protection and
+    // down-protection multilevel signals) are independent transistor-level
+    // transients: run them on scoped workers. The fits stay sequential —
+    // each protection submodel trains on the residual of the previous
+    // stages.
     let lin_sig = signals::step_train(
         0.1 * spec.vdd,
         0.9 * spec.vdd,
@@ -361,7 +393,26 @@ pub fn estimate_receiver(
         cfg.dwell * 2,
         cfg.edge_samples,
     );
-    let (v_lin, i_lin) = capture_rx(spec, lin_sig, cfg.ts)?;
+    let lo = -cfg.v_over;
+    let hi = spec.vdd + cfg.v_over;
+    let sig_up = signals::multilevel(lo, hi, cfg.n_levels, cfg.dwell, cfg.edge_samples, cfg.seed);
+    let sig_dn = signals::multilevel(
+        lo,
+        hi,
+        cfg.n_levels,
+        cfg.dwell,
+        cfg.edge_samples,
+        cfg.seed ^ 0xffff,
+    );
+    let (cap_lin, cap_up, cap_dn) = thread::scope(|s| {
+        let cap_lin = s.spawn(|| capture_rx(spec, lin_sig, cfg.ts));
+        let cap_up = s.spawn(|| capture_rx(spec, sig_up, cfg.ts));
+        let cap_dn = capture_rx(spec, sig_dn, cfg.ts);
+        (join_worker(cap_lin), join_worker(cap_up), cap_dn)
+    });
+
+    // --- 1. linear submodel: steps inside the rails ---
+    let (v_lin, i_lin) = cap_lin?;
     let linear = fit_stable_arx(&v_lin, &i_lin, cfg.r_lin)?;
 
     // --- 2. protection submodels on the residual ---
@@ -377,10 +428,7 @@ pub fn estimate_receiver(
     // `up` and `down` is realized by sequential residual fitting: `up`
     // absorbs the residual after the linear part, `down` what remains.
     // Inside the rails both are taught to be (near) zero by construction.
-    let lo = -cfg.v_over;
-    let hi = spec.vdd + cfg.v_over;
-    let sig_up = signals::multilevel(lo, hi, cfg.n_levels, cfg.dwell, cfg.edge_samples, cfg.seed);
-    let (v_up, i_up) = capture_rx(spec, sig_up, cfg.ts)?;
+    let (v_up, i_up) = cap_up?;
     let lin_up = linear.simulate(&v_up);
     let resid_up: Vec<f64> = i_up.iter().zip(&lin_up).map(|(a, b)| a - b).collect();
     let up = NarxModel::fit(
@@ -393,15 +441,7 @@ pub fn estimate_receiver(
         cfg.rbf,
     )?;
 
-    let sig_dn = signals::multilevel(
-        lo,
-        hi,
-        cfg.n_levels,
-        cfg.dwell,
-        cfg.edge_samples,
-        cfg.seed ^ 0xffff,
-    );
-    let (v_dn, i_dn) = capture_rx(spec, sig_dn, cfg.ts)?;
+    let (v_dn, i_dn) = cap_dn?;
     let lin_dn = linear.simulate(&v_dn);
     let up_dn = up.simulate(&v_dn, &[]);
     let resid_dn: Vec<f64> = i_dn
@@ -439,14 +479,20 @@ pub fn estimate_receiver(
 ///
 /// Propagates capture and fit failures.
 pub fn estimate_cr_baseline(spec: &ReceiverSpec, ts: f64) -> Result<CrModel> {
-    // C from an ARX(0,1) fit: i = (C/ts) v(k) - (C/ts) v(k-1).
+    // The step capture (for C) and the DC sweep (for R̂) are independent.
     let sig = signals::step_train(0.1 * spec.vdd, 0.9 * spec.vdd, 6, 40, 6);
-    let (v, i) = capture_rx(spec, sig, ts)?;
+    let (cap, sweep) = thread::scope(|s| {
+        let cap = s.spawn(|| capture_rx(spec, sig, ts));
+        let sweep = receiver_input_iv(spec, (-1.2, spec.vdd + 1.2), 49);
+        (join_worker(cap), sweep)
+    });
+    // C from an ARX(0,1) fit: i = (C/ts) v(k) - (C/ts) v(k-1).
+    let (v, i) = cap?;
     let fit = ArxModel::fit(&v, &i, ArxOrders { na: 0, nb: 1 })?;
     let c = (fit.b()[0] - fit.b()[1]) * 0.5 * ts;
     let c = c.max(1e-15);
     // Static resistor from the DC sweep.
-    let sweep = receiver_input_iv(spec, (-1.2, spec.vdd + 1.2), 49)?;
+    let sweep = sweep?;
     let static_iv = Pwl::new(sweep.voltages, sweep.currents).map_err(|e| Error::Estimation {
         stage: "C-R baseline DC sweep".into(),
         message: e.to_string(),

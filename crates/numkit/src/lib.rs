@@ -29,6 +29,7 @@ pub mod lstsq;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
+pub mod sparse;
 pub mod stats;
 
 pub use matrix::Matrix;

@@ -104,6 +104,14 @@ impl LuFactor {
         self.lu.rows()
     }
 
+    /// Row permutation chosen by partial pivoting: `perm()[i]` is the
+    /// original row stored at position `i` of the factorization. Used by
+    /// [`crate::sparse::SparseLu`] to freeze a pivot sequence discovered on
+    /// a representative matrix.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
     /// Solves `A x = b`.
     ///
     /// # Errors

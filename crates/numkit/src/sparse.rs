@@ -1,0 +1,698 @@
+//! Sparse column-compressed matrices and an LU factorization whose symbolic
+//! structure is computed once and reused across numeric refactorizations.
+//!
+//! This is the classic SPICE optimization: an MNA matrix is re-stamped with
+//! new numeric values every Newton iteration of every timestep, but its
+//! *sparsity pattern never changes*. The workflow is therefore split:
+//!
+//! 1. [`CscPattern::from_entries`] — build the structural pattern once;
+//! 2. [`SparseLu::factor`] — one-time *symbolic analysis*: a fill-reducing
+//!    minimum-degree ordering, a pivot sequence discovered by dense partial
+//!    pivoting on the first numeric matrix, and the structural fill pattern
+//!    of `L`/`U` under that pivot sequence;
+//! 3. [`SparseLu::refactor`] — numeric-only refactorization reusing the
+//!    frozen pattern and pivot order, O(nnz(L + U)) per call instead of
+//!    O(n³).
+//!
+//! `refactor` monitors pivot quality: when a frozen pivot decays relative to
+//! its column (the matrix values drifted far from the ones the pivot order
+//! was chosen on), it reports [`Error::Singular`] and the caller re-runs the
+//! full [`SparseLu::factor`] to re-pivot.
+//!
+//! # Scaling limit
+//!
+//! The symbolic analysis discovers its pivot sequence by a *dense* partial-
+//! pivoting factorization of the permuted matrix — O(n²) memory and O(n³)
+//! time, paid once per analysis (and again on every pivot-decay re-pivot).
+//! This is the right trade for the MNA systems this workspace targets
+//! (tens to a few hundred unknowns); circuits with many thousands of
+//! unknowns need a sparse pivot-discovery pass (Gilbert–Peierls / Markowitz)
+//! here before the rest of the machinery scales.
+
+use crate::{lu::LuFactor, Error, Matrix, Result};
+
+/// Relative pivot threshold below which a refactorization is declared
+/// singular (matches the dense [`LuFactor`] threshold).
+const SINGULAR_EPS: f64 = 1e-13;
+
+/// A frozen pivot must stay within this factor of the largest candidate in
+/// its column, or the refactorization bails out so the caller can re-pivot.
+const PIVOT_RTOL: f64 = 1e-3;
+
+/// Above this dimension the minimum-degree ordering (dense-adjacency greedy,
+/// O(n³) worst case) is skipped in favor of the natural order.
+const MIN_DEGREE_LIMIT: usize = 256;
+
+/// Structural (symbolic) pattern of a sparse square matrix in
+/// column-compressed form. Values live elsewhere, parallel to the entry
+/// slots defined here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CscPattern {
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+}
+
+impl CscPattern {
+    /// Builds a pattern from (row, column) pairs. Duplicates are merged;
+    /// entry *slots* (indices into a parallel value array) are assigned in
+    /// column-major order.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::EmptyInput`] for `n == 0`.
+    /// * [`Error::DimensionMismatch`] if any index is out of range.
+    pub fn from_entries(n: usize, entries: &[(usize, usize)]) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::EmptyInput);
+        }
+        let mut sorted: Vec<(usize, usize)> = Vec::with_capacity(entries.len());
+        for &(r, c) in entries {
+            if r >= n || c >= n {
+                return Err(Error::DimensionMismatch {
+                    expected: format!("indices below {n}"),
+                    got: format!("entry ({r}, {c})"),
+                });
+            }
+            sorted.push((c, r));
+        }
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut col_ptr = vec![0usize; n + 1];
+        let mut row_idx = Vec::with_capacity(sorted.len());
+        for &(c, r) in &sorted {
+            col_ptr[c + 1] += 1;
+            row_idx.push(r);
+        }
+        for c in 0..n {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        Ok(CscPattern {
+            n,
+            col_ptr,
+            row_idx,
+        })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of structural nonzeros (= length of the parallel value array).
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Value-array slot of entry `(r, c)`, or `None` if structurally zero.
+    pub fn index_of(&self, r: usize, c: usize) -> Option<usize> {
+        if r >= self.n || c >= self.n {
+            return None;
+        }
+        let lo = self.col_ptr[c];
+        let hi = self.col_ptr[c + 1];
+        self.row_idx[lo..hi]
+            .binary_search(&r)
+            .ok()
+            .map(|off| lo + off)
+    }
+
+    /// Iterates `(row, slot)` pairs of column `c`, rows ascending.
+    pub fn col_entries(&self, c: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let lo = self.col_ptr[c];
+        let hi = self.col_ptr[c + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .zip(lo..hi)
+            .map(|(&r, slot)| (r, slot))
+    }
+
+    /// Materializes the pattern plus a value array into a dense matrix
+    /// (diagnostics and golden-value tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `values.len() != nnz()`.
+    pub fn to_dense(&self, values: &[f64]) -> Result<Matrix> {
+        if values.len() != self.nnz() {
+            return Err(Error::DimensionMismatch {
+                expected: format!("{} values", self.nnz()),
+                got: format!("{} values", values.len()),
+            });
+        }
+        let mut m = Matrix::zeros(self.n, self.n);
+        for c in 0..self.n {
+            for (r, slot) in self.col_entries(c) {
+                m.add_at(r, c, values[slot]);
+            }
+        }
+        Ok(m)
+    }
+}
+
+/// Greedy minimum-degree ordering on the symmetrized pattern `A + Aᵀ`.
+/// Returns `order` with `order[k]` = original index eliminated at step `k`.
+fn min_degree_order(p: &CscPattern) -> Vec<usize> {
+    let n = p.n;
+    if n > MIN_DEGREE_LIMIT {
+        return (0..n).collect();
+    }
+    let mut adj = vec![false; n * n];
+    for c in 0..n {
+        for (r, _) in p.col_entries(c) {
+            if r != c {
+                adj[r * n + c] = true;
+                adj[c * n + r] = true;
+            }
+        }
+    }
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best = usize::MAX;
+        let mut best_deg = usize::MAX;
+        for v in 0..n {
+            if eliminated[v] {
+                continue;
+            }
+            let deg = (0..n).filter(|&u| !eliminated[u] && adj[v * n + u]).count();
+            if deg < best_deg {
+                best_deg = deg;
+                best = v;
+            }
+        }
+        eliminated[best] = true;
+        order.push(best);
+        // Eliminating `best` cliques its remaining neighbors (the fill this
+        // ordering is trying to minimize).
+        let nbrs: Vec<usize> = (0..n)
+            .filter(|&u| !eliminated[u] && adj[best * n + u])
+            .collect();
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                adj[a * n + b] = true;
+                adj[b * n + a] = true;
+            }
+        }
+    }
+    order
+}
+
+/// LU factorization of a sparse matrix with a frozen symbolic structure.
+///
+/// Built once per pattern by [`SparseLu::factor`]; subsequent matrices with
+/// the same pattern are handled by [`SparseLu::refactor`].
+///
+/// # Example
+///
+/// ```
+/// use numkit::sparse::{CscPattern, SparseLu};
+/// # fn main() -> Result<(), numkit::Error> {
+/// let pat = CscPattern::from_entries(2, &[(0, 0), (0, 1), (1, 0), (1, 1)])?;
+/// // Column-major slots: (0,0) (1,0) (0,1) (1,1).
+/// let mut lu = SparseLu::factor(&pat, &[2.0, 1.0, 1.0, 3.0])?;
+/// let x = lu.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12 && (x[1] - 1.4).abs() < 1e-12);
+/// // New values, same structure: numeric-only refactorization.
+/// lu.refactor(&[4.0, 1.0, 1.0, 3.0])?;
+/// let x = lu.solve(&[4.0, 4.0])?;
+/// assert!((4.0 * x[0] + x[1] - 4.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// Permuted row -> original row (`q[p[r]]`).
+    rowmap: Vec<usize>,
+    /// Permuted column -> original column (`q[c]`).
+    colmap: Vec<usize>,
+    /// Strictly-lower L (unit diagonal implied), column compressed, rows
+    /// ascending, in the permuted space.
+    l_colptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    l_vals: Vec<f64>,
+    /// Strictly-upper U, column compressed, rows ascending.
+    u_colptr: Vec<usize>,
+    u_rows: Vec<usize>,
+    u_vals: Vec<f64>,
+    /// U diagonal (pivots).
+    diag: Vec<f64>,
+    /// Scatter plan: for permuted column `k`, the (permuted row, value slot)
+    /// pairs of the original matrix entries landing in that column.
+    sc_ptr: Vec<usize>,
+    sc_rows: Vec<usize>,
+    sc_slots: Vec<usize>,
+    /// Dense accumulator, kept zeroed between uses.
+    work: Vec<f64>,
+}
+
+impl SparseLu {
+    /// Full factorization: symbolic analysis on `pattern` (ordering, pivot
+    /// discovery on `values`, structural fill) followed by a numeric pass.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] if `values.len() != pattern.nnz()`.
+    /// * [`Error::Singular`] for structurally or numerically singular input.
+    pub fn factor(pattern: &CscPattern, values: &[f64]) -> Result<Self> {
+        let n = pattern.n();
+        if values.len() != pattern.nnz() {
+            return Err(Error::DimensionMismatch {
+                expected: format!("{} values", pattern.nnz()),
+                got: format!("{} values", values.len()),
+            });
+        }
+        // 1. Fill-reducing symmetric ordering.
+        let q = min_degree_order(pattern);
+        let mut qinv = vec![0usize; n];
+        for (k, &orig) in q.iter().enumerate() {
+            qinv[orig] = k;
+        }
+        // 2. Pivot discovery: dense partial pivoting on the symmetrically
+        //    permuted matrix. Runs once per symbolic analysis.
+        let mut ap = Matrix::zeros(n, n);
+        for c in 0..n {
+            for (r, slot) in pattern.col_entries(c) {
+                ap.add_at(qinv[r], qinv[c], values[slot]);
+            }
+        }
+        let dense = LuFactor::new(&ap)?;
+        let p = dense.perm();
+        let mut rowmap = vec![0usize; n];
+        let mut rowinv = vec![0usize; n];
+        for r in 0..n {
+            rowmap[r] = q[p[r]];
+            rowinv[rowmap[r]] = r;
+        }
+        let colmap = q;
+
+        // 3. Structural elimination on the permuted + row-pivoted pattern:
+        //    row bitsets accumulate the fill of Gaussian elimination with
+        //    the frozen pivot sequence.
+        let words = n.div_ceil(64);
+        let mut rows = vec![0u64; n * words];
+        let mut sc_cols: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for c in 0..n {
+            let pc = qinv[c];
+            for (r, slot) in pattern.col_entries(c) {
+                let pr = rowinv[r];
+                rows[pr * words + pc / 64] |= 1u64 << (pc % 64);
+                sc_cols[pc].push((pr, slot));
+            }
+        }
+        for k in 0..n {
+            // Mask of row k restricted to columns > k.
+            let mut above = vec![0u64; words];
+            above[k / 64] = !0u64 << (k % 64) << 1;
+            for w in above.iter_mut().skip(k / 64 + 1) {
+                *w = !0u64;
+            }
+            for i in (k + 1)..n {
+                if rows[i * words + k / 64] & (1u64 << (k % 64)) != 0 {
+                    for w in 0..words {
+                        let add = rows[k * words + w] & above[w];
+                        rows[i * words + w] |= add;
+                    }
+                }
+            }
+        }
+        let bit =
+            |rows: &[u64], r: usize, c: usize| rows[r * words + c / 64] & (1 << (c % 64)) != 0;
+        let mut l_colptr = vec![0usize; n + 1];
+        let mut l_rows = Vec::new();
+        let mut u_colptr = vec![0usize; n + 1];
+        let mut u_rows = Vec::new();
+        for k in 0..n {
+            for j in 0..k {
+                if bit(&rows, j, k) {
+                    u_rows.push(j);
+                }
+            }
+            u_colptr[k + 1] = u_rows.len();
+            for i in (k + 1)..n {
+                if bit(&rows, i, k) {
+                    l_rows.push(i);
+                }
+            }
+            l_colptr[k + 1] = l_rows.len();
+        }
+        let mut sc_ptr = vec![0usize; n + 1];
+        let mut sc_rows = Vec::with_capacity(pattern.nnz());
+        let mut sc_slots = Vec::with_capacity(pattern.nnz());
+        for (k, col) in sc_cols.iter().enumerate() {
+            for &(pr, slot) in col {
+                sc_rows.push(pr);
+                sc_slots.push(slot);
+            }
+            sc_ptr[k + 1] = sc_rows.len();
+        }
+
+        let l_nnz = l_rows.len();
+        let u_nnz = u_rows.len();
+        let mut lu = SparseLu {
+            n,
+            rowmap,
+            colmap,
+            l_colptr,
+            l_rows,
+            l_vals: vec![0.0; l_nnz],
+            u_colptr,
+            u_rows,
+            u_vals: vec![0.0; u_nnz],
+            diag: vec![0.0; n],
+            sc_ptr,
+            sc_rows,
+            sc_slots,
+            work: vec![0.0; n],
+        };
+        // 4. Numeric pass through the same code path refactorizations use.
+        lu.refactor(values)?;
+        Ok(lu)
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Structural nonzeros of the factors (L + U + diagonal) — the per-call
+    /// cost driver of [`SparseLu::refactor`].
+    pub fn factor_nnz(&self) -> usize {
+        self.l_vals.len() + self.u_vals.len() + self.n
+    }
+
+    /// Numeric-only refactorization: same pattern, same pivot order, new
+    /// values. Left-looking over the frozen column structures.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Singular`] when a frozen pivot falls below the singularity
+    /// threshold *or* decays badly relative to its column (the caller should
+    /// then re-run [`SparseLu::factor`] to choose fresh pivots).
+    pub fn refactor(&mut self, values: &[f64]) -> Result<()> {
+        let n = self.n;
+        if values.len() != self.sc_slots.len() {
+            return Err(Error::DimensionMismatch {
+                expected: format!("{} values", self.sc_slots.len()),
+                got: format!("{} values", values.len()),
+            });
+        }
+        let SparseLu {
+            l_colptr,
+            l_rows,
+            l_vals,
+            u_colptr,
+            u_rows,
+            u_vals,
+            diag,
+            sc_ptr,
+            sc_rows,
+            sc_slots,
+            work: x,
+            ..
+        } = self;
+        for k in 0..n {
+            // Scatter column k of A (permuted) into the accumulator.
+            let mut colscale = f64::MIN_POSITIVE;
+            for idx in sc_ptr[k]..sc_ptr[k + 1] {
+                let v = values[sc_slots[idx]];
+                x[sc_rows[idx]] += v;
+                colscale = colscale.max(v.abs());
+            }
+            // Left-looking update: consume U entries ascending.
+            for idx in u_colptr[k]..u_colptr[k + 1] {
+                let j = u_rows[idx];
+                let ujk = x[j];
+                u_vals[idx] = ujk;
+                if ujk != 0.0 {
+                    for l in l_colptr[j]..l_colptr[j + 1] {
+                        x[l_rows[l]] -= l_vals[l] * ujk;
+                    }
+                }
+            }
+            let pivot = x[k];
+            let mut colmax = pivot.abs();
+            for idx in l_colptr[k]..l_colptr[k + 1] {
+                colmax = colmax.max(x[l_rows[idx]].abs());
+            }
+            if pivot.abs() < SINGULAR_EPS * colscale || pivot.abs() < PIVOT_RTOL * colmax {
+                // Restore the zero invariant of the accumulator before
+                // reporting, so a later refactor starts clean.
+                x[k] = 0.0;
+                for idx in u_colptr[k]..u_colptr[k + 1] {
+                    x[u_rows[idx]] = 0.0;
+                }
+                for idx in l_colptr[k]..l_colptr[k + 1] {
+                    x[l_rows[idx]] = 0.0;
+                }
+                return Err(Error::Singular { pivot: k });
+            }
+            diag[k] = pivot;
+            for idx in l_colptr[k]..l_colptr[k + 1] {
+                l_vals[idx] = x[l_rows[idx]] / pivot;
+            }
+            // Clear the accumulator at exactly the column-k pattern.
+            x[k] = 0.0;
+            for idx in u_colptr[k]..u_colptr[k + 1] {
+                x[u_rows[idx]] = 0.0;
+            }
+            for idx in l_colptr[k]..l_colptr[k + 1] {
+                x[l_rows[idx]] = 0.0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A x = b` with the current factors, writing into `out` and
+    /// using `scratch` as the permuted intermediate (both length `n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] on length mismatches.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64], scratch: &mut [f64]) -> Result<()> {
+        let n = self.n;
+        if b.len() != n || out.len() != n || scratch.len() != n {
+            return Err(Error::DimensionMismatch {
+                expected: format!("vectors of length {n}"),
+                got: format!("{} / {} / {}", b.len(), out.len(), scratch.len()),
+            });
+        }
+        for r in 0..n {
+            scratch[r] = b[self.rowmap[r]];
+        }
+        // Forward substitution (unit lower, column access).
+        for j in 0..n {
+            let dj = scratch[j];
+            if dj != 0.0 {
+                for idx in self.l_colptr[j]..self.l_colptr[j + 1] {
+                    scratch[self.l_rows[idx]] -= self.l_vals[idx] * dj;
+                }
+            }
+        }
+        // Back substitution (upper, column access).
+        for k in (0..n).rev() {
+            let yk = scratch[k] / self.diag[k];
+            scratch[k] = yk;
+            if yk != 0.0 {
+                for idx in self.u_colptr[k]..self.u_colptr[k + 1] {
+                    scratch[self.u_rows[idx]] -= self.u_vals[idx] * yk;
+                }
+            }
+        }
+        for c in 0..n {
+            out[self.colmap[c]] = scratch[c];
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience wrapper around [`SparseLu::solve_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.n];
+        let mut scratch = vec![0.0; self.n];
+        self.solve_into(b, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_entries(m: &Matrix) -> (Vec<(usize, usize)>, Vec<f64>) {
+        // Column-major so slots line up with CscPattern's ordering.
+        let mut e = Vec::new();
+        let mut v = Vec::new();
+        for c in 0..m.cols() {
+            for r in 0..m.rows() {
+                if m.get(r, c) != 0.0 {
+                    e.push((r, c));
+                    v.push(m.get(r, c));
+                }
+            }
+        }
+        (e, v)
+    }
+
+    #[test]
+    fn pattern_slots_and_lookup() {
+        let pat = CscPattern::from_entries(3, &[(2, 0), (0, 0), (1, 2), (0, 0)]).unwrap();
+        assert_eq!(pat.n(), 3);
+        assert_eq!(pat.nnz(), 3); // duplicate merged
+        assert_eq!(pat.index_of(0, 0), Some(0));
+        assert_eq!(pat.index_of(2, 0), Some(1));
+        assert_eq!(pat.index_of(1, 2), Some(2));
+        assert_eq!(pat.index_of(1, 1), None);
+        assert_eq!(pat.index_of(9, 0), None);
+    }
+
+    #[test]
+    fn pattern_validation() {
+        assert!(matches!(
+            CscPattern::from_entries(0, &[]),
+            Err(Error::EmptyInput)
+        ));
+        assert!(CscPattern::from_entries(2, &[(2, 0)]).is_err());
+    }
+
+    #[test]
+    fn solves_dense_reference_system() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 0.0, 1.0, 0.0],
+            &[0.0, 3.0, 0.0, 2.0],
+            &[1.0, 0.0, 5.0, 0.0],
+            &[0.0, 2.0, 0.0, 6.0],
+        ])
+        .unwrap();
+        let (e, v) = dense_entries(&a);
+        let pat = CscPattern::from_entries(4, &e).unwrap();
+        let lu = SparseLu::factor(&pat, &v).unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let x = lu.solve(&b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn handles_zero_diagonal_like_mna_branch_rows() {
+        // Voltage-source-style block: structural zero on the (2,2) diagonal
+        // forces off-diagonal pivoting.
+        let a =
+            Matrix::from_rows(&[&[1e-3, 0.0, 1.0], &[0.0, 2e-3, -1.0], &[1.0, -1.0, 0.0]]).unwrap();
+        let (e, v) = dense_entries(&a);
+        let pat = CscPattern::from_entries(3, &e).unwrap();
+        let lu = SparseLu::factor(&pat, &v).unwrap();
+        let b = [0.0, 0.0, 2.5];
+        let x = lu.solve(&b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn refactor_tracks_new_values() {
+        let a0 =
+            Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]]).unwrap();
+        let (e, v0) = dense_entries(&a0);
+        let pat = CscPattern::from_entries(3, &e).unwrap();
+        let mut lu = SparseLu::factor(&pat, &v0).unwrap();
+        // Same structure, different values.
+        let a1 =
+            Matrix::from_rows(&[&[5.0, -1.0, 0.0], &[2.0, 7.0, 0.5], &[0.0, -3.0, 9.0]]).unwrap();
+        let (_, v1) = dense_entries(&a1);
+        lu.refactor(&v1).unwrap();
+        let b = [1.0, -2.0, 3.0];
+        let x = lu.solve(&b).unwrap();
+        let r = a1.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_decayed_pivot_then_factor_recovers() {
+        // First matrix: diagonally dominant, diagonal pivots chosen. Second
+        // matrix zeroes a diagonal entry: the frozen pivot decays and
+        // refactor must bail out; a fresh factor() succeeds by re-pivoting.
+        let a0 = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 4.0]]).unwrap();
+        let (e, v0) = dense_entries(&a0);
+        let pat = CscPattern::from_entries(2, &e).unwrap();
+        let mut lu = SparseLu::factor(&pat, &v0).unwrap();
+        let v1 = [1e-9, 1.0, 1.0, 1e-9]; // slots: (0,0) (1,0) (0,1) (1,1)
+        assert!(matches!(lu.refactor(&v1), Err(Error::Singular { .. })));
+        let lu2 = SparseLu::factor(&pat, &v1).unwrap();
+        let x = lu2.solve(&[2.0, 5.0]).unwrap();
+        assert!((x[1] - 2.0).abs() < 1e-6 && (x[0] - 5.0).abs() < 1e-6);
+        // The failed refactor must not poison the accumulator: a refactor
+        // with the original values still works on the old object.
+        lu.refactor(&v0).unwrap();
+        let x = lu.solve(&[5.0, 5.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let (e, v) = dense_entries(&a);
+        let pat = CscPattern::from_entries(2, &e).unwrap();
+        assert!(matches!(
+            SparseLu::factor(&pat, &v),
+            Err(Error::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn to_dense_round_trip() {
+        // Column-major slots: (0,0) then (0,1) then (1,1).
+        let pat = CscPattern::from_entries(2, &[(0, 0), (1, 1), (0, 1)]).unwrap();
+        let m = pat.to_dense(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 1), 3.0);
+        assert_eq!(m.get(1, 0), 0.0);
+        assert!(pat.to_dense(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn min_degree_prefers_low_degree_nodes() {
+        // Star graph: center 0 connected to 1..4. Eliminating the hub first
+        // would fill the whole matrix; min-degree defers it behind the
+        // degree-1 leaves and the factorization stays fill-free.
+        let mut e = vec![(0usize, 0usize)];
+        for k in 1..5 {
+            e.push((k, k));
+            e.push((0, k));
+            e.push((k, 0));
+        }
+        let pat = CscPattern::from_entries(5, &e).unwrap();
+        let order = min_degree_order(&pat);
+        assert_ne!(order[0], 0, "hub must not be eliminated first");
+        // Diagonally dominant values aligned with the pattern.
+        let mut vals = vec![0.0; pat.nnz()];
+        for c in 0..5 {
+            for (r, slot) in pat.col_entries(c) {
+                vals[slot] = if r == c { 8.0 } else { 1.0 };
+            }
+        }
+        let lu = SparseLu::factor(&pat, &vals).unwrap();
+        // Zero fill: L and U each hold exactly the 4 off-diagonal edges.
+        assert_eq!(lu.factor_nnz(), 4 + 4 + 5);
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let pat = CscPattern::from_entries(2, &[(0, 0), (1, 1)]).unwrap();
+        assert!(SparseLu::factor(&pat, &[1.0]).is_err());
+        let mut lu = SparseLu::factor(&pat, &[1.0, 1.0]).unwrap();
+        assert!(lu.refactor(&[1.0]).is_err());
+        assert!(lu.solve(&[1.0]).is_err());
+        assert_eq!(lu.dim(), 2);
+    }
+}

@@ -13,9 +13,9 @@
 
 use crate::drivers::CmosDriverSpec;
 use crate::receiver::ReceiverSpec;
-use crate::Result;
+use crate::{Error, Result};
 use circuit::devices::{SourceWaveform, VoltageSource};
-use circuit::{Circuit, Node, TranParams, Waveform, GROUND};
+use circuit::{Circuit, DeviceId, Node, TranParams, Waveform, GROUND};
 
 /// A static port sweep: current delivered by the device versus port voltage.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +24,63 @@ pub struct PortSweep {
     pub voltages: Vec<f64>,
     /// Current delivered by the device into the external source (A).
     pub currents: Vec<f64>,
+}
+
+/// A reusable DC sweep harness: the circuit is built *once*, the external
+/// source value is updated in place between points, and every solve is
+/// warm-started from the previous point's solution (voltage continuation).
+///
+/// Together with the solver workspace this makes an `n`-point sweep cost one
+/// symbolic analysis plus `n` short warm Newton runs, instead of `n` full
+/// circuit builds and cold solves.
+struct DcSweep {
+    ckt: Circuit,
+    ws: circuit::StampWorkspace,
+    source: DeviceId,
+    probe_index: usize,
+    x_prev: Option<Vec<f64>>,
+}
+
+impl DcSweep {
+    /// Builds the harness around a circuit that already contains the device
+    /// under test; `source` is the external pad source to sweep and
+    /// `probe_index` the unknown holding the measured current.
+    fn new(mut ckt: Circuit, source: DeviceId, probe_index: usize) -> Self {
+        let ws = ckt.make_workspace();
+        DcSweep {
+            ckt,
+            ws,
+            source,
+            probe_index,
+            x_prev: None,
+        }
+    }
+
+    /// Solves one sweep point and returns the probed current.
+    fn solve_at(&mut self, v: f64) -> Result<f64> {
+        self.ckt
+            .device_mut::<VoltageSource>(self.source)
+            .expect("sweep source is a voltage source")
+            .set_waveform(SourceWaveform::dc(v));
+        let x = self
+            .ckt
+            .dc_operating_point_ws(&mut self.ws, self.x_prev.as_deref())?;
+        let i = x[self.probe_index];
+        self.x_prev = Some(x);
+        Ok(i)
+    }
+}
+
+/// Validates a sweep grid and returns the voltage at point `k`.
+fn sweep_grid(v_range: (f64, f64), n_points: usize) -> Result<impl Iterator<Item = f64>> {
+    if n_points < 2 {
+        return Err(Error::InvalidStructure {
+            message: format!("a sweep needs at least 2 points, got {n_points}"),
+        });
+    }
+    let (v0, v1) = v_range;
+    let step = (v1 - v0) / (n_points - 1) as f64;
+    Ok((0..n_points).map(move |k| v0 + step * k as f64))
 }
 
 /// Sweeps the driver output statically with the core input held at a logic
@@ -35,30 +92,32 @@ pub struct PortSweep {
 ///
 /// # Errors
 ///
-/// Propagates spec validation and DC-solve failures.
+/// * [`Error::InvalidStructure`] for sweeps with fewer than two points.
+/// * Propagates spec validation and DC-solve failures.
 pub fn driver_output_iv(
     spec: &CmosDriverSpec,
     logic_high: bool,
     v_range: (f64, f64),
     n_points: usize,
 ) -> Result<PortSweep> {
+    let grid = sweep_grid(v_range, n_points)?;
+    let input = if logic_high { spec.vdd } else { 0.0 };
+    let mut ckt = Circuit::new();
+    let ports = spec.instantiate(&mut ckt, SourceWaveform::dc(input))?;
+    let source = ckt.add(VoltageSource::new(
+        "v_ext",
+        ports.pad,
+        GROUND,
+        SourceWaveform::dc(v_range.0),
+    ));
+    let probe_index = ckt.branch_index(ports.probe, 0);
+    let mut sweep = DcSweep::new(ckt, source, probe_index);
+
     let mut voltages = Vec::with_capacity(n_points);
     let mut currents = Vec::with_capacity(n_points);
-    let input = if logic_high { spec.vdd } else { 0.0 };
-    for k in 0..n_points {
-        let v = v_range.0 + (v_range.1 - v_range.0) * k as f64 / (n_points - 1).max(1) as f64;
-        let mut ckt = Circuit::new();
-        let ports = spec.instantiate(&mut ckt, SourceWaveform::dc(input))?;
-        ckt.add(VoltageSource::new(
-            "v_ext",
-            ports.pad,
-            GROUND,
-            SourceWaveform::dc(v),
-        ));
-        let x = ckt.dc_operating_point()?;
-        let i = x[ckt.branch_index(ports.probe, 0)];
+    for v in grid {
         voltages.push(v);
-        currents.push(i);
+        currents.push(sweep.solve_at(v)?);
     }
     Ok(PortSweep { voltages, currents })
 }
@@ -68,27 +127,30 @@ pub fn driver_output_iv(
 ///
 /// # Errors
 ///
-/// Propagates spec validation and DC-solve failures.
+/// * [`Error::InvalidStructure`] for sweeps with fewer than two points.
+/// * Propagates spec validation and DC-solve failures.
 pub fn receiver_input_iv(
     spec: &ReceiverSpec,
     v_range: (f64, f64),
     n_points: usize,
 ) -> Result<PortSweep> {
+    let grid = sweep_grid(v_range, n_points)?;
+    let mut ckt = Circuit::new();
+    let ports = spec.instantiate(&mut ckt)?;
+    let source = ckt.add(VoltageSource::new(
+        "v_ext",
+        ports.pad,
+        GROUND,
+        SourceWaveform::dc(v_range.0),
+    ));
+    let probe_index = ckt.branch_index(ports.probe, 0);
+    let mut sweep = DcSweep::new(ckt, source, probe_index);
+
     let mut voltages = Vec::with_capacity(n_points);
     let mut currents = Vec::with_capacity(n_points);
-    for k in 0..n_points {
-        let v = v_range.0 + (v_range.1 - v_range.0) * k as f64 / (n_points - 1).max(1) as f64;
-        let mut ckt = Circuit::new();
-        let ports = spec.instantiate(&mut ckt)?;
-        ckt.add(VoltageSource::new(
-            "v_ext",
-            ports.pad,
-            GROUND,
-            SourceWaveform::dc(v),
-        ));
-        let x = ckt.dc_operating_point()?;
+    for v in grid {
         voltages.push(v);
-        currents.push(x[ckt.branch_index(ports.probe, 0)]);
+        currents.push(sweep.solve_at(v)?);
     }
     Ok(PortSweep { voltages, currents })
 }
@@ -156,6 +218,48 @@ mod tests {
     use crate::drivers::md1;
     use crate::receiver::md4;
     use circuit::devices::Resistor;
+
+    #[test]
+    fn degenerate_sweeps_rejected() {
+        // n_points == 1 used to silently sample only v_range.0 and
+        // n_points == 0 returned empty sweeps; both are now structural
+        // errors.
+        for n in [0, 1] {
+            assert!(matches!(
+                driver_output_iv(&md1(), false, (0.0, 3.3), n),
+                Err(crate::Error::InvalidStructure { .. })
+            ));
+            assert!(matches!(
+                receiver_input_iv(&md4(), (-1.0, 3.0), n),
+                Err(crate::Error::InvalidStructure { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn warm_started_sweep_matches_cold_solves() {
+        // The continuation path must agree with independent cold solves.
+        let spec = md1();
+        let sweep = driver_output_iv(&spec, true, (-0.5, 3.8), 9).unwrap();
+        for (k, (&v, &i)) in sweep.voltages.iter().zip(&sweep.currents).enumerate() {
+            let mut ckt = Circuit::new();
+            let ports = spec
+                .instantiate(&mut ckt, SourceWaveform::dc(spec.vdd))
+                .unwrap();
+            ckt.add(VoltageSource::new(
+                "v_ext",
+                ports.pad,
+                GROUND,
+                SourceWaveform::dc(v),
+            ));
+            let x = ckt.dc_operating_point().unwrap();
+            let i_cold = x[ckt.branch_index(ports.probe, 0)];
+            assert!(
+                (i - i_cold).abs() < 1e-6 * (1.0 + i_cold.abs()),
+                "point {k} at {v} V: warm {i} vs cold {i_cold}"
+            );
+        }
+    }
 
     #[test]
     fn pulldown_curve_shape() {

@@ -22,10 +22,9 @@ use crate::drivers::CmosDriverSpec;
 use crate::extraction::{capture_driver, driver_output_iv};
 use crate::{Error, Result};
 use circuit::devices::{Capacitor, Resistor, SourceWaveform, VoltageSource};
-use circuit::mna::{stamp_linearized_current, EvalCtx};
-use circuit::{Circuit, Device, Node, GROUND};
+use circuit::mna::{register_conductance, stamp_linearized_current, EvalCtx};
+use circuit::{Circuit, Device, Node, PatternBuilder, StampWorkspace, GROUND};
 use numkit::interp::Pwl;
-use numkit::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// Process corner of an IBIS model.
@@ -113,8 +112,14 @@ impl IbisModel {
     pub fn extract(spec: &CmosDriverSpec, cfg: IbisExtractConfig) -> Result<IbisModel> {
         let vdd = spec.vdd;
         let v_range = (-0.5 * vdd, 1.5 * vdd);
-        let pu = driver_output_iv(spec, true, v_range, cfg.iv_points)?;
-        let pd = driver_output_iv(spec, false, v_range, cfg.iv_points)?;
+        // The pullup and pulldown table sweeps are independent: one on a
+        // scoped worker, one here.
+        let (pu, pd) = std::thread::scope(|s| {
+            let pu = s.spawn(|| driver_output_iv(spec, true, v_range, cfg.iv_points));
+            let pd = driver_output_iv(spec, false, v_range, cfg.iv_points);
+            (join_worker(pu), pd)
+        });
+        let (pu, pd) = (pu?, pd?);
         let pullup = Pwl::new(pu.voltages.clone(), pu.currents)?;
         let pulldown = Pwl::new(pd.voltages.clone(), pd.currents)?;
 
@@ -155,10 +160,19 @@ impl IbisModel {
             Ok((v, i))
         };
 
-        let (v1r, i1r) = capture(true, false)?;
-        let (v2r, i2r) = capture(true, true)?;
-        let (v1f, i1f) = capture(false, false)?;
-        let (v2f, i2f) = capture(false, true)?;
+        // Four independent V–T waveform captures (rise/fall × two fixtures).
+        let capture = &capture;
+        let (c1r, c2r, c1f, c2f) = std::thread::scope(|s| {
+            let c1r = s.spawn(move || capture(true, false));
+            let c2r = s.spawn(move || capture(true, true));
+            let c1f = s.spawn(move || capture(false, false));
+            let c2f = capture(false, true);
+            (join_worker(c1r), join_worker(c2r), join_worker(c1f), c2f)
+        });
+        let (v1r, i1r) = c1r?;
+        let (v2r, i2r) = c2r?;
+        let (v1f, i1f) = c1f?;
+        let (v2f, i2f) = c2f?;
 
         let (ku_rise, kd_rise) =
             solve_switching(&pullup, &pulldown, &v1r, &i1r, &v2r, &i2r, (0.0, 1.0))?;
@@ -224,6 +238,13 @@ impl IbisModel {
         ));
         out
     }
+}
+
+/// Unwraps a scoped worker, re-raising panics on the calling thread.
+fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    handle
+        .join()
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
 }
 
 /// Per-sample 2×2 solve for the switching coefficients.
@@ -380,7 +401,11 @@ impl Device for IbisDriver {
         true
     }
 
-    fn stamp(&self, ctx: &EvalCtx<'_>, mat: &mut Matrix, rhs: &mut [f64]) {
+    fn register(&self, pb: &mut PatternBuilder) {
+        register_conductance(pb, self.out, GROUND);
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
         let t = ctx.mode.time();
         let (ku, kd) = self.ku_kd_at(t);
         let v = ctx.v(self.out);
@@ -388,7 +413,7 @@ impl Device for IbisDriver {
         let i_del = ku * self.model.pullup.eval(v) + kd * self.model.pulldown.eval(v);
         let g_del = ku * self.model.pullup.slope(v) + kd * self.model.pulldown.slope(v);
         // The device *injects* i_del into the node: current leaving = -i_del.
-        stamp_linearized_current(mat, rhs, self.out, GROUND, -i_del, -g_del, v);
+        stamp_linearized_current(ws, self.out, GROUND, -i_del, -g_del, v);
     }
 }
 

@@ -36,6 +36,12 @@ pub enum Error {
         /// Description of the violated constraint.
         message: String,
     },
+    /// An extraction request is structurally invalid (e.g. a sweep with
+    /// fewer than two points).
+    InvalidStructure {
+        /// Description of the violated constraint.
+        message: String,
+    },
     /// An underlying circuit analysis failed.
     Circuit(circuit::Error),
     /// A numerical routine failed during extraction.
@@ -46,6 +52,9 @@ impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Error::InvalidSpec { message } => write!(f, "invalid device spec: {message}"),
+            Error::InvalidStructure { message } => {
+                write!(f, "invalid extraction request: {message}")
+            }
             Error::Circuit(e) => write!(f, "circuit analysis failed: {e}"),
             Error::Numeric(e) => write!(f, "numeric error: {e}"),
         }

@@ -241,12 +241,21 @@ impl NarxModel {
             }
         }
 
-        // 4–5. OLS selection on the residual.
+        // 4–5. OLS selection on the residual. The squared distance is
+        // computed once per base center and shared by all width scales;
+        // far-field responses (exponent beyond ~1e-20) skip the `exp` call
+        // entirely — narrow scales zero out most of the matrix.
         let mut phi = Matrix::zeros(n_rows, candidates.len());
         for (r, row) in rows.iter().enumerate() {
-            for (c, (cand, w)) in candidates.iter().enumerate() {
+            for (b, cand) in base_centers.iter().enumerate() {
                 let d2: f64 = row.iter().zip(cand).map(|(a, b)| (a - b) * (a - b)).sum();
-                phi.set(r, c, (-d2 / (2.0 * w * w)).exp());
+                for (si, s) in SCALES.iter().enumerate() {
+                    let w = base_width * s;
+                    let arg = d2 / (2.0 * w * w);
+                    if arg < 46.0 {
+                        phi.set(r, b * SCALES.len() + si, (-arg).exp());
+                    }
+                }
             }
         }
         let sel = ols::select(

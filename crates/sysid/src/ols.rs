@@ -47,6 +47,16 @@ impl Default for OlsStop {
 
 /// Selects candidate columns of `p` (N×M) that best explain `y` (length N).
 ///
+/// The error-reduction ratios are maintained *incrementally*: after each
+/// Gram–Schmidt step the cached `wᵀy` / `wᵀw` of every candidate receive a
+/// rank-1 update instead of being recomputed from a deflated copy. Because
+/// the selected basis vectors are mutually orthogonal, the projection of a
+/// candidate's orthogonalized remainder onto the newest basis vector equals
+/// the projection of its *original* column — so candidate columns are never
+/// copied or deflated at all. This turns the per-step cost from four O(N)
+/// passes per candidate (deflation write + re-read + two dot products) into
+/// a single read-only dot product.
+///
 /// # Errors
 ///
 /// * [`Error::LengthMismatch`] if `y.len() != p.rows()`.
@@ -78,37 +88,59 @@ pub fn select(p: &Matrix, y: &[f64], stop: OlsStop) -> Result<OlsSelection> {
         });
     }
 
-    // Working copies of the candidate columns, orthogonalized in place
-    // against the already-selected set.
-    let mut cols: Vec<Vec<f64>> = (0..m).map(|c| p.col_vec(c)).collect();
+    let dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+
+    // Original candidate columns, extracted once (read-only from here on).
+    let cols: Vec<Vec<f64>> = (0..m).map(|c| p.col_vec(c)).collect();
+    // Cached statistics of each candidate's *orthogonalized* remainder
+    // w_i = p_i - proj_basis(p_i), updated rank-1 after every selection.
+    let mut wty: Vec<f64> = cols.iter().map(|c| dot(c, y)).collect();
+    let mut wtw: Vec<f64> = cols.iter().map(|c| dot(c, c)).collect();
     let mut available: Vec<bool> = vec![true; m];
+    // Materialized orthogonal basis (selected candidates only, ≤ max_terms).
+    let mut basis: Vec<Vec<f64>> = Vec::new();
+    let mut basis_wtw: Vec<f64> = Vec::new();
+
     let mut selected = Vec::new();
     let mut errs = Vec::new();
     let mut explained = 0.0;
 
     let max_terms = stop.max_terms.min(m).min(n);
-    for _ in 0..max_terms {
-        // Pick the available column with the largest error reduction ratio.
-        let mut best: Option<(usize, f64, f64, f64)> = None; // (idx, err, wty, wtw)
-        for (i, col) in cols.iter().enumerate() {
-            if !available[i] {
+    while selected.len() < max_terms {
+        // Pick the available candidate with the largest error reduction
+        // ratio, straight from the cached statistics.
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if !available[i] || wtw[i] < 1e-20 {
                 continue;
             }
-            let wtw: f64 = col.iter().map(|v| v * v).sum();
-            if wtw < 1e-20 {
-                continue; // numerically dependent on the selected set
-            }
-            let wty: f64 = col.iter().zip(y).map(|(a, b)| a * b).sum();
-            let err = wty * wty / (wtw * yty);
-            if best.is_none_or(|(_, e, _, _)| err > e) {
-                best = Some((i, err, wty, wtw));
+            let err = wty[i] * wty[i] / (wtw[i] * yty);
+            if best.is_none_or(|(_, e)| err > e) {
+                best = Some((i, err));
             }
         }
-        let Some((idx, err, _, wtw)) = best else {
+        let Some((idx, _)) = best else {
             break; // all remaining candidates are dependent
         };
         available[idx] = false;
-        let w_sel = cols[idx].clone();
+        // Materialize the selected orthogonal vector by deflating the
+        // original column against the (orthogonal) basis.
+        let mut w_sel = cols[idx].clone();
+        for (wj, &wjw) in basis.iter().zip(&basis_wtw) {
+            let proj = dot(wj, &w_sel) / wjw;
+            for (wv, bj) in w_sel.iter_mut().zip(wj) {
+                *wv -= proj * bj;
+            }
+        }
+        let wtw_sel = dot(&w_sel, &w_sel);
+        if wtw_sel < 1e-20 {
+            // Fully dependent on the basis despite the cached estimate
+            // (numerical drift near dependence): drop and rescan.
+            wtw[idx] = 0.0;
+            continue;
+        }
+        let wty_sel = dot(&w_sel, y);
+        let err = wty_sel * wty_sel / (wtw_sel * yty);
         explained += err;
         selected.push(idx);
         errs.push(err);
@@ -116,17 +148,19 @@ pub fn select(p: &Matrix, y: &[f64], stop: OlsStop) -> Result<OlsSelection> {
         if 1.0 - explained < stop.tolerance {
             break;
         }
-        // Orthogonalize the remaining candidates against the new basis
-        // vector (modified Gram–Schmidt step).
-        for (i, col) in cols.iter_mut().enumerate() {
-            if !available[i] {
+        // Rank-1 update of the cached statistics. Orthogonality of the
+        // basis makes ⟨w_sel, w_i⟩ = ⟨w_sel, p_i⟩, so one dot product with
+        // the original column suffices.
+        for i in 0..m {
+            if !available[i] || wtw[i] < 1e-20 {
                 continue;
             }
-            let proj: f64 = col.iter().zip(&w_sel).map(|(a, b)| a * b).sum::<f64>() / wtw;
-            for (cv, wv) in col.iter_mut().zip(&w_sel) {
-                *cv -= proj * wv;
-            }
+            let proj = dot(&w_sel, &cols[i]) / wtw_sel;
+            wty[i] -= proj * wty_sel;
+            wtw[i] = (wtw[i] - proj * proj * wtw_sel).max(0.0);
         }
+        basis.push(w_sel);
+        basis_wtw.push(wtw_sel);
     }
 
     Ok(OlsSelection {

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs every workspace test binary individually and prints the slowest ten,
+# so performance regressions show up in CI logs instead of hiding inside a
+# single aggregate `cargo test` wall time.
+#
+# Usage: scripts/test-times.sh [N]   (default N = 10)
+set -euo pipefail
+
+top_n="${1:-10}"
+
+# Proc-macro test binaries link against rustc's shared libstd; make sure
+# they resolve it outside of `cargo test`'s environment.
+sysroot="$(rustc --print sysroot)"
+host="$(rustc -vV | awk '/^host:/ { print $2 }')"
+export LD_LIBRARY_PATH="$sysroot/lib/rustlib/$host/lib:$sysroot/lib${LD_LIBRARY_PATH:+:$LD_LIBRARY_PATH}"
+
+# Build (or reuse) the test binaries and collect their paths. Filter on
+# `profile.test` so examples and proc-macro artifacts are excluded.
+mapfile -t bins < <(
+    cargo test -q --no-run --message-format=json 2>/dev/null |
+        python3 -c '
+import json, sys
+for line in sys.stdin:
+    try:
+        msg = json.loads(line)
+    except json.JSONDecodeError:
+        continue
+    if (
+        msg.get("reason") == "compiler-artifact"
+        and msg.get("executable")
+        and msg.get("profile", {}).get("test")
+    ):
+        print(msg["executable"])
+' | sort -u
+)
+
+if [ "${#bins[@]}" -eq 0 ]; then
+    echo "no test binaries found" >&2
+    exit 1
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+status=0
+for bin in "${bins[@]}"; do
+    start=$(date +%s%N)
+    if ! "$bin" -q >/dev/null 2>&1; then
+        echo "FAILED: $bin" >&2
+        status=1
+    fi
+    end=$(date +%s%N)
+    awk -v ns=$((end - start)) -v name="$(basename "$bin")" \
+        'BEGIN { printf "%8.2fs  %s\n", ns / 1e9, name }' >>"$tmp"
+done
+
+echo "slowest $top_n test binaries:"
+sort -rn "$tmp" | head -n "$top_n"
+exit "$status"
