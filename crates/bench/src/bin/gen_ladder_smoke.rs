@@ -1,0 +1,80 @@
+//! CI smoke for the sparse-solver scaling workload: the N-segment lossy
+//! multi-driver bus ladder.
+//!
+//! Two stages, both printed to the CI log so ordering/fill regressions are
+//! visible as numbers, not just pass/fail:
+//!
+//! 1. *Golden agreement* at small N — the identical scenario is run on the
+//!    sparse Gilbert–Peierls backend and on the dense O(n³) reference
+//!    backend; the downsampled far-end waveforms must agree to ≤ 1e-8
+//!    relative to the signal peak.
+//! 2. *Scale smoke* at ≥ 1000 unknowns — sparse only (the dense backend
+//!    would take minutes), asserting the transient completes with a bounded
+//!    number of symbolic analyses and printing `SolveStats` (fill-in,
+//!    flops) for the log history.
+//!
+//! Run with: `cargo run --release -p emc-bench --bin gen_ladder_smoke`
+//! (or via `scripts/ladder-smoke.sh`).
+
+use emc_bench::{ladder_disagreement, run_bus_ladder, BusLadderRun, Result};
+
+fn print_stats(label: &str, run: &BusLadderRun) {
+    let s = run.solve_stats;
+    println!(
+        "{label}: {} unknowns | symbolic analyses {} | factorizations {} | \
+         factor nnz {} | flops {} | newton iters {} | {:.2} s",
+        run.unknowns,
+        s.symbolic_analyses,
+        s.factorizations,
+        s.factor_nnz,
+        s.flops,
+        run.newton_iterations,
+        run.elapsed_s,
+    );
+}
+
+fn run() -> Result<()> {
+    // Stage 1: golden agreement, ~300 unknowns (past the old dense-greedy
+    // ordering cutoff of 256).
+    let sparse = run_bus_ladder(3, 11, false)?;
+    let dense = run_bus_ladder(3, 11, true)?;
+    print_stats("golden sparse", &sparse);
+    print_stats("golden dense ", &dense);
+    let err = ladder_disagreement(&sparse, &dense, 8);
+    println!("golden sparse-vs-dense downsampled rel err: {err:.3e}");
+    if err.is_nan() || err > 1e-8 {
+        return Err(format!("golden disagreement {err:.3e} exceeds 1e-8").into());
+    }
+
+    // Stage 2: the large ladder the sparse path exists for.
+    let big = run_bus_ladder(4, 30, false)?;
+    print_stats("large  sparse", &big);
+    if big.unknowns < 1000 {
+        return Err(format!("large ladder only has {} unknowns", big.unknowns).into());
+    }
+    let s = big.solve_stats;
+    if s.symbolic_analyses > 3 {
+        return Err(format!(
+            "{} symbolic analyses on a linear circuit (expected 1, tolerate re-pivots ≤ 3)",
+            s.symbolic_analyses
+        )
+        .into());
+    }
+    // Matched terminations settle every lane near half swing; a solver
+    // that silently produced garbage would not.
+    for (j, w) in big.far_voltages.iter().enumerate() {
+        let v_final = *w.values().last().expect("non-empty transient");
+        if (v_final - 0.5).abs() > 0.1 {
+            return Err(format!("lane {j} settled at {v_final:.3} V, expected ~0.5 V").into());
+        }
+    }
+    println!("ladder smoke OK");
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ladder smoke FAILED: {e}");
+        std::process::exit(1);
+    }
+}

@@ -646,6 +646,101 @@ pub fn fig6(model: Option<ReceiverModel>, cr: Option<CrModel>) -> Result<Vec<Fig
     panels.into_iter().collect()
 }
 
+// ---------------------------------------------------------------------------
+// Scaling workload: N-segment lossy multi-driver bus ladder
+// ---------------------------------------------------------------------------
+
+/// One completed bus-ladder transient plus the numbers the smoke harness
+/// and CI logs care about.
+#[derive(Debug)]
+pub struct BusLadderRun {
+    /// MNA unknowns of the expanded ladder.
+    pub unknowns: usize,
+    /// Far-end voltage waveform per conductor.
+    pub far_voltages: Vec<Waveform>,
+    /// Solver diagnostics of the whole analysis (DC + every step).
+    pub solve_stats: circuit::SolveStats,
+    /// Newton iterations summed over all steps.
+    pub newton_iterations: usize,
+    /// Wall-clock seconds of the transient run.
+    pub elapsed_s: f64,
+}
+
+/// Builds and runs the sparse-solver scaling scenario: a `conductors`-lane
+/// lossy coupled bus (`CoupledLineSpec::bus`), expanded into `segments`
+/// RLGC cells, with every lane driven by its own staggered step source
+/// through a matched source resistor and terminated at the far end — a
+/// multi-driver bus whose unknown count grows as ~9·`conductors`·`segments`.
+///
+/// `dense_reference` switches the transient to the dense O(n³) backend for
+/// golden-agreement comparisons; leave it `false` for real sizes.
+///
+/// # Errors
+///
+/// Propagates circuit construction and solver failures.
+pub fn run_bus_ladder(
+    conductors: usize,
+    segments: usize,
+    dense_reference: bool,
+) -> Result<BusLadderRun> {
+    let spec = CoupledLineSpec::bus(conductors, 0.2);
+    let z0 = spec.z0(0);
+    let mut ckt = Circuit::new();
+    let line = expand_coupled_line(&mut ckt, &spec, segments, (1e7, 2e10))?;
+    for j in 0..conductors {
+        let src = ckt.node(format!("src{j}"));
+        // Staggered edges so every driver actually switches within the
+        // window (worst-case simultaneous-switching is a different study).
+        let delay = 50e-12 * j as f64;
+        ckt.add(VoltageSource::new(
+            format!("v{j}"),
+            src,
+            GROUND,
+            SourceWaveform::Step {
+                from: 0.0,
+                to: 1.0,
+                delay,
+                rise: 100e-12,
+            },
+        ));
+        ckt.add(Resistor::new(format!("rs{j}"), src, line.near[j], z0));
+        ckt.add(Resistor::new(format!("rl{j}"), line.far[j], GROUND, z0));
+    }
+    // ~2 line delays of observation at a step fine enough for the edges.
+    let td = spec.delay(0);
+    let params = TranParams::new(20e-12, 2.2 * td + 1e-9);
+    let params = if dense_reference {
+        params.with_dense_solver()
+    } else {
+        params
+    };
+    let t0 = std::time::Instant::now();
+    let res = ckt.transient(params)?;
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    Ok(BusLadderRun {
+        unknowns: ckt.unknown_count(),
+        far_voltages: (0..conductors).map(|j| res.voltage(line.far[j])).collect(),
+        solve_stats: res.solve_stats,
+        newton_iterations: res.total_newton_iterations,
+        elapsed_s,
+    })
+}
+
+/// Maximum relative disagreement between two ladder runs on a downsampled
+/// grid (every `stride`-th sample), normalized by the peak amplitude of
+/// `reference`. The golden check between the sparse solver and the dense
+/// reference backend.
+pub fn ladder_disagreement(a: &BusLadderRun, reference: &BusLadderRun, stride: usize) -> f64 {
+    let mut worst = 0.0f64;
+    for (wa, wr) in a.far_voltages.iter().zip(&reference.far_voltages) {
+        let peak = wr.values().iter().fold(1e-30f64, |m, &v| m.max(v.abs()));
+        for (va, vr) in wa.values().iter().zip(wr.values()).step_by(stride.max(1)) {
+            worst = worst.max((va - vr).abs() / peak);
+        }
+    }
+    worst
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -214,6 +214,15 @@ impl Circuit {
         StampWorkspace::from_pattern(pb)
     }
 
+    /// Builds a workspace that forces the dense O(n³) backend regardless of
+    /// system size — the reference solver for golden-agreement checks
+    /// against the sparse path (see `TranParams::with_dense_solver`). Not
+    /// for production use above a few hundred unknowns.
+    pub fn make_workspace_dense(&mut self) -> StampWorkspace {
+        self.finalize();
+        StampWorkspace::dense(self.unknown_count())
+    }
+
     /// Computes the DC operating point.
     ///
     /// # Errors

@@ -19,6 +19,10 @@ pub struct TranParams {
     /// initial conditions (e.g. `Capacitor::with_ic`) take effect from the
     /// first step.
     pub skip_dc: bool,
+    /// Force the dense O(n³) solver backend instead of the sparse LU — the
+    /// reference path for golden-agreement comparisons. Far too slow for
+    /// large circuits; leave `false` outside validation harnesses.
+    pub dense_solver: bool,
 }
 
 impl TranParams {
@@ -28,12 +32,20 @@ impl TranParams {
             dt,
             t_stop,
             skip_dc: false,
+            dense_solver: false,
         }
     }
 
     /// Returns a copy that skips the initial operating point.
     pub fn with_skip_dc(mut self) -> Self {
         self.skip_dc = true;
+        self
+    }
+
+    /// Returns a copy that runs on the dense reference backend (golden
+    /// comparisons against the sparse solver).
+    pub fn with_dense_solver(mut self) -> Self {
+        self.dense_solver = true;
         self
     }
 
@@ -136,7 +148,11 @@ pub fn run(circuit: &mut Circuit, params: TranParams) -> Result<TranResult> {
     // One persistent workspace for the whole analysis: the stamp pattern and
     // the LU symbolic structure are shared between the DC operating point
     // and every timestep.
-    let mut ws = circuit.make_workspace();
+    let mut ws = if params.dense_solver {
+        circuit.make_workspace_dense()
+    } else {
+        circuit.make_workspace()
+    };
 
     // 1. Initial condition.
     let x0 = if params.skip_dc {
@@ -205,6 +221,39 @@ mod tests {
         assert!(TranParams::new(1e-9, 1e-10).validate().is_err());
         assert!(TranParams::new(1e-9, 1e-6).validate().is_ok());
         assert!(TranParams::new(1e-9, 1e-6).with_skip_dc().skip_dc);
+        assert!(TranParams::new(1e-9, 1e-6).with_dense_solver().dense_solver);
+    }
+
+    #[test]
+    fn dense_backend_matches_sparse_backend() {
+        let build = || {
+            let mut ckt = Circuit::new();
+            let nin = ckt.node("in");
+            let mut prev = nin;
+            ckt.add(VoltageSource::new(
+                "v",
+                nin,
+                GROUND,
+                SourceWaveform::step(0.0, 1.0, 1e-10),
+            ));
+            for k in 0..6 {
+                let next = ckt.node(format!("n{k}"));
+                ckt.add(Resistor::new(format!("r{k}"), prev, next, 50.0));
+                ckt.add(Capacitor::new(format!("c{k}"), next, GROUND, 2e-12));
+                prev = next;
+            }
+            (ckt, prev)
+        };
+        let params = TranParams::new(2e-11, 2e-9);
+        let (mut ckt_s, out_s) = build();
+        let sparse = ckt_s.transient(params).unwrap();
+        let (mut ckt_d, out_d) = build();
+        let dense = ckt_d.transient(params.with_dense_solver()).unwrap();
+        let vs = sparse.voltage(out_s);
+        let vd = dense.voltage(out_d);
+        for (a, b) in vs.values().iter().zip(vd.values()) {
+            assert!((a - b).abs() < 1e-9, "backend mismatch: {a} vs {b}");
+        }
     }
 
     #[test]

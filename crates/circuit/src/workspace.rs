@@ -77,11 +77,18 @@ impl PatternBuilder {
 /// Cumulative solver diagnostics of a workspace.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
-    /// Symbolic analyses performed (pattern ordering + fill computation +
-    /// pivot discovery). A well-behaved circuit needs exactly one.
+    /// Symbolic analyses performed (fill ordering + Gilbert–Peierls pivot
+    /// discovery). A well-behaved circuit needs exactly one.
     pub symbolic_analyses: usize,
     /// Numeric factorizations (dense or sparse refactorizations).
     pub factorizations: usize,
+    /// Structural nonzeros of the current `L + U` factors, diagonal
+    /// included — the fill-in diagnostic (dense backend: `n²`).
+    pub factor_nnz: usize,
+    /// Cumulative numeric factorization work: multiply–adds plus divides,
+    /// summed over every factorization including discarded re-pivot
+    /// attempts (dense backend: an `n³/3` estimate per factorization).
+    pub flops: u64,
 }
 
 struct SparseState {
@@ -107,6 +114,10 @@ pub struct StampWorkspace {
     rhs: Vec<f64>,
     backend: Backend,
     stats: SolveStats,
+    /// Flops accumulated by `SparseLu` objects that have since been replaced
+    /// (pattern growth or pivot-decay re-analysis); added to the live
+    /// object's counter when reporting [`SolveStats::flops`].
+    flops_base: u64,
     x_out: Vec<f64>,
     scratch: Vec<f64>,
 }
@@ -160,13 +171,16 @@ impl StampWorkspace {
             rhs: vec![0.0; n],
             backend,
             stats: SolveStats::default(),
+            flops_base: 0,
             x_out: vec![0.0; n],
             scratch: vec![0.0; n],
         }
     }
 
-    /// A dense workspace with no registered pattern — for unit tests that
-    /// stamp a device in isolation and inspect the matrix.
+    /// A dense workspace with no registered pattern — the O(n³) reference
+    /// backend. Used by unit tests that stamp a device in isolation and by
+    /// golden-agreement runs that compare the sparse solver against the
+    /// dense one on the same circuit (see `TranParams::with_dense_solver`).
     pub fn dense(n: usize) -> Self {
         StampWorkspace {
             n,
@@ -175,6 +189,7 @@ impl StampWorkspace {
                 mat: Matrix::zeros(n, n),
             },
             stats: SolveStats::default(),
+            flops_base: 0,
             x_out: vec![0.0; n],
             scratch: vec![0.0; n],
         }
@@ -320,6 +335,9 @@ impl StampWorkspace {
                 if self.stats.symbolic_analyses == 0 {
                     self.stats.symbolic_analyses = 1;
                 }
+                let n = self.n as u64;
+                self.stats.factor_nnz = self.n * self.n;
+                self.stats.flops += n * n * n / 3;
                 let x = lu.solve(&self.rhs)?;
                 self.x_out.copy_from_slice(&x);
             }
@@ -336,12 +354,19 @@ impl StampWorkspace {
                 };
                 if !refreshed {
                     // First factorization, grown pattern, or a frozen pivot
-                    // decayed: run the full symbolic + numeric analysis.
+                    // decayed: re-run the sparse Gilbert–Peierls analysis
+                    // (O(flops into L·U), same as a refactorization up to
+                    // the ordering + reach overhead — no dense fallback).
+                    if let Some(old) = lu.take() {
+                        self.flops_base += old.total_flops();
+                    }
                     *lu = Some(SparseLu::factor(pattern, values)?);
                     self.stats.symbolic_analyses += 1;
                 }
                 self.stats.factorizations += 1;
                 let f = lu.as_ref().expect("factorization just ensured");
+                self.stats.factor_nnz = f.factor_nnz();
+                self.stats.flops = self.flops_base + f.total_flops();
                 f.solve_into(&self.rhs, &mut self.x_out, &mut self.scratch)?;
             }
         }
@@ -406,6 +431,10 @@ mod tests {
         let stats = ws.stats();
         assert_eq!(stats.symbolic_analyses, 1, "one symbolic analysis total");
         assert_eq!(stats.factorizations, 3);
+        // A tridiagonal system factors with zero fill: 2(n-1) off-diagonals
+        // plus the n pivots.
+        assert_eq!(stats.factor_nnz, 3 * n - 2);
+        assert!(stats.flops > 0, "flop counter must accumulate");
     }
 
     #[test]

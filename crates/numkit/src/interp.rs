@@ -62,8 +62,25 @@ impl Pwl {
         &self.y
     }
 
+    /// Index of the right endpoint of the active segment for a finite,
+    /// in-range `t`. Shared by [`Pwl::eval`] and [`Pwl::slope`] so the
+    /// evaluated segment and the reported slope can never disagree: a query
+    /// landing exactly on an interior breakpoint selects the *right*
+    /// segment in both.
+    fn segment(&self, t: f64) -> usize {
+        self.x
+            .partition_point(|&v| v <= t)
+            .clamp(1, self.x.len() - 1)
+    }
+
     /// Evaluates the function at `t` with clamped extrapolation.
+    ///
+    /// A NaN query returns NaN (a NaN sample from an upstream solve must
+    /// propagate as data, not abort the process).
     pub fn eval(&self, t: f64) -> f64 {
+        if t.is_nan() {
+            return f64::NAN;
+        }
         let n = self.x.len();
         if t <= self.x[0] {
             return self.y[0];
@@ -71,26 +88,25 @@ impl Pwl {
         if t >= self.x[n - 1] {
             return self.y[n - 1];
         }
-        let idx = match self
-            .x
-            .binary_search_by(|v| v.partial_cmp(&t).expect("breakpoints are finite"))
-        {
-            Ok(i) => return self.y[i],
-            Err(i) => i,
-        };
+        let idx = self.segment(t);
         let (x0, x1) = (self.x[idx - 1], self.x[idx]);
         let (y0, y1) = (self.y[idx - 1], self.y[idx]);
         y0 + (y1 - y0) * (t - x0) / (x1 - x0)
     }
 
-    /// Derivative (slope of the active segment); zero in the clamped regions
-    /// and at exact interior breakpoints the right-segment slope is used.
+    /// Derivative (slope of the segment [`Pwl::eval`] interpolates on);
+    /// zero in the clamped regions, NaN for a NaN query. At exact interior
+    /// breakpoints both methods use the right segment, so a Newton
+    /// linearization `eval(t) + slope(t)·dt` is always consistent.
     pub fn slope(&self, t: f64) -> f64 {
+        if t.is_nan() {
+            return f64::NAN;
+        }
         let n = self.x.len();
         if t < self.x[0] || t > self.x[n - 1] || n == 1 {
             return 0.0;
         }
-        let idx = self.x.partition_point(|&v| v <= t).clamp(1, n - 1);
+        let idx = self.segment(t);
         (self.y[idx] - self.y[idx - 1]) / (self.x[idx] - self.x[idx - 1])
     }
 }
@@ -104,6 +120,11 @@ pub fn lerp_at(xs: &[f64], ys: &[f64], x: f64) -> f64 {
     let n = xs.len();
     if n == 0 {
         return 0.0;
+    }
+    if x.is_nan() {
+        // NaN escapes both clamp tests; without this guard a single-point
+        // table would panic in `clamp(1, 0)` below.
+        return f64::NAN;
     }
     if x <= xs[0] {
         return ys[0];
@@ -179,6 +200,46 @@ mod tests {
         assert_eq!(f.slope(2.0), -2.0);
         assert_eq!(f.slope(-1.0), 0.0);
         assert_eq!(f.slope(4.0), 0.0);
+    }
+
+    #[test]
+    fn nan_query_returns_nan_instead_of_panicking() {
+        // Regression: a NaN sample from an upstream solve used to abort via
+        // `binary_search_by(.. partial_cmp ..).expect(..)`.
+        let f = Pwl::new(vec![0.0, 1.0, 3.0], vec![0.0, 2.0, -2.0]).unwrap();
+        assert!(f.eval(f64::NAN).is_nan());
+        assert!(f.slope(f64::NAN).is_nan());
+        // Single-breakpoint tables are the hardest case (clamp(1, 0) would
+        // panic in the segment lookup).
+        let g = Pwl::new(vec![1.0], vec![7.0]).unwrap();
+        assert!(g.eval(f64::NAN).is_nan());
+        assert!(g.slope(f64::NAN).is_nan());
+        assert_eq!(g.eval(5.0), 7.0);
+        assert!(lerp_at(&[1.0], &[7.0], f64::NAN).is_nan());
+        assert!(lerp_at(&[0.0, 1.0], &[0.0, 1.0], f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn eval_and_slope_agree_at_interior_breakpoints() {
+        // Regression: eval (binary_search) and slope (partition_point) used
+        // different segment selections, so at an exact breakpoint hit the
+        // reported slope could belong to a different segment than the one
+        // being evaluated. Both must use the right-hand segment: the
+        // first-order model eval(t) + slope(t)·h must match eval(t + h)
+        // exactly for small forward steps from the breakpoint.
+        let f = Pwl::new(vec![0.0, 1.0, 3.0], vec![0.0, 2.0, -2.0]).unwrap();
+        let t = 1.0; // interior breakpoint
+        assert_eq!(f.eval(t), 2.0);
+        assert_eq!(f.slope(t), -2.0, "right-segment slope at breakpoint");
+        let h = 1e-3;
+        let lin = f.eval(t) + f.slope(t) * h;
+        assert!((lin - f.eval(t + h)).abs() < 1e-12);
+        // And strictly inside each segment the pair stays consistent too.
+        for &t in &[0.25, 0.75, 1.5, 2.9] {
+            let h = 1e-4;
+            let lin = f.eval(t) + f.slope(t) * h;
+            assert!((lin - f.eval(t + h)).abs() < 1e-12, "t = {t}");
+        }
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //! workspace: a dense row-major [`Matrix`], LU / QR / Cholesky factorizations,
 //! linear least squares, 1-D interpolation and basic descriptive statistics.
 //!
-//! It is deliberately minimal: the systems solved in this project are small
-//! (circuit MNA matrices with tens of unknowns, regression problems with a
-//! few thousand rows and tens of columns), so straightforward dense
-//! algorithms with partial pivoting are both adequate and easy to audit.
+//! It is deliberately minimal: the dense paths serve the small systems
+//! (regression problems with a few thousand rows and tens of columns) with
+//! straightforward, auditable algorithms, while [`sparse`] carries the one
+//! genuinely scale-sensitive workload — circuit MNA matrices, factored by a
+//! left-looking Gilbert–Peierls LU with a fill-reducing ordering so that
+//! thousands-of-unknowns systems stay O(flops into the factors).
 //!
 //! # Example
 //!

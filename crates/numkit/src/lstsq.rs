@@ -11,6 +11,16 @@ pub struct LsFit {
     pub rss: f64,
     /// Number of observations (rows of the regression matrix).
     pub n_obs: usize,
+    /// Reciprocal condition estimate of the regression matrix from the
+    /// R-diagonal of its QR factorization (`min |R_ii| / max |R_ii|`); 0 for
+    /// an exactly rank-deficient matrix.
+    pub r_cond: f64,
+    /// True when the QR solve declared the columns numerically dependent and
+    /// the ridge fallback produced the coefficients. Identification tests
+    /// assert this never fires on healthy data.
+    pub ridge_fallback: bool,
+    /// Ridge value used by the fallback (0 when `ridge_fallback` is false).
+    pub ridge: f64,
 }
 
 impl LsFit {
@@ -23,12 +33,19 @@ impl LsFit {
     }
 }
 
-/// Solves `min ||A x - b||` by Householder QR, falling back to a tiny ridge
+/// Solves `min ||A x - b||` by Householder QR, falling back to a ridge
 /// regularization if the columns of `A` are numerically dependent.
 ///
 /// The fallback keeps identification pipelines robust when a candidate
-/// regressor happens to be (nearly) redundant; the bias introduced by the
-/// `1e-10`-scaled ridge is far below waveform noise levels.
+/// regressor happens to be (nearly) redundant. The ridge is derived from
+/// the R-diagonal condition estimate of the QR factorization rather than a
+/// fixed constant: `λ = (ε^¼ · max|R_ii|)²` lifts the smallest effective
+/// singular value to `ε^¼ · max|R_ii|`, capping the effective condition
+/// number at `ε^-¼ ≈ 8×10³`. That keeps `λ` safely above the `O(m·ε)`
+/// rounding noise of forming `AᵀA` (where a fixed tiny ridge can lose
+/// positive definiteness) while biasing predictions by at most `~√ε`
+/// relative — far below waveform noise levels. [`LsFit::ridge_fallback`]
+/// records whether the fallback was taken.
 ///
 /// # Errors
 ///
@@ -40,11 +57,16 @@ pub fn robust_ls(a: &Matrix, b: &[f64]) -> Result<LsFit> {
             got: format!("rhs of length {}", b.len()),
         });
     }
-    let coeffs = match qr::solve_ls(a, b) {
-        Ok(x) => x,
+    let factor = qr::QrFactor::new(a)?;
+    let (r_lo, r_hi) = factor.r_diag_extrema();
+    let r_cond = if r_hi > 0.0 { r_lo / r_hi } else { 0.0 };
+    let (coeffs, ridge_fallback, ridge) = match factor.solve_ls(b) {
+        Ok(x) => (x, false, 0.0),
         Err(Error::Singular { .. }) => {
-            let scale = a.max_abs().max(1.0);
-            cholesky::ridge_solve(a, b, 1e-10 * scale * scale)?
+            let scale = if r_hi > 0.0 { r_hi } else { 1.0 };
+            let floor = f64::EPSILON.powf(0.25) * scale;
+            let lambda = floor * floor;
+            (cholesky::ridge_solve(a, b, lambda)?, true, lambda)
         }
         Err(e) => return Err(e),
     };
@@ -58,6 +80,9 @@ pub fn robust_ls(a: &Matrix, b: &[f64]) -> Result<LsFit> {
         coeffs,
         rss,
         n_obs: b.len(),
+        r_cond,
+        ridge_fallback,
+        ridge,
     })
 }
 
@@ -107,6 +132,9 @@ mod tests {
         assert!((fit.coeffs[1] - 1.0).abs() < 1e-12);
         assert!(fit.rss < 1e-20);
         assert!(fit.rms() < 1e-10);
+        assert!(!fit.ridge_fallback, "healthy data must not need the ridge");
+        assert_eq!(fit.ridge, 0.0);
+        assert!(fit.r_cond > 0.1, "well-conditioned fit, got {}", fit.r_cond);
     }
 
     #[test]
@@ -119,6 +147,34 @@ mod tests {
         let pred = a.matvec(&fit.coeffs).unwrap();
         for (p, y) in pred.iter().zip(&b) {
             assert!((p - y).abs() < 1e-4);
+        }
+        // The fallback is surfaced, with a condition-derived ridge.
+        assert!(fit.ridge_fallback);
+        assert!(fit.ridge > 0.0);
+        assert!(fit.r_cond < 1e-12, "dependent columns, got {}", fit.r_cond);
+    }
+
+    #[test]
+    fn ridge_scales_with_r_diagonal_not_fixed() {
+        // The same rank-deficient structure at two very different scales
+        // must produce ridges that track max|R_ii|² — the old fixed
+        // 1e-10·scale² could sit below the rounding noise of AᵀA for large
+        // well-scaled problems and above the signal for tiny ones.
+        let small = Matrix::from_rows(&[&[1e-4, 1e-4], &[2e-4, 2e-4], &[3e-4, 3e-4]]).unwrap();
+        let big = Matrix::from_rows(&[&[1e4, 1e4], &[2e4, 2e4], &[3e4, 3e4]]).unwrap();
+        let fs = robust_ls(&small, &[2e-4, 4e-4, 6e-4]).unwrap();
+        let fb = robust_ls(&big, &[2e4, 4e4, 6e4]).unwrap();
+        assert!(fs.ridge_fallback && fb.ridge_fallback);
+        let ratio = fb.ridge / fs.ridge;
+        // Scale ratio is 1e8, so R²-proportional ridges differ by ~1e16.
+        assert!(
+            (ratio / 1e16 - 1.0).abs() < 1e-6,
+            "ridge ratio {ratio:.3e} does not track the R diagonal"
+        );
+        // Both stay usable.
+        let pred = big.matvec(&fb.coeffs).unwrap();
+        for (p, y) in pred.iter().zip(&[2e4, 4e4, 6e4]) {
+            assert!((p - y).abs() < 1.0);
         }
     }
 

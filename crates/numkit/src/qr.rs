@@ -151,6 +151,25 @@ impl QrFactor {
         Ok(x)
     }
 
+    /// Smallest and largest absolute values on the diagonal of `R`.
+    ///
+    /// Because the singular values of `A` interlace the sorted `|R_ii|`
+    /// loosely, `max/min` of this pair is the standard cheap condition
+    /// estimate for least-squares problems: `min ≈ 0` flags numerically
+    /// dependent columns, and `min/max` is a usable reciprocal condition
+    /// number without an SVD.
+    pub fn r_diag_extrema(&self) -> (f64, f64) {
+        let n = self.qr.cols();
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for i in 0..n {
+            let d = self.qr.get(i, i).abs();
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        (lo, hi)
+    }
+
     /// Squared residual `||A x - b||^2` of the least-squares solution,
     /// computed from the tail of `Q^T b` without forming the solution.
     ///

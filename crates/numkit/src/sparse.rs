@@ -1,47 +1,60 @@
-//! Sparse column-compressed matrices and an LU factorization whose symbolic
-//! structure is computed once and reused across numeric refactorizations.
+//! Sparse column-compressed matrices and a left-looking Gilbert–Peierls LU
+//! factorization whose symbolic structure is computed once and reused across
+//! numeric refactorizations.
 //!
 //! This is the classic SPICE optimization: an MNA matrix is re-stamped with
 //! new numeric values every Newton iteration of every timestep, but its
 //! *sparsity pattern never changes*. The workflow is therefore split:
 //!
 //! 1. [`CscPattern::from_entries`] — build the structural pattern once;
-//! 2. [`SparseLu::factor`] — one-time *symbolic analysis*: a fill-reducing
-//!    minimum-degree ordering, a pivot sequence discovered by dense partial
-//!    pivoting on the first numeric matrix, and the structural fill pattern
-//!    of `L`/`U` under that pivot sequence;
+//! 2. [`SparseLu::factor`] — a genuinely sparse analysis + factorization:
+//!    * a linked-list *approximate-minimum-degree* ordering on the
+//!      symmetrized pattern (quotient-graph elimination with element
+//!      absorption — no size cutoff, no dense adjacency);
+//!    * a left-looking *Gilbert–Peierls* sweep: for each column, a
+//!      depth-first symbolic reach through the partially built `L`
+//!      discovers the fill pattern, a sparse triangular solve produces the
+//!      numeric column, and *partial threshold pivoting* picks the pivot —
+//!      the diagonal of the fill ordering when it is within
+//!      [`PIVOT_THRESHOLD`] of the column maximum, otherwise the
+//!      threshold-eligible candidate with the fewest original-row nonzeros
+//!      (Markowitz-style tie-breaking, magnitude as the final tie-break).
+//!
+//!    Work and memory are proportional to the flops into `L`/`U` and the
+//!    factor nonzeros — there is no dense `n × n` scratch anywhere, so the
+//!    same code path serves ten unknowns and tens of thousands.
 //! 3. [`SparseLu::refactor`] — numeric-only refactorization reusing the
-//!    frozen pattern and pivot order, O(nnz(L + U)) per call instead of
-//!    O(n³).
+//!    frozen pattern and pivot order, O(nnz(L + U)) per call.
 //!
 //! `refactor` monitors pivot quality: when a frozen pivot decays relative to
 //! its column (the matrix values drifted far from the ones the pivot order
 //! was chosen on), it reports [`Error::Singular`] and the caller re-runs the
-//! full [`SparseLu::factor`] to re-pivot.
+//! full [`SparseLu::factor`] to re-pivot — which is again O(flops), not
+//! O(n³).
 //!
-//! # Scaling limit
-//!
-//! The symbolic analysis discovers its pivot sequence by a *dense* partial-
-//! pivoting factorization of the permuted matrix — O(n²) memory and O(n³)
-//! time, paid once per analysis (and again on every pivot-decay re-pivot).
-//! This is the right trade for the MNA systems this workspace targets
-//! (tens to a few hundred unknowns); circuits with many thousands of
-//! unknowns need a sparse pivot-discovery pass (Gilbert–Peierls / Markowitz)
-//! here before the rest of the machinery scales.
+//! [`SparseLu::factor_nnz`] and [`SparseLu::total_flops`] expose fill-in and
+//! cumulative numeric work so callers (see `circuit::workspace::SolveStats`)
+//! can watch for ordering or fill regressions.
 
-use crate::{lu::LuFactor, Error, Matrix, Result};
+use crate::{Error, Matrix, Result};
 
-/// Relative pivot threshold below which a refactorization is declared
-/// singular (matches the dense [`LuFactor`] threshold).
+/// Relative pivot threshold below which a factorization is declared
+/// singular (matches the dense [`crate::lu::LuFactor`] threshold).
 const SINGULAR_EPS: f64 = 1e-13;
 
 /// A frozen pivot must stay within this factor of the largest candidate in
 /// its column, or the refactorization bails out so the caller can re-pivot.
 const PIVOT_RTOL: f64 = 1e-3;
 
-/// Above this dimension the minimum-degree ordering (dense-adjacency greedy,
-/// O(n³) worst case) is skipped in favor of the natural order.
-const MIN_DEGREE_LIMIT: usize = 256;
+/// Partial threshold pivoting: a candidate is pivot-eligible when its
+/// magnitude is at least this fraction of the column maximum. The diagonal
+/// of the fill-reducing ordering is preferred whenever eligible (it is the
+/// entry the ordering minimized fill for); among off-diagonal candidates the
+/// sparsest original row wins.
+const PIVOT_THRESHOLD: f64 = 0.1;
+
+/// Sentinel for "not assigned" in permutation and linked-list arrays.
+const NONE: usize = usize::MAX;
 
 /// Structural (symbolic) pattern of a sparse square matrix in
 /// column-compressed form. Values live elsewhere, parallel to the entry
@@ -150,58 +163,162 @@ impl CscPattern {
     }
 }
 
-/// Greedy minimum-degree ordering on the symmetrized pattern `A + Aᵀ`.
-/// Returns `order` with `order[k]` = original index eliminated at step `k`.
-fn min_degree_order(p: &CscPattern) -> Vec<usize> {
-    let n = p.n;
-    if n > MIN_DEGREE_LIMIT {
-        return (0..n).collect();
+/// Inserts `v` at the head of degree bucket `d` (doubly linked list).
+fn bucket_insert(head: &mut [usize], next: &mut [usize], prev: &mut [usize], d: usize, v: usize) {
+    next[v] = head[d];
+    prev[v] = NONE;
+    if head[d] != NONE {
+        prev[head[d]] = v;
     }
-    let mut adj = vec![false; n * n];
+    head[d] = v;
+}
+
+/// Unlinks `v` from degree bucket `d`.
+fn bucket_remove(head: &mut [usize], next: &mut [usize], prev: &mut [usize], d: usize, v: usize) {
+    if prev[v] != NONE {
+        next[prev[v]] = next[v];
+    } else {
+        head[d] = next[v];
+    }
+    if next[v] != NONE {
+        prev[next[v]] = prev[v];
+    }
+}
+
+/// Linked-list approximate-minimum-degree ordering on the symmetrized
+/// pattern `A + Aᵀ`. Returns `order` with `order[k]` = original index
+/// eliminated at step `k`.
+///
+/// Quotient-graph elimination: an eliminated variable becomes an *element*
+/// whose boundary is its remaining neighborhood; a variable's degree is
+/// approximated by `|variable neighbors| + Σ (element boundary sizes − 1)`
+/// (an upper bound — boundary overlaps are not subtracted, which is the
+/// "approximate" in AMD). Elements adjacent to the eliminated variable are
+/// absorbed into the new one, so every variable and element list only ever
+/// shrinks or is replaced; total storage stays O(nnz + fill boundaries) with
+/// no dense adjacency, and candidate selection is O(1) via degree buckets.
+fn amd_order(p: &CscPattern) -> Vec<usize> {
+    let n = p.n;
+    // Symmetrized adjacency lists, diagonal dropped.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     for c in 0..n {
         for (r, _) in p.col_entries(c) {
             if r != c {
-                adj[r * n + c] = true;
-                adj[c * n + r] = true;
+                adj[r].push(c);
+                adj[c].push(r);
             }
         }
     }
+    for l in &mut adj {
+        l.sort_unstable();
+        l.dedup();
+    }
+
+    // Quotient graph state.
+    let mut elem_nodes: Vec<Vec<usize>> = Vec::new();
+    let mut elem_dead: Vec<bool> = Vec::new();
+    let mut eadj: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut eliminated = vec![false; n];
+    let mut mark = vec![false; n];
+
+    // Degree buckets (doubly linked lists over the variables).
+    let mut head = vec![NONE; n + 1];
+    let mut next = vec![NONE; n];
+    let mut prev = vec![NONE; n];
+    let mut deg = vec![0usize; n];
+    for v in 0..n {
+        deg[v] = adj[v].len();
+        bucket_insert(&mut head, &mut next, &mut prev, deg[v], v);
+    }
+
     let mut order = Vec::with_capacity(n);
-    for _ in 0..n {
-        let mut best = usize::MAX;
-        let mut best_deg = usize::MAX;
-        for v in 0..n {
-            if eliminated[v] {
-                continue;
-            }
-            let deg = (0..n).filter(|&u| !eliminated[u] && adj[v * n + u]).count();
-            if deg < best_deg {
-                best_deg = deg;
-                best = v;
+    let mut min_d = 0usize;
+    for k in 0..n {
+        while head[min_d] == NONE {
+            min_d += 1;
+        }
+        let pv = head[min_d];
+        bucket_remove(&mut head, &mut next, &mut prev, deg[pv], pv);
+        eliminated[pv] = true;
+        order.push(pv);
+
+        // Boundary of the new element: remaining variable neighbors plus
+        // the boundaries of every adjacent element. Built directly in the
+        // element store (it becomes the new element's node list).
+        let mut boundary: Vec<usize> = Vec::new();
+        for &u in &adj[pv] {
+            if !eliminated[u] && !mark[u] {
+                mark[u] = true;
+                boundary.push(u);
             }
         }
-        eliminated[best] = true;
-        order.push(best);
-        // Eliminating `best` cliques its remaining neighbors (the fill this
-        // ordering is trying to minimize).
-        let nbrs: Vec<usize> = (0..n)
-            .filter(|&u| !eliminated[u] && adj[best * n + u])
-            .collect();
-        for (i, &a) in nbrs.iter().enumerate() {
-            for &b in &nbrs[i + 1..] {
-                adj[a * n + b] = true;
-                adj[b * n + a] = true;
+        for &e in &eadj[pv] {
+            if elem_dead[e] {
+                continue;
             }
+            for &u in &elem_nodes[e] {
+                if !eliminated[u] && !mark[u] {
+                    mark[u] = true;
+                    boundary.push(u);
+                }
+            }
+        }
+        // Absorb pv's elements into the new one (their boundaries are
+        // covered by it); this is what keeps element storage bounded.
+        for &e in &eadj[pv] {
+            elem_dead[e] = true;
+            elem_nodes[e] = Vec::new();
+        }
+        eadj[pv] = Vec::new();
+        adj[pv] = Vec::new();
+        let new_elem = elem_nodes.len();
+        elem_nodes.push(boundary);
+        elem_dead.push(false);
+
+        let remaining = n - k - 1;
+        for bi in 0..elem_nodes[new_elem].len() {
+            let i = elem_nodes[new_elem][bi];
+            // Variable neighbors now covered by the new element are pruned
+            // (they are exactly the marked ones), as are eliminated ones.
+            adj[i].retain(|&u| !eliminated[u] && !mark[u]);
+            eadj[i].retain(|&e| !elem_dead[e]);
+            eadj[i].push(new_elem);
+            let mut d = adj[i].len();
+            for &e in &eadj[i] {
+                d += elem_nodes[e].len() - 1; // boundary minus `i` itself
+            }
+            let d = d.min(remaining.saturating_sub(1));
+            bucket_remove(&mut head, &mut next, &mut prev, deg[i], i);
+            deg[i] = d;
+            bucket_insert(&mut head, &mut next, &mut prev, d, i);
+            if d < min_d {
+                min_d = d;
+            }
+        }
+        for bi in 0..elem_nodes[new_elem].len() {
+            mark[elem_nodes[new_elem][bi]] = false;
         }
     }
     order
 }
 
+/// Sorts one factor column's parallel `(row, value)` arrays by ascending
+/// row, using `scratch` to avoid per-column allocation.
+fn sort_col(rows: &mut [usize], vals: &mut [f64], scratch: &mut Vec<(usize, f64)>) {
+    scratch.clear();
+    scratch.extend(rows.iter().copied().zip(vals.iter().copied()));
+    scratch.sort_unstable_by_key(|&(r, _)| r);
+    for (i, &(r, v)) in scratch.iter().enumerate() {
+        rows[i] = r;
+        vals[i] = v;
+    }
+}
+
 /// LU factorization of a sparse matrix with a frozen symbolic structure.
 ///
-/// Built once per pattern by [`SparseLu::factor`]; subsequent matrices with
-/// the same pattern are handled by [`SparseLu::refactor`].
+/// Built once per pattern by [`SparseLu::factor`] (Gilbert–Peierls with
+/// threshold pivoting — see the [module docs](self)); subsequent matrices
+/// with the same pattern are handled by [`SparseLu::refactor`].
 ///
 /// # Example
 ///
@@ -223,9 +340,9 @@ fn min_degree_order(p: &CscPattern) -> Vec<usize> {
 #[derive(Debug, Clone)]
 pub struct SparseLu {
     n: usize,
-    /// Permuted row -> original row (`q[p[r]]`).
+    /// Permuted row -> original row.
     rowmap: Vec<usize>,
-    /// Permuted column -> original column (`q[c]`).
+    /// Permuted column -> original column (the fill ordering).
     colmap: Vec<usize>,
     /// Strictly-lower L (unit diagonal implied), column compressed, rows
     /// ascending, in the permuted space.
@@ -243,18 +360,30 @@ pub struct SparseLu {
     sc_ptr: Vec<usize>,
     sc_rows: Vec<usize>,
     sc_slots: Vec<usize>,
-    /// Dense accumulator, kept zeroed between uses.
+    /// Dense accumulator (one vector, not a matrix), kept zeroed between
+    /// uses.
     work: Vec<f64>,
+    /// Cumulative numeric work (multiply–add and divide counts) across the
+    /// initial factorization and every refactorization.
+    flops: u64,
 }
 
 impl SparseLu {
-    /// Full factorization: symbolic analysis on `pattern` (ordering, pivot
-    /// discovery on `values`, structural fill) followed by a numeric pass.
+    /// Full factorization: approximate-minimum-degree ordering, then a
+    /// left-looking Gilbert–Peierls sweep that discovers fill by depth-first
+    /// symbolic reach per column and chooses pivots by partial threshold
+    /// pivoting with Markowitz-style tie-breaking.
+    ///
+    /// Cost is O(flops into `L`·`U`) time and O(nnz(`L` + `U`)) memory —
+    /// there is no dense scratch, so this is also the re-pivot path when
+    /// [`SparseLu::refactor`] reports pivot decay.
     ///
     /// # Errors
     ///
     /// * [`Error::DimensionMismatch`] if `values.len() != pattern.nnz()`.
-    /// * [`Error::Singular`] for structurally or numerically singular input.
+    /// * [`Error::Singular`] for structurally or numerically singular
+    ///   input, and for non-finite (NaN/inf) values — which would otherwise
+    ///   slip past every magnitude-based pivot check.
     pub fn factor(pattern: &CscPattern, values: &[f64]) -> Result<Self> {
         let n = pattern.n();
         if values.len() != pattern.nnz() {
@@ -263,112 +392,220 @@ impl SparseLu {
                 got: format!("{} values", values.len()),
             });
         }
-        // 1. Fill-reducing symmetric ordering.
-        let q = min_degree_order(pattern);
-        let mut qinv = vec![0usize; n];
-        for (k, &orig) in q.iter().enumerate() {
-            qinv[orig] = k;
-        }
-        // 2. Pivot discovery: dense partial pivoting on the symmetrically
-        //    permuted matrix. Runs once per symbolic analysis.
-        let mut ap = Matrix::zeros(n, n);
-        for c in 0..n {
-            for (r, slot) in pattern.col_entries(c) {
-                ap.add_at(qinv[r], qinv[c], values[slot]);
-            }
-        }
-        let dense = LuFactor::new(&ap)?;
-        let p = dense.perm();
-        let mut rowmap = vec![0usize; n];
-        let mut rowinv = vec![0usize; n];
-        for r in 0..n {
-            rowmap[r] = q[p[r]];
-            rowinv[rowmap[r]] = r;
-        }
-        let colmap = q;
+        // 1. Fill-reducing ordering (columns; rows follow from pivoting).
+        let colmap = amd_order(pattern);
 
-        // 3. Structural elimination on the permuted + row-pivoted pattern:
-        //    row bitsets accumulate the fill of Gaussian elimination with
-        //    the frozen pivot sequence.
-        let words = n.div_ceil(64);
-        let mut rows = vec![0u64; n * words];
-        let mut sc_cols: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        // Markowitz tie-break data: original-row occupancy of A.
+        let mut row_count = vec![0usize; n];
         for c in 0..n {
-            let pc = qinv[c];
-            for (r, slot) in pattern.col_entries(c) {
-                let pr = rowinv[r];
-                rows[pr * words + pc / 64] |= 1u64 << (pc % 64);
-                sc_cols[pc].push((pr, slot));
+            for (r, _) in pattern.col_entries(c) {
+                row_count[r] += 1;
             }
         }
+
+        // 2. Gilbert–Peierls left-looking sweep. L rows are kept as
+        //    *original* row ids while pivots are still being assigned and
+        //    remapped to pivot positions afterwards.
+        let mut l_colptr = vec![0usize; n + 1];
+        let mut l_rows: Vec<usize> = Vec::new();
+        let mut l_vals: Vec<f64> = Vec::new();
+        let mut u_colptr = vec![0usize; n + 1];
+        let mut u_rows: Vec<usize> = Vec::new();
+        let mut u_vals: Vec<f64> = Vec::new();
+        let mut diag = vec![0.0; n];
+        let mut pinv = vec![NONE; n]; // original row -> pivot position
+        let mut rowmap = vec![0usize; n];
+        let mut flops = 0u64;
+
+        let mut x = vec![0.0f64; n]; // numeric accumulator by original row
+        let mut visited = vec![false; n];
+        let mut reach: Vec<usize> = Vec::new(); // DFS post-order
+        let mut dfs: Vec<(usize, usize)> = Vec::new();
+
         for k in 0..n {
-            // Mask of row k restricted to columns > k.
-            let mut above = vec![0u64; words];
-            above[k / 64] = !0u64 << (k % 64) << 1;
-            for w in above.iter_mut().skip(k / 64 + 1) {
-                *w = !0u64;
+            let oc = colmap[k];
+            // --- symbolic: reach of A(:,oc) through the current L ---
+            reach.clear();
+            for (r, _) in pattern.col_entries(oc) {
+                if visited[r] {
+                    continue;
+                }
+                visited[r] = true;
+                dfs.push((r, 0));
+                'dfs: while let Some(&(node, child_at)) = dfs.last() {
+                    let kp = pinv[node];
+                    let (lo, hi) = if kp == NONE {
+                        (0, 0)
+                    } else {
+                        (l_colptr[kp], l_colptr[kp + 1])
+                    };
+                    for i in child_at..(hi - lo) {
+                        let child = l_rows[lo + i];
+                        if !visited[child] {
+                            visited[child] = true;
+                            dfs.last_mut().expect("non-empty stack").1 = i + 1;
+                            dfs.push((child, 0));
+                            continue 'dfs;
+                        }
+                    }
+                    dfs.pop();
+                    reach.push(node);
+                }
             }
-            for i in (k + 1)..n {
-                if rows[i * words + k / 64] & (1u64 << (k % 64)) != 0 {
-                    for w in 0..words {
-                        let add = rows[k * words + w] & above[w];
-                        rows[i * words + w] |= add;
+
+            // --- numeric: sparse solve of the current column against L,
+            //     consuming the reach in topological (reverse post-) order.
+            let mut colscale = f64::MIN_POSITIVE;
+            let mut finite = true;
+            for (r, slot) in pattern.col_entries(oc) {
+                let v = values[slot];
+                x[r] = v;
+                colscale = colscale.max(v.abs());
+                finite &= v.is_finite();
+            }
+            if !finite {
+                // A NaN/inf stamp (e.g. from an upstream solve) must surface
+                // as an error, not poison the factors: NaN fails every
+                // magnitude comparison below, so it would silently bypass
+                // both the singularity check and the pivot-candidate filter.
+                for &node in &reach {
+                    x[node] = 0.0;
+                    visited[node] = false;
+                }
+                return Err(Error::Singular { pivot: k });
+            }
+            for &node in reach.iter().rev() {
+                let kp = pinv[node];
+                if kp == NONE {
+                    continue;
+                }
+                let xj = x[node];
+                if xj != 0.0 {
+                    for idx in l_colptr[kp]..l_colptr[kp + 1] {
+                        x[l_rows[idx]] -= l_vals[idx] * xj;
+                    }
+                    flops += (l_colptr[kp + 1] - l_colptr[kp]) as u64;
+                }
+            }
+
+            // --- pivot: threshold-eligible candidates among unassigned rows.
+            let mut colmax = 0.0f64;
+            for &node in &reach {
+                if pinv[node] == NONE {
+                    colmax = colmax.max(x[node].abs());
+                }
+            }
+            if colmax <= SINGULAR_EPS * colscale {
+                // Every candidate is (numerically) zero, or the column is
+                // structurally empty below the already-chosen pivots.
+                for &node in &reach {
+                    x[node] = 0.0;
+                    visited[node] = false;
+                }
+                return Err(Error::Singular { pivot: k });
+            }
+            let threshold = PIVOT_THRESHOLD * colmax;
+            let mut pr = NONE;
+            if pinv[oc] == NONE && x[oc].abs() >= threshold {
+                // The diagonal of the fill ordering is eligible: take it.
+                pr = oc;
+            } else {
+                let mut best_rc = usize::MAX;
+                let mut best_mag = 0.0f64;
+                for &node in &reach {
+                    if pinv[node] != NONE {
+                        continue;
+                    }
+                    let mag = x[node].abs();
+                    if mag < threshold {
+                        continue;
+                    }
+                    if row_count[node] < best_rc || (row_count[node] == best_rc && mag > best_mag) {
+                        best_rc = row_count[node];
+                        best_mag = mag;
+                        pr = node;
                     }
                 }
             }
-        }
-        let bit =
-            |rows: &[u64], r: usize, c: usize| rows[r * words + c / 64] & (1 << (c % 64)) != 0;
-        let mut l_colptr = vec![0usize; n + 1];
-        let mut l_rows = Vec::new();
-        let mut u_colptr = vec![0usize; n + 1];
-        let mut u_rows = Vec::new();
-        for k in 0..n {
-            for j in 0..k {
-                if bit(&rows, j, k) {
-                    u_rows.push(j);
+            debug_assert_ne!(pr, NONE, "colmax > 0 guarantees a candidate");
+            let pivot = x[pr];
+            pinv[pr] = k;
+            rowmap[k] = pr;
+            diag[k] = pivot;
+
+            // --- commit the column: reached pivotal rows form U(:,k),
+            //     the remaining reached rows form L(:,k). The structure is
+            //     the full reach set (value-independent), so refactor can
+            //     reuse it for any numerics over the same pattern.
+            for &node in &reach {
+                visited[node] = false;
+                if node == pr {
+                    x[node] = 0.0;
+                    continue;
                 }
+                let kp = pinv[node];
+                if kp != NONE {
+                    u_rows.push(kp);
+                    u_vals.push(x[node]);
+                } else {
+                    l_rows.push(node);
+                    l_vals.push(x[node] / pivot);
+                    flops += 1;
+                }
+                x[node] = 0.0;
             }
             u_colptr[k + 1] = u_rows.len();
-            for i in (k + 1)..n {
-                if bit(&rows, i, k) {
-                    l_rows.push(i);
-                }
-            }
             l_colptr[k + 1] = l_rows.len();
         }
+
+        // 3. Remap L to pivot positions and sort factor columns ascending
+        //    (refactor consumes U in ascending-row dependency order).
+        for r in &mut l_rows {
+            *r = pinv[*r];
+        }
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for k in 0..n {
+            sort_col(
+                &mut l_rows[l_colptr[k]..l_colptr[k + 1]],
+                &mut l_vals[l_colptr[k]..l_colptr[k + 1]],
+                &mut scratch,
+            );
+            sort_col(
+                &mut u_rows[u_colptr[k]..u_colptr[k + 1]],
+                &mut u_vals[u_colptr[k]..u_colptr[k + 1]],
+                &mut scratch,
+            );
+        }
+
+        // 4. Scatter plan for refactorizations.
         let mut sc_ptr = vec![0usize; n + 1];
         let mut sc_rows = Vec::with_capacity(pattern.nnz());
         let mut sc_slots = Vec::with_capacity(pattern.nnz());
-        for (k, col) in sc_cols.iter().enumerate() {
-            for &(pr, slot) in col {
-                sc_rows.push(pr);
+        for (k, &oc) in colmap.iter().enumerate() {
+            for (r, slot) in pattern.col_entries(oc) {
+                sc_rows.push(pinv[r]);
                 sc_slots.push(slot);
             }
             sc_ptr[k + 1] = sc_rows.len();
         }
 
-        let l_nnz = l_rows.len();
-        let u_nnz = u_rows.len();
-        let mut lu = SparseLu {
+        Ok(SparseLu {
             n,
             rowmap,
             colmap,
             l_colptr,
             l_rows,
-            l_vals: vec![0.0; l_nnz],
+            l_vals,
             u_colptr,
             u_rows,
-            u_vals: vec![0.0; u_nnz],
-            diag: vec![0.0; n],
+            u_vals,
+            diag,
             sc_ptr,
             sc_rows,
             sc_slots,
-            work: vec![0.0; n],
-        };
-        // 4. Numeric pass through the same code path refactorizations use.
-        lu.refactor(values)?;
-        Ok(lu)
+            work: x,
+            flops,
+        })
     }
 
     /// Matrix dimension.
@@ -376,10 +613,16 @@ impl SparseLu {
         self.n
     }
 
-    /// Structural nonzeros of the factors (L + U + diagonal) — the per-call
-    /// cost driver of [`SparseLu::refactor`].
+    /// Structural nonzeros of the factors (L + U + diagonal) — the fill-in
+    /// diagnostic and the per-call cost driver of [`SparseLu::refactor`].
     pub fn factor_nnz(&self) -> usize {
         self.l_vals.len() + self.u_vals.len() + self.n
+    }
+
+    /// Cumulative numeric operations (multiply–adds plus divides) spent in
+    /// [`SparseLu::factor`] and every [`SparseLu::refactor`] on this object.
+    pub fn total_flops(&self) -> u64 {
+        self.flops
     }
 
     /// Numeric-only refactorization: same pattern, same pivot order, new
@@ -389,7 +632,8 @@ impl SparseLu {
     ///
     /// [`Error::Singular`] when a frozen pivot falls below the singularity
     /// threshold *or* decays badly relative to its column (the caller should
-    /// then re-run [`SparseLu::factor`] to choose fresh pivots).
+    /// then re-run [`SparseLu::factor`] to choose fresh pivots), and for
+    /// non-finite (NaN/inf) input values.
     pub fn refactor(&mut self, values: &[f64]) -> Result<()> {
         let n = self.n;
         if values.len() != self.sc_slots.len() {
@@ -410,15 +654,27 @@ impl SparseLu {
             sc_rows,
             sc_slots,
             work: x,
+            flops,
             ..
         } = self;
         for k in 0..n {
             // Scatter column k of A (permuted) into the accumulator.
             let mut colscale = f64::MIN_POSITIVE;
+            let mut finite = true;
             for idx in sc_ptr[k]..sc_ptr[k + 1] {
                 let v = values[sc_slots[idx]];
                 x[sc_rows[idx]] += v;
                 colscale = colscale.max(v.abs());
+                finite &= v.is_finite();
+            }
+            if !finite {
+                // NaN/inf input: reject before it reaches the factors — the
+                // magnitude-based pivot checks below are all false for NaN
+                // and would wave it through.
+                for idx in sc_ptr[k]..sc_ptr[k + 1] {
+                    x[sc_rows[idx]] = 0.0;
+                }
+                return Err(Error::Singular { pivot: k });
             }
             // Left-looking update: consume U entries ascending.
             for idx in u_colptr[k]..u_colptr[k + 1] {
@@ -429,6 +685,7 @@ impl SparseLu {
                     for l in l_colptr[j]..l_colptr[j + 1] {
                         x[l_rows[l]] -= l_vals[l] * ujk;
                     }
+                    *flops += (l_colptr[j + 1] - l_colptr[j]) as u64;
                 }
             }
             let pivot = x[k];
@@ -452,6 +709,7 @@ impl SparseLu {
             for idx in l_colptr[k]..l_colptr[k + 1] {
                 l_vals[idx] = x[l_rows[idx]] / pivot;
             }
+            *flops += (l_colptr[k + 1] - l_colptr[k]) as u64;
             // Clear the accumulator at exactly the column-k pattern.
             x[k] = 0.0;
             for idx in u_colptr[k]..u_colptr[k + 1] {
@@ -577,6 +835,7 @@ mod tests {
         for (ri, bi) in r.iter().zip(&b) {
             assert!((ri - bi).abs() < 1e-12);
         }
+        assert!(lu.total_flops() > 0);
     }
 
     #[test]
@@ -649,6 +908,36 @@ mod tests {
     }
 
     #[test]
+    fn factor_rejects_nan_values() {
+        // A NaN value must surface as a factorization error, not poison the
+        // factors or the accumulator invariant.
+        let pat = CscPattern::from_entries(2, &[(0, 0), (1, 0), (0, 1), (1, 1)]).unwrap();
+        assert!(matches!(
+            SparseLu::factor(&pat, &[f64::NAN, 1.0, 1.0, 3.0]),
+            Err(Error::Singular { .. })
+        ));
+        // Off-pivot-path NaN: here the NaN lands in a U entry whose column
+        // still has a healthy pivot, so magnitude-based checks alone would
+        // wave it through and solve() would return NaN silently.
+        let upper = CscPattern::from_entries(2, &[(0, 0), (0, 1), (1, 1)]).unwrap();
+        assert!(matches!(
+            SparseLu::factor(&upper, &[2.0, f64::NAN, 3.0]),
+            Err(Error::Singular { .. })
+        ));
+        // Same for a refactorization over a healthy structure — and the
+        // rejection must not poison the accumulator for later refactors.
+        let mut lu = SparseLu::factor(&upper, &[2.0, 1.0, 3.0]).unwrap();
+        assert!(matches!(
+            lu.refactor(&[2.0, f64::INFINITY, 3.0]),
+            Err(Error::Singular { .. })
+        ));
+        lu.refactor(&[4.0, 2.0, 5.0]).unwrap();
+        let x = lu.solve(&[4.0, 5.0]).unwrap();
+        assert!((4.0 * x[0] + 2.0 * x[1] - 4.0).abs() < 1e-12);
+        assert!((5.0 * x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn to_dense_round_trip() {
         // Column-major slots: (0,0) then (0,1) then (1,1).
         let pat = CscPattern::from_entries(2, &[(0, 0), (1, 1), (0, 1)]).unwrap();
@@ -663,7 +952,7 @@ mod tests {
     #[test]
     fn min_degree_prefers_low_degree_nodes() {
         // Star graph: center 0 connected to 1..4. Eliminating the hub first
-        // would fill the whole matrix; min-degree defers it behind the
+        // would fill the whole matrix; minimum degree defers it behind the
         // degree-1 leaves and the factorization stays fill-free.
         let mut e = vec![(0usize, 0usize)];
         for k in 1..5 {
@@ -672,7 +961,7 @@ mod tests {
             e.push((k, 0));
         }
         let pat = CscPattern::from_entries(5, &e).unwrap();
-        let order = min_degree_order(&pat);
+        let order = amd_order(&pat);
         assert_ne!(order[0], 0, "hub must not be eliminated first");
         // Diagonally dominant values aligned with the pattern.
         let mut vals = vec![0.0; pat.nnz()];
@@ -684,6 +973,49 @@ mod tests {
         let lu = SparseLu::factor(&pat, &vals).unwrap();
         // Zero fill: L and U each hold exactly the 4 off-diagonal edges.
         assert_eq!(lu.factor_nnz(), 4 + 4 + 5);
+    }
+
+    #[test]
+    fn amd_handles_past_former_cutoff_without_dense_scratch() {
+        // A 600-unknown tridiagonal chain — far beyond the old dense-greedy
+        // cutoff (256). Any fill-reducing order keeps a chain's factors
+        // tridiagonal-sized; the natural-order fallback would too, but the
+        // point is that the ordering + factorization stay exact and cheap.
+        let n = 600;
+        let mut e: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        for i in 1..n {
+            e.push((i - 1, i));
+            e.push((i, i - 1));
+        }
+        let pat = CscPattern::from_entries(n, &e).unwrap();
+        let order = amd_order(&pat);
+        let mut seen = vec![false; n];
+        for &v in &order {
+            assert!(!seen[v], "duplicate in ordering");
+            seen[v] = true;
+        }
+        let mut vals = vec![0.0; pat.nnz()];
+        for c in 0..n {
+            for (r, slot) in pat.col_entries(c) {
+                vals[slot] = if r == c { 4.0 } else { -1.0 };
+            }
+        }
+        let lu = SparseLu::factor(&pat, &vals).unwrap();
+        // A chain admits a zero-fill elimination order; allow a small slack
+        // over the 2(n-1) off-diagonals + n pivots for tie-break artifacts.
+        assert!(
+            lu.factor_nnz() < 4 * n,
+            "fill explosion: {} nnz on a {n}-chain",
+            lu.factor_nnz()
+        );
+        // Solve sanity against a known RHS.
+        let mut b = vec![0.0; n];
+        b[0] = 1.0;
+        let x = lu.solve(&b).unwrap();
+        let mut r0 = 4.0 * x[0] - x[1];
+        assert!((r0 - 1.0).abs() < 1e-10);
+        r0 = 4.0 * x[n - 1] - x[n - 2];
+        assert!(r0.abs() < 1e-10);
     }
 
     #[test]

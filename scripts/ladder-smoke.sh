@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# CI smoke for the sparse-solver scaling workload: runs the multi-driver
+# bus-ladder harness (golden sparse-vs-dense agreement at ~300 unknowns,
+# then a ≥ 1000-unknown sparse transient) and prints SolveStats — symbolic
+# analyses, factorizations, factor fill-in and flops — so ordering or fill
+# regressions are visible in the log, not just as a pass/fail bit.
+#
+# Usage: scripts/ladder-smoke.sh
+set -euo pipefail
+
+cargo run --release -p emc-bench --bin gen_ladder_smoke
