@@ -1,25 +1,41 @@
 //! Regenerates the Section-5 accuracy table: threshold-crossing timing
 //! errors of the PW-RBF models across all driver validation fixtures
 //! (paper: always below ~30 ps, typically 5 ps, at Ts = 25-50 ps).
+//!
+//! The first block is backend-generic: every driver macromodel in the
+//! [`ModelRegistry`] (the PW-RBF model *and* the IBIS baseline) is run
+//! through the same trait-based validation harness.
 
 use emc_bench::{driver_model, fig1, fig2, Fig1Config};
 use macromodel::validate::{resistive_load, validate_driver, AccuracyRow};
+use macromodel::ModelRegistry;
+use refdev::ibis::IbisExtractConfig;
+use refdev::IbisModel;
 
 fn main() -> emc_bench::Result<()> {
+    let spec = refdev::md1();
     let t0 = std::time::Instant::now();
-    let md1_model = driver_model(&refdev::md1())?;
+    let md1_model = driver_model(&spec)?;
     let est_s = t0.elapsed().as_secs_f64();
     println!("Section 5 — accuracy & efficiency (Ts = 25 ps)");
     println!("  estimation CPU time (MD1): {est_s:.2} s (paper: ~10 s on a Pentium-II 350)");
 
+    // Every estimated backend for MD1 under one registry; the validation
+    // loop below never names a concrete model type.
+    let mut registry = ModelRegistry::new();
+    registry.register(md1_model);
+    let mut ibis = IbisModel::extract(&spec, IbisExtractConfig::default())?;
+    ibis.name = "md1-ibis".into();
+    registry.register(ibis);
+
     let mut rows: Vec<AccuracyRow> = Vec::new();
-    // Resistive validation load (not in the paper's figures, sanity row).
-    let spec = refdev::md1();
-    let v = validate_driver(&spec, &md1_model, "010", 4e-9, 12e-9, resistive_load(50.0))?;
-    rows.push(AccuracyRow {
-        label: "md1-r50".into(),
-        metrics: v.metrics,
-    });
+    for model in registry.iter() {
+        let v = validate_driver(&spec, model, "010", 4e-9, 12e-9, resistive_load(50.0))?;
+        rows.push(AccuracyRow {
+            label: format!("{}-r50", model.name()),
+            metrics: v.metrics,
+        });
+    }
 
     let f1 = fig1(&Fig1Config::default())?;
     rows.push(AccuracyRow {

@@ -1,0 +1,292 @@
+//! `mdl` — the macromodel artifact tool: the full lifecycle of an
+//! estimated model as a durable on-disk artifact.
+//!
+//! ```text
+//! mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr]
+//!             [--out PATH] [--fast]
+//! mdl info <file.mdlx>
+//! mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]
+//! mdl simulate <file.mdlx> [--fixture r50|linecap|pulse]
+//!              [--pattern BITS] [--bit-time S] [--t-stop S]
+//! ```
+//!
+//! `extract` runs a builder-style [`ExtractionSession`] and saves the
+//! artifact; `info` prints its summary and metadata; `validate` checks the
+//! bit-exact re-save guarantee and re-simulates the artifact against its
+//! transistor-level reference, failing on accuracy regressions; `simulate`
+//! prints the pad voltage on a standard fixture as CSV. Everything after
+//! `extract` works from the file alone — no re-estimation.
+
+use macromodel::exchange::{load_model_from_path, save_model, AnyModel};
+use macromodel::validate::{print_csv, validate_macromodel, ReferencePort, DEFAULT_VALIDATION_DT};
+use macromodel::{ExtractionSession, Macromodel, ModelKind, PortStimulus, TestFixture};
+use refdev::{CmosDriverSpec, ReceiverSpec};
+
+type CliResult<T> = Result<T, Box<dyn std::error::Error + Send + Sync>>;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr] [--out PATH] [--fast]\n  mdl info <file.mdlx>\n  mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]\n  mdl simulate <file.mdlx> [--fixture r50|linecap|pulse] [--pattern BITS] [--bit-time S] [--t-stop S]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_opt(args: &mut Vec<String>, key: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == key)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{key} needs a value");
+        usage();
+    }
+    args.remove(pos);
+    Some(args.remove(pos))
+}
+
+fn parse_f64_opt(args: &mut Vec<String>, key: &str) -> Option<f64> {
+    parse_opt(args, key).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("{key}: '{v}' is not a number");
+            usage();
+        })
+    })
+}
+
+fn driver_spec(device: &str) -> Option<CmosDriverSpec> {
+    match device {
+        "md1" => Some(refdev::md1()),
+        "md2" => Some(refdev::md2()),
+        "md3" => Some(refdev::md3()),
+        _ => None,
+    }
+}
+
+fn receiver_spec(device: &str) -> Option<ReceiverSpec> {
+    (device == "md4").then(refdev::md4)
+}
+
+/// Resolves the transistor-level reference a loaded artifact stands in for,
+/// from its device name (C–R̂ artifacts are named `<device>_cr`).
+fn reference_for(model: &AnyModel) -> Option<ReferencePort> {
+    let base = model.name().trim_end_matches("_cr").to_string();
+    if model.kind().is_driver() {
+        driver_spec(&base).map(ReferencePort::Driver)
+    } else {
+        receiver_spec(&base).map(ReferencePort::Receiver)
+    }
+}
+
+fn cmd_extract(mut args: Vec<String>) -> CliResult<()> {
+    let fast = parse_flag(&mut args, "--fast");
+    let kind = parse_opt(&mut args, "--kind");
+    let out = parse_opt(&mut args, "--out");
+    let [device] = args.as_slice() else { usage() };
+    let kind = kind.as_deref().unwrap_or(if driver_spec(device).is_some() {
+        "pwrbf"
+    } else {
+        "receiver"
+    });
+    let out = out.unwrap_or_else(|| format!("{device}-{kind}.mdlx"));
+
+    let t0 = std::time::Instant::now();
+    let estimated = match kind {
+        "pwrbf" => {
+            let spec = driver_spec(device).unwrap_or_else(|| {
+                eprintln!("'{device}' is not a driver device");
+                usage();
+            });
+            let mut session = ExtractionSession::for_driver(spec);
+            if fast {
+                session = session.excitation(24, 16, 6).windows(1.5e-9, 3e-9);
+            }
+            session.run()?
+        }
+        "ibis" => {
+            let spec = driver_spec(device).unwrap_or_else(|| {
+                eprintln!("'{device}' is not a driver device");
+                usage();
+            });
+            let mut session = ExtractionSession::for_ibis(spec);
+            if fast {
+                session = session.iv_points(21).tables(50e-12, 3e-9);
+            }
+            session.run()?
+        }
+        "receiver" => {
+            let spec = receiver_spec(device).unwrap_or_else(|| {
+                eprintln!("'{device}' is not a receiver device");
+                usage();
+            });
+            let mut session = ExtractionSession::for_receiver(spec).orders(3, 2, 3);
+            if fast {
+                session = session.excitation(24, 16, 6);
+            } else {
+                session = session.excitation(40, 64, 6);
+            }
+            session.run()?
+        }
+        "cr" => {
+            let spec = receiver_spec(device).unwrap_or_else(|| {
+                eprintln!("'{device}' is not a receiver device");
+                usage();
+            });
+            ExtractionSession::for_cr_baseline(spec).run()?
+        }
+        other => {
+            eprintln!("unknown kind '{other}'");
+            usage();
+        }
+    };
+    let est_s = t0.elapsed().as_secs_f64();
+    estimated.save(&out)?;
+    println!("extracted {} in {est_s:.2} s", estimated.summary());
+    println!("saved {out}");
+    Ok(())
+}
+
+fn cmd_info(args: Vec<String>) -> CliResult<()> {
+    let [path] = args.as_slice() else { usage() };
+    let model = load_model_from_path(path)?;
+    println!("kind      {}", model.kind());
+    println!("name      {}", model.name());
+    match model.sample_time() {
+        Some(ts) => println!("ts        {ts:e} s"),
+        None => println!("ts        - (continuous)"),
+    }
+    println!("summary   {}", model.summary());
+    for (k, v) in model.metadata() {
+        println!("  {k:<16} {v}");
+    }
+    Ok(())
+}
+
+fn cmd_validate(mut args: Vec<String>) -> CliResult<()> {
+    let fast = parse_flag(&mut args, "--fast");
+    let rms_limit = parse_f64_opt(&mut args, "--rms-limit");
+    let timing_limit = parse_f64_opt(&mut args, "--timing-limit");
+    let [path] = args.as_slice() else { usage() };
+
+    // 1. Load with strict validation, then check the bit-exact re-save
+    // guarantee against the original file bytes.
+    let original = std::fs::read_to_string(path)?;
+    let model = load_model_from_path(path)?;
+    model.validate()?;
+    let re_saved = save_model(&model)?;
+    if re_saved != original {
+        return Err(format!("{path}: re-save is not byte-identical to the artifact").into());
+    }
+    println!(
+        "round-trip  ok ({} bytes, bit-exact re-save)",
+        original.len()
+    );
+
+    // 2. Re-simulate against the transistor-level reference.
+    let reference = reference_for(&model)
+        .ok_or_else(|| format!("no reference device known for '{}'", model.name()))?;
+    let vdd = reference.vdd();
+    let dt = model.sample_time().unwrap_or(DEFAULT_VALIDATION_DT);
+    let (fixture, stim, t_stop) = if model.kind().is_driver() {
+        let bit = if fast { 3e-9 } else { 4e-9 };
+        (
+            TestFixture::resistive(50.0),
+            Some(PortStimulus::new("010", bit)),
+            3.0 * bit,
+        )
+    } else {
+        (
+            TestFixture::series_pulse(60.0, 0.0, 0.9 * vdd, 0.4e-9, 0.1e-9, 2e-9, 0.1e-9),
+            None,
+            3e-9,
+        )
+    };
+    let run = validate_macromodel(
+        &reference,
+        model.as_dyn(),
+        &fixture,
+        stim.as_ref(),
+        dt,
+        t_stop,
+        0.5 * vdd,
+    )?;
+    let m = run.metrics;
+    println!(
+        "accuracy    rms {:.4} V, max {:.4} V, timing {}",
+        m.rms_error,
+        m.max_error,
+        match m.timing_error {
+            Some(te) => format!("{:.1} ps", te * 1e12),
+            None => "n/a".into(),
+        }
+    );
+
+    // 3. Enforce regression limits. The estimated models track the
+    // reference closely; the baselines (IBIS, C–R̂) only get a sanity bound.
+    let default_rms = match model.kind() {
+        ModelKind::PwRbfDriver | ModelKind::Receiver => 0.08 * vdd,
+        ModelKind::Ibis | ModelKind::CrBaseline => 0.5 * vdd,
+    };
+    let rms_limit = rms_limit.unwrap_or(default_rms);
+    if m.rms_error > rms_limit {
+        return Err(format!("rms error {} V exceeds limit {} V", m.rms_error, rms_limit).into());
+    }
+    if let (Some(limit), Some(te)) = (timing_limit, m.timing_error) {
+        if te > limit {
+            return Err(format!("timing error {te} s exceeds limit {limit} s").into());
+        }
+    }
+    println!("validate    ok (rms limit {rms_limit:.4} V)");
+    Ok(())
+}
+
+fn cmd_simulate(mut args: Vec<String>) -> CliResult<()> {
+    let fixture = parse_opt(&mut args, "--fixture");
+    let pattern = parse_opt(&mut args, "--pattern").unwrap_or_else(|| "010".into());
+    let bit_time = parse_f64_opt(&mut args, "--bit-time").unwrap_or(4e-9);
+    let t_stop = parse_f64_opt(&mut args, "--t-stop").unwrap_or(12e-9);
+    let [path] = args.as_slice() else { usage() };
+    let model = load_model_from_path(path)?;
+
+    let fixture = match fixture.as_deref() {
+        None | Some("r50") => TestFixture::resistive(50.0),
+        Some("linecap") => TestFixture::line_cap(50.0, 0.8e-9, 10e-12),
+        Some("pulse") => TestFixture::series_pulse(60.0, 0.0, 1.0, 0.4e-9, 0.1e-9, 2e-9, 0.1e-9),
+        Some(other) => {
+            eprintln!("unknown fixture '{other}'");
+            usage();
+        }
+    };
+    let stim = model
+        .kind()
+        .is_driver()
+        .then(|| PortStimulus::new(pattern, bit_time));
+    let dt = model.sample_time().unwrap_or(DEFAULT_VALIDATION_DT);
+    let wave = model.simulate_on_load(&fixture, stim.as_ref(), dt, t_stop)?;
+    print_csv(&["t", "v_pad"], &[&wave]);
+    Ok(())
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "extract" => cmd_extract(args),
+        "info" => cmd_info(args),
+        "validate" => cmd_validate(args),
+        "simulate" => cmd_simulate(args),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("mdl {cmd}: {e}");
+        std::process::exit(1);
+    }
+}

@@ -12,13 +12,13 @@
 use circuit::devices::{Capacitor, IdealLine, Resistor, SourceWaveform, VoltageSource};
 use circuit::mtl::{expand_coupled_line, CoupledLineSpec};
 use circuit::{Circuit, TranParams, Waveform, GROUND};
-use macromodel::device::{PwRbfDriver, ReceiverModelDevice};
+use macromodel::device::PwRbfDriver;
 use macromodel::pipeline::{
     estimate_cr_baseline, estimate_driver, estimate_receiver, DriverEstimationConfig,
     ReceiverEstimationConfig,
 };
 use macromodel::validate::ValidationMetrics;
-use macromodel::{CrModel, PwRbfDriverModel, ReceiverModel};
+use macromodel::{CrModel, Macromodel, PortStimulus, PwRbfDriverModel, ReceiverModel, TestFixture};
 use refdev::extraction::{capture_driver, capture_receiver};
 use refdev::ibis::IbisExtractConfig;
 use refdev::{CmosDriverSpec, IbisCorner, IbisModel, ReceiverSpec};
@@ -156,9 +156,13 @@ pub fn fig1(cfg: &Fig1Config) -> Result<Fig1Data> {
     let spec = refdev::md1();
     let model = driver_model(&spec)?;
     let ibis = IbisModel::extract(&spec, IbisExtractConfig::default())?;
+    let stim = PortStimulus::new("01", cfg.bit_time);
+    let fixture = TestFixture::line_cap(cfg.z0, cfg.td, cfg.c_load);
 
-    // Reference (scoped worker) and PW-RBF run concurrently.
-    let (reference, pwrbf) = std::thread::scope(|s| {
+    // Reference on a scoped worker; every macromodel backend — the PW-RBF
+    // model and the three IBIS corners — through the one trait-generic
+    // fixture runner, swept in parallel.
+    let (reference, model_waves) = std::thread::scope(|s| {
         let reference = s.spawn(|| -> Result<Waveform> {
             let mut load = fig1_load(cfg);
             Ok(capture_driver(
@@ -173,40 +177,29 @@ pub fn fig1(cfg: &Fig1Config) -> Result<Fig1Data> {
             )?
             .voltage)
         });
-        let pwrbf = (|| -> Result<Waveform> {
-            let mut ckt = Circuit::new();
-            let out = ckt.node("out");
-            ckt.add(PwRbfDriver::new(model, out, "01", cfg.bit_time));
-            fig1_load(cfg)(&mut ckt, out);
-            let res = ckt.transient(TranParams::new(TS, cfg.t_stop))?;
-            Ok(res.voltage(out))
-        })();
-        (
+        let backends: Vec<Box<dyn Macromodel>> = vec![
+            Box::new(model.clone()),
+            Box::new(ibis.with_corner(IbisCorner::Typical)?),
+            Box::new(ibis.with_corner(IbisCorner::Slow)?),
+            Box::new(ibis.with_corner(IbisCorner::Fast)?),
+        ];
+        let (stim, fixture) = (&stim, &fixture);
+        let waves = par_map(backends, move |m| -> Result<Waveform> {
+            Ok(m.simulate_on_load(fixture, Some(stim), TS, cfg.t_stop)?)
+        });
+        Ok::<_, Box<dyn std::error::Error + Send + Sync>>((
             reference
                 .join()
                 .unwrap_or_else(|p| std::panic::resume_unwind(p)),
-            pwrbf,
-        )
-    });
-    let (reference, pwrbf) = (reference?, pwrbf?);
-
-    // IBIS corners: one run per corner, swept in parallel.
-    let run_ibis = |corner: IbisCorner| -> Result<Waveform> {
-        let m = ibis.with_corner(corner)?;
-        let mut ckt = Circuit::new();
-        let out = m.instantiate(&mut ckt, "01", cfg.bit_time);
-        fig1_load(cfg)(&mut ckt, out);
-        let res = ckt.transient(TranParams::new(TS, cfg.t_stop))?;
-        Ok(res.voltage(out))
-    };
-    let mut corner_waves = par_map(
-        vec![IbisCorner::Typical, IbisCorner::Slow, IbisCorner::Fast],
-        run_ibis,
-    )
-    .into_iter();
-    let ibis_typ = corner_waves.next().expect("three corners")?;
-    let ibis_slow = corner_waves.next().expect("three corners")?;
-    let ibis_fast = corner_waves.next().expect("three corners")?;
+            waves,
+        ))
+    })?;
+    let reference = reference?;
+    let mut model_waves = model_waves.into_iter();
+    let pwrbf = model_waves.next().expect("four backends")?;
+    let ibis_typ = model_waves.next().expect("four backends")?;
+    let ibis_slow = model_waves.next().expect("four backends")?;
+    let ibis_fast = model_waves.next().expect("four backends")?;
 
     let threshold = 0.5 * spec.vdd;
     Ok(Fig1Data {
@@ -502,14 +495,15 @@ pub fn fig5(model: Option<ReceiverModel>, cr: Option<CrModel>) -> Result<Fig5Dat
     )?
     .current;
 
-    // Model runs: recover the current from the source resistor drop.
-    let run = |install: &dyn Fn(&mut Circuit, circuit::Node)| -> Result<Waveform> {
+    // Model runs — any backend through the unified trait; the current is
+    // recovered from the source resistor drop.
+    let run = |dut: &dyn Macromodel| -> Result<Waveform> {
         let mut ckt = Circuit::new();
         let s = ckt.node("src");
         ckt.add(VoltageSource::new("vs", s, GROUND, stim.clone()));
         let pad = ckt.node("pad");
         ckt.add(Resistor::new("rs", s, pad, r_src));
-        install(&mut ckt, pad);
+        dut.instantiate(&mut ckt, pad, None)?;
         let res = ckt.transient(TranParams::new(TS, t_stop))?;
         let vs = res.voltage(s);
         let vp = res.voltage(pad);
@@ -521,14 +515,8 @@ pub fn fig5(model: Option<ReceiverModel>, cr: Option<CrModel>) -> Result<Fig5Dat
             .collect();
         Ok(Waveform::from_parts(vs.times().to_vec(), i))
     };
-    let m = model.clone();
-    let parametric = run(&move |ckt, pad| {
-        ckt.add(ReceiverModelDevice::new(m.clone(), pad));
-    })?;
-    let c = cr.clone();
-    let cr_wave = run(&move |ckt, pad| {
-        c.instantiate(ckt, pad);
-    })?;
+    let parametric = run(&model)?;
+    let cr_wave = run(&cr)?;
 
     let rms_parametric = circuit::waveform::rms_difference(&reference, &parametric);
     let rms_cr = circuit::waveform::rms_difference(&reference, &cr_wave);
@@ -594,45 +582,28 @@ pub fn fig6(model: Option<ReceiverModel>, cr: Option<CrModel>) -> Result<Vec<Fig
             width: 3e-9,
             fall: 100e-12,
         };
-        // One fixture builder used by all three device-under-test variants.
-        let run = |dut: &dyn Fn(&mut Circuit, circuit::Node) -> Result<()>,
-                   dt: f64|
-         -> Result<Waveform> {
+        // One fixture builder shared by the transistor-level reference and
+        // every macromodel backend (trait-generic device installation).
+        let run = |dut: Option<&dyn Macromodel>, dt: f64| -> Result<Waveform> {
             let mut ckt = Circuit::new();
             let s = ckt.node("src");
             ckt.add(VoltageSource::new("vs", s, GROUND, stim.clone()));
             let line = expand_coupled_line(&mut ckt, line_spec, segments, f_band)?;
             ckt.add(Resistor::new("rs", s, line.near[0], r_src));
             let far = line.far[0];
-            dut(&mut ckt, far)?;
+            match dut {
+                Some(m) => m.instantiate(&mut ckt, far, None)?,
+                None => {
+                    let ports = spec.instantiate(&mut ckt)?;
+                    ckt.add(Resistor::new("jrx", far, ports.pad, 1e-3));
+                }
+            }
             let res = ckt.transient(TranParams::new(dt, t_stop))?;
             Ok(res.voltage(far))
         };
-        let rx_spec = spec.clone();
-        let reference = run(
-            &move |ckt, far| {
-                let ports = rx_spec.instantiate(ckt)?;
-                ckt.add(Resistor::new("jrx", far, ports.pad, 1e-3));
-                Ok(())
-            },
-            TS,
-        )?;
-        let m = model.clone();
-        let parametric = run(
-            &move |ckt, far| {
-                ckt.add(ReceiverModelDevice::new(m.clone(), far));
-                Ok(())
-            },
-            TS,
-        )?;
-        let c = cr.clone();
-        let cr_wave = run(
-            &move |ckt, far| {
-                c.instantiate(ckt, far);
-                Ok(())
-            },
-            TS,
-        )?;
+        let reference = run(None, TS)?;
+        let parametric = run(Some(model), TS)?;
+        let cr_wave = run(Some(cr), TS)?;
         let threshold = 0.5 * spec.vdd;
         Ok(Fig6Panel {
             amplitude,

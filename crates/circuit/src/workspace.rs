@@ -31,9 +31,78 @@ use numkit::{lu::LuFactor, Matrix};
 /// Below this unknown count the workspace uses the dense LU path.
 pub const DENSE_LIMIT: usize = 4;
 
-/// Above this dimension the O(n²)-memory slot map is replaced by per-column
-/// binary search.
-const SLOT_MAP_LIMIT: usize = 1024;
+/// Open-addressing `(row, col) → value-slot` map over the structural
+/// nonzeros of a [`CscPattern`].
+///
+/// Stamping resolves a matrix position to its value slot on *every* device
+/// write of every Newton iteration, so the lookup must be O(1) regardless of
+/// circuit size. The previous design kept a dense `n × n` slot array (O(n²)
+/// memory) and degraded to per-column binary search above n = 1024; this
+/// table stores only O(nnz) entries — keys packed as `row << 32 | col`,
+/// linear probing, load factor ≤ 0.5 — and stays O(1) at any size.
+#[derive(Debug)]
+struct SlotMap {
+    /// Power-of-two capacity minus one.
+    mask: usize,
+    /// Packed `(row << 32) | col` keys; `u64::MAX` marks an empty bucket
+    /// (unreachable as a real key: rows and cols are `< n ≤ u32::MAX`).
+    keys: Vec<u64>,
+    /// Value-slot index parallel to `keys`.
+    slots: Vec<u32>,
+}
+
+const SLOT_EMPTY: u64 = u64::MAX;
+
+#[inline]
+fn slot_key(r: usize, c: usize) -> u64 {
+    ((r as u64) << 32) | c as u64
+}
+
+#[inline]
+fn slot_hash(key: u64) -> usize {
+    // Fibonacci multiplicative hash; the high bits carry the mix.
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
+}
+
+impl SlotMap {
+    fn build(pattern: &CscPattern) -> Self {
+        let cap = (pattern.nnz().max(1) * 2).next_power_of_two();
+        let mut map = SlotMap {
+            mask: cap - 1,
+            keys: vec![SLOT_EMPTY; cap],
+            slots: vec![0; cap],
+        };
+        for c in 0..pattern.n() {
+            for (r, s) in pattern.col_entries(c) {
+                let key = slot_key(r, c);
+                let mut i = slot_hash(key) & map.mask;
+                while map.keys[i] != SLOT_EMPTY {
+                    debug_assert_ne!(map.keys[i], key, "pattern entries are unique");
+                    i = (i + 1) & map.mask;
+                }
+                map.keys[i] = key;
+                map.slots[i] = s as u32;
+            }
+        }
+        map
+    }
+
+    #[inline]
+    fn get(&self, r: usize, c: usize) -> Option<usize> {
+        let key = slot_key(r, c);
+        let mut i = slot_hash(key) & self.mask;
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.slots[i] as usize);
+            }
+            if k == SLOT_EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
 
 /// Collects the structural nonzero positions of a circuit's MNA matrix.
 /// Devices receive one in [`crate::Device::register`] and add every `(row,
@@ -94,9 +163,8 @@ pub struct SolveStats {
 struct SparseState {
     pattern: CscPattern,
     values: Vec<f64>,
-    /// Dense `(r, c) -> slot` map (`u32::MAX` = structurally zero);
-    /// empty when `n > SLOT_MAP_LIMIT` (binary search instead).
-    slot: Vec<u32>,
+    /// O(1) `(r, c) -> slot` resolution over the registered pattern.
+    slot: SlotMap,
     lu: Option<SparseLu>,
     /// Writes to unregistered positions, merged at the next solve.
     overflow: Vec<(usize, usize, f64)>,
@@ -132,19 +200,6 @@ impl std::fmt::Debug for StampWorkspace {
     }
 }
 
-fn build_slot_map(n: usize, pattern: &CscPattern) -> Vec<u32> {
-    if n > SLOT_MAP_LIMIT {
-        return Vec::new();
-    }
-    let mut slot = vec![u32::MAX; n * n];
-    for c in 0..n {
-        for (r, s) in pattern.col_entries(c) {
-            slot[r * n + c] = s as u32;
-        }
-    }
-    slot
-}
-
 impl StampWorkspace {
     /// Builds a workspace from a registered pattern. Falls back to the
     /// dense path for `n <` [`DENSE_LIMIT`].
@@ -157,7 +212,7 @@ impl StampWorkspace {
         } else {
             let pattern = CscPattern::from_entries(n, &pb.entries)
                 .expect("PatternBuilder validated every entry");
-            let slot = build_slot_map(n, &pattern);
+            let slot = SlotMap::build(&pattern);
             Backend::Sparse(Box::new(SparseState {
                 values: vec![0.0; pattern.nnz()],
                 slot,
@@ -222,22 +277,10 @@ impl StampWorkspace {
         );
         match &mut self.backend {
             Backend::Dense { mat } => mat.add_at(r, c, v),
-            Backend::Sparse(state) => {
-                let s = if state.slot.is_empty() {
-                    state.pattern.index_of(r, c)
-                } else {
-                    let cached = state.slot[r * state.pattern.n() + c];
-                    if cached == u32::MAX {
-                        None
-                    } else {
-                        Some(cached as usize)
-                    }
-                };
-                match s {
-                    Some(s) => state.values[s] += v,
-                    None => state.overflow.push((r, c, v)),
-                }
-            }
+            Backend::Sparse(state) => match state.slot.get(r, c) {
+                Some(s) => state.values[s] += v,
+                None => state.overflow.push((r, c, v)),
+            },
         }
     }
 
@@ -309,7 +352,7 @@ impl StampWorkspace {
             let s = grown.index_of(r, c).expect("entry just inserted");
             new_values[s] += v;
         }
-        *slot = build_slot_map(n, &grown);
+        *slot = SlotMap::build(&grown);
         *pattern = grown;
         *values = new_values;
         *lu = None;
@@ -480,5 +523,74 @@ mod tests {
     fn pattern_rejects_out_of_range() {
         let mut pb = PatternBuilder::new(2);
         pb.add(2, 0);
+    }
+
+    /// The hash slot map must resolve every registered position (and no
+    /// unregistered one) well past the old dense-map / binary-search
+    /// crossover dimension.
+    #[test]
+    fn slot_map_resolves_large_patterns() {
+        let n = 3000;
+        let mut pb = PatternBuilder::new(n);
+        for i in 0..n {
+            pb.add(i, i);
+            if i > 0 {
+                pb.add(i, i - 1);
+                pb.add(i - 1, i);
+            }
+            // A few long-range couplings to exercise probe collisions.
+            pb.add(i, (i * 7 + 13) % n);
+        }
+        let pattern = CscPattern::from_entries(n, &pb.entries).unwrap();
+        let map = SlotMap::build(&pattern);
+        for c in 0..n {
+            for (r, s) in pattern.col_entries(c) {
+                assert_eq!(map.get(r, c), Some(s), "({r}, {c})");
+            }
+        }
+        // Spot-check structural zeros.
+        for i in 0..n {
+            let r = (i * 31 + 5) % n;
+            let c = (i * 17 + 2) % n;
+            assert_eq!(map.get(r, c), pattern.index_of(r, c), "({r}, {c})");
+        }
+    }
+
+    /// A large tridiagonal solve through the workspace exercises the hash
+    /// slot path end-to-end (every stamp above the old dense-map limit).
+    #[test]
+    fn large_sparse_stamp_and_solve() {
+        let n = 2048;
+        let mut pb = PatternBuilder::new(n);
+        for i in 0..n {
+            pb.add(i, i);
+            if i > 0 {
+                pb.add(i - 1, i);
+                pb.add(i, i - 1);
+            }
+        }
+        let mut ws = StampWorkspace::from_pattern(pb);
+        ws.begin();
+        for i in 0..n {
+            ws.add(i, i, 4.0);
+            if i > 0 {
+                ws.add(i - 1, i, -1.0);
+                ws.add(i, i - 1, -1.0);
+            }
+        }
+        ws.rhs_add(0, 1.0);
+        let x = ws.solve().unwrap().to_vec();
+        for i in 0..n {
+            let mut r = 4.0 * x[i];
+            if i > 0 {
+                r -= x[i - 1];
+            }
+            if i + 1 < n {
+                r -= x[i + 1];
+            }
+            let b = if i == 0 { 1.0 } else { 0.0 };
+            assert!((r - b).abs() < 1e-10, "row {i}");
+        }
+        assert_eq!(ws.stats().symbolic_analyses, 1);
     }
 }

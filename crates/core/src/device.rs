@@ -484,14 +484,8 @@ mod tests {
             vdd,
             i_high: high,
             i_low: low,
-            up: WeightSequence {
-                w_high: ramp.clone(),
-                w_low: inv.clone(),
-            },
-            down: WeightSequence {
-                w_high: inv,
-                w_low: ramp,
-            },
+            up: WeightSequence::new(ramp.clone(), inv.clone()).unwrap(),
+            down: WeightSequence::new(inv, ramp).unwrap(),
         }
     }
 

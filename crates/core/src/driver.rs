@@ -17,15 +17,59 @@ use serde::{Deserialize, Serialize};
 use sysid::narx::NarxModel;
 
 /// A time-indexed switching weight pair sampled at the model's `ts`.
+///
+/// The samples are private: a `WeightSequence` can only be built through
+/// [`WeightSequence::new`], so every instance in the program satisfies the
+/// invariants the model-exchange loader and the circuit devices rely on —
+/// matching lengths, at least one sample, finite values.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WeightSequence {
     /// `w_H(k)` samples, starting at the logic edge.
-    pub w_high: Vec<f64>,
+    w_high: Vec<f64>,
     /// `w_L(k)` samples.
-    pub w_low: Vec<f64>,
+    w_low: Vec<f64>,
 }
 
 impl WeightSequence {
+    /// Builds a weight sequence, enforcing the structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidModel`] when the sequences differ in length,
+    /// are empty, or contain non-finite samples.
+    pub fn new(w_high: Vec<f64>, w_low: Vec<f64>) -> Result<Self> {
+        if w_high.len() != w_low.len() {
+            return Err(Error::InvalidModel {
+                message: format!(
+                    "weight sequences differ in length: {} vs {}",
+                    w_high.len(),
+                    w_low.len()
+                ),
+            });
+        }
+        if w_high.is_empty() {
+            return Err(Error::InvalidModel {
+                message: "weight sequences must not be empty".into(),
+            });
+        }
+        if w_high.iter().chain(&w_low).any(|w| !w.is_finite()) {
+            return Err(Error::InvalidModel {
+                message: "weight sequences must be finite".into(),
+            });
+        }
+        Ok(WeightSequence { w_high, w_low })
+    }
+
+    /// `w_H(k)` samples, starting at the logic edge.
+    pub fn w_high(&self) -> &[f64] {
+        &self.w_high
+    }
+
+    /// `w_L(k)` samples.
+    pub fn w_low(&self) -> &[f64] {
+        &self.w_low
+    }
+
     /// Number of samples in the transition window.
     pub fn len(&self) -> usize {
         self.w_high.len()
@@ -47,6 +91,9 @@ impl WeightSequence {
     }
 
     fn validate(&self) -> Result<()> {
+        // The constructor enforces these; re-checked here because model
+        // structs are still assembled field-by-field (and may arrive via
+        // deserialization once a real serde backend exists).
         if self.w_high.len() != self.w_low.len() {
             return Err(Error::InvalidModel {
                 message: format!(
@@ -200,7 +247,7 @@ pub fn estimate_switching_weights(
     let last = n - 1;
     w_high[last] = end.0;
     w_low[last] = end.1;
-    Ok(WeightSequence { w_high, w_low })
+    WeightSequence::new(w_high, w_low)
 }
 
 #[cfg(test)]

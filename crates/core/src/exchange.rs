@@ -1,0 +1,988 @@
+//! Versioned, self-contained model-exchange format (`mdlx`).
+//!
+//! An estimated macromodel is only useful if it can be shipped: extracted
+//! once, saved, and loaded by a downstream simulation that never sees the
+//! transistor-level device. This module defines the on-disk artifact —
+//! a line-oriented, human-auditable text format — and the [`save_model`] /
+//! [`load_model`] pair with strict validation on load.
+//!
+//! # Format
+//!
+//! ```text
+//! mdlx <version> <kind-tag>
+//! name <device name>
+//! <kind-specific records>
+//! end
+//! ```
+//!
+//! * every record is one line: a key followed by space-separated values;
+//! * vectors carry an explicit length (`wh 3 0e0 5e-1 1e0`), so truncation
+//!   is always detectable;
+//! * floats are written in shortest round-trip scientific notation
+//!   (`2.5e-11`), which makes **save → load → save byte-identical**;
+//! * the record sequence per kind is fixed; any unexpected key is rejected
+//!   ([`ExchangeError::UnknownField`]) — there are no optional or ignored
+//!   fields;
+//! * every numeric value must be finite ([`ExchangeError::NonFinite`])
+//!   and the assembled model must pass its structural validation before
+//!   [`load_model`] returns.
+//!
+//! Version `1` is the only version readers accept; a future tag fails with
+//! [`ExchangeError::UnsupportedVersion`] instead of being misparsed.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use macromodel::exchange::{load_model_from_path, save_model_to_path, AnyModel};
+//! use macromodel::pipeline::{estimate_driver, DriverEstimationConfig};
+//!
+//! # fn main() -> Result<(), macromodel::Error> {
+//! let model = estimate_driver(&refdev::md1(), DriverEstimationConfig::default())?;
+//! save_model_to_path(&AnyModel::from(model), "md1.mdlx")?;
+//! let loaded = load_model_from_path("md1.mdlx")?;
+//! println!("{}", macromodel::Macromodel::summary(&loaded));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::driver::{PwRbfDriverModel, WeightSequence};
+use crate::macromodel::{Macromodel, ModelKind, PortStimulus, TestFixture};
+use crate::receiver::{CrModel, ReceiverModel};
+use crate::Result;
+use circuit::{Circuit, Node, Waveform};
+use numkit::interp::Pwl;
+use refdev::IbisModel;
+use std::collections::BTreeMap;
+use std::path::Path;
+use sysid::arx::{ArxModel, ArxOrders};
+use sysid::narx::{NarxModel, NarxOrders};
+use sysid::rbf::RbfNetwork;
+
+/// Current (and only) exchange-format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Typed failure modes of the exchange layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExchangeError {
+    /// The file declares a version this reader does not understand.
+    UnsupportedVersion {
+        /// The version token found in the header.
+        found: String,
+    },
+    /// The file declares an unknown model kind.
+    UnknownKind {
+        /// The kind tag found in the header.
+        tag: String,
+    },
+    /// A line failed to parse (malformed tokens, wrong count).
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A record key other than the one the grammar expects next.
+    UnknownField {
+        /// 1-based line number.
+        line: usize,
+        /// The unexpected key.
+        field: String,
+    },
+    /// A numeric value parsed to NaN or infinity.
+    NonFinite {
+        /// 1-based line number.
+        line: usize,
+        /// The record key holding the value.
+        field: String,
+    },
+    /// The file ended before the grammar was complete.
+    Truncated {
+        /// The record key that was expected next.
+        expected: String,
+    },
+    /// The records parsed but assemble into an invalid model, or the model
+    /// handed to [`save_model`] is not serializable (e.g. a multi-line
+    /// name).
+    Invalid {
+        /// Description of the violation.
+        message: String,
+    },
+    /// Filesystem failure.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The OS error text.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExchangeError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported format version '{found}' (reader understands {FORMAT_VERSION})"
+                )
+            }
+            ExchangeError::UnknownKind { tag } => write!(f, "unknown model kind '{tag}'"),
+            ExchangeError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ExchangeError::UnknownField { line, field } => {
+                write!(f, "line {line}: unknown field '{field}'")
+            }
+            ExchangeError::NonFinite { line, field } => {
+                write!(f, "line {line}: non-finite value in '{field}'")
+            }
+            ExchangeError::Truncated { expected } => {
+                write!(f, "file truncated: expected '{expected}'")
+            }
+            ExchangeError::Invalid { message } => write!(f, "invalid model data: {message}"),
+            ExchangeError::Io { path, message } => write!(f, "{path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
+/// A macromodel of any supported kind — the unit of exchange.
+///
+/// Wraps the concrete model types so heterogeneous artifacts share one
+/// save/load path; implements [`Macromodel`] by delegation, so a loaded
+/// model plugs into every trait-generic consumer directly.
+#[derive(Debug, Clone)]
+pub enum AnyModel {
+    /// PW-RBF driver model.
+    PwRbfDriver(PwRbfDriverModel),
+    /// Receiver parametric model.
+    Receiver(ReceiverModel),
+    /// C–R̂ baseline.
+    Cr(CrModel),
+    /// IBIS-style driver baseline.
+    Ibis(IbisModel),
+}
+
+impl From<PwRbfDriverModel> for AnyModel {
+    fn from(m: PwRbfDriverModel) -> Self {
+        AnyModel::PwRbfDriver(m)
+    }
+}
+
+impl From<ReceiverModel> for AnyModel {
+    fn from(m: ReceiverModel) -> Self {
+        AnyModel::Receiver(m)
+    }
+}
+
+impl From<CrModel> for AnyModel {
+    fn from(m: CrModel) -> Self {
+        AnyModel::Cr(m)
+    }
+}
+
+impl From<IbisModel> for AnyModel {
+    fn from(m: IbisModel) -> Self {
+        AnyModel::Ibis(m)
+    }
+}
+
+impl AnyModel {
+    /// The model behind the unified trait.
+    pub fn as_dyn(&self) -> &dyn Macromodel {
+        match self {
+            AnyModel::PwRbfDriver(m) => m,
+            AnyModel::Receiver(m) => m,
+            AnyModel::Cr(m) => m,
+            AnyModel::Ibis(m) => m,
+        }
+    }
+}
+
+impl Macromodel for AnyModel {
+    fn kind(&self) -> ModelKind {
+        self.as_dyn().kind()
+    }
+
+    fn name(&self) -> &str {
+        self.as_dyn().name()
+    }
+
+    fn sample_time(&self) -> Option<f64> {
+        self.as_dyn().sample_time()
+    }
+
+    fn summary(&self) -> String {
+        self.as_dyn().summary()
+    }
+
+    fn metadata(&self) -> BTreeMap<String, String> {
+        self.as_dyn().metadata()
+    }
+
+    fn validate(&self) -> Result<()> {
+        self.as_dyn().validate()
+    }
+
+    fn instantiate(&self, ckt: &mut Circuit, pad: Node, stim: Option<&PortStimulus>) -> Result<()> {
+        self.as_dyn().instantiate(ckt, pad, stim)
+    }
+
+    fn simulate_on_load(
+        &self,
+        fixture: &TestFixture,
+        stim: Option<&PortStimulus>,
+        dt: f64,
+        t_stop: f64,
+    ) -> Result<Waveform> {
+        self.as_dyn().simulate_on_load(fixture, stim, dt, t_stop)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Shortest round-trip scientific form; the single float syntax of the
+/// format (both ends of the byte-identity guarantee).
+fn fmt_f64(v: f64) -> String {
+    format!("{v:e}")
+}
+
+struct Writer {
+    out: String,
+}
+
+impl Writer {
+    fn new(kind: ModelKind) -> Self {
+        Writer {
+            out: format!("mdlx {FORMAT_VERSION} {}\n", kind.tag()),
+        }
+    }
+
+    fn raw(&mut self, line: &str) {
+        self.out.push_str(line);
+        self.out.push('\n');
+    }
+
+    fn name(&mut self, name: &str) -> std::result::Result<(), ExchangeError> {
+        if name.contains('\n') || name.contains('\r') {
+            return Err(ExchangeError::Invalid {
+                message: "model name must not contain line breaks".into(),
+            });
+        }
+        self.raw(&format!("name {name}"));
+        Ok(())
+    }
+
+    fn scalar(&mut self, key: &str, v: f64) -> std::result::Result<(), ExchangeError> {
+        if !v.is_finite() {
+            return Err(ExchangeError::Invalid {
+                message: format!("'{key}' is not finite: {v}"),
+            });
+        }
+        self.raw(&format!("{key} {}", fmt_f64(v)));
+        Ok(())
+    }
+
+    fn pair(&mut self, key: &str, a: usize, b: usize) {
+        self.raw(&format!("{key} {a} {b}"));
+    }
+
+    fn vector(&mut self, key: &str, vs: &[f64]) -> std::result::Result<(), ExchangeError> {
+        let mut line = format!("{key} {}", vs.len());
+        for v in vs {
+            if !v.is_finite() {
+                return Err(ExchangeError::Invalid {
+                    message: format!("'{key}' contains a non-finite value"),
+                });
+            }
+            line.push(' ');
+            line.push_str(&fmt_f64(*v));
+        }
+        self.raw(&line);
+        Ok(())
+    }
+
+    fn narx(&mut self, label: &str, m: &NarxModel) -> std::result::Result<(), ExchangeError> {
+        let net = m.network();
+        self.raw(&format!("submodel {label}"));
+        self.pair("orders", m.orders().input_lags, m.orders().output_lags);
+        self.pair("rbf", net.dim(), net.n_centers());
+        self.scalar("bias", net.bias())?;
+        self.vector("linear", net.linear())?;
+        for c in net.centers() {
+            self.vector("center", c)?;
+        }
+        self.vector("widths", net.widths())?;
+        self.vector("gweights", net.weights())?;
+        Ok(())
+    }
+
+    fn finish(mut self) -> String {
+        self.raw("end");
+        self.out
+    }
+}
+
+/// Serializes a model to the exchange text.
+///
+/// # Errors
+///
+/// Returns [`Error::Exchange`] for non-serializable data (non-finite values,
+/// multi-line names) and [`Error::InvalidModel`] when the model fails its
+/// own validation — nothing invalid is ever written.
+pub fn save_model(model: &AnyModel) -> Result<String> {
+    model.validate()?;
+    let text = match model {
+        AnyModel::PwRbfDriver(m) => {
+            let mut w = Writer::new(ModelKind::PwRbfDriver);
+            w.name(&m.name)?;
+            w.scalar("ts", m.ts)?;
+            w.scalar("vdd", m.vdd)?;
+            w.narx("i_high", &m.i_high)?;
+            w.narx("i_low", &m.i_low)?;
+            for (label, seq) in [("up", &m.up), ("down", &m.down)] {
+                w.raw(&format!("transition {label}"));
+                w.vector("wh", seq.w_high())?;
+                w.vector("wl", seq.w_low())?;
+            }
+            w.finish()
+        }
+        AnyModel::Receiver(m) => {
+            let mut w = Writer::new(ModelKind::Receiver);
+            w.name(&m.name)?;
+            w.scalar("ts", m.ts)?;
+            w.scalar("vdd", m.vdd)?;
+            w.pair("arx", m.linear.orders().na, m.linear.orders().nb);
+            w.vector("a", m.linear.a())?;
+            w.vector("b", m.linear.b())?;
+            w.narx("up", &m.up)?;
+            w.narx("down", &m.down)?;
+            w.finish()
+        }
+        AnyModel::Cr(m) => {
+            let mut w = Writer::new(ModelKind::CrBaseline);
+            w.name(&m.name)?;
+            w.scalar("c", m.c)?;
+            w.vector("iv_x", m.static_iv.x())?;
+            w.vector("iv_y", m.static_iv.y())?;
+            w.finish()
+        }
+        AnyModel::Ibis(m) => {
+            let mut w = Writer::new(ModelKind::Ibis);
+            w.name(&m.name)?;
+            w.scalar("vdd", m.vdd)?;
+            w.scalar("c_comp", m.c_comp)?;
+            w.scalar("dt", m.dt)?;
+            w.vector("pullup_x", m.pullup.x())?;
+            w.vector("pullup_y", m.pullup.y())?;
+            w.vector("pulldown_x", m.pulldown.x())?;
+            w.vector("pulldown_y", m.pulldown.y())?;
+            w.vector("ku_rise", &m.ku_rise)?;
+            w.vector("kd_rise", &m.kd_rise)?;
+            w.vector("ku_fall", &m.ku_fall)?;
+            w.vector("kd_fall", &m.kd_fall)?;
+            w.finish()
+        }
+    };
+    Ok(text)
+}
+
+/// Saves a model to a file (see [`save_model`]).
+///
+/// # Errors
+///
+/// [`save_model`] failures plus [`ExchangeError::Io`].
+pub fn save_model_to_path(model: &AnyModel, path: impl AsRef<Path>) -> Result<()> {
+    let text = save_model(model)?;
+    std::fs::write(path.as_ref(), text).map_err(|e| ExchangeError::Io {
+        path: path.as_ref().display().to_string(),
+        message: e.to_string(),
+    })?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+/// Upper bound on any count a file can declare (vector lengths, center
+/// counts, model orders). Far above every legitimate model size, and low
+/// enough that a corrupted length can neither overflow arithmetic nor
+/// drive a pathological allocation — corruption must surface as a typed
+/// error, never a panic or abort.
+const MAX_DECLARED_COUNT: usize = 1 << 20;
+
+struct Reader<'a> {
+    lines: Vec<&'a str>,
+    pos: usize,
+}
+
+type ExResult<T> = std::result::Result<T, ExchangeError>;
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader {
+            lines: text.lines().collect(),
+            pos: 0,
+        }
+    }
+
+    /// 1-based number of the line most recently consumed.
+    fn line_no(&self) -> usize {
+        self.pos
+    }
+
+    /// Consumes the next line, splitting off its leading key; fails with
+    /// [`ExchangeError::UnknownField`] when the key is not `key`.
+    fn expect(&mut self, key: &str) -> ExResult<&'a str> {
+        let Some(line) = self.lines.get(self.pos) else {
+            return Err(ExchangeError::Truncated {
+                expected: key.to_string(),
+            });
+        };
+        self.pos += 1;
+        let (found, rest) = match line.split_once(' ') {
+            Some((k, r)) => (k, r),
+            None => (*line, ""),
+        };
+        if found != key {
+            return Err(ExchangeError::UnknownField {
+                line: self.pos,
+                field: found.to_string(),
+            });
+        }
+        Ok(rest)
+    }
+
+    fn scalar(&mut self, key: &str) -> ExResult<f64> {
+        let rest = self.expect(key)?;
+        let mut toks = rest.split_ascii_whitespace();
+        let (Some(tok), None) = (toks.next(), toks.next()) else {
+            return Err(ExchangeError::Syntax {
+                line: self.line_no(),
+                message: format!("'{key}' expects exactly one value"),
+            });
+        };
+        self.parse_f64(tok, key)
+    }
+
+    fn parse_f64(&self, tok: &str, key: &str) -> ExResult<f64> {
+        let v: f64 = tok.parse().map_err(|_| ExchangeError::Syntax {
+            line: self.line_no(),
+            message: format!("'{tok}' is not a number in '{key}'"),
+        })?;
+        if !v.is_finite() {
+            return Err(ExchangeError::NonFinite {
+                line: self.line_no(),
+                field: key.to_string(),
+            });
+        }
+        Ok(v)
+    }
+
+    fn pair(&mut self, key: &str) -> ExResult<(usize, usize)> {
+        let rest = self.expect(key)?;
+        let mut toks = rest.split_ascii_whitespace();
+        let parse = |tok: Option<&str>, line: usize| -> ExResult<usize> {
+            tok.and_then(|t| t.parse().ok())
+                .filter(|&v| v <= MAX_DECLARED_COUNT)
+                .ok_or(ExchangeError::Syntax {
+                    line,
+                    message: format!("'{key}' expects two integers below {MAX_DECLARED_COUNT}"),
+                })
+        };
+        let a = parse(toks.next(), self.line_no())?;
+        let b = parse(toks.next(), self.line_no())?;
+        if toks.next().is_some() {
+            return Err(ExchangeError::Syntax {
+                line: self.line_no(),
+                message: format!("'{key}' expects exactly two integers"),
+            });
+        }
+        Ok((a, b))
+    }
+
+    fn vector(&mut self, key: &str) -> ExResult<Vec<f64>> {
+        let rest = self.expect(key)?;
+        let mut toks = rest.split_ascii_whitespace();
+        let len: usize = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .filter(|&v| v <= MAX_DECLARED_COUNT)
+            .ok_or(ExchangeError::Syntax {
+                line: self.line_no(),
+                message: format!("'{key}' expects a length prefix below {MAX_DECLARED_COUNT}"),
+            })?;
+        // Reserve from the *actual* payload size, not the declared length —
+        // a lying prefix must fail the length check below, not allocate.
+        let mut vs = Vec::with_capacity(len.min(rest.len() / 2 + 1));
+        for tok in toks.by_ref() {
+            vs.push(self.parse_f64(tok, key)?);
+        }
+        if vs.len() != len {
+            return Err(ExchangeError::Syntax {
+                line: self.line_no(),
+                message: format!("'{key}' declares {len} values but carries {}", vs.len()),
+            });
+        }
+        Ok(vs)
+    }
+
+    /// A section header with a fixed label, e.g. `submodel i_high`.
+    fn section(&mut self, key: &str, label: &str) -> ExResult<()> {
+        let rest = self.expect(key)?;
+        if rest != label {
+            return Err(ExchangeError::Syntax {
+                line: self.line_no(),
+                message: format!("expected '{key} {label}', found '{key} {rest}'"),
+            });
+        }
+        Ok(())
+    }
+
+    fn narx(&mut self, label: &str) -> ExResult<NarxModel> {
+        self.section("submodel", label)?;
+        let (input_lags, output_lags) = self.pair("orders")?;
+        let orders = NarxOrders {
+            input_lags,
+            output_lags,
+        };
+        let (dim, n_centers) = self.pair("rbf")?;
+        if dim != orders.dim() {
+            return Err(ExchangeError::Syntax {
+                line: self.line_no(),
+                message: format!(
+                    "rbf dimension {dim} contradicts orders ({} expected)",
+                    orders.dim()
+                ),
+            });
+        }
+        let bias = self.scalar("bias")?;
+        let linear = self.vector("linear")?;
+        // A corrupt center count runs into a missing 'center' line (typed
+        // error) long before the vector grows; don't pre-reserve from it.
+        let mut centers = Vec::with_capacity(n_centers.min(1024));
+        for _ in 0..n_centers {
+            centers.push(self.vector("center")?);
+        }
+        let widths = self.vector("widths")?;
+        let weights = self.vector("gweights")?;
+        let net =
+            RbfNetwork::from_parts(dim, centers, widths, weights, bias, linear).map_err(invalid)?;
+        NarxModel::from_network(orders, net).map_err(invalid)
+    }
+
+    fn end(&mut self) -> ExResult<()> {
+        let rest = self.expect("end")?;
+        if !rest.is_empty() {
+            return Err(ExchangeError::Syntax {
+                line: self.line_no(),
+                message: "trailing content after 'end'".into(),
+            });
+        }
+        if self.pos != self.lines.len() {
+            return Err(ExchangeError::Syntax {
+                line: self.pos + 1,
+                message: "content after 'end'".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn invalid(e: impl std::fmt::Display) -> ExchangeError {
+    ExchangeError::Invalid {
+        message: e.to_string(),
+    }
+}
+
+/// Deserializes a model from exchange text, rejecting anything malformed,
+/// non-finite, truncated, structurally inconsistent, or of a future format
+/// version.
+///
+/// # Errors
+///
+/// Returns [`Error::Exchange`] with the precise [`ExchangeError`], or the
+/// assembled model's own validation failure.
+pub fn load_model(text: &str) -> Result<AnyModel> {
+    let mut r = Reader::new(text);
+    let header = r.expect("mdlx")?;
+    let (version, tag) = header.split_once(' ').ok_or(ExchangeError::Syntax {
+        line: 1,
+        message: "header must be 'mdlx <version> <kind>'".into(),
+    })?;
+    if version != "1" {
+        return Err(ExchangeError::UnsupportedVersion {
+            found: version.to_string(),
+        }
+        .into());
+    }
+    let kind = ModelKind::from_tag(tag).ok_or(ExchangeError::UnknownKind {
+        tag: tag.to_string(),
+    })?;
+    let name = r.expect("name")?.to_string();
+
+    let model = match kind {
+        ModelKind::PwRbfDriver => {
+            let ts = r.scalar("ts")?;
+            let vdd = r.scalar("vdd")?;
+            let i_high = r.narx("i_high")?;
+            let i_low = r.narx("i_low")?;
+            let mut seqs = Vec::with_capacity(2);
+            for label in ["up", "down"] {
+                r.section("transition", label)?;
+                let wh = r.vector("wh")?;
+                let wl = r.vector("wl")?;
+                seqs.push(WeightSequence::new(wh, wl).map_err(invalid)?);
+            }
+            r.end()?;
+            let down = seqs.pop().expect("two transitions parsed");
+            let up = seqs.pop().expect("two transitions parsed");
+            AnyModel::PwRbfDriver(PwRbfDriverModel {
+                name,
+                ts,
+                vdd,
+                i_high,
+                i_low,
+                up,
+                down,
+            })
+        }
+        ModelKind::Receiver => {
+            let ts = r.scalar("ts")?;
+            let vdd = r.scalar("vdd")?;
+            let (na, nb) = r.pair("arx")?;
+            let a = r.vector("a")?;
+            let b = r.vector("b")?;
+            let linear =
+                ArxModel::from_coefficients(ArxOrders { na, nb }, a, b).map_err(invalid)?;
+            let up = r.narx("up")?;
+            let down = r.narx("down")?;
+            r.end()?;
+            AnyModel::Receiver(ReceiverModel {
+                name,
+                ts,
+                vdd,
+                linear,
+                up,
+                down,
+            })
+        }
+        ModelKind::CrBaseline => {
+            let c = r.scalar("c")?;
+            let x = r.vector("iv_x")?;
+            let y = r.vector("iv_y")?;
+            let static_iv = Pwl::new(x, y).map_err(invalid)?;
+            r.end()?;
+            AnyModel::Cr(CrModel::new(name, c, static_iv).map_err(invalid)?)
+        }
+        ModelKind::Ibis => {
+            let vdd = r.scalar("vdd")?;
+            let c_comp = r.scalar("c_comp")?;
+            let dt = r.scalar("dt")?;
+            let pullup = Pwl::new(r.vector("pullup_x")?, r.vector("pullup_y")?).map_err(invalid)?;
+            let pulldown =
+                Pwl::new(r.vector("pulldown_x")?, r.vector("pulldown_y")?).map_err(invalid)?;
+            let ku_rise = r.vector("ku_rise")?;
+            let kd_rise = r.vector("kd_rise")?;
+            let ku_fall = r.vector("ku_fall")?;
+            let kd_fall = r.vector("kd_fall")?;
+            r.end()?;
+            AnyModel::Ibis(IbisModel {
+                name,
+                vdd,
+                pullup,
+                pulldown,
+                c_comp,
+                dt,
+                ku_rise,
+                kd_rise,
+                ku_fall,
+                kd_fall,
+            })
+        }
+    };
+    model.validate()?;
+    Ok(model)
+}
+
+/// Loads a model from a file (see [`load_model`]).
+///
+/// # Errors
+///
+/// [`load_model`] failures plus [`ExchangeError::Io`].
+pub fn load_model_from_path(path: impl AsRef<Path>) -> Result<AnyModel> {
+    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| ExchangeError::Io {
+        path: path.as_ref().display().to_string(),
+        message: e.to_string(),
+    })?;
+    load_model(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Error;
+
+    fn narx(order: usize, scale: f64) -> NarxModel {
+        let orders = NarxOrders::dynamic(order);
+        let dim = orders.dim();
+        let centers: Vec<Vec<f64>> = (0..3)
+            .map(|i| {
+                (0..dim)
+                    .map(|j| scale * (i as f64 + 0.1 * j as f64))
+                    .collect()
+            })
+            .collect();
+        let net = RbfNetwork::from_parts(
+            dim,
+            centers,
+            vec![0.5, 0.25, 1.5],
+            vec![1e-3, -2e-3, 0.7e-3],
+            1e-4,
+            (0..dim).map(|j| 1e-2 / (j + 1) as f64).collect(),
+        )
+        .unwrap();
+        NarxModel::from_network(orders, net).unwrap()
+    }
+
+    fn driver_model() -> PwRbfDriverModel {
+        PwRbfDriverModel {
+            name: "md_test".into(),
+            ts: 25e-12,
+            vdd: 3.3,
+            i_high: narx(2, 1.0),
+            i_low: narx(2, -0.5),
+            up: WeightSequence::new(vec![0.0, 0.3, 1.0], vec![1.0, 0.6, 0.0]).unwrap(),
+            down: WeightSequence::new(vec![1.0, 0.4, 0.0], vec![0.0, 0.7, 1.0]).unwrap(),
+        }
+    }
+
+    fn receiver_model() -> ReceiverModel {
+        ReceiverModel {
+            name: "rx_test".into(),
+            ts: 25e-12,
+            vdd: 1.8,
+            linear: ArxModel::from_coefficients(
+                ArxOrders { na: 2, nb: 1 },
+                vec![0.4, -0.1],
+                vec![0.08, -0.07],
+            )
+            .unwrap(),
+            up: narx(1, 2.0),
+            down: narx(1, -2.0),
+        }
+    }
+
+    fn cr_model() -> CrModel {
+        CrModel::new(
+            "cr_test",
+            2.5e-12,
+            Pwl::new(vec![-1.0, 0.0, 1.0], vec![-0.1, 0.0, 0.1]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn ibis_model() -> IbisModel {
+        IbisModel {
+            name: "ibis_test".into(),
+            vdd: 3.3,
+            pullup: Pwl::new(vec![-1.0, 1.0, 4.0], vec![0.08, 0.04, -0.05]).unwrap(),
+            pulldown: Pwl::new(vec![-1.0, 1.0, 4.0], vec![-0.06, 0.01, 0.09]).unwrap(),
+            c_comp: 3e-12,
+            dt: 50e-12,
+            ku_rise: vec![0.0, 0.5, 1.0],
+            kd_rise: vec![1.0, 0.5, 0.0],
+            ku_fall: vec![1.0, 0.4, 0.0],
+            kd_fall: vec![0.0, 0.6, 1.0],
+        }
+    }
+
+    fn all_models() -> Vec<AnyModel> {
+        vec![
+            driver_model().into(),
+            receiver_model().into(),
+            cr_model().into(),
+            ibis_model().into(),
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_kind_byte_identical() {
+        for model in all_models() {
+            let text = save_model(&model).unwrap();
+            let loaded = load_model(&text).unwrap();
+            assert_eq!(loaded.kind(), model.kind());
+            assert_eq!(loaded.name(), model.name());
+            let re_saved = save_model(&loaded).unwrap();
+            assert_eq!(text, re_saved, "{} re-save differs", model.kind());
+        }
+    }
+
+    #[test]
+    fn driver_round_trip_preserves_structure() {
+        let m = driver_model();
+        let text = save_model(&AnyModel::from(m.clone())).unwrap();
+        let AnyModel::PwRbfDriver(l) = load_model(&text).unwrap() else {
+            panic!("kind changed");
+        };
+        assert_eq!(l.ts, m.ts);
+        assert_eq!(l.up.w_high(), m.up.w_high());
+        assert_eq!(l.i_high.network().centers(), m.i_high.network().centers());
+        assert_eq!(l.i_high.network().weights(), m.i_high.network().weights());
+        assert_eq!(l.i_high.network().bias(), m.i_high.network().bias());
+        // Loaded and original produce bit-identical predictions.
+        let u = [0.3, 0.1, -0.2];
+        let y = [0.01, 0.02];
+        assert_eq!(l.i_high.one_step(&u, &y), m.i_high.one_step(&u, &y));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let text = save_model(&all_models()[0]).unwrap();
+        let bumped = text.replacen("mdlx 1 ", "mdlx 2 ", 1);
+        match load_model(&bumped) {
+            Err(Error::Exchange(ExchangeError::UnsupportedVersion { found })) => {
+                assert_eq!(found, "2")
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let e = load_model("mdlx 1 hologram\nname x\nend\n").unwrap_err();
+        assert!(matches!(
+            e,
+            Error::Exchange(ExchangeError::UnknownKind { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        for model in all_models() {
+            let text = save_model(&model).unwrap();
+            // Drop the final 'end' line.
+            let truncated = text.trim_end_matches("end\n");
+            let e = load_model(truncated).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    Error::Exchange(ExchangeError::Truncated { .. } | ExchangeError::Syntax { .. })
+                ),
+                "{}: {e:?}",
+                model.kind()
+            );
+            // Drop half the file.
+            let half = &text[..text.len() / 2];
+            assert!(load_model(half).is_err(), "{}", model.kind());
+        }
+    }
+
+    #[test]
+    fn non_finite_values_rejected() {
+        let text = save_model(&all_models()[0]).unwrap();
+        // Corrupt one weight value into NaN.
+        let corrupted = text.replacen("wh 3 0e0", "wh 3 NaN", 1);
+        assert_ne!(text, corrupted, "corruption target must exist");
+        let e = load_model(&corrupted).unwrap_err();
+        assert!(
+            matches!(e, Error::Exchange(ExchangeError::NonFinite { .. })),
+            "{e:?}"
+        );
+        let corrupted = text.replacen("bias 1e-4", "bias inf", 1);
+        assert_ne!(text, corrupted);
+        let e = load_model(&corrupted).unwrap_err();
+        assert!(matches!(
+            e,
+            Error::Exchange(ExchangeError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let text = save_model(&all_models()[0]).unwrap();
+        let with_extra = text.replacen("ts ", "temperature 300\nts ", 1);
+        let e = load_model(&with_extra).unwrap_err();
+        match e {
+            Error::Exchange(ExchangeError::UnknownField { line, field }) => {
+                assert_eq!(line, 3);
+                assert_eq!(field, "temperature");
+            }
+            other => panic!("expected unknown-field error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let text = save_model(&all_models()[0]).unwrap();
+        // Declare 4 samples but carry 3.
+        let corrupted = text.replacen("wh 3 ", "wh 4 ", 1);
+        let e = load_model(&corrupted).unwrap_err();
+        assert!(matches!(e, Error::Exchange(ExchangeError::Syntax { .. })));
+    }
+
+    /// Absurd declared counts must fail as syntax errors, never drive an
+    /// allocation or arithmetic overflow (the strict-loading contract).
+    #[test]
+    fn pathological_declared_counts_rejected() {
+        let text = save_model(&all_models()[0]).unwrap();
+        for corrupted in [
+            text.replacen("wh 3 ", &format!("wh {} ", usize::MAX), 1),
+            text.replacen("wh 3 ", "wh 999999999999999999 ", 1),
+            text.replacen("rbf 5 3", "rbf 5 999999999999999999", 1),
+            text.replacen("orders 2 2", &format!("orders {} 2", usize::MAX), 1),
+        ] {
+            assert_ne!(text, corrupted, "corruption target must exist");
+            let e = load_model(&corrupted).unwrap_err();
+            assert!(
+                matches!(e, Error::Exchange(ExchangeError::Syntax { .. })),
+                "{e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_serializable_models_rejected() {
+        let mut m = driver_model();
+        m.name = "two\nlines".into();
+        let e = save_model(&AnyModel::from(m)).unwrap_err();
+        assert!(matches!(e, Error::Exchange(ExchangeError::Invalid { .. })));
+        let mut m = driver_model();
+        m.ts = f64::NAN;
+        // Caught by the model's own validation before writing.
+        assert!(save_model(&AnyModel::from(m)).is_err());
+    }
+
+    #[test]
+    fn path_round_trip_and_io_errors() {
+        let dir = std::env::temp_dir().join("mdlx_exchange_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.mdlx");
+        let model = AnyModel::from(cr_model());
+        save_model_to_path(&model, &path).unwrap();
+        let loaded = load_model_from_path(&path).unwrap();
+        assert_eq!(loaded.name(), "cr_test");
+        let missing = dir.join("nope.mdlx");
+        assert!(matches!(
+            load_model_from_path(&missing).unwrap_err(),
+            Error::Exchange(ExchangeError::Io { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ExchangeError::UnsupportedVersion { found: "9".into() };
+        assert!(e.to_string().contains('9'));
+        let e = ExchangeError::NonFinite {
+            line: 7,
+            field: "wh".into(),
+        };
+        assert!(e.to_string().contains("wh"));
+        let e = ExchangeError::Truncated {
+            expected: "end".into(),
+        };
+        assert!(e.to_string().contains("end"));
+    }
+}

@@ -37,12 +37,18 @@
 
 pub mod device;
 pub mod driver;
+pub mod exchange;
+pub mod macromodel;
 pub mod pipeline;
 pub mod receiver;
+pub mod session;
 pub mod validate;
 
 pub use driver::PwRbfDriverModel;
+pub use exchange::{load_model, load_model_from_path, save_model, save_model_to_path, AnyModel};
+pub use macromodel::{Macromodel, ModelKind, ModelRegistry, PortStimulus, TestFixture};
 pub use receiver::{CrModel, ReceiverModel};
+pub use session::{EstimatedModel, ExtractionSession};
 
 /// Errors produced by macromodel estimation and installation.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +73,8 @@ pub enum Error {
     Refdev(refdev::Error),
     /// Underlying numeric failure.
     Numeric(numkit::Error),
+    /// Model-exchange (save/load) failure.
+    Exchange(exchange::ExchangeError),
 }
 
 impl std::fmt::Display for Error {
@@ -80,6 +88,7 @@ impl std::fmt::Display for Error {
             Error::Sysid(e) => write!(f, "identification failed: {e}"),
             Error::Refdev(e) => write!(f, "reference device failed: {e}"),
             Error::Numeric(e) => write!(f, "numeric error: {e}"),
+            Error::Exchange(e) => write!(f, "model exchange failed: {e}"),
         }
     }
 }
@@ -91,6 +100,7 @@ impl std::error::Error for Error {
             Error::Sysid(e) => Some(e),
             Error::Refdev(e) => Some(e),
             Error::Numeric(e) => Some(e),
+            Error::Exchange(e) => Some(e),
             _ => None,
         }
     }
@@ -117,6 +127,12 @@ impl From<refdev::Error> for Error {
 impl From<numkit::Error> for Error {
     fn from(e: numkit::Error) -> Self {
         Error::Numeric(e)
+    }
+}
+
+impl From<exchange::ExchangeError> for Error {
+    fn from(e: exchange::ExchangeError) -> Self {
+        Error::Exchange(e)
     }
 }
 

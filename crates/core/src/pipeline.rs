@@ -104,44 +104,70 @@ pub struct StateIdRecord {
     pub nmse: f64,
 }
 
-/// Estimates a PW-RBF driver model from a transistor-level reference.
-///
-/// # Errors
-///
-/// Returns [`Error::Estimation`] with the failing stage, or propagates
-/// simulation/identification errors.
-pub fn estimate_driver(
-    spec: &CmosDriverSpec,
-    cfg: DriverEstimationConfig,
-) -> Result<PwRbfDriverModel> {
-    let (model, _, _) = estimate_driver_with_records(spec, cfg)?;
-    Ok(model)
+/// The subset of [`DriverEstimationConfig`] that determines the
+/// transistor-level captures. Two configs with equal keys record identical
+/// waveforms, so an [`crate::ExtractionSession`] can reuse the captures and
+/// only re-run the (cheap) fitting stages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct DriverCaptureKey {
+    ts: f64,
+    v_margin: f64,
+    n_levels: usize,
+    dwell: usize,
+    edge_samples: usize,
+    r_load_a: f64,
+    r_load_b: f64,
+    t_pre: f64,
+    t_window: f64,
+    seed: u64,
 }
 
-/// Like [`estimate_driver`], additionally returning the identification
-/// records of the High and Low submodels.
-pub fn estimate_driver_with_records(
-    spec: &CmosDriverSpec,
-    cfg: DriverEstimationConfig,
-) -> Result<(PwRbfDriverModel, StateIdRecord, StateIdRecord)> {
-    if cfg.ts <= 0.0 || cfg.order == 0 {
-        return Err(Error::InvalidModel {
-            message: "ts must be positive and order at least 1".into(),
-        });
+impl DriverCaptureKey {
+    pub(crate) fn of(cfg: &DriverEstimationConfig) -> Self {
+        DriverCaptureKey {
+            ts: cfg.ts,
+            v_margin: cfg.v_margin,
+            n_levels: cfg.n_levels,
+            dwell: cfg.dwell,
+            edge_samples: cfg.edge_samples,
+            r_load_a: cfg.r_load_a,
+            r_load_b: cfg.r_load_b,
+            t_pre: cfg.t_pre,
+            t_window: cfg.t_window,
+            seed: cfg.seed,
+        }
     }
-    // --- 1. state submodels ---
-    // The High and Low identifications are independent simulate-and-fit
-    // jobs: run one on a scoped worker, one on the current thread.
-    let (high, low) = thread::scope(|s| {
-        let high = s.spawn(|| estimate_state_submodel(spec, true, &cfg));
-        let low = estimate_state_submodel(spec, false, &cfg);
-        (join_worker(high), low)
-    });
-    let (i_high, rec_high) = high?;
-    let (i_low, rec_low) = low?;
+}
 
-    // --- 2. switching captures on the two identification loads ---
-    let cap = |pattern: &str, to_vdd: bool, r: f64| -> Result<(Vec<f64>, Vec<f64>)> {
+/// One identification capture: the recorded port voltage and current.
+#[derive(Debug, Clone)]
+pub(crate) struct StateCapture {
+    pub(crate) voltage: Waveform,
+    pub(crate) current: Waveform,
+}
+
+/// Every transistor-level waveform the driver estimation needs: the two
+/// state identifications plus the four switching captures (two patterns ×
+/// two identification loads).
+#[derive(Debug, Clone)]
+pub(crate) struct DriverCaptures {
+    pub(crate) high: StateCapture,
+    pub(crate) low: StateCapture,
+    /// `(voltage, current)` per switching capture, aligned with the capture
+    /// grid: `01` on load A / load B, then `10` on load A / load B.
+    pub(crate) c01a: (Vec<f64>, Vec<f64>),
+    pub(crate) c01b: (Vec<f64>, Vec<f64>),
+    pub(crate) c10a: (Vec<f64>, Vec<f64>),
+    pub(crate) c10b: (Vec<f64>, Vec<f64>),
+}
+
+/// Runs the six independent transistor-level captures of the driver
+/// estimation on scoped workers (the expensive half of the pipeline).
+pub(crate) fn run_driver_captures(
+    spec: &CmosDriverSpec,
+    cfg: &DriverEstimationConfig,
+) -> Result<DriverCaptures> {
+    let sw = |pattern: &'static str, to_vdd: bool, r: f64| -> Result<(Vec<f64>, Vec<f64>)> {
         let t_stop = cfg.t_pre + cfg.t_window;
         let c = capture_driver(
             spec,
@@ -166,26 +192,55 @@ pub fn estimate_driver_with_records(
         )?;
         Ok((c.voltage.values().to_vec(), c.current.values().to_vec()))
     };
-    // Four independent transient captures (two patterns × two loads).
-    let cap = &cap;
-    let (c01a, c01b, c10a, c10b) = thread::scope(|s| {
-        let c01a = s.spawn(move || cap("01", false, cfg.r_load_a));
-        let c01b = s.spawn(move || cap("01", true, cfg.r_load_b));
-        let c10a = s.spawn(move || cap("10", false, cfg.r_load_a));
-        let c10b = cap("10", true, cfg.r_load_b);
+    let sw = &sw;
+    let (high, low, c01a, c01b, c10a, c10b) = thread::scope(|s| {
+        let high = s.spawn(|| capture_state(spec, true, cfg));
+        let low = s.spawn(|| capture_state(spec, false, cfg));
+        let c01a = s.spawn(move || sw("01", false, cfg.r_load_a));
+        let c01b = s.spawn(move || sw("01", true, cfg.r_load_b));
+        let c10a = s.spawn(move || sw("10", false, cfg.r_load_a));
+        let c10b = sw("10", true, cfg.r_load_b);
         (
+            join_worker(high),
+            join_worker(low),
             join_worker(c01a),
             join_worker(c01b),
             join_worker(c10a),
             c10b,
         )
     });
+    Ok(DriverCaptures {
+        high: high?,
+        low: low?,
+        c01a: c01a?,
+        c01b: c01b?,
+        c10a: c10a?,
+        c10b: c10b?,
+    })
+}
 
+/// Fits the PW-RBF model from recorded captures (the cheap half: RBF
+/// training and weight inversion, no circuit simulation).
+pub(crate) fn fit_driver_from_captures(
+    spec: &CmosDriverSpec,
+    cfg: &DriverEstimationConfig,
+    caps: &DriverCaptures,
+) -> Result<(PwRbfDriverModel, StateIdRecord, StateIdRecord)> {
+    // --- 1. state submodels (independent fits, one on a scoped worker) ---
+    let (high, low) = thread::scope(|s| {
+        let high = s.spawn(|| fit_state_submodel(&caps.high, cfg));
+        let low = fit_state_submodel(&caps.low, cfg);
+        (join_worker(high), low)
+    });
+    let (i_high, rec_high) = high?;
+    let (i_low, rec_low) = low?;
+
+    // --- 2. switching-weight inversion on the two identification loads ---
     let k_edge = (cfg.t_pre / cfg.ts).round() as usize;
     let mut weights = Vec::with_capacity(2);
     for (captures, anchors) in [
-        ((c01a?, c01b?), ((0.0, 1.0), (1.0, 0.0))),
-        ((c10a?, c10b?), ((1.0, 0.0), (0.0, 1.0))),
+        ((&caps.c01a, &caps.c01b), ((0.0, 1.0), (1.0, 0.0))),
+        ((&caps.c10a, &caps.c10b), ((1.0, 0.0), (0.0, 1.0))),
     ] {
         let ((v_a, i_a), (v_b, i_b)) = captures;
         // Submodel free runs on the recorded voltages, from settled initial
@@ -195,11 +250,11 @@ pub fn estimate_driver_with_records(
             let init = vec![y0; m.orders().start().max(1)];
             m.simulate(v, &init)
         };
-        let slice = |s: Vec<f64>| s[k_edge..].to_vec();
-        let ih_a = slice(run(&i_high, &v_a));
-        let il_a = slice(run(&i_low, &v_a));
-        let ih_b = slice(run(&i_high, &v_b));
-        let il_b = slice(run(&i_low, &v_b));
+        let slice = |s: &[f64]| s[k_edge..].to_vec();
+        let ih_a = slice(&run(&i_high, v_a));
+        let il_a = slice(&run(&i_low, v_a));
+        let ih_b = slice(&run(&i_high, v_b));
+        let il_b = slice(&run(&i_low, v_b));
         let meas_a = slice(i_a);
         let meas_b = slice(i_b);
         let w = estimate_switching_weights(&ih_a, &il_a, &meas_a, &ih_b, &il_b, &meas_b, anchors)?;
@@ -221,13 +276,59 @@ pub fn estimate_driver_with_records(
     Ok((model, rec_high, rec_low))
 }
 
-/// Estimates one state submodel (driver held High or Low, pad excited by a
-/// multilevel source).
-fn estimate_state_submodel(
+/// Validates the non-capture configuration fields of a driver estimation.
+pub(crate) fn check_driver_config(cfg: &DriverEstimationConfig) -> Result<()> {
+    if cfg.ts <= 0.0 || cfg.order == 0 {
+        return Err(Error::InvalidModel {
+            message: "ts must be positive and order at least 1".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Estimates a PW-RBF driver model from a transistor-level reference.
+///
+/// Thin wrapper over [`crate::ExtractionSession::for_driver`]; prefer the
+/// session builder, which can also reuse captures between runs, validate,
+/// and save the result.
+///
+/// # Errors
+///
+/// Returns [`Error::Estimation`] with the failing stage, or propagates
+/// simulation/identification errors.
+pub fn estimate_driver(
+    spec: &CmosDriverSpec,
+    cfg: DriverEstimationConfig,
+) -> Result<PwRbfDriverModel> {
+    let (model, _, _) = estimate_driver_with_records(spec, cfg)?;
+    Ok(model)
+}
+
+/// Like [`estimate_driver`], additionally returning the identification
+/// records of the High and Low submodels.
+///
+/// Thin wrapper over [`crate::ExtractionSession::for_driver`].
+///
+/// # Errors
+///
+/// See [`estimate_driver`].
+pub fn estimate_driver_with_records(
+    spec: &CmosDriverSpec,
+    cfg: DriverEstimationConfig,
+) -> Result<(PwRbfDriverModel, StateIdRecord, StateIdRecord)> {
+    crate::session::ExtractionSession::for_driver(spec.clone())
+        .config(cfg)
+        .run()?
+        .into_driver_parts()
+}
+
+/// Captures one state identification (driver held High or Low, pad excited
+/// by a multilevel source).
+fn capture_state(
     spec: &CmosDriverSpec,
     high: bool,
     cfg: &DriverEstimationConfig,
-) -> Result<(NarxModel, StateIdRecord)> {
+) -> Result<StateCapture> {
     let lo = -cfg.v_margin;
     let hi = spec.vdd + cfg.v_margin;
     let sig = signals::multilevel(
@@ -260,17 +361,28 @@ fn estimate_state_submodel(
         cfg.ts,
         t_stop,
     )?;
-    let v = capture.voltage.values().to_vec();
-    let i = capture.current.values().to_vec();
-    let narx = NarxModel::fit(&v, &i, NarxOrders::dynamic(cfg.order), cfg.rbf)?;
+    Ok(StateCapture {
+        voltage: capture.voltage,
+        current: capture.current,
+    })
+}
+
+/// Fits one state submodel from its recorded capture.
+fn fit_state_submodel(
+    capture: &StateCapture,
+    cfg: &DriverEstimationConfig,
+) -> Result<(NarxModel, StateIdRecord)> {
+    let v = capture.voltage.values();
+    let i = capture.current.values();
+    let narx = NarxModel::fit(v, i, NarxOrders::dynamic(cfg.order), cfg.rbf)?;
     // Self-consistency metric on the identification data.
-    let sim = narx.simulate(&v, &i[..cfg.order.max(1)]);
-    let nmse = numkit::stats::nmse(&sim, &i);
+    let sim = narx.simulate(v, &i[..cfg.order.max(1)]);
+    let nmse = numkit::stats::nmse(&sim, i);
     Ok((
         narx,
         StateIdRecord {
-            voltage: capture.voltage,
-            current: capture.current,
+            voltage: capture.voltage.clone(),
+            current: capture.current.clone(),
             nmse,
         },
     ))
@@ -367,25 +479,46 @@ fn capture_rx(spec: &ReceiverSpec, sig: Vec<f64>, ts: f64) -> Result<(Vec<f64>, 
     Ok((cap.voltage.values().to_vec(), cap.current.values().to_vec()))
 }
 
-/// Estimates the full receiver parametric model (equation 2).
-///
-/// # Errors
-///
-/// Returns [`Error::Estimation`] / identification errors from the stages.
-pub fn estimate_receiver(
-    spec: &ReceiverSpec,
-    cfg: ReceiverEstimationConfig,
-) -> Result<ReceiverModel> {
-    if cfg.ts <= 0.0 {
-        return Err(Error::InvalidModel {
-            message: "ts must be positive".into(),
-        });
+/// The subset of [`ReceiverEstimationConfig`] that determines the
+/// transistor-level captures (see [`DriverCaptureKey`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ReceiverCaptureKey {
+    ts: f64,
+    v_over: f64,
+    n_levels: usize,
+    dwell: usize,
+    edge_samples: usize,
+    seed: u64,
+}
+
+impl ReceiverCaptureKey {
+    pub(crate) fn of(cfg: &ReceiverEstimationConfig) -> Self {
+        ReceiverCaptureKey {
+            ts: cfg.ts,
+            v_over: cfg.v_over,
+            n_levels: cfg.n_levels,
+            dwell: cfg.dwell,
+            edge_samples: cfg.edge_samples,
+            seed: cfg.seed,
+        }
     }
-    // All three identification captures (linear steps, up-protection and
-    // down-protection multilevel signals) are independent transistor-level
-    // transients: run them on scoped workers. The fits stay sequential —
-    // each protection submodel trains on the residual of the previous
-    // stages.
+}
+
+/// The three transistor-level identification captures of the receiver
+/// estimation: linear steps, up-protection and down-protection multilevel
+/// excursions.
+#[derive(Debug, Clone)]
+pub(crate) struct ReceiverCaptures {
+    pub(crate) lin: (Vec<f64>, Vec<f64>),
+    pub(crate) up: (Vec<f64>, Vec<f64>),
+    pub(crate) dn: (Vec<f64>, Vec<f64>),
+}
+
+/// Runs the three independent receiver captures on scoped workers.
+pub(crate) fn run_receiver_captures(
+    spec: &ReceiverSpec,
+    cfg: &ReceiverEstimationConfig,
+) -> Result<ReceiverCaptures> {
     let lin_sig = signals::step_train(
         0.1 * spec.vdd,
         0.9 * spec.vdd,
@@ -404,16 +537,63 @@ pub fn estimate_receiver(
         cfg.edge_samples,
         cfg.seed ^ 0xffff,
     );
-    let (cap_lin, cap_up, cap_dn) = thread::scope(|s| {
+    let (lin, up, dn) = thread::scope(|s| {
         let cap_lin = s.spawn(|| capture_rx(spec, lin_sig, cfg.ts));
         let cap_up = s.spawn(|| capture_rx(spec, sig_up, cfg.ts));
         let cap_dn = capture_rx(spec, sig_dn, cfg.ts);
         (join_worker(cap_lin), join_worker(cap_up), cap_dn)
     });
+    Ok(ReceiverCaptures {
+        lin: lin?,
+        up: up?,
+        dn: dn?,
+    })
+}
 
+/// Validates the non-capture configuration fields of a receiver estimation.
+pub(crate) fn check_receiver_config(cfg: &ReceiverEstimationConfig) -> Result<()> {
+    if cfg.ts <= 0.0 {
+        return Err(Error::InvalidModel {
+            message: "ts must be positive".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Estimates the full receiver parametric model (equation 2).
+///
+/// Thin wrapper over [`crate::ExtractionSession::for_receiver`]; prefer the
+/// session builder, which can also reuse captures between runs, validate,
+/// and save the result.
+///
+/// # Errors
+///
+/// Returns [`Error::Estimation`] / identification errors from the stages.
+pub fn estimate_receiver(
+    spec: &ReceiverSpec,
+    cfg: ReceiverEstimationConfig,
+) -> Result<ReceiverModel> {
+    match crate::session::ExtractionSession::for_receiver(spec.clone())
+        .config(cfg)
+        .run()?
+        .into_model()
+    {
+        crate::AnyModel::Receiver(m) => Ok(m),
+        _ => unreachable!("receiver session produces a receiver model"),
+    }
+}
+
+/// Fits the receiver model from recorded captures. The fits stay
+/// sequential — each protection submodel trains on the residual of the
+/// previous stages.
+pub(crate) fn fit_receiver_from_captures(
+    spec: &ReceiverSpec,
+    cfg: &ReceiverEstimationConfig,
+    caps: &ReceiverCaptures,
+) -> Result<ReceiverModel> {
     // --- 1. linear submodel: steps inside the rails ---
-    let (v_lin, i_lin) = cap_lin?;
-    let linear = fit_stable_arx(&v_lin, &i_lin, cfg.r_lin)?;
+    let (v_lin, i_lin) = &caps.lin;
+    let linear = fit_stable_arx(v_lin, i_lin, cfg.r_lin)?;
 
     // --- 2. protection submodels on the residual ---
     // Protection submodels are estimated without output feedback (NFIR
@@ -428,11 +608,11 @@ pub fn estimate_receiver(
     // `up` and `down` is realized by sequential residual fitting: `up`
     // absorbs the residual after the linear part, `down` what remains.
     // Inside the rails both are taught to be (near) zero by construction.
-    let (v_up, i_up) = cap_up?;
-    let lin_up = linear.simulate(&v_up);
+    let (v_up, i_up) = &caps.up;
+    let lin_up = linear.simulate(v_up);
     let resid_up: Vec<f64> = i_up.iter().zip(&lin_up).map(|(a, b)| a - b).collect();
     let up = NarxModel::fit(
-        &v_up,
+        v_up,
         &resid_up,
         NarxOrders {
             input_lags: cfg.r_up,
@@ -441,9 +621,9 @@ pub fn estimate_receiver(
         cfg.rbf,
     )?;
 
-    let (v_dn, i_dn) = cap_dn?;
-    let lin_dn = linear.simulate(&v_dn);
-    let up_dn = up.simulate(&v_dn, &[]);
+    let (v_dn, i_dn) = &caps.dn;
+    let lin_dn = linear.simulate(v_dn);
+    let up_dn = up.simulate(v_dn, &[]);
     let resid_dn: Vec<f64> = i_dn
         .iter()
         .zip(&lin_dn)
@@ -451,7 +631,7 @@ pub fn estimate_receiver(
         .map(|((a, b), c)| a - b - c)
         .collect();
     let down = NarxModel::fit(
-        &v_dn,
+        v_dn,
         &resid_dn,
         NarxOrders {
             input_lags: cfg.r_down,
@@ -472,13 +652,15 @@ pub fn estimate_receiver(
     Ok(model)
 }
 
-/// Builds the paper's C–R̂ baseline for a receiver: `C` from a low-order
-/// linear fit inside the rails, `R̂(v)` from a DC sweep.
-///
-/// # Errors
-///
-/// Propagates capture and fit failures.
-pub fn estimate_cr_baseline(spec: &ReceiverSpec, ts: f64) -> Result<CrModel> {
+/// The step capture and DC sweep behind the C–R̂ baseline.
+#[derive(Debug, Clone)]
+pub(crate) struct CrCaptures {
+    pub(crate) step: (Vec<f64>, Vec<f64>),
+    pub(crate) sweep: (Vec<f64>, Vec<f64>),
+}
+
+/// Runs the two independent C–R̂ captures.
+pub(crate) fn run_cr_captures(spec: &ReceiverSpec, ts: f64) -> Result<CrCaptures> {
     // The step capture (for C) and the DC sweep (for R̂) are independent.
     let sig = signals::step_train(0.1 * spec.vdd, 0.9 * spec.vdd, 6, 40, 6);
     let (cap, sweep) = thread::scope(|s| {
@@ -486,18 +668,50 @@ pub fn estimate_cr_baseline(spec: &ReceiverSpec, ts: f64) -> Result<CrModel> {
         let sweep = receiver_input_iv(spec, (-1.2, spec.vdd + 1.2), 49);
         (join_worker(cap), sweep)
     });
+    let sweep = sweep?;
+    Ok(CrCaptures {
+        step: cap?,
+        sweep: (sweep.voltages, sweep.currents),
+    })
+}
+
+/// Fits the C–R̂ baseline from its captures.
+pub(crate) fn fit_cr_from_captures(
+    spec: &ReceiverSpec,
+    ts: f64,
+    caps: &CrCaptures,
+) -> Result<CrModel> {
     // C from an ARX(0,1) fit: i = (C/ts) v(k) - (C/ts) v(k-1).
-    let (v, i) = cap?;
-    let fit = ArxModel::fit(&v, &i, ArxOrders { na: 0, nb: 1 })?;
+    let (v, i) = &caps.step;
+    let fit = ArxModel::fit(v, i, ArxOrders { na: 0, nb: 1 })?;
     let c = (fit.b()[0] - fit.b()[1]) * 0.5 * ts;
     let c = c.max(1e-15);
     // Static resistor from the DC sweep.
-    let sweep = sweep?;
-    let static_iv = Pwl::new(sweep.voltages, sweep.currents).map_err(|e| Error::Estimation {
-        stage: "C-R baseline DC sweep".into(),
-        message: e.to_string(),
-    })?;
+    let static_iv =
+        Pwl::new(caps.sweep.0.clone(), caps.sweep.1.clone()).map_err(|e| Error::Estimation {
+            stage: "C-R baseline DC sweep".into(),
+            message: e.to_string(),
+        })?;
     CrModel::new(format!("{}_cr", spec.name), c, static_iv)
+}
+
+/// Builds the paper's C–R̂ baseline for a receiver: `C` from a low-order
+/// linear fit inside the rails, `R̂(v)` from a DC sweep.
+///
+/// Thin wrapper over [`crate::ExtractionSession::for_cr_baseline`].
+///
+/// # Errors
+///
+/// Propagates capture and fit failures.
+pub fn estimate_cr_baseline(spec: &ReceiverSpec, ts: f64) -> Result<CrModel> {
+    match crate::session::ExtractionSession::for_cr_baseline(spec.clone())
+        .sample_time(ts)
+        .run()?
+        .into_model()
+    {
+        crate::AnyModel::Cr(m) => Ok(m),
+        _ => unreachable!("C-R session produces a C-R model"),
+    }
 }
 
 #[cfg(test)]

@@ -1,12 +1,19 @@
 //! Reference-vs-model validation harness and Section-5 accuracy metrics.
+//!
+//! The harness is backend-generic: it compares *any* [`Macromodel`]
+//! implementation (PW-RBF, receiver parametric, C–R̂, IBIS) against its
+//! transistor-level reference on the same load network.
 
-use crate::device::PwRbfDriver;
-use crate::driver::PwRbfDriverModel;
-use crate::Result;
+use crate::macromodel::{Macromodel, PortStimulus, TestFixture};
+use crate::{Error, Result};
 use circuit::waveform::{max_difference, rms_difference, timing_error};
 use circuit::{Circuit, Node, TranParams, Waveform, GROUND};
-use refdev::extraction::capture_driver;
-use refdev::CmosDriverSpec;
+use refdev::extraction::{capture_driver, capture_receiver};
+use refdev::{CmosDriverSpec, ReceiverSpec};
+
+/// Transient step used when a model has no sample clock of its own (e.g.
+/// the IBIS baseline): the experiments' standard 25 ps grid.
+pub const DEFAULT_VALIDATION_DT: f64 = 25e-12;
 
 /// Accuracy metrics between a model waveform and its reference.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,30 +41,121 @@ impl ValidationMetrics {
     }
 }
 
-/// Result of one driver validation run: both waveforms plus metrics.
+/// Result of one validation run: both waveforms plus metrics.
 #[derive(Debug, Clone)]
 pub struct DriverValidation {
     /// Pad voltage of the transistor-level reference.
     pub reference: Waveform,
-    /// Pad voltage predicted by the PW-RBF model.
+    /// Pad voltage predicted by the macromodel.
     pub model: Waveform,
     /// Comparison metrics at `vdd/2`.
     pub metrics: ValidationMetrics,
 }
 
-/// Runs the transistor-level reference and the PW-RBF model against the
-/// *same* load network and compares the pad voltages.
+/// The transistor-level source a macromodel stands in for.
+#[derive(Debug, Clone)]
+pub enum ReferencePort {
+    /// A CMOS output buffer.
+    Driver(CmosDriverSpec),
+    /// An input port.
+    Receiver(ReceiverSpec),
+}
+
+impl ReferencePort {
+    /// Supply voltage of the reference device (V).
+    pub fn vdd(&self) -> f64 {
+        match self {
+            ReferencePort::Driver(s) => s.vdd,
+            ReferencePort::Receiver(s) => s.vdd,
+        }
+    }
+
+    /// Device name of the reference.
+    pub fn name(&self) -> &str {
+        match self {
+            ReferencePort::Driver(s) => s.name,
+            ReferencePort::Receiver(s) => s.name,
+        }
+    }
+}
+
+/// Runs the transistor-level reference and *any* macromodel backend against
+/// the same [`TestFixture`] and compares pad voltages — the backend-generic
+/// core of the validation harness.
+///
+/// Driver references require `stim` (the bit pattern the port produces);
+/// receiver references take their excitation from the fixture itself.
+///
+/// # Errors
+///
+/// Propagates simulation failures from either run; a driver reference
+/// without a stimulus is [`Error::InvalidModel`].
+pub fn validate_macromodel(
+    reference: &ReferencePort,
+    model: &dyn Macromodel,
+    fixture: &TestFixture,
+    stim: Option<&PortStimulus>,
+    dt: f64,
+    t_stop: f64,
+    threshold: f64,
+) -> Result<DriverValidation> {
+    let ref_wave = match reference {
+        ReferencePort::Driver(spec) => {
+            let stim = stim.ok_or_else(|| Error::InvalidModel {
+                message: format!(
+                    "validating driver reference '{}' needs a PortStimulus",
+                    spec.name
+                ),
+            })?;
+            capture_driver(
+                spec,
+                spec.pattern(&stim.pattern, stim.bit_time),
+                |ckt, pad| {
+                    fixture.install(ckt, pad);
+                    Ok(())
+                },
+                dt,
+                t_stop,
+            )?
+            .voltage
+        }
+        ReferencePort::Receiver(spec) => {
+            capture_receiver(
+                spec,
+                |ckt, pad| {
+                    fixture.install(ckt, pad);
+                    Ok(())
+                },
+                dt,
+                t_stop,
+            )?
+            .voltage
+        }
+    };
+    let model_wave = model.simulate_on_load(fixture, stim, dt, t_stop)?;
+    let metrics = ValidationMetrics::between(&model_wave, &ref_wave, threshold);
+    Ok(DriverValidation {
+        reference: ref_wave,
+        model: model_wave,
+        metrics,
+    })
+}
+
+/// Runs the transistor-level reference and a driver macromodel (any backend
+/// implementing [`Macromodel`]) against the *same* load network and
+/// compares the pad voltages.
 ///
 /// `load` is invoked once per simulation with the circuit and the pad/output
 /// node; it must build identical load networks both times (it receives a
-/// fresh circuit each time).
+/// fresh circuit each time). For the standard fixtures prefer
+/// [`validate_macromodel`], which takes a [`TestFixture`] description.
 ///
 /// # Errors
 ///
 /// Propagates simulation failures from either run.
 pub fn validate_driver<F>(
     spec: &CmosDriverSpec,
-    model: &PwRbfDriverModel,
+    model: &dyn Macromodel,
     pattern: &str,
     bit_time: f64,
     t_stop: f64,
@@ -66,6 +164,7 @@ pub fn validate_driver<F>(
 where
     F: FnMut(&mut Circuit, Node) -> Result<()>,
 {
+    let dt = model.sample_time().unwrap_or(DEFAULT_VALIDATION_DT);
     // Reference run (transistor level), sampled at the model clock so the
     // comparison grids line up.
     let reference = capture_driver(
@@ -77,16 +176,17 @@ where
             })?;
             Ok(())
         },
-        model.ts,
+        dt,
         t_stop,
     )?;
 
-    // Macromodel run.
+    // Macromodel run, through the unified trait.
     let mut ckt = Circuit::new();
-    let out = ckt.node(format!("{}_out", model.name));
-    ckt.add(PwRbfDriver::new(model.clone(), out, pattern, bit_time));
+    let out = ckt.node(format!("{}_out", model.name()));
+    let stim = PortStimulus::new(pattern, bit_time);
+    model.instantiate(&mut ckt, out, Some(&stim))?;
     load(&mut ckt, out)?;
-    let res = ckt.transient(TranParams::new(model.ts, t_stop))?;
+    let res = ckt.transient(TranParams::new(dt, t_stop))?;
     let v_model = res.voltage(out);
 
     let metrics = ValidationMetrics::between(&v_model, &reference.voltage, 0.5 * spec.vdd);

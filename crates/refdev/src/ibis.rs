@@ -75,7 +75,7 @@ pub struct IbisModel {
 }
 
 /// Extraction configuration for [`IbisModel::extract`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IbisExtractConfig {
     /// Number of points in the I–V tables.
     pub iv_points: usize,
@@ -225,17 +225,70 @@ impl IbisModel {
         self.dt * self.ku_rise.len().max(1) as f64
     }
 
+    /// Checks the structural invariants a consumer (circuit device or
+    /// model-exchange loader) relies on: positive finite `dt` and `c_comp`,
+    /// equal-length coefficient tables with at least one sample, finite
+    /// coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] describing the first violation.
+    pub fn validate(&self) -> Result<()> {
+        if self.dt <= 0.0 || !self.dt.is_finite() {
+            return Err(Error::InvalidSpec {
+                message: format!("switching-table timestep must be positive, got {}", self.dt),
+            });
+        }
+        if self.c_comp <= 0.0 || !self.c_comp.is_finite() {
+            return Err(Error::InvalidSpec {
+                message: format!("die capacitance must be positive, got {}", self.c_comp),
+            });
+        }
+        let n = self.ku_rise.len();
+        if n == 0 || self.kd_rise.len() != n || self.ku_fall.len() != n || self.kd_fall.len() != n {
+            return Err(Error::InvalidSpec {
+                message: "switching tables must be non-empty and equal in length".into(),
+            });
+        }
+        let tables = [&self.ku_rise, &self.kd_rise, &self.ku_fall, &self.kd_fall];
+        if tables.iter().any(|t| t.iter().any(|k| !k.is_finite())) {
+            return Err(Error::InvalidSpec {
+                message: "switching coefficients must be finite".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// One-line structural summary (table sizes and die capacitance).
+    pub fn summary(&self) -> String {
+        format!(
+            "IBIS '{}': {} I-V points (pu) / {} (pd), C_comp = {:.3e} F, \
+             {} switching samples at dt = {:.3e} s",
+            self.name,
+            self.pullup.x().len(),
+            self.pulldown.x().len(),
+            self.c_comp,
+            self.ku_rise.len(),
+            self.dt
+        )
+    }
+
+    /// Installs the output stage and `C_comp` at an existing node `pad`.
+    pub fn instantiate_at(&self, ckt: &mut Circuit, pad: Node, pattern: &str, bit_time: f64) {
+        ckt.add(IbisDriver::new(self.clone(), pad, pattern, bit_time));
+        ckt.add(Capacitor::new(
+            format!("{}_ccomp", self.name),
+            pad,
+            GROUND,
+            self.c_comp,
+        ));
+    }
+
     /// Installs the model into `ckt` as a driver running `pattern` with the
     /// given bit time. Returns the output node.
     pub fn instantiate(&self, ckt: &mut Circuit, pattern: &str, bit_time: f64) -> Node {
         let out = ckt.node(format!("{}_out", self.name));
-        ckt.add(IbisDriver::new(self.clone(), out, pattern, bit_time));
-        ckt.add(Capacitor::new(
-            format!("{}_ccomp", self.name),
-            out,
-            GROUND,
-            self.c_comp,
-        ));
+        self.instantiate_at(ckt, out, pattern, bit_time);
         out
     }
 }

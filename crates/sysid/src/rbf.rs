@@ -34,12 +34,16 @@ pub struct RbfNetwork {
 }
 
 impl RbfNetwork {
-    /// Assembles a network from parts.
+    /// Assembles a network from parts. This is the only way to build a
+    /// non-trivial network, so every [`RbfNetwork`] in the program satisfies
+    /// the invariants downstream consumers (the circuit devices and the
+    /// model-exchange loader) rely on: parallel center/width/weight arrays,
+    /// centers of the declared dimension, and finite parameters throughout.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidStructure`] on inconsistent dimensions or a
-    /// non-positive width with at least one center.
+    /// Returns [`Error::InvalidStructure`] on inconsistent dimensions, a
+    /// non-positive width, or any non-finite parameter.
     pub fn from_parts(
         dim: usize,
         centers: Vec<Vec<f64>>,
@@ -73,6 +77,15 @@ impl RbfNetwork {
                 message: "widths must be positive and finite".into(),
             });
         }
+        if !bias.is_finite()
+            || linear.iter().any(|v| !v.is_finite())
+            || weights.iter().any(|v| !v.is_finite())
+            || centers.iter().flatten().any(|v| !v.is_finite())
+        {
+            return Err(Error::InvalidStructure {
+                message: "network parameters must be finite".into(),
+            });
+        }
         Ok(RbfNetwork {
             dim,
             centers,
@@ -84,7 +97,16 @@ impl RbfNetwork {
     }
 
     /// A purely affine network (no Gaussian units).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite coefficients — affine synthesis is a
+    /// program-construction step, not a data path.
     pub fn affine(bias: f64, linear: Vec<f64>) -> Self {
+        assert!(
+            bias.is_finite() && linear.iter().all(|v| v.is_finite()),
+            "affine network coefficients must be finite"
+        );
         let dim = linear.len();
         RbfNetwork {
             dim,
@@ -109,6 +131,26 @@ impl RbfNetwork {
     /// Per-center Gaussian widths.
     pub fn widths(&self) -> &[f64] {
         &self.widths
+    }
+
+    /// Gaussian centers (each of length [`RbfNetwork::dim`]).
+    pub fn centers(&self) -> &[Vec<f64>] {
+        &self.centers
+    }
+
+    /// Gaussian weights, parallel to [`RbfNetwork::centers`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Affine bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Linear (affine-tail) weights, length [`RbfNetwork::dim`].
+    pub fn linear(&self) -> &[f64] {
+        &self.linear
     }
 
     /// Gaussian activation of unit `i` at input `x`.
@@ -285,6 +327,46 @@ mod tests {
         );
         // Zero centers is fine (widths unused).
         assert!(RbfNetwork::from_parts(1, vec![], vec![], vec![], 0.0, vec![0.0]).is_ok());
+        // Non-finite parameters are structural errors (the exchange loader
+        // depends on this rejection).
+        assert!(RbfNetwork::from_parts(1, vec![], vec![], vec![], f64::NAN, vec![0.0]).is_err());
+        assert!(
+            RbfNetwork::from_parts(1, vec![], vec![], vec![], 0.0, vec![f64::INFINITY]).is_err()
+        );
+        assert!(RbfNetwork::from_parts(
+            1,
+            vec![vec![f64::NAN]],
+            vec![1.0],
+            vec![1.0],
+            0.0,
+            vec![0.0]
+        )
+        .is_err());
+        assert!(RbfNetwork::from_parts(
+            1,
+            vec![vec![0.0]],
+            vec![1.0],
+            vec![f64::NEG_INFINITY],
+            0.0,
+            vec![0.0]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accessors_expose_parts() {
+        let net = simple_net();
+        assert_eq!(net.centers().len(), 2);
+        assert_eq!(net.weights(), &[2.0, -1.0]);
+        assert_eq!(net.bias(), 0.1);
+        assert_eq!(net.linear(), &[0.3, -0.2]);
+        assert_eq!(net.widths(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn affine_rejects_non_finite() {
+        RbfNetwork::affine(f64::NAN, vec![0.0]);
     }
 
     #[test]

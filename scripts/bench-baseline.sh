@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Records bench medians into JSON-lines baseline files so the performance
+# trajectory is a committed artifact instead of scrollback. The criterion
+# stub appends one record per benchmark when BENCH_BASELINE_JSON is set;
+# this script truncates the target first so each run is a fresh snapshot.
+#
+# Usage: scripts/bench-baseline.sh [bench-name]   (default: table1)
+set -euo pipefail
+
+bench="${1:-table1}"
+# Absolute path: cargo runs bench binaries with the *package* directory as
+# their working directory, not the workspace root.
+out="$(pwd)/BENCH_${bench}.json"
+
+: >"$out"
+BENCH_BASELINE_JSON="$out" cargo bench -p emc-bench --bench "$bench"
+
+echo "baseline written to $out:"
+cat "$out"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI smoke for the model-artifact lifecycle: extract the md1 PW-RBF driver
+# to a .mdlx file, print its inventory, then `mdl validate` — which checks
+# the bit-exact re-save guarantee AND re-simulates the artifact against the
+# transistor-level reference, failing on round-trip or accuracy
+# regressions. Finally a simulate run proves a loaded artifact drives a
+# fixture end-to-end without re-estimation.
+#
+# Usage: scripts/mdl-smoke.sh
+set -euo pipefail
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+mdl() {
+    cargo run --release -q -p emc-bench --bin mdl -- "$@"
+}
+
+artifact="$workdir/md1-pwrbf.mdlx"
+mdl extract md1 --fast --out "$artifact"
+mdl info "$artifact"
+mdl validate "$artifact" --fast
+# A loaded artifact must drive the Fig.1 fixture purely from the file.
+lines="$(mdl simulate "$artifact" --fixture linecap --pattern 01 --t-stop 12e-9 | wc -l)"
+if [ "$lines" -lt 100 ]; then
+    echo "simulate produced only $lines CSV lines" >&2
+    exit 1
+fi
+echo "mdl artifact lifecycle smoke: ok ($lines waveform samples)"

@@ -44,14 +44,20 @@ pub mod prelude {
     };
     pub use circuit::{Circuit, TranParams, Waveform, GROUND};
     pub use macromodel::device::{PwRbfDriver, ReceiverModelDevice};
+    pub use macromodel::exchange::{
+        load_model, load_model_from_path, save_model, save_model_to_path,
+    };
     pub use macromodel::pipeline::{
         estimate_cr_baseline, estimate_driver, estimate_receiver, DriverEstimationConfig,
         ReceiverEstimationConfig,
     };
     pub use macromodel::validate::{
-        line_cap_load, resistive_load, validate_driver, ValidationMetrics,
+        line_cap_load, resistive_load, validate_driver, validate_macromodel, ValidationMetrics,
     };
-    pub use macromodel::{CrModel, PwRbfDriverModel, ReceiverModel};
+    pub use macromodel::{
+        AnyModel, CrModel, EstimatedModel, ExtractionSession, Macromodel, ModelKind, ModelRegistry,
+        PortStimulus, PwRbfDriverModel, ReceiverModel, TestFixture,
+    };
     pub use refdev::{md1, md2, md3, md4, IbisCorner, IbisModel};
 }
 

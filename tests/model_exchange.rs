@@ -1,0 +1,161 @@
+//! Artifact-lifecycle integration tests: every estimated model kind
+//! round-trips through the versioned exchange format, and the loaded
+//! artifact reproduces the in-memory model's validation waveform exactly.
+
+use macromodel::exchange::{load_model, save_model, AnyModel};
+use macromodel::pipeline::DriverEstimationConfig;
+use macromodel::{ExtractionSession, Macromodel, PortStimulus, TestFixture};
+use refdev::ibis::IbisExtractConfig;
+use refdev::IbisModel;
+use sysid::narx::RbfTrainConfig;
+
+fn fast_cfg() -> DriverEstimationConfig {
+    DriverEstimationConfig {
+        n_levels: 24,
+        dwell: 16,
+        rbf: RbfTrainConfig {
+            max_centers: 8,
+            candidate_pool: 60,
+            width_scale: 1.0,
+            ols_tolerance: 1e-6,
+        },
+        t_pre: 1.5e-9,
+        t_window: 3e-9,
+        ..Default::default()
+    }
+}
+
+/// Saves, loads, re-saves; asserts byte identity and returns the loaded
+/// model.
+fn round_trip(model: &AnyModel) -> AnyModel {
+    let text = save_model(model).expect("save");
+    let loaded = load_model(&text).expect("load");
+    let re_saved = save_model(&loaded).expect("re-save");
+    assert_eq!(
+        text,
+        re_saved,
+        "{} re-save must be byte-identical",
+        model.kind()
+    );
+    loaded
+}
+
+/// Max absolute difference between two waveforms on the same grid.
+fn max_diff(a: &circuit::Waveform, b: &circuit::Waveform) -> f64 {
+    assert_eq!(a.values().len(), b.values().len(), "grids must match");
+    a.values()
+        .iter()
+        .zip(b.values())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// An estimated PW-RBF driver survives the exchange format and the loaded
+/// artifact reproduces the validation waveform to <= 1e-12.
+#[test]
+fn estimated_driver_round_trips_and_replays() {
+    let mut session = ExtractionSession::for_driver(refdev::md1()).config(fast_cfg());
+    let est = session.run().expect("estimation");
+    let model = est.into_model();
+    let loaded = round_trip(&model);
+
+    let fixture = TestFixture::line_cap(50.0, 0.8e-9, 10e-12);
+    let stim = PortStimulus::new("01", 4e-9);
+    let ts = model.sample_time().expect("sampled model");
+    let wave_mem = model
+        .simulate_on_load(&fixture, Some(&stim), ts, 12e-9)
+        .expect("in-memory run");
+    let wave_loaded = loaded
+        .simulate_on_load(&fixture, Some(&stim), ts, 12e-9)
+        .expect("loaded run");
+    let err = max_diff(&wave_mem, &wave_loaded);
+    assert!(err <= 1e-12, "loaded-model waveform differs by {err}");
+}
+
+/// Same lifecycle for the extracted IBIS baseline (and its corner set:
+/// corner scaling applied to the loaded artifact matches the in-memory
+/// model's corners).
+#[test]
+fn extracted_ibis_round_trips_and_replays() {
+    let cfg = IbisExtractConfig {
+        iv_points: 21,
+        r_fixture: 50.0,
+        dt: 50e-12,
+        t_table: 3e-9,
+    };
+    let mut session = ExtractionSession::for_ibis(refdev::md1()).config(cfg);
+    let model = session.run().expect("extraction").into_model();
+    let loaded = round_trip(&model);
+
+    let fixture = TestFixture::resistive(50.0);
+    let stim = PortStimulus::new("01", 3e-9);
+    let wave_mem = model
+        .simulate_on_load(&fixture, Some(&stim), 50e-12, 6e-9)
+        .expect("in-memory run");
+    let wave_loaded = loaded
+        .simulate_on_load(&fixture, Some(&stim), 50e-12, 6e-9)
+        .expect("loaded run");
+    assert!(max_diff(&wave_mem, &wave_loaded) <= 1e-12);
+
+    // Corner set survives: derive corners from the loaded artifact.
+    let (AnyModel::Ibis(m), AnyModel::Ibis(l)) = (&model, &loaded) else {
+        panic!("ibis kind expected");
+    };
+    for corner in [refdev::IbisCorner::Slow, refdev::IbisCorner::Fast] {
+        let a = m.with_corner(corner).unwrap();
+        let b = l.with_corner(corner).unwrap();
+        assert_eq!(a.c_comp, b.c_comp);
+        assert_eq!(a.pullup.y(), b.pullup.y());
+    }
+    // A loaded IBIS model also round-trips after corner scaling.
+    let fast: IbisModel = l.with_corner(refdev::IbisCorner::Fast).unwrap();
+    round_trip(&AnyModel::from(fast));
+}
+
+/// Receiver parametric model and the C–R̂ baseline: byte-identical re-save
+/// plus exact replay of the discrete-time response.
+#[test]
+fn estimated_receiver_and_cr_round_trip_and_replay() {
+    let mut rx_session = ExtractionSession::for_receiver(refdev::md4())
+        .orders(3, 2, 3)
+        .excitation(24, 16, 6);
+    let rx = rx_session.run().expect("receiver estimation").into_model();
+    let rx_loaded = round_trip(&rx);
+
+    let mut cr_session = ExtractionSession::for_cr_baseline(refdev::md4());
+    let cr = cr_session.run().expect("cr estimation").into_model();
+    let cr_loaded = round_trip(&cr);
+
+    // Exact replay on a sampled record through the trait-level fixture run.
+    let fixture = TestFixture::series_pulse(60.0, 0.0, 2.2, 0.4e-9, 0.1e-9, 2e-9, 0.1e-9);
+    for (orig, loaded, dt) in [
+        (&rx, &rx_loaded, rx.sample_time().unwrap()),
+        (&cr, &cr_loaded, 25e-12),
+    ] {
+        let a = orig
+            .simulate_on_load(&fixture, None, dt, 3e-9)
+            .expect("in-memory run");
+        let b = loaded
+            .simulate_on_load(&fixture, None, dt, 3e-9)
+            .expect("loaded run");
+        let err = max_diff(&a, &b);
+        assert!(err <= 1e-12, "{}: waveform differs by {err}", orig.kind());
+    }
+}
+
+/// A loaded artifact drives the generic validation harness exactly like the
+/// in-memory model (acceptance: `validate_driver` is backend-generic).
+#[test]
+fn loaded_artifact_validates_like_the_original() {
+    use macromodel::validate::{resistive_load, validate_driver};
+    let spec = refdev::md1();
+    let model = macromodel::pipeline::estimate_driver(&spec, fast_cfg()).expect("estimation");
+    let loaded = round_trip(&AnyModel::from(model.clone()));
+
+    let run_a = validate_driver(&spec, &model, "010", 4e-9, 12e-9, resistive_load(75.0))
+        .expect("in-memory validation");
+    let run_b = validate_driver(&spec, &loaded, "010", 4e-9, 12e-9, resistive_load(75.0))
+        .expect("loaded validation");
+    assert!(max_diff(&run_a.model, &run_b.model) <= 1e-12);
+    assert!((run_a.metrics.rms_error - run_b.metrics.rms_error).abs() <= 1e-12);
+}

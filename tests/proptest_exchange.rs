@@ -1,0 +1,197 @@
+//! Property-based tests of the model-exchange format: save → load → save
+//! must be byte-identical for *any* valid model, and corrupted artifacts
+//! (NaN/inf values, truncation, future version tags) must fail with typed
+//! errors — never load silently.
+
+use macromodel::driver::{PwRbfDriverModel, WeightSequence};
+use macromodel::exchange::{load_model, save_model, AnyModel, ExchangeError};
+use macromodel::receiver::{CrModel, ReceiverModel};
+use macromodel::Error;
+use numkit::interp::Pwl;
+use proptest::prelude::*;
+use sysid::arx::{ArxModel, ArxOrders};
+use sysid::narx::{NarxModel, NarxOrders};
+use sysid::rbf::RbfNetwork;
+
+/// Deterministic synthetic NARX submodel from sampled scalars.
+fn synth_narx(order: usize, n_centers: usize, scale: f64, bias: f64) -> NarxModel {
+    let orders = NarxOrders::dynamic(order);
+    let dim = orders.dim();
+    let centers: Vec<Vec<f64>> = (0..n_centers)
+        .map(|i| {
+            (0..dim)
+                .map(|j| scale * ((i + 1) as f64) * 0.3 - 0.05 * j as f64)
+                .collect()
+        })
+        .collect();
+    let widths: Vec<f64> = (0..n_centers)
+        .map(|i| 0.1 + scale.abs() * (i + 1) as f64)
+        .collect();
+    let weights: Vec<f64> = (0..n_centers)
+        .map(|i| bias * 0.5 + 1e-3 * (i as f64 + 1.0))
+        .collect();
+    let linear: Vec<f64> = (0..dim).map(|j| 1e-2 * (j as f64 - 0.5) * scale).collect();
+    let net = RbfNetwork::from_parts(dim, centers, widths, weights, bias, linear).unwrap();
+    NarxModel::from_network(orders, net).unwrap()
+}
+
+fn synth_driver(
+    n_win: usize,
+    order: usize,
+    n_centers: usize,
+    scale: f64,
+    bias: f64,
+) -> PwRbfDriverModel {
+    let ramp: Vec<f64> = (0..n_win)
+        .map(|k| k as f64 / (n_win - 1).max(1) as f64)
+        .collect();
+    let inv: Vec<f64> = ramp.iter().map(|w| 1.0 - w).collect();
+    PwRbfDriverModel {
+        name: "prop_drv".into(),
+        ts: 25e-12 * scale.max(0.01),
+        vdd: 3.3,
+        i_high: synth_narx(order, n_centers, scale, bias),
+        i_low: synth_narx(order, n_centers, -scale, -bias),
+        up: WeightSequence::new(ramp.clone(), inv.clone()).unwrap(),
+        down: WeightSequence::new(inv, ramp).unwrap(),
+    }
+}
+
+fn synth_receiver(order: usize, n_centers: usize, a1: f64, scale: f64) -> ReceiverModel {
+    ReceiverModel {
+        name: "prop_rx".into(),
+        ts: 25e-12,
+        vdd: 1.8,
+        // |a1| < 0.9 keeps the AR part strictly stable, as the model's own
+        // validation requires.
+        linear: ArxModel::from_coefficients(
+            ArxOrders { na: 1, nb: 1 },
+            vec![a1],
+            vec![0.1 * scale, -0.09 * scale],
+        )
+        .unwrap(),
+        up: synth_narx(order, n_centers, scale, 0.1),
+        down: synth_narx(order, n_centers, -scale, -0.1),
+    }
+}
+
+fn synth_cr(n_pts: usize, c: f64, slope: f64) -> CrModel {
+    let x: Vec<f64> = (0..n_pts).map(|k| k as f64 * 0.25 - 1.0).collect();
+    let y: Vec<f64> = x.iter().map(|v| slope * v).collect();
+    CrModel::new("prop_cr", c, Pwl::new(x, y).unwrap()).unwrap()
+}
+
+fn assert_byte_identical(model: AnyModel) {
+    let text = save_model(&model).unwrap();
+    let loaded = load_model(&text).unwrap();
+    let re_saved = save_model(&loaded).unwrap();
+    assert_eq!(text, re_saved);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// save → load → save is byte-identical for random valid driver models.
+    #[test]
+    fn driver_round_trip_byte_identical(
+        n_win in 2usize..24,
+        order in 1usize..4,
+        n_centers in 0usize..5,
+        scale in 0.001f64..10.0,
+        bias in -1.0f64..1.0,
+    ) {
+        assert_byte_identical(synth_driver(n_win, order, n_centers, scale, bias).into());
+    }
+
+    /// ... and for random receiver and C–R̂ models.
+    #[test]
+    fn receiver_and_cr_round_trip_byte_identical(
+        order in 1usize..3,
+        n_centers in 0usize..4,
+        a1 in -0.85f64..0.85,
+        scale in 0.01f64..5.0,
+        n_pts in 2usize..30,
+        c in 1e-13f64..1e-10,
+    ) {
+        assert_byte_identical(synth_receiver(order, n_centers, a1, scale).into());
+        assert_byte_identical(synth_cr(n_pts, c, scale).into());
+    }
+
+    /// Truncating a valid artifact anywhere must fail with a typed error,
+    /// never load a partial model.
+    #[test]
+    fn truncated_artifacts_rejected(
+        n_win in 2usize..16,
+        keep_frac in 0.0f64..1.0,
+    ) {
+        let model: AnyModel = synth_driver(n_win, 1, 2, 0.5, 0.2).into();
+        let text = save_model(&model).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = ((lines.len() - 1) as f64 * keep_frac) as usize;
+        let truncated = lines[..keep].join("\n");
+        let err = load_model(&truncated).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                Error::Exchange(
+                    ExchangeError::Truncated { .. }
+                        | ExchangeError::Syntax { .. }
+                        | ExchangeError::UnknownField { .. }
+                )
+            ),
+            "unexpected error class: {:?}", err
+        );
+    }
+
+    /// NaN / infinity injected into any numeric record must be rejected
+    /// with the NonFinite error.
+    #[test]
+    fn non_finite_values_rejected(
+        n_win in 3usize..16,
+        line_frac in 0.0f64..1.0,
+        use_inf in any::<bool>(),
+    ) {
+        let model: AnyModel = synth_driver(n_win, 1, 2, 0.5, 0.2).into();
+        let text = save_model(&model).unwrap();
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        // Pick a record carrying float payloads and poison its last token.
+        let float_keys = ["bias", "linear", "center", "widths", "gweights", "wh", "wl", "ts", "vdd"];
+        let candidates: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                float_keys.iter().any(|k| l.starts_with(&format!("{k} ")))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert!(!candidates.is_empty());
+        let idx = candidates[((candidates.len() - 1) as f64 * line_frac) as usize];
+        let mut poisoned = lines.clone();
+        let mut toks: Vec<String> = poisoned[idx]
+            .split_ascii_whitespace()
+            .map(str::to_string)
+            .collect();
+        let last = toks.len() - 1;
+        toks[last] = if use_inf { "inf".into() } else { "NaN".into() };
+        poisoned[idx] = toks.join(" ");
+        let corrupted = poisoned.join("\n") + "\n";
+        let err = load_model(&corrupted).unwrap_err();
+        prop_assert!(
+            matches!(err, Error::Exchange(ExchangeError::NonFinite { .. })),
+            "line {}: unexpected error {:?}", idx + 1, err
+        );
+    }
+
+    /// Every future version tag is rejected up front.
+    #[test]
+    fn future_versions_rejected(version in 2u32..1000) {
+        let model: AnyModel = synth_cr(3, 1e-12, 0.1).into();
+        let text = save_model(&model).unwrap();
+        let bumped = text.replacen("mdlx 1 ", &format!("mdlx {version} "), 1);
+        let err = load_model(&bumped).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            Error::Exchange(ExchangeError::UnsupportedVersion { .. })
+        ));
+    }
+}

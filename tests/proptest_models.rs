@@ -43,12 +43,12 @@ proptest! {
         for k in 1..n - 1 {
             // Interior samples recovered when the 2x2 system is well posed;
             // regularized samples fall back within the clamp range.
-            prop_assert!(w.w_high[k] >= -0.25 && w.w_high[k] <= 1.25);
+            prop_assert!(w.w_high()[k] >= -0.25 && w.w_high()[k] <= 1.25);
             let det = i_h_a[k] * i_l_b[k] - i_l_a[k] * i_h_b[k];
             let scale = i_h_a[k].abs().max(i_l_a[k].abs()).max(i_h_b[k].abs()).max(i_l_b[k].abs());
             if det.abs() > 1e-3 * scale * scale {
-                prop_assert!((w.w_high[k] - wh[k]).abs() < 1e-6,
-                    "k={}: {} vs {}", k, w.w_high[k], wh[k]);
+                prop_assert!((w.w_high()[k] - wh[k]).abs() < 1e-6,
+                    "k={}: {} vs {}", k, w.w_high()[k], wh[k]);
             }
         }
     }
@@ -61,7 +61,7 @@ proptest! {
         } else {
             smooth_weights(n)
         };
-        let seq = WeightSequence { w_high: wh, w_low: wl };
+        let seq = WeightSequence::new(wh, wl).unwrap();
         let (a, b) = seq.at(k);
         prop_assert!((0.0..=1.0).contains(&a));
         prop_assert!((0.0..=1.0).contains(&b));

@@ -4,9 +4,23 @@
 //! `criterion_main!`, `Criterion::benchmark_group`, `sample_size`,
 //! `bench_function`, `Bencher::iter`, [`black_box`] — and reports the
 //! median and min/max wall-clock time per iteration as plain text. No
-//! statistical analysis, plots, or baselines; swap the real crate back in
-//! once a registry is available.
+//! statistical analysis or plots; swap the real crate back in once a
+//! registry is available.
+//!
+//! # Baselines
+//!
+//! When the `BENCH_BASELINE_JSON` environment variable names a file, every
+//! benchmark additionally appends one JSON object per line:
+//!
+//! ```text
+//! {"bench":"table1/coupled_structure_both_models","median_s":1.23,...}
+//! ```
+//!
+//! `scripts/bench-baseline.sh` drives this to keep `BENCH_*.json` records
+//! of the perf trajectory (the stub's stand-in for criterion's own
+//! baseline machinery).
 
+use std::io::Write;
 use std::time::Instant;
 
 pub fn black_box<T>(x: T) -> T {
@@ -106,6 +120,42 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(group: &str, id: &str, sample_size: usi
         format_time(*b.samples.last().unwrap()),
         b.samples.len(),
     );
+    if let Ok(path) = std::env::var("BENCH_BASELINE_JSON") {
+        if !path.is_empty() {
+            if let Err(e) = append_baseline(&path, &label, median, &b.samples) {
+                eprintln!("criterion stub: cannot record baseline to {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Appends one JSON-lines record to the baseline file.
+fn append_baseline(
+    path: &str,
+    label: &str,
+    median: f64,
+    sorted_samples: &[f64],
+) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    // The label is code-controlled (bench ids); escape the JSON specials
+    // anyway so the record can never be malformed.
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    writeln!(
+        f,
+        "{{\"bench\":\"{escaped}\",\"median_s\":{median:e},\"min_s\":{:e},\"max_s\":{:e},\"samples\":{}}}",
+        sorted_samples[0],
+        sorted_samples[sorted_samples.len() - 1],
+        sorted_samples.len(),
+    )
 }
 
 fn format_time(secs: f64) -> String {
