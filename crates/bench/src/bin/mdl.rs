@@ -1,32 +1,49 @@
 //! `mdl` — the macromodel artifact tool: the full lifecycle of an
-//! estimated model as a durable on-disk artifact.
+//! estimated model as a durable on-disk artifact, from extraction to
+//! serving a whole library.
 //!
 //! ```text
 //! mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr]
-//!             [--out PATH] [--fast]
+//!             [--out PATH] [--fast] [--v2] [--corners]
 //! mdl info <file.mdlx>
 //! mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]
 //! mdl simulate <file.mdlx> [--fixture r50|linecap|pulse]
 //!              [--pattern BITS] [--bit-time S] [--t-stop S]
+//! mdl store ls <dir>
+//! mdl store validate <dir> [--fast] [--json PATH]
+//! mdl store sweep <dir> [--fast] [--json PATH]
 //! ```
 //!
 //! `extract` runs a builder-style [`ExtractionSession`] and saves the
-//! artifact; `info` prints its summary and metadata; `validate` checks the
-//! bit-exact re-save guarantee and re-simulates the artifact against its
-//! transistor-level reference, failing on accuracy regressions; `simulate`
-//! prints the pad voltage on a standard fixture as CSV. Everything after
-//! `extract` works from the file alone — no re-estimation.
+//! artifact (`--v2` writes a provenance-stamped `mdlx 2` bundle;
+//! `--corners` bundles the three IBIS corner variants into one file);
+//! `info` prints summaries, metadata and provenance; `validate` checks the
+//! bit-exact re-save guarantee and re-simulates every model in the
+//! artifact against its transistor-level reference, failing on accuracy
+//! regressions; `simulate` prints the pad voltage on a standard fixture as
+//! CSV. The `store` family serves a *directory* of artifacts: `ls` prints
+//! the inventory (load failures included), `validate` batch-certifies
+//! every model against its reference, and `sweep` runs the scenario
+//! matrix ([`emc_bench::serve`]) — both write machine-readable JSON
+//! reports with `--json` and exit nonzero on any failing cell. Everything
+//! after `extract` works from the files alone — no re-estimation.
 
-use macromodel::exchange::{load_model_from_path, save_model, AnyModel};
-use macromodel::validate::{print_csv, validate_macromodel, ReferencePort, DEFAULT_VALIDATION_DT};
-use macromodel::{ExtractionSession, Macromodel, ModelKind, PortStimulus, TestFixture};
-use refdev::{CmosDriverSpec, ReceiverSpec};
+use emc_bench::serve::{
+    driver_spec, receiver_spec, standard_scenarios, sweep_store, validate_model, validate_store,
+    FleetReport,
+};
+use macromodel::exchange::{
+    load_artifact_from_path, load_model_from_path, save_artifact, save_artifact_to_path, AnyModel,
+    Artifact,
+};
+use macromodel::validate::{print_csv, DEFAULT_VALIDATION_DT};
+use macromodel::{ExtractionSession, Macromodel, ModelStore, PortStimulus, TestFixture};
 
 type CliResult<T> = Result<T, Box<dyn std::error::Error + Send + Sync>>;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr] [--out PATH] [--fast]\n  mdl info <file.mdlx>\n  mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]\n  mdl simulate <file.mdlx> [--fixture r50|linecap|pulse] [--pattern BITS] [--bit-time S] [--t-stop S]"
+        "usage:\n  mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr] [--out PATH] [--fast] [--v2] [--corners]\n  mdl info <file.mdlx>\n  mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]\n  mdl simulate <file.mdlx> [--fixture r50|linecap|pulse] [--pattern BITS] [--bit-time S] [--t-stop S]\n  mdl store ls <dir>\n  mdl store validate <dir> [--fast] [--json PATH]\n  mdl store sweep <dir> [--fast] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -59,32 +76,10 @@ fn parse_f64_opt(args: &mut Vec<String>, key: &str) -> Option<f64> {
     })
 }
 
-fn driver_spec(device: &str) -> Option<CmosDriverSpec> {
-    match device {
-        "md1" => Some(refdev::md1()),
-        "md2" => Some(refdev::md2()),
-        "md3" => Some(refdev::md3()),
-        _ => None,
-    }
-}
-
-fn receiver_spec(device: &str) -> Option<ReceiverSpec> {
-    (device == "md4").then(refdev::md4)
-}
-
-/// Resolves the transistor-level reference a loaded artifact stands in for,
-/// from its device name (C–R̂ artifacts are named `<device>_cr`).
-fn reference_for(model: &AnyModel) -> Option<ReferencePort> {
-    let base = model.name().trim_end_matches("_cr").to_string();
-    if model.kind().is_driver() {
-        driver_spec(&base).map(ReferencePort::Driver)
-    } else {
-        receiver_spec(&base).map(ReferencePort::Receiver)
-    }
-}
-
 fn cmd_extract(mut args: Vec<String>) -> CliResult<()> {
     let fast = parse_flag(&mut args, "--fast");
+    let v2 = parse_flag(&mut args, "--v2");
+    let corners = parse_flag(&mut args, "--corners");
     let kind = parse_opt(&mut args, "--kind");
     let out = parse_opt(&mut args, "--out");
     let [device] = args.as_slice() else { usage() };
@@ -93,6 +88,10 @@ fn cmd_extract(mut args: Vec<String>) -> CliResult<()> {
     } else {
         "receiver"
     });
+    // Fail flag mismatches before spending seconds on the extraction.
+    if corners && kind != "ibis" {
+        return Err("--corners requires --kind ibis".into());
+    }
     let out = out.unwrap_or_else(|| format!("{device}-{kind}.mdlx"));
 
     let t0 = std::time::Instant::now();
@@ -145,7 +144,29 @@ fn cmd_extract(mut args: Vec<String>) -> CliResult<()> {
         }
     };
     let est_s = t0.elapsed().as_secs_f64();
-    estimated.save(&out)?;
+    if corners {
+        // Bundle the three IBIS corner variants into one v2 artifact.
+        let AnyModel::Ibis(base) = estimated.model() else {
+            unreachable!("--corners was gated on --kind ibis above");
+        };
+        let mut models = Vec::with_capacity(3);
+        for corner in [
+            refdev::IbisCorner::Typical,
+            refdev::IbisCorner::Slow,
+            refdev::IbisCorner::Fast,
+        ] {
+            models.push(AnyModel::Ibis(base.with_corner(corner)?));
+        }
+        let provenance = estimated
+            .provenance()
+            .clone()
+            .with_param("corners", "Typical,Slow,Fast");
+        save_artifact_to_path(&Artifact::bundle(models, Some(provenance)), &out)?;
+    } else if v2 {
+        estimated.save_v2(&out)?;
+    } else {
+        estimated.save(&out)?;
+    }
     println!("extracted {} in {est_s:.2} s", estimated.summary());
     println!("saved {out}");
     Ok(())
@@ -153,16 +174,26 @@ fn cmd_extract(mut args: Vec<String>) -> CliResult<()> {
 
 fn cmd_info(args: Vec<String>) -> CliResult<()> {
     let [path] = args.as_slice() else { usage() };
-    let model = load_model_from_path(path)?;
-    println!("kind      {}", model.kind());
-    println!("name      {}", model.name());
-    match model.sample_time() {
-        Some(ts) => println!("ts        {ts:e} s"),
-        None => println!("ts        - (continuous)"),
+    let artifact = load_artifact_from_path(path)?;
+    println!("format    mdlx {}", artifact.version);
+    if let Some(p) = &artifact.provenance {
+        println!("tool      {} {}", p.tool, p.tool_version);
+        println!("digest    {}", p.config_digest);
+        for (k, v) in &p.params {
+            println!("  param {k:<10} {v}");
+        }
     }
-    println!("summary   {}", model.summary());
-    for (k, v) in model.metadata() {
-        println!("  {k:<16} {v}");
+    for model in &artifact.models {
+        println!("kind      {}", model.kind());
+        println!("name      {}", model.name());
+        match model.sample_time() {
+            Some(ts) => println!("ts        {ts:e} s"),
+            None => println!("ts        - (continuous)"),
+        }
+        println!("summary   {}", model.summary());
+        for (k, v) in model.metadata() {
+            println!("  {k:<16} {v}");
+        }
     }
     Ok(())
 }
@@ -174,75 +205,138 @@ fn cmd_validate(mut args: Vec<String>) -> CliResult<()> {
     let [path] = args.as_slice() else { usage() };
 
     // 1. Load with strict validation, then check the bit-exact re-save
-    // guarantee against the original file bytes.
+    // guarantee against the original file bytes (either format version).
     let original = std::fs::read_to_string(path)?;
-    let model = load_model_from_path(path)?;
-    model.validate()?;
-    let re_saved = save_model(&model)?;
+    let artifact = load_artifact_from_path(path)?;
+    let re_saved = save_artifact(&artifact)?;
     if re_saved != original {
         return Err(format!("{path}: re-save is not byte-identical to the artifact").into());
     }
     println!(
-        "round-trip  ok ({} bytes, bit-exact re-save)",
-        original.len()
+        "round-trip  ok ({} bytes, mdlx {}, bit-exact re-save)",
+        original.len(),
+        artifact.version
     );
 
-    // 2. Re-simulate against the transistor-level reference.
-    let reference = reference_for(&model)
-        .ok_or_else(|| format!("no reference device known for '{}'", model.name()))?;
-    let vdd = reference.vdd();
-    let dt = model.sample_time().unwrap_or(DEFAULT_VALIDATION_DT);
-    let (fixture, stim, t_stop) = if model.kind().is_driver() {
-        let bit = if fast { 3e-9 } else { 4e-9 };
-        (
-            TestFixture::resistive(50.0),
-            Some(PortStimulus::new("010", bit)),
-            3.0 * bit,
-        )
-    } else {
-        (
-            TestFixture::series_pulse(60.0, 0.0, 0.9 * vdd, 0.4e-9, 0.1e-9, 2e-9, 0.1e-9),
-            None,
-            3e-9,
-        )
-    };
-    let run = validate_macromodel(
-        &reference,
-        model.as_dyn(),
-        &fixture,
-        stim.as_ref(),
-        dt,
-        t_stop,
-        0.5 * vdd,
-    )?;
-    let m = run.metrics;
-    println!(
-        "accuracy    rms {:.4} V, max {:.4} V, timing {}",
-        m.rms_error,
-        m.max_error,
-        match m.timing_error {
-            Some(te) => format!("{:.1} ps", te * 1e12),
-            None => "n/a".into(),
+    // 2. Re-simulate every bundled model against its transistor-level
+    // reference and enforce the per-kind regression gates.
+    for model in &artifact.models {
+        let cell = validate_model(model.as_dyn(), fast, rms_limit, timing_limit);
+        println!(
+            "accuracy    {} rms {} V, max {} V, timing {}",
+            cell.model,
+            cell.rms_error.map_or("n/a".into(), |v| format!("{v:.4}")),
+            cell.max_error.map_or("n/a".into(), |v| format!("{v:.4}")),
+            cell.timing_error_s
+                .map_or("n/a".into(), |te| format!("{:.1} ps", te * 1e12)),
+        );
+        if !cell.pass {
+            return Err(format!("{}: {}", cell.model, cell.detail).into());
         }
-    );
-
-    // 3. Enforce regression limits. The estimated models track the
-    // reference closely; the baselines (IBIS, C–R̂) only get a sanity bound.
-    let default_rms = match model.kind() {
-        ModelKind::PwRbfDriver | ModelKind::Receiver => 0.08 * vdd,
-        ModelKind::Ibis | ModelKind::CrBaseline => 0.5 * vdd,
-    };
-    let rms_limit = rms_limit.unwrap_or(default_rms);
-    if m.rms_error > rms_limit {
-        return Err(format!("rms error {} V exceeds limit {} V", m.rms_error, rms_limit).into());
+        println!(
+            "validate    {} ok (rms limit {:.4} V)",
+            cell.model,
+            cell.rms_limit.unwrap_or(f64::NAN)
+        );
     }
-    if let (Some(limit), Some(te)) = (timing_limit, m.timing_error) {
-        if te > limit {
-            return Err(format!("timing error {te} s exceeds limit {limit} s").into());
-        }
-    }
-    println!("validate    ok (rms limit {rms_limit:.4} V)");
     Ok(())
+}
+
+/// Prints a fleet report as an aligned table, optionally writes the JSON
+/// form, and converts failing cells into a CLI error.
+fn finish_fleet(report: &FleetReport, json: Option<String>) -> CliResult<()> {
+    for (path, error) in &report.load_failures {
+        println!("LOAD FAIL  {path}: {error}");
+    }
+    for c in &report.cells {
+        let metrics = match (c.rms_error, &c.stats) {
+            (Some(rms), _) => format!("rms {rms:.4} V"),
+            (None, Some(s)) => format!(
+                "{} unknowns, {} factorizations, {:.1e} flops",
+                s.unknowns, s.factorizations, s.flops as f64
+            ),
+            _ => String::new(),
+        };
+        println!(
+            "{:<4} {:<28} {:<14} {:<12} {metrics} {}",
+            if c.pass { "ok" } else { "FAIL" },
+            c.model,
+            c.kind,
+            c.scenario,
+            if c.pass { "" } else { c.detail.as_str() },
+        );
+    }
+    println!(
+        "fleet: {}/{} cells passed, {} artifacts, {} models, {} load failures",
+        report.passed(),
+        report.cells.len(),
+        report.artifacts,
+        report.models,
+        report.load_failures.len()
+    );
+    if let Some(path) = json {
+        std::fs::write(&path, report.to_json())?;
+        println!("report written to {path}");
+    }
+    if !report.all_passed() {
+        return Err(format!(
+            "{} failing cells, {} unloadable artifacts",
+            report.failed(),
+            report.load_failures.len()
+        )
+        .into());
+    }
+    Ok(())
+}
+
+fn cmd_store(mut args: Vec<String>) -> CliResult<()> {
+    if args.is_empty() {
+        usage();
+    }
+    let sub = args.remove(0);
+    let fast = parse_flag(&mut args, "--fast");
+    let json = parse_opt(&mut args, "--json");
+    let [dir] = args.as_slice() else { usage() };
+    let store = ModelStore::open(dir)?;
+    match sub.as_str() {
+        "ls" => {
+            for entry in store.entries() {
+                match entry.artifact() {
+                    Ok(artifact) => {
+                        let prov = artifact
+                            .provenance
+                            .as_ref()
+                            .map(|p| format!(" digest {}", p.config_digest))
+                            .unwrap_or_default();
+                        for model in &artifact.models {
+                            println!(
+                                "{:<40} mdlx {} {:<14} {}{prov}",
+                                entry.path().display(),
+                                artifact.version,
+                                model.kind().tag(),
+                                model.name(),
+                            );
+                        }
+                    }
+                    Err(e) => println!("{:<40} LOAD FAIL: {e}", entry.path().display()),
+                }
+            }
+            let failures = store.failures();
+            println!(
+                "{} artifacts, {} models, {} load failures",
+                store.len(),
+                store.models().len(),
+                failures.len()
+            );
+            if !failures.is_empty() {
+                return Err(format!("{} artifacts failed to load", failures.len()).into());
+            }
+            Ok(())
+        }
+        "validate" => finish_fleet(&validate_store(&store, fast), json),
+        "sweep" => finish_fleet(&sweep_store(&store, &standard_scenarios(fast)), json),
+        _ => usage(),
+    }
 }
 
 fn cmd_simulate(mut args: Vec<String>) -> CliResult<()> {
@@ -283,6 +377,7 @@ fn main() {
         "info" => cmd_info(args),
         "validate" => cmd_validate(args),
         "simulate" => cmd_simulate(args),
+        "store" => cmd_store(args),
         _ => usage(),
     };
     if let Err(e) = result {

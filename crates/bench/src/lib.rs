@@ -23,6 +23,8 @@ use refdev::extraction::{capture_driver, capture_receiver};
 use refdev::ibis::IbisExtractConfig;
 use refdev::{CmosDriverSpec, IbisCorner, IbisModel, ReceiverSpec};
 
+pub mod serve;
+
 /// Shared result alias (boxed error keeps the harness code terse; `Send +
 /// Sync` so experiment results can cross scoped-worker boundaries).
 pub type Result<T> = std::result::Result<T, Box<dyn std::error::Error + Send + Sync>>;

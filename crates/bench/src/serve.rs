@@ -1,0 +1,936 @@
+//! The model-serving harness: scenario-matrix sweeps and batch validation
+//! over a [`ModelStore`].
+//!
+//! The paper's deployment story is "estimate once, serve everywhere": a
+//! library of `.mdlx` artifacts stands in for transistor-level devices
+//! across many signal-integrity scenarios. This module is that serving
+//! layer. [`sweep_store`] takes the cartesian product of {stored models} ×
+//! {scenarios that apply to their port direction} and runs every cell as a
+//! transient on [`crate::par_map`] workers, collecting per-cell pass/fail,
+//! waveform sanity, and solver diagnostics ([`circuit::SolveStats`]).
+//! [`validate_store`] re-certifies every model against its transistor-level
+//! reference with per-kind accuracy gates — the CI re-certification pass.
+//! Both produce a [`FleetReport`] that serializes to machine-readable JSON
+//! ([`FleetReport::to_json`]) for workflow artifacts and trend tooling.
+//!
+//! Scenarios come in two shapes: standard one-port [`TestFixture`] networks
+//! (driver kinds produce the stimulus; load kinds are driven by the
+//! fixture's source), and multi-lane coupled **bus ladders** where each
+//! lane is driven by a macromodel instance — including a mixed-backend lane
+//! assignment when the store holds several driver models, the "many
+//! backends in one net" serving case.
+
+use crate::par_map;
+use circuit::devices::Resistor;
+use circuit::mtl::{expand_coupled_line, CoupledLineSpec};
+use circuit::{Circuit, SolveStats, TranParams, Waveform, GROUND};
+use macromodel::validate::{validate_macromodel, ReferencePort, DEFAULT_VALIDATION_DT};
+use macromodel::{Macromodel, ModelKind, ModelStore, PortStimulus, TestFixture};
+use refdev::{CmosDriverSpec, ReceiverSpec};
+
+/// Bound on plausible pad voltages (V): every reference device is a 1.8 V
+/// or 3.3 V part, so anything beyond this is a solver or model blow-up,
+/// not a waveform.
+const SANE_VOLTAGE_BOUND: f64 = 25.0;
+
+// ---------------------------------------------------------------------
+// Reference resolution
+// ---------------------------------------------------------------------
+
+/// Resolves a driver device of the standard family by name.
+pub fn driver_spec(device: &str) -> Option<CmosDriverSpec> {
+    match device {
+        "md1" => Some(refdev::md1()),
+        "md2" => Some(refdev::md2()),
+        "md3" => Some(refdev::md3()),
+        _ => None,
+    }
+}
+
+/// Resolves a receiver device of the standard family by name.
+pub fn receiver_spec(device: &str) -> Option<ReceiverSpec> {
+    (device == "md4").then(refdev::md4)
+}
+
+/// Resolves the transistor-level reference a loaded artifact stands in
+/// for, from its model name: C–R̂ artifacts are named `<device>_cr`, IBIS
+/// corner variants `<device>_<Corner>`.
+pub fn reference_for(model: &dyn Macromodel) -> Option<ReferencePort> {
+    let base = ["_cr", "_Slow", "_Typical", "_Fast"]
+        .iter()
+        .fold(model.name(), |n, suf| n.strip_suffix(suf).unwrap_or(n));
+    if model.kind().is_driver() {
+        driver_spec(base).map(ReferencePort::Driver)
+    } else {
+        receiver_spec(base).map(ReferencePort::Receiver)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------
+
+/// Which port direction a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applicability {
+    /// Output ports: the model produces the stimulus.
+    Drivers,
+    /// Input ports: the fixture carries the source, the model is the load.
+    Loads,
+}
+
+/// The network a scenario cell simulates.
+#[derive(Debug, Clone)]
+pub enum ScenarioKind {
+    /// A standard one-port [`TestFixture`] around the model's pad.
+    Fixture {
+        /// The validation network.
+        fixture: TestFixture,
+        /// Bit pattern driver kinds produce (ignored by load kinds).
+        stim: Option<PortStimulus>,
+        /// Simulated window (s).
+        t_stop: f64,
+    },
+    /// A `conductors`-lane lossy coupled bus expanded into `segments` RLGC
+    /// cells; every lane is driven by a macromodel instance (the lane's bit
+    /// pattern is the base pattern rotated by the lane index) and
+    /// terminated at the far end.
+    BusLadder {
+        /// Coupled lanes.
+        conductors: usize,
+        /// RLGC segments per lane.
+        segments: usize,
+        /// Base bit pattern.
+        pattern: String,
+        /// Bit time (s).
+        bit_time: f64,
+        /// Simulated window (s).
+        t_stop: f64,
+    },
+}
+
+/// One named column of the scenario matrix.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable scenario name (report key).
+    pub name: String,
+    /// Port direction this scenario exercises.
+    pub applies_to: Applicability,
+    /// The simulated network.
+    pub kind: ScenarioKind,
+}
+
+impl Scenario {
+    /// Whether the scenario applies to a model of `kind`.
+    pub fn applies(&self, kind: ModelKind) -> bool {
+        match self.applies_to {
+            Applicability::Drivers => kind.is_driver(),
+            Applicability::Loads => !kind.is_driver(),
+        }
+    }
+}
+
+/// The standard serving matrix: two driver fixtures + a coupled bus ladder
+/// for output ports, a pulsed line fixture for input ports. `fast` shrinks
+/// windows and ladder size for smoke-test budgets.
+pub fn standard_scenarios(fast: bool) -> Vec<Scenario> {
+    let bit = if fast { 3e-9 } else { 4e-9 };
+    vec![
+        Scenario {
+            name: "r50".into(),
+            applies_to: Applicability::Drivers,
+            kind: ScenarioKind::Fixture {
+                fixture: TestFixture::resistive(50.0),
+                stim: Some(PortStimulus::new("010", bit)),
+                t_stop: 3.0 * bit,
+            },
+        },
+        Scenario {
+            name: "linecap".into(),
+            applies_to: Applicability::Drivers,
+            kind: ScenarioKind::Fixture {
+                fixture: TestFixture::line_cap(50.0, 0.8e-9, 10e-12),
+                stim: Some(PortStimulus::new("01", bit)),
+                t_stop: if fast { 5e-9 } else { 8e-9 },
+            },
+        },
+        Scenario {
+            name: "bus-ladder".into(),
+            applies_to: Applicability::Drivers,
+            kind: ScenarioKind::BusLadder {
+                conductors: if fast { 2 } else { 3 },
+                segments: if fast { 4 } else { 6 },
+                pattern: "0110".into(),
+                bit_time: 2e-9,
+                t_stop: if fast { 5e-9 } else { 8e-9 },
+            },
+        },
+        Scenario {
+            name: "pulse".into(),
+            applies_to: Applicability::Loads,
+            kind: ScenarioKind::Fixture {
+                fixture: TestFixture::series_pulse(60.0, 0.0, 1.0, 0.4e-9, 0.1e-9, 2e-9, 0.1e-9),
+                stim: None,
+                t_stop: 3e-9,
+            },
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------
+
+/// Solver diagnostics of one cell's transient.
+#[derive(Debug, Clone, Copy)]
+pub struct CellStats {
+    /// Symbolic analyses (a well-behaved cell needs exactly one).
+    pub symbolic_analyses: usize,
+    /// Numeric factorizations.
+    pub factorizations: usize,
+    /// Structural nonzeros of the `L + U` factors.
+    pub factor_nnz: usize,
+    /// Cumulative factorization multiply–adds.
+    pub flops: u64,
+    /// Newton iterations summed over all steps.
+    pub newton_iterations: usize,
+    /// MNA unknowns of the cell circuit.
+    pub unknowns: usize,
+}
+
+impl CellStats {
+    fn new(stats: SolveStats, newton_iterations: usize, unknowns: usize) -> Self {
+        CellStats {
+            symbolic_analyses: stats.symbolic_analyses,
+            factorizations: stats.factorizations,
+            factor_nnz: stats.factor_nnz,
+            flops: stats.flops,
+            newton_iterations,
+            unknowns,
+        }
+    }
+}
+
+/// One cell of the scenario matrix: a (model, scenario) pair's outcome.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Model name (or a `mixed:`-prefixed lane list for the mixed-bus
+    /// cell).
+    pub model: String,
+    /// Model kind tag.
+    pub kind: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Whether the cell passed its gate.
+    pub pass: bool,
+    /// Failure description (empty when passing).
+    pub detail: String,
+    /// RMS voltage error vs the reference (validation cells).
+    pub rms_error: Option<f64>,
+    /// Max voltage error vs the reference (validation cells).
+    pub max_error: Option<f64>,
+    /// Threshold-crossing timing error (validation cells, s).
+    pub timing_error_s: Option<f64>,
+    /// The RMS gate the cell was held to (validation cells, V).
+    pub rms_limit: Option<f64>,
+    /// Samples of the probed waveform(s).
+    pub samples: usize,
+    /// Smallest probed voltage (V).
+    pub v_min: f64,
+    /// Largest probed voltage (V).
+    pub v_max: f64,
+    /// Solver diagnostics of the model-side transient.
+    pub stats: Option<CellStats>,
+    /// Wall-clock seconds of the cell.
+    pub elapsed_s: f64,
+}
+
+impl CellReport {
+    fn failed(model: &dyn Macromodel, scenario: &str, detail: String) -> Self {
+        CellReport {
+            model: model.name().to_string(),
+            kind: model.kind().tag().to_string(),
+            scenario: scenario.to_string(),
+            pass: false,
+            detail,
+            rms_error: None,
+            max_error: None,
+            timing_error_s: None,
+            rms_limit: None,
+            samples: 0,
+            v_min: 0.0,
+            v_max: 0.0,
+            stats: None,
+            elapsed_s: 0.0,
+        }
+    }
+}
+
+/// The whole matrix outcome: one report per store sweep or validation run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Store directory the models came from.
+    pub store_root: String,
+    /// `"sweep"` or `"validate"`.
+    pub mode: String,
+    /// `.mdlx` files scanned.
+    pub artifacts: usize,
+    /// Models served (bundles flattened).
+    pub models: usize,
+    /// Files that failed to load: `(path, error)`.
+    pub load_failures: Vec<(String, String)>,
+    /// Every matrix cell.
+    pub cells: Vec<CellReport>,
+}
+
+impl FleetReport {
+    /// Number of passing cells.
+    pub fn passed(&self) -> usize {
+        self.cells.iter().filter(|c| c.pass).count()
+    }
+
+    /// Number of failing cells.
+    pub fn failed(&self) -> usize {
+        self.cells.len() - self.passed()
+    }
+
+    /// Whether the fleet is healthy: every cell passed and every artifact
+    /// loaded.
+    pub fn all_passed(&self) -> bool {
+        self.failed() == 0 && self.load_failures.is_empty()
+    }
+
+    /// Serializes the report as one JSON object (no external dependencies —
+    /// the emitter writes the exact schema the CI trend tooling consumes).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"store\": {},\n", json_str(&self.store_root)));
+        out.push_str(&format!("  \"mode\": {},\n", json_str(&self.mode)));
+        out.push_str(&format!("  \"artifacts\": {},\n", self.artifacts));
+        out.push_str(&format!("  \"models\": {},\n", self.models));
+        out.push_str(&format!("  \"passed\": {},\n", self.passed()));
+        out.push_str(&format!("  \"failed\": {},\n", self.failed()));
+        out.push_str(&format!("  \"all_passed\": {},\n", self.all_passed()));
+        out.push_str("  \"load_failures\": [");
+        for (i, (path, error)) in self.load_failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"path\": {}, \"error\": {}}}",
+                json_str(path),
+                json_str(error)
+            ));
+        }
+        if !self.load_failures.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"model\": {}, ", json_str(&c.model)));
+            out.push_str(&format!("\"kind\": {}, ", json_str(&c.kind)));
+            out.push_str(&format!("\"scenario\": {}, ", json_str(&c.scenario)));
+            out.push_str(&format!("\"pass\": {}, ", c.pass));
+            out.push_str(&format!("\"detail\": {}, ", json_str(&c.detail)));
+            out.push_str(&format!("\"rms_error\": {}, ", json_opt(c.rms_error)));
+            out.push_str(&format!("\"max_error\": {}, ", json_opt(c.max_error)));
+            out.push_str(&format!(
+                "\"timing_error_s\": {}, ",
+                json_opt(c.timing_error_s)
+            ));
+            out.push_str(&format!("\"rms_limit\": {}, ", json_opt(c.rms_limit)));
+            out.push_str(&format!("\"samples\": {}, ", c.samples));
+            out.push_str(&format!("\"v_min\": {}, ", json_f64(c.v_min)));
+            out.push_str(&format!("\"v_max\": {}, ", json_f64(c.v_max)));
+            match &c.stats {
+                Some(s) => out.push_str(&format!(
+                    "\"stats\": {{\"symbolic_analyses\": {}, \"factorizations\": {}, \
+                     \"factor_nnz\": {}, \"flops\": {}, \"newton_iterations\": {}, \
+                     \"unknowns\": {}}}, ",
+                    s.symbolic_analyses,
+                    s.factorizations,
+                    s.factor_nnz,
+                    s.flops,
+                    s.newton_iterations,
+                    s.unknowns
+                )),
+                None => out.push_str("\"stats\": null, "),
+            }
+            out.push_str(&format!("\"elapsed_s\": {}}}", json_f64(c.elapsed_s)));
+        }
+        if !self.cells.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".into(), json_f64)
+}
+
+// ---------------------------------------------------------------------
+// Cell runners
+// ---------------------------------------------------------------------
+
+fn waveform_extrema(waves: &[Waveform]) -> (usize, f64, f64) {
+    let mut n = 0;
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for w in waves {
+        for &v in w.values() {
+            n += 1;
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if n == 0 {
+        (0, 0.0, 0.0)
+    } else {
+        (n, lo, hi)
+    }
+}
+
+/// The sweep-mode gate: a cell passes when its transient completed and the
+/// probed waveforms are finite and physically plausible.
+fn sanity_gate(waves: &[Waveform]) -> std::result::Result<(), String> {
+    if waves.iter().any(|w| w.values().is_empty()) {
+        return Err("empty waveform".into());
+    }
+    for w in waves {
+        for &v in w.values() {
+            if !v.is_finite() {
+                return Err("non-finite sample in waveform".into());
+            }
+            if v.abs() > SANE_VOLTAGE_BOUND {
+                return Err(format!("|v| = {:.1} V exceeds sanity bound", v.abs()));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rotates a bit pattern left by `by` — gives each bus lane a distinct but
+/// equally busy stimulus.
+fn rotate_pattern(pattern: &str, by: usize) -> String {
+    let n = pattern.len();
+    if n == 0 {
+        return String::new();
+    }
+    let by = by % n;
+    format!("{}{}", &pattern[by..], &pattern[..by])
+}
+
+/// Runs one driver model (or several, round-robin across lanes) on the
+/// coupled bus ladder and returns the far-end waveforms plus diagnostics.
+fn run_bus_cell(
+    drivers: &[&dyn Macromodel],
+    conductors: usize,
+    segments: usize,
+    pattern: &str,
+    bit_time: f64,
+    t_stop: f64,
+    dt: f64,
+) -> crate::Result<(Vec<Waveform>, CellStats)> {
+    let spec = CoupledLineSpec::bus(conductors, 0.1);
+    let z0 = spec.z0(0);
+    let mut ckt = Circuit::new();
+    let line = expand_coupled_line(&mut ckt, &spec, segments, (1e7, 2e10))?;
+    for lane in 0..conductors {
+        let model = drivers[lane % drivers.len()];
+        let stim = PortStimulus::new(rotate_pattern(pattern, lane), bit_time);
+        let pad = ckt.node(format!("serve_pad{lane}"));
+        model.instantiate(&mut ckt, pad, Some(&stim))?;
+        ckt.add(Resistor::new(
+            format!("jn{lane}"),
+            pad,
+            line.near[lane],
+            1e-3,
+        ));
+        ckt.add(Resistor::new(
+            format!("rl{lane}"),
+            line.far[lane],
+            GROUND,
+            z0,
+        ));
+    }
+    let res = ckt.transient(TranParams::new(dt, t_stop))?;
+    let waves: Vec<Waveform> = (0..conductors).map(|j| res.voltage(line.far[j])).collect();
+    let stats = CellStats::new(
+        res.solve_stats,
+        res.total_newton_iterations,
+        ckt.unknown_count(),
+    );
+    Ok((waves, stats))
+}
+
+/// Runs one (model, scenario) sweep cell.
+fn run_sweep_cell(model: &dyn Macromodel, scenario: &Scenario) -> CellReport {
+    let t0 = std::time::Instant::now();
+    let dt = model.sample_time().unwrap_or(DEFAULT_VALIDATION_DT);
+    let outcome: crate::Result<(Vec<Waveform>, CellStats)> = match &scenario.kind {
+        ScenarioKind::Fixture {
+            fixture,
+            stim,
+            t_stop,
+        } => (|| {
+            let mut ckt = Circuit::new();
+            let pad = ckt.node(format!("{}_pad", model.name()));
+            fixture.install(&mut ckt, pad);
+            model.instantiate(&mut ckt, pad, stim.as_ref())?;
+            let res = ckt.transient(TranParams::new(dt, *t_stop))?;
+            let stats = CellStats::new(
+                res.solve_stats,
+                res.total_newton_iterations,
+                ckt.unknown_count(),
+            );
+            Ok((vec![res.voltage(pad)], stats))
+        })(),
+        ScenarioKind::BusLadder {
+            conductors,
+            segments,
+            pattern,
+            bit_time,
+            t_stop,
+        } => run_bus_cell(
+            &[model],
+            *conductors,
+            *segments,
+            pattern,
+            *bit_time,
+            *t_stop,
+            dt,
+        ),
+    };
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    match outcome {
+        Ok((waves, stats)) => {
+            let (samples, v_min, v_max) = waveform_extrema(&waves);
+            let gate = sanity_gate(&waves);
+            CellReport {
+                model: model.name().to_string(),
+                kind: model.kind().tag().to_string(),
+                scenario: scenario.name.clone(),
+                pass: gate.is_ok(),
+                detail: gate.err().unwrap_or_default(),
+                rms_error: None,
+                max_error: None,
+                timing_error_s: None,
+                rms_limit: None,
+                samples,
+                v_min,
+                v_max,
+                stats: Some(stats),
+                elapsed_s,
+            }
+        }
+        Err(e) => CellReport {
+            elapsed_s,
+            ..CellReport::failed(model, &scenario.name, e.to_string())
+        },
+    }
+}
+
+/// Validates one model against its transistor-level reference with the
+/// standard per-kind fixture and accuracy gate. `rms_limit` / `timing_limit`
+/// override the kind defaults.
+pub fn validate_model(
+    model: &dyn Macromodel,
+    fast: bool,
+    rms_limit: Option<f64>,
+    timing_limit: Option<f64>,
+) -> CellReport {
+    let scenario = "reference-validate";
+    let t0 = std::time::Instant::now();
+    let Some(reference) = reference_for(model) else {
+        return CellReport::failed(
+            model,
+            scenario,
+            format!("no reference device known for '{}'", model.name()),
+        );
+    };
+    let vdd = reference.vdd();
+    let dt = model.sample_time().unwrap_or(DEFAULT_VALIDATION_DT);
+    let (fixture, stim, t_stop) = if model.kind().is_driver() {
+        let bit = if fast { 3e-9 } else { 4e-9 };
+        (
+            TestFixture::resistive(50.0),
+            Some(PortStimulus::new("010", bit)),
+            3.0 * bit,
+        )
+    } else {
+        (
+            TestFixture::series_pulse(60.0, 0.0, 0.9 * vdd, 0.4e-9, 0.1e-9, 2e-9, 0.1e-9),
+            None,
+            3e-9,
+        )
+    };
+    // The estimated models track the reference closely; the baselines
+    // (IBIS, C–R̂) only get a sanity bound.
+    let default_rms = match model.kind() {
+        ModelKind::PwRbfDriver | ModelKind::Receiver => 0.08 * vdd,
+        ModelKind::Ibis | ModelKind::CrBaseline => 0.5 * vdd,
+    };
+    let rms_limit = rms_limit.unwrap_or(default_rms);
+    let run = match validate_macromodel(
+        &reference,
+        model,
+        &fixture,
+        stim.as_ref(),
+        dt,
+        t_stop,
+        0.5 * vdd,
+    ) {
+        Ok(run) => run,
+        Err(e) => {
+            return CellReport {
+                elapsed_s: t0.elapsed().as_secs_f64(),
+                ..CellReport::failed(model, scenario, e.to_string())
+            }
+        }
+    };
+    let m = run.metrics;
+    let mut detail = String::new();
+    if m.rms_error > rms_limit {
+        detail = format!(
+            "rms error {:.4} V exceeds limit {:.4} V",
+            m.rms_error, rms_limit
+        );
+    } else if let (Some(limit), Some(te)) = (timing_limit, m.timing_error) {
+        if te > limit {
+            detail = format!("timing error {te:.3e} s exceeds limit {limit:.3e} s");
+        }
+    }
+    let (samples, v_min, v_max) = waveform_extrema(std::slice::from_ref(&run.model));
+    CellReport {
+        model: model.name().to_string(),
+        kind: model.kind().tag().to_string(),
+        scenario: scenario.to_string(),
+        pass: detail.is_empty(),
+        detail,
+        rms_error: Some(m.rms_error),
+        max_error: Some(m.max_error),
+        timing_error_s: m.timing_error,
+        rms_limit: Some(rms_limit),
+        samples,
+        v_min,
+        v_max,
+        stats: None,
+        elapsed_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Store-level engines
+// ---------------------------------------------------------------------
+
+fn store_header(store: &ModelStore, mode: &str) -> FleetReport {
+    FleetReport {
+        store_root: store.root().display().to_string(),
+        mode: mode.to_string(),
+        artifacts: store.len(),
+        models: store.models().len(),
+        load_failures: store
+            .failures()
+            .into_iter()
+            .map(|f| (f.path.display().to_string(), f.error.to_string()))
+            .collect(),
+        cells: Vec::new(),
+    }
+}
+
+/// Runs the full scenario matrix over every model in the store on parallel
+/// workers. When the store holds two or more driver models with a common
+/// sample clock, one extra mixed-backend bus cell runs with the drivers
+/// assigned round-robin to lanes.
+pub fn sweep_store(store: &ModelStore, scenarios: &[Scenario]) -> FleetReport {
+    let mut report = store_header(store, "sweep");
+    let models = store.models();
+    let cells: Vec<(&dyn Macromodel, &Scenario)> = models
+        .iter()
+        .flat_map(|(_, m)| {
+            scenarios
+                .iter()
+                .filter(|s| s.applies(m.kind()))
+                .map(move |s| (m.as_dyn(), s))
+        })
+        .collect();
+    report.cells = par_map(cells, |(m, s)| run_sweep_cell(m, s));
+
+    // Mixed-backend bus: every driver model on one net, one cell.
+    let drivers: Vec<&dyn Macromodel> = models
+        .iter()
+        .map(|(_, m)| m.as_dyn())
+        .filter(|m| m.kind().is_driver())
+        .collect();
+    let clocks: Vec<f64> = drivers.iter().filter_map(|m| m.sample_time()).collect();
+    let common_clock = clocks
+        .windows(2)
+        .all(|w| ((w[0] - w[1]) / w[0]).abs() < 1e-9);
+    if drivers.len() >= 2 && common_clock {
+        if let Some(ScenarioKind::BusLadder {
+            conductors,
+            segments,
+            pattern,
+            bit_time,
+            t_stop,
+        }) = scenarios
+            .iter()
+            .find_map(|s| matches!(s.kind, ScenarioKind::BusLadder { .. }).then(|| s.kind.clone()))
+        {
+            let dt = clocks.first().copied().unwrap_or(DEFAULT_VALIDATION_DT);
+            let lanes = conductors.max(drivers.len());
+            let t0 = std::time::Instant::now();
+            let outcome = run_bus_cell(&drivers, lanes, segments, &pattern, bit_time, t_stop, dt);
+            let elapsed_s = t0.elapsed().as_secs_f64();
+            let names: Vec<&str> = drivers.iter().map(|m| m.name()).collect();
+            let cell = match outcome {
+                Ok((waves, stats)) => {
+                    let (samples, v_min, v_max) = waveform_extrema(&waves);
+                    let gate = sanity_gate(&waves);
+                    CellReport {
+                        model: format!("mixed:{}", names.join("+")),
+                        kind: "mixed".into(),
+                        scenario: "bus-mixed".into(),
+                        pass: gate.is_ok(),
+                        detail: gate.err().unwrap_or_default(),
+                        rms_error: None,
+                        max_error: None,
+                        timing_error_s: None,
+                        rms_limit: None,
+                        samples,
+                        v_min,
+                        v_max,
+                        stats: Some(stats),
+                        elapsed_s,
+                    }
+                }
+                Err(e) => CellReport {
+                    model: format!("mixed:{}", names.join("+")),
+                    kind: "mixed".into(),
+                    scenario: "bus-mixed".into(),
+                    pass: false,
+                    detail: e.to_string(),
+                    rms_error: None,
+                    max_error: None,
+                    timing_error_s: None,
+                    rms_limit: None,
+                    samples: 0,
+                    v_min: 0.0,
+                    v_max: 0.0,
+                    stats: None,
+                    elapsed_s,
+                },
+            };
+            report.cells.push(cell);
+        }
+    }
+    report
+}
+
+/// Re-certifies every model in the store against its transistor-level
+/// reference on parallel workers (the CI batch-validation pass).
+pub fn validate_store(store: &ModelStore, fast: bool) -> FleetReport {
+    let mut report = store_header(store, "validate");
+    let models = store.models();
+    let duts: Vec<&dyn Macromodel> = models.iter().map(|(_, m)| m.as_dyn()).collect();
+    report.cells = par_map(duts, |m| validate_model(m, fast, None, None));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macromodel::driver::{PwRbfDriverModel, WeightSequence};
+    use macromodel::exchange::{save_model_to_path, AnyModel};
+    use macromodel::receiver::CrModel;
+    use numkit::interp::Pwl;
+    use sysid::narx::{NarxModel, NarxOrders};
+    use sysid::rbf::RbfNetwork;
+
+    fn dummy_driver(name: &str) -> AnyModel {
+        let narx = || {
+            NarxModel::from_network(
+                NarxOrders::dynamic(1),
+                RbfNetwork::affine(0.0, vec![0.02, 0.0, 0.0]),
+            )
+            .unwrap()
+        };
+        AnyModel::PwRbfDriver(PwRbfDriverModel {
+            name: name.into(),
+            ts: 25e-12,
+            vdd: 1.8,
+            i_high: narx(),
+            i_low: narx(),
+            up: WeightSequence::new(vec![0.0, 1.0], vec![1.0, 0.0]).unwrap(),
+            down: WeightSequence::new(vec![1.0, 0.0], vec![0.0, 1.0]).unwrap(),
+        })
+    }
+
+    fn dummy_cr(name: &str) -> AnyModel {
+        AnyModel::Cr(
+            CrModel::new(
+                name,
+                1e-12,
+                Pwl::new(vec![-1.0, 0.0, 1.0], vec![-0.1, 0.0, 0.1]).unwrap(),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn tmp_store(tag: &str, models: &[AnyModel]) -> ModelStore {
+        let dir = std::env::temp_dir().join(format!("serve_store_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        for (i, m) in models.iter().enumerate() {
+            save_model_to_path(m, dir.join(format!("m{i}.mdlx"))).unwrap();
+        }
+        ModelStore::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn scenario_applicability_matches_port_direction() {
+        let scenarios = standard_scenarios(true);
+        let driver_cols = scenarios
+            .iter()
+            .filter(|s| s.applies(ModelKind::PwRbfDriver))
+            .count();
+        let load_cols = scenarios
+            .iter()
+            .filter(|s| s.applies(ModelKind::CrBaseline))
+            .count();
+        assert_eq!(driver_cols, 3);
+        assert_eq!(load_cols, 1);
+        assert!(
+            scenarios
+                .iter()
+                .filter(|s| s.applies(ModelKind::Ibis))
+                .count()
+                >= 3
+        );
+    }
+
+    #[test]
+    fn rotate_pattern_rotates() {
+        assert_eq!(rotate_pattern("0110", 0), "0110");
+        assert_eq!(rotate_pattern("0110", 1), "1100");
+        assert_eq!(rotate_pattern("0110", 5), "1100");
+        assert_eq!(rotate_pattern("", 3), "");
+    }
+
+    #[test]
+    fn reference_resolution_strips_suffixes() {
+        let AnyModel::Cr(cr) = dummy_cr("md4_cr") else {
+            unreachable!()
+        };
+        assert!(reference_for(&cr).is_some());
+        let AnyModel::PwRbfDriver(d) = dummy_driver("md1_Typical") else {
+            unreachable!()
+        };
+        assert!(reference_for(&d).is_some());
+        let AnyModel::PwRbfDriver(d) = dummy_driver("unknown_device") else {
+            unreachable!()
+        };
+        assert!(reference_for(&d).is_none());
+    }
+
+    #[test]
+    fn sweep_covers_the_cartesian_product_and_mixed_bus() {
+        let store = tmp_store(
+            "matrix",
+            &[dummy_driver("d1"), dummy_driver("d2"), dummy_cr("c1")],
+        );
+        let scenarios = standard_scenarios(true);
+        let report = sweep_store(&store, &scenarios);
+        // 2 drivers × 3 driver scenarios + 1 load × 1 load scenario + mixed.
+        assert_eq!(report.cells.len(), 2 * 3 + 1 + 1);
+        assert!(report.all_passed(), "failures: {:?}", report.cells);
+        assert_eq!(report.models, 3);
+        let mixed = report
+            .cells
+            .iter()
+            .find(|c| c.scenario == "bus-mixed")
+            .expect("mixed cell present");
+        assert!(mixed.model.contains("d1") && mixed.model.contains("d2"));
+        let ladder = report
+            .cells
+            .iter()
+            .find(|c| c.scenario == "bus-ladder")
+            .unwrap();
+        let stats = ladder.stats.expect("ladder cell carries SolveStats");
+        assert!(stats.unknowns > 20);
+        assert!(stats.factorizations >= 1);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let store = tmp_store("json", &[dummy_driver("d1"), dummy_cr("c\"quote")]);
+        let report = sweep_store(&store, &standard_scenarios(true));
+        let json = report.to_json();
+        assert!(json.contains("\"mode\": \"sweep\""));
+        assert!(json.contains("\"all_passed\": true"));
+        assert!(json.contains("c\\\"quote"), "names are escaped");
+        // Balanced braces/brackets (cheap well-formedness proxy given no
+        // JSON parser in the dependency set).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn load_failures_fail_the_fleet() {
+        let dir = std::env::temp_dir().join(format!("serve_store_bad_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        save_model_to_path(&dummy_driver("d1"), dir.join("ok.mdlx")).unwrap();
+        std::fs::write(dir.join("bad.mdlx"), "mdlx 1 pwrbf-driver\njunk\n").unwrap();
+        let store = ModelStore::open(&dir).unwrap();
+        let report = sweep_store(&store, &standard_scenarios(true));
+        assert_eq!(report.load_failures.len(), 1);
+        assert!(!report.all_passed(), "load failure must fail the fleet");
+        assert_eq!(report.failed(), 0, "the loadable model's cells still pass");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_reference_fails_validation_cell() {
+        let store = tmp_store("noref", &[dummy_driver("mystery")]);
+        let report = validate_store(&store, true);
+        assert_eq!(report.cells.len(), 1);
+        assert!(!report.cells[0].pass);
+        assert!(report.cells[0].detail.contains("no reference"));
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+}

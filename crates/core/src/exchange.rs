@@ -27,8 +27,45 @@
 //!   and the assembled model must pass its structural validation before
 //!   [`load_model`] returns.
 //!
-//! Version `1` is the only version readers accept; a future tag fails with
-//! [`ExchangeError::UnsupportedVersion`] instead of being misparsed.
+//! # Format versions
+//!
+//! * **`mdlx 1`** — one model per file, exactly the grammar above. This is
+//!   still what [`save_model`] writes, so existing artifacts remain
+//!   byte-identical under save → load → save.
+//! * **`mdlx 2`** — a *bundle*: an optional provenance block (extraction
+//!   config digest, tool version, creation parameters) followed by one or
+//!   more embedded models (driver + receiver + corner variants in one
+//!   file). Written by [`save_artifact`] for [`Artifact::bundle`] values:
+//!
+//! ```text
+//! mdlx 2 bundle
+//! provenance
+//! tool emc-io-macromodel
+//! toolver 0.1.0
+//! digest 9a3fb2c41d70e655
+//! params 1
+//! param device md1
+//! endprovenance
+//! models 2
+//! model pwrbf-driver
+//! name md1
+//! <kind-specific records>
+//! endmodel
+//! model ibis
+//! name md1_Typical
+//! <kind-specific records>
+//! endmodel
+//! end
+//! ```
+//!
+//! [`load_artifact`] reads both versions (v1 files load as single-model
+//! artifacts); a version tag beyond `2` fails with
+//! [`ExchangeError::UnsupportedVersion`] instead of being misparsed. The
+//! lexer tolerates CRLF line endings and trailing blank lines — artifacts
+//! that crossed a Windows checkout or an editor that appends a final
+//! newline load cleanly (the *canonical* byte form, which re-save
+//! produces and `mdl validate` enforces, remains LF with no trailing
+//! blank line).
 //!
 //! # Example
 //!
@@ -58,8 +95,11 @@ use sysid::arx::{ArxModel, ArxOrders};
 use sysid::narx::{NarxModel, NarxOrders};
 use sysid::rbf::RbfNetwork;
 
-/// Current (and only) exchange-format version.
+/// Version written for single-model artifacts (the `mdlx 1` grammar).
 pub const FORMAT_VERSION: u32 = 1;
+
+/// Version written for bundles with provenance (the `mdlx 2` grammar).
+pub const BUNDLE_FORMAT_VERSION: u32 = 2;
 
 /// Typed failure modes of the exchange layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,7 +162,8 @@ impl std::fmt::Display for ExchangeError {
             ExchangeError::UnsupportedVersion { found } => {
                 write!(
                     f,
-                    "unsupported format version '{found}' (reader understands {FORMAT_VERSION})"
+                    "unsupported format version '{found}' (reader understands \
+                     {FORMAT_VERSION}..={BUNDLE_FORMAT_VERSION})"
                 )
             }
             ExchangeError::UnknownKind { tag } => write!(f, "unknown model kind '{tag}'"),
@@ -238,6 +279,145 @@ impl Macromodel for AnyModel {
 }
 
 // ---------------------------------------------------------------------
+// Provenance and artifacts (format v2)
+// ---------------------------------------------------------------------
+
+/// FNV-1a 64-bit digest of a configuration's `Debug` rendering, hex-encoded.
+///
+/// The digest ties an artifact to the extraction configuration that
+/// produced it: two artifacts with equal digests came from identical
+/// estimation settings (same struct layout and values), without the format
+/// having to serialize every config field.
+pub fn config_digest(cfg: &impl std::fmt::Debug) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{cfg:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Embedded provenance of a `mdlx 2` artifact: where the models came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Producing tool name.
+    pub tool: String,
+    /// Producing tool version.
+    pub tool_version: String,
+    /// Digest of the extraction configuration (see [`config_digest`]);
+    /// `-` when unknown.
+    pub config_digest: String,
+    /// Ordered creation parameters (key must be a single whitespace-free
+    /// token, value one line).
+    pub params: Vec<(String, String)>,
+}
+
+impl Provenance {
+    /// Provenance stamped with this crate's name and version.
+    pub fn new(config_digest: impl Into<String>) -> Self {
+        Provenance {
+            tool: env!("CARGO_PKG_NAME").to_string(),
+            tool_version: env!("CARGO_PKG_VERSION").to_string(),
+            config_digest: config_digest.into(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Appends a creation parameter (builder-style).
+    #[must_use]
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.params.push((key.into(), value.into()));
+        self
+    }
+
+    fn check_serializable(&self) -> std::result::Result<(), ExchangeError> {
+        let one_line = |label: &str, s: &str| {
+            if s.contains('\n') || s.contains('\r') {
+                return Err(ExchangeError::Invalid {
+                    message: format!("provenance {label} must not contain line breaks"),
+                });
+            }
+            Ok(())
+        };
+        one_line("tool", &self.tool)?;
+        one_line("tool version", &self.tool_version)?;
+        one_line("digest", &self.config_digest)?;
+        for (k, v) in &self.params {
+            if k.is_empty() || k.chars().any(|c| c.is_whitespace()) {
+                return Err(ExchangeError::Invalid {
+                    message: format!("provenance param key '{k}' must be one non-empty token"),
+                });
+            }
+            one_line("param value", v)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for Provenance {
+    fn default() -> Self {
+        Provenance::new("-")
+    }
+}
+
+/// A parsed `.mdlx` artifact of either format version: one model (v1) or a
+/// provenance-stamped multi-model bundle (v2). The unit the model store
+/// works with.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Format version this artifact serializes as (1 or 2).
+    pub version: u32,
+    /// Embedded provenance (v2 only; `None` for v1 artifacts).
+    pub provenance: Option<Provenance>,
+    /// The models; exactly one for v1, one or more for v2.
+    pub models: Vec<AnyModel>,
+}
+
+impl Artifact {
+    /// A v1 single-model artifact — serializes byte-identically to
+    /// [`save_model`].
+    pub fn single(model: AnyModel) -> Self {
+        Artifact {
+            version: FORMAT_VERSION,
+            provenance: None,
+            models: vec![model],
+        }
+    }
+
+    /// A v2 bundle of one or more models with optional provenance.
+    pub fn bundle(models: Vec<AnyModel>, provenance: Option<Provenance>) -> Self {
+        Artifact {
+            version: BUNDLE_FORMAT_VERSION,
+            provenance,
+            models,
+        }
+    }
+
+    /// The first model — the whole artifact for v1 files.
+    pub fn primary(&self) -> Option<&AnyModel> {
+        self.models.first()
+    }
+
+    /// Unwraps a single-model artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`ExchangeError::Invalid`] when the artifact bundles several models.
+    pub fn into_single(mut self) -> Result<AnyModel> {
+        if self.models.len() != 1 {
+            return Err(ExchangeError::Invalid {
+                message: format!(
+                    "artifact bundles {} models; load it with load_artifact",
+                    self.models.len()
+                ),
+            }
+            .into());
+        }
+        Ok(self.models.pop().expect("length checked"))
+    }
+}
+
+// ---------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------
 
@@ -252,9 +432,9 @@ struct Writer {
 }
 
 impl Writer {
-    fn new(kind: ModelKind) -> Self {
+    fn new(version: u32, tag: &str) -> Self {
         Writer {
-            out: format!("mdlx {FORMAT_VERSION} {}\n", kind.tag()),
+            out: format!("mdlx {version} {tag}\n"),
         }
     }
 
@@ -323,18 +503,12 @@ impl Writer {
     }
 }
 
-/// Serializes a model to the exchange text.
-///
-/// # Errors
-///
-/// Returns [`Error::Exchange`] for non-serializable data (non-finite values,
-/// multi-line names) and [`Error::InvalidModel`] when the model fails its
-/// own validation — nothing invalid is ever written.
-pub fn save_model(model: &AnyModel) -> Result<String> {
-    model.validate()?;
-    let text = match model {
+/// Writes the name line plus every kind-specific record of `model` — the
+/// body shared by the v1 single-model grammar and each `model … endmodel`
+/// section of a v2 bundle.
+fn write_model_records(w: &mut Writer, model: &AnyModel) -> std::result::Result<(), ExchangeError> {
+    match model {
         AnyModel::PwRbfDriver(m) => {
-            let mut w = Writer::new(ModelKind::PwRbfDriver);
             w.name(&m.name)?;
             w.scalar("ts", m.ts)?;
             w.scalar("vdd", m.vdd)?;
@@ -345,10 +519,8 @@ pub fn save_model(model: &AnyModel) -> Result<String> {
                 w.vector("wh", seq.w_high())?;
                 w.vector("wl", seq.w_low())?;
             }
-            w.finish()
         }
         AnyModel::Receiver(m) => {
-            let mut w = Writer::new(ModelKind::Receiver);
             w.name(&m.name)?;
             w.scalar("ts", m.ts)?;
             w.scalar("vdd", m.vdd)?;
@@ -357,18 +529,14 @@ pub fn save_model(model: &AnyModel) -> Result<String> {
             w.vector("b", m.linear.b())?;
             w.narx("up", &m.up)?;
             w.narx("down", &m.down)?;
-            w.finish()
         }
         AnyModel::Cr(m) => {
-            let mut w = Writer::new(ModelKind::CrBaseline);
             w.name(&m.name)?;
             w.scalar("c", m.c)?;
             w.vector("iv_x", m.static_iv.x())?;
             w.vector("iv_y", m.static_iv.y())?;
-            w.finish()
         }
         AnyModel::Ibis(m) => {
-            let mut w = Writer::new(ModelKind::Ibis);
             w.name(&m.name)?;
             w.scalar("vdd", m.vdd)?;
             w.scalar("c_comp", m.c_comp)?;
@@ -381,10 +549,103 @@ pub fn save_model(model: &AnyModel) -> Result<String> {
             w.vector("kd_rise", &m.kd_rise)?;
             w.vector("ku_fall", &m.ku_fall)?;
             w.vector("kd_fall", &m.kd_fall)?;
-            w.finish()
         }
-    };
-    Ok(text)
+    }
+    Ok(())
+}
+
+/// Serializes a model to the v1 exchange text.
+///
+/// # Errors
+///
+/// Returns [`Error::Exchange`] for non-serializable data (non-finite values,
+/// multi-line names) and [`Error::InvalidModel`] when the model fails its
+/// own validation — nothing invalid is ever written.
+pub fn save_model(model: &AnyModel) -> Result<String> {
+    model.validate()?;
+    let mut w = Writer::new(FORMAT_VERSION, model.kind().tag());
+    write_model_records(&mut w, model)?;
+    Ok(w.finish())
+}
+
+/// Serializes an artifact: v1 single-model text (byte-identical to
+/// [`save_model`]) or a v2 bundle with optional provenance.
+///
+/// # Errors
+///
+/// [`save_model`] failures per model, plus [`ExchangeError::Invalid`] for an
+/// empty bundle, a v1 artifact that is not exactly one provenance-free
+/// model, or an unknown version.
+pub fn save_artifact(artifact: &Artifact) -> Result<String> {
+    match artifact.version {
+        FORMAT_VERSION => {
+            if artifact.provenance.is_some() {
+                return Err(ExchangeError::Invalid {
+                    message: "format v1 cannot carry a provenance block".into(),
+                }
+                .into());
+            }
+            let [model] = artifact.models.as_slice() else {
+                return Err(ExchangeError::Invalid {
+                    message: format!(
+                        "format v1 holds exactly one model, got {}",
+                        artifact.models.len()
+                    ),
+                }
+                .into());
+            };
+            save_model(model)
+        }
+        BUNDLE_FORMAT_VERSION => {
+            if artifact.models.is_empty() {
+                return Err(ExchangeError::Invalid {
+                    message: "a bundle must hold at least one model".into(),
+                }
+                .into());
+            }
+            for model in &artifact.models {
+                model.validate()?;
+            }
+            let mut w = Writer::new(BUNDLE_FORMAT_VERSION, "bundle");
+            if let Some(p) = &artifact.provenance {
+                p.check_serializable()?;
+                w.raw("provenance");
+                w.raw(&format!("tool {}", p.tool));
+                w.raw(&format!("toolver {}", p.tool_version));
+                w.raw(&format!("digest {}", p.config_digest));
+                w.raw(&format!("params {}", p.params.len()));
+                for (k, v) in &p.params {
+                    w.raw(&format!("param {k} {v}"));
+                }
+                w.raw("endprovenance");
+            }
+            w.raw(&format!("models {}", artifact.models.len()));
+            for model in &artifact.models {
+                w.raw(&format!("model {}", model.kind().tag()));
+                write_model_records(&mut w, model)?;
+                w.raw("endmodel");
+            }
+            Ok(w.finish())
+        }
+        other => Err(ExchangeError::Invalid {
+            message: format!("cannot write unknown format version {other}"),
+        }
+        .into()),
+    }
+}
+
+/// Saves an artifact to a file (see [`save_artifact`]).
+///
+/// # Errors
+///
+/// [`save_artifact`] failures plus [`ExchangeError::Io`].
+pub fn save_artifact_to_path(artifact: &Artifact, path: impl AsRef<Path>) -> Result<()> {
+    let text = save_artifact(artifact)?;
+    std::fs::write(path.as_ref(), text).map_err(|e| ExchangeError::Io {
+        path: path.as_ref().display().to_string(),
+        message: e.to_string(),
+    })?;
+    Ok(())
 }
 
 /// Saves a model to a file (see [`save_model`]).
@@ -421,15 +682,30 @@ type ExResult<T> = std::result::Result<T, ExchangeError>;
 
 impl<'a> Reader<'a> {
     fn new(text: &'a str) -> Self {
-        Reader {
-            lines: text.lines().collect(),
-            pos: 0,
+        // Normalize line endings: `str::lines` already splits `\r\n`, but a
+        // lone trailing `\r` (mixed-ending files) is stripped here too, and
+        // trailing blank lines — the final-newline convention of many
+        // editors and CRLF checkouts — are dropped so `end` stays the last
+        // line of the grammar. Interior blank lines remain syntax errors.
+        let mut lines: Vec<&str> = text
+            .lines()
+            .map(|l| l.strip_suffix('\r').unwrap_or(l))
+            .collect();
+        while lines.last().is_some_and(|l| l.trim_ascii().is_empty()) {
+            lines.pop();
         }
+        Reader { lines, pos: 0 }
     }
 
     /// 1-based number of the line most recently consumed.
     fn line_no(&self) -> usize {
         self.pos
+    }
+
+    /// Key of the next line without consuming it.
+    fn peek_key(&self) -> Option<&'a str> {
+        let line = self.lines.get(self.pos)?;
+        Some(line.split_once(' ').map_or(*line, |(k, _)| k))
     }
 
     /// Consumes the next line, splitting off its leading key; fails with
@@ -502,6 +778,25 @@ impl<'a> Reader<'a> {
         Ok((a, b))
     }
 
+    /// A record carrying exactly one bounded count, e.g. `models 3`.
+    fn count(&mut self, key: &str) -> ExResult<usize> {
+        let rest = self.expect(key)?;
+        let mut toks = rest.split_ascii_whitespace();
+        let (Some(tok), None) = (toks.next(), toks.next()) else {
+            return Err(ExchangeError::Syntax {
+                line: self.line_no(),
+                message: format!("'{key}' expects exactly one integer"),
+            });
+        };
+        tok.parse()
+            .ok()
+            .filter(|&v| v <= MAX_DECLARED_COUNT)
+            .ok_or(ExchangeError::Syntax {
+                line: self.line_no(),
+                message: format!("'{key}' expects an integer below {MAX_DECLARED_COUNT}"),
+            })
+    }
+
     fn vector(&mut self, key: &str) -> ExResult<Vec<f64>> {
         let rest = self.expect(key)?;
         let mut toks = rest.split_ascii_whitespace();
@@ -572,6 +867,18 @@ impl<'a> Reader<'a> {
         NarxModel::from_network(orders, net).map_err(invalid)
     }
 
+    /// A bare keyword line with no operands, e.g. `endmodel`.
+    fn keyword(&mut self, key: &str) -> ExResult<()> {
+        let rest = self.expect(key)?;
+        if !rest.is_empty() {
+            return Err(ExchangeError::Syntax {
+                line: self.line_no(),
+                message: format!("trailing content after '{key}'"),
+            });
+        }
+        Ok(())
+    }
+
     fn end(&mut self) -> ExResult<()> {
         let rest = self.expect("end")?;
         if !rest.is_empty() {
@@ -596,32 +903,12 @@ fn invalid(e: impl std::fmt::Display) -> ExchangeError {
     }
 }
 
-/// Deserializes a model from exchange text, rejecting anything malformed,
-/// non-finite, truncated, structurally inconsistent, or of a future format
-/// version.
-///
-/// # Errors
-///
-/// Returns [`Error::Exchange`] with the precise [`ExchangeError`], or the
-/// assembled model's own validation failure.
-pub fn load_model(text: &str) -> Result<AnyModel> {
-    let mut r = Reader::new(text);
-    let header = r.expect("mdlx")?;
-    let (version, tag) = header.split_once(' ').ok_or(ExchangeError::Syntax {
-        line: 1,
-        message: "header must be 'mdlx <version> <kind>'".into(),
-    })?;
-    if version != "1" {
-        return Err(ExchangeError::UnsupportedVersion {
-            found: version.to_string(),
-        }
-        .into());
-    }
-    let kind = ModelKind::from_tag(tag).ok_or(ExchangeError::UnknownKind {
-        tag: tag.to_string(),
-    })?;
+/// Reads the name line plus every kind-specific record of one model,
+/// stopping before the terminator (`end` for v1, `endmodel` for v2
+/// sections). The structural constructors reject inconsistent data; the
+/// assembled model's own validation runs in the callers.
+fn read_model_records(r: &mut Reader, kind: ModelKind) -> ExResult<AnyModel> {
     let name = r.expect("name")?.to_string();
-
     let model = match kind {
         ModelKind::PwRbfDriver => {
             let ts = r.scalar("ts")?;
@@ -635,7 +922,6 @@ pub fn load_model(text: &str) -> Result<AnyModel> {
                 let wl = r.vector("wl")?;
                 seqs.push(WeightSequence::new(wh, wl).map_err(invalid)?);
             }
-            r.end()?;
             let down = seqs.pop().expect("two transitions parsed");
             let up = seqs.pop().expect("two transitions parsed");
             AnyModel::PwRbfDriver(PwRbfDriverModel {
@@ -658,7 +944,6 @@ pub fn load_model(text: &str) -> Result<AnyModel> {
                 ArxModel::from_coefficients(ArxOrders { na, nb }, a, b).map_err(invalid)?;
             let up = r.narx("up")?;
             let down = r.narx("down")?;
-            r.end()?;
             AnyModel::Receiver(ReceiverModel {
                 name,
                 ts,
@@ -673,7 +958,6 @@ pub fn load_model(text: &str) -> Result<AnyModel> {
             let x = r.vector("iv_x")?;
             let y = r.vector("iv_y")?;
             let static_iv = Pwl::new(x, y).map_err(invalid)?;
-            r.end()?;
             AnyModel::Cr(CrModel::new(name, c, static_iv).map_err(invalid)?)
         }
         ModelKind::Ibis => {
@@ -687,7 +971,6 @@ pub fn load_model(text: &str) -> Result<AnyModel> {
             let kd_rise = r.vector("kd_rise")?;
             let ku_fall = r.vector("ku_fall")?;
             let kd_fall = r.vector("kd_fall")?;
-            r.end()?;
             AnyModel::Ibis(IbisModel {
                 name,
                 vdd,
@@ -702,8 +985,127 @@ pub fn load_model(text: &str) -> Result<AnyModel> {
             })
         }
     };
-    model.validate()?;
     Ok(model)
+}
+
+/// Reads the optional provenance block of a v2 bundle.
+fn read_provenance(r: &mut Reader) -> ExResult<Provenance> {
+    r.keyword("provenance")?;
+    let tool = r.expect("tool")?.to_string();
+    let tool_version = r.expect("toolver")?.to_string();
+    let config_digest = r.expect("digest")?.to_string();
+    let n_params = r.count("params")?;
+    let mut params = Vec::with_capacity(n_params.min(1024));
+    for _ in 0..n_params {
+        let rest = r.expect("param")?;
+        let (key, value) = rest.split_once(' ').unwrap_or((rest, ""));
+        if key.is_empty() {
+            return Err(ExchangeError::Syntax {
+                line: r.line_no(),
+                message: "'param' expects a key token".into(),
+            });
+        }
+        params.push((key.to_string(), value.to_string()));
+    }
+    r.keyword("endprovenance")?;
+    Ok(Provenance {
+        tool,
+        tool_version,
+        config_digest,
+        params,
+    })
+}
+
+/// Deserializes an artifact of either format version, rejecting anything
+/// malformed, non-finite, truncated, structurally inconsistent, or of a
+/// future format version.
+///
+/// # Errors
+///
+/// Returns [`Error::Exchange`] with the precise [`ExchangeError`], or the
+/// first assembled model's own validation failure.
+pub fn load_artifact(text: &str) -> Result<Artifact> {
+    let mut r = Reader::new(text);
+    let header = r.expect("mdlx")?;
+    let (version, tag) = header.split_once(' ').ok_or(ExchangeError::Syntax {
+        line: 1,
+        message: "header must be 'mdlx <version> <kind>'".into(),
+    })?;
+    let artifact = match version {
+        "1" => {
+            let kind = ModelKind::from_tag(tag).ok_or(ExchangeError::UnknownKind {
+                tag: tag.to_string(),
+            })?;
+            let model = read_model_records(&mut r, kind)?;
+            r.end()?;
+            Artifact::single(model)
+        }
+        "2" => {
+            if tag != "bundle" {
+                return Err(ExchangeError::Syntax {
+                    line: 1,
+                    message: format!("version 2 artifacts are bundles; found kind '{tag}'"),
+                }
+                .into());
+            }
+            let provenance = match r.peek_key() {
+                Some("provenance") => Some(read_provenance(&mut r)?),
+                _ => None,
+            };
+            let n_models = r.count("models")?;
+            if n_models == 0 {
+                return Err(ExchangeError::Invalid {
+                    message: "a bundle must hold at least one model".into(),
+                }
+                .into());
+            }
+            let mut models = Vec::with_capacity(n_models.min(1024));
+            for _ in 0..n_models {
+                let tag = r.expect("model")?;
+                let kind = ModelKind::from_tag(tag).ok_or(ExchangeError::UnknownKind {
+                    tag: tag.to_string(),
+                })?;
+                models.push(read_model_records(&mut r, kind)?);
+                r.keyword("endmodel")?;
+            }
+            r.end()?;
+            Artifact::bundle(models, provenance)
+        }
+        other => {
+            return Err(ExchangeError::UnsupportedVersion {
+                found: other.to_string(),
+            }
+            .into())
+        }
+    };
+    for model in &artifact.models {
+        model.validate()?;
+    }
+    Ok(artifact)
+}
+
+/// Loads an artifact from a file (see [`load_artifact`]).
+///
+/// # Errors
+///
+/// [`load_artifact`] failures plus [`ExchangeError::Io`].
+pub fn load_artifact_from_path(path: impl AsRef<Path>) -> Result<Artifact> {
+    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| ExchangeError::Io {
+        path: path.as_ref().display().to_string(),
+        message: e.to_string(),
+    })?;
+    load_artifact(&text)
+}
+
+/// Deserializes a single model from exchange text of either version; a v2
+/// bundle must hold exactly one model (use [`load_artifact`] for larger
+/// bundles).
+///
+/// # Errors
+///
+/// See [`load_artifact`]; a multi-model bundle is [`ExchangeError::Invalid`].
+pub fn load_model(text: &str) -> Result<AnyModel> {
+    load_artifact(text)?.into_single()
 }
 
 /// Loads a model from a file (see [`load_model`]).
@@ -840,13 +1242,172 @@ mod tests {
     #[test]
     fn future_version_rejected() {
         let text = save_model(&all_models()[0]).unwrap();
-        let bumped = text.replacen("mdlx 1 ", "mdlx 2 ", 1);
+        let bumped = text.replacen("mdlx 1 ", "mdlx 3 ", 1);
         match load_model(&bumped) {
             Err(Error::Exchange(ExchangeError::UnsupportedVersion { found })) => {
-                assert_eq!(found, "2")
+                assert_eq!(found, "3")
             }
             other => panic!("expected version error, got {other:?}"),
         }
+        // `mdlx 2` is understood, but only as the bundle grammar.
+        let v2_kind = text.replacen("mdlx 1 ", "mdlx 2 ", 1);
+        assert!(matches!(
+            load_model(&v2_kind),
+            Err(Error::Exchange(ExchangeError::Syntax { line: 1, .. }))
+        ));
+    }
+
+    #[test]
+    fn crlf_and_trailing_blank_lines_load_cleanly() {
+        for model in all_models() {
+            let text = save_model(&model).unwrap();
+            // CRLF endings (Windows checkout).
+            let crlf = text.replace('\n', "\r\n");
+            let loaded = load_model(&crlf)
+                .unwrap_or_else(|e| panic!("{}: CRLF artifact failed to load: {e}", model.kind()));
+            assert_eq!(save_model(&loaded).unwrap(), text, "{}", model.kind());
+            // Trailing blank line(s), both conventions.
+            for suffix in ["\n", "\n\n", "\r\n", "  \n"] {
+                let padded = format!("{text}{suffix}");
+                let loaded = load_model(&padded).unwrap_or_else(|e| {
+                    panic!(
+                        "{}: artifact with trailing {suffix:?} failed to load: {e}",
+                        model.kind()
+                    )
+                });
+                assert_eq!(save_model(&loaded).unwrap(), text);
+            }
+            // A lone trailing '\r' after the final newline.
+            let loaded = load_model(&format!("{text}\r")).unwrap();
+            assert_eq!(save_model(&loaded).unwrap(), text);
+        }
+        // Interior blank lines are still rejected.
+        let text = save_model(&all_models()[0]).unwrap();
+        let interior = text.replacen("ts ", "\nts ", 1);
+        assert!(load_model(&interior).is_err());
+    }
+
+    fn sample_provenance() -> Provenance {
+        Provenance::new("9a3fb2c41d70e655")
+            .with_param("device", "md1")
+            .with_param("note", "fast extraction, two words")
+    }
+
+    #[test]
+    fn bundle_round_trip_byte_identical() {
+        let bundle = Artifact::bundle(all_models(), Some(sample_provenance()));
+        let text = save_artifact(&bundle).unwrap();
+        assert!(text.starts_with("mdlx 2 bundle\n"));
+        let loaded = load_artifact(&text).unwrap();
+        assert_eq!(loaded.version, BUNDLE_FORMAT_VERSION);
+        assert_eq!(loaded.models.len(), 4);
+        assert_eq!(loaded.provenance, Some(sample_provenance()));
+        assert_eq!(save_artifact(&loaded).unwrap(), text);
+    }
+
+    #[test]
+    fn bundle_without_provenance_round_trips() {
+        let bundle = Artifact::bundle(vec![all_models().remove(2)], None);
+        let text = save_artifact(&bundle).unwrap();
+        let loaded = load_artifact(&text).unwrap();
+        assert!(loaded.provenance.is_none());
+        assert_eq!(save_artifact(&loaded).unwrap(), text);
+        // A single-model v2 bundle loads through load_model too.
+        assert_eq!(load_model(&text).unwrap().name(), "cr_test");
+    }
+
+    #[test]
+    fn v1_artifact_round_trips_as_v1() {
+        let model = all_models().remove(0);
+        let v1_text = save_model(&model).unwrap();
+        let artifact = load_artifact(&v1_text).unwrap();
+        assert_eq!(artifact.version, FORMAT_VERSION);
+        assert!(artifact.provenance.is_none());
+        // Re-saving through the artifact path stays on the v1 byte form.
+        assert_eq!(save_artifact(&artifact).unwrap(), v1_text);
+    }
+
+    #[test]
+    fn multi_model_bundle_rejected_by_load_model() {
+        let text = save_artifact(&Artifact::bundle(all_models(), None)).unwrap();
+        assert!(matches!(
+            load_model(&text),
+            Err(Error::Exchange(ExchangeError::Invalid { .. }))
+        ));
+    }
+
+    #[test]
+    fn invalid_bundles_rejected_on_save() {
+        // Empty bundle.
+        let e = save_artifact(&Artifact::bundle(vec![], None)).unwrap_err();
+        assert!(matches!(e, Error::Exchange(ExchangeError::Invalid { .. })));
+        // v1 cannot carry provenance.
+        let mut artifact = Artifact::single(all_models().remove(0));
+        artifact.provenance = Some(sample_provenance());
+        assert!(save_artifact(&artifact).is_err());
+        // v1 holds exactly one model.
+        let mut artifact = Artifact::single(all_models().remove(0));
+        artifact.models.push(all_models().remove(1));
+        assert!(save_artifact(&artifact).is_err());
+        // Unknown version.
+        let mut artifact = Artifact::single(all_models().remove(0));
+        artifact.version = 7;
+        assert!(save_artifact(&artifact).is_err());
+        // Multi-line provenance values.
+        let mut p = sample_provenance();
+        p.tool = "two\nlines".into();
+        let e = save_artifact(&Artifact::bundle(all_models(), Some(p))).unwrap_err();
+        assert!(matches!(e, Error::Exchange(ExchangeError::Invalid { .. })));
+        // Param key with whitespace.
+        let p = sample_provenance().with_param("", "x");
+        assert!(save_artifact(&Artifact::bundle(all_models(), Some(p))).is_err());
+    }
+
+    #[test]
+    fn corrupted_bundles_rejected_per_section() {
+        let text =
+            save_artifact(&Artifact::bundle(all_models(), Some(sample_provenance()))).unwrap();
+        // Truncation inside the provenance block.
+        let cut = text.find("endprovenance").unwrap();
+        assert!(load_artifact(&text[..cut]).is_err());
+        // Wrong model count.
+        let lying = text.replacen("models 4", "models 5", 1);
+        assert!(load_artifact(&lying).is_err());
+        let lying = text.replacen("models 4", "models 2", 1);
+        assert!(load_artifact(&lying).is_err());
+        // Zero-model bundle.
+        let empty = "mdlx 2 bundle\nmodels 0\nend\n";
+        assert!(matches!(
+            load_artifact(empty),
+            Err(Error::Exchange(ExchangeError::Invalid { .. }))
+        ));
+        // Unknown embedded kind.
+        let unknown = text.replacen("model pwrbf-driver", "model hologram", 1);
+        assert!(matches!(
+            load_artifact(&unknown),
+            Err(Error::Exchange(ExchangeError::UnknownKind { .. }))
+        ));
+        // Dropped section terminator.
+        let dropped = text.replacen("endmodel\n", "", 1);
+        assert!(load_artifact(&dropped).is_err());
+        // Content after 'end'.
+        let trailing = format!("{text}junk\n");
+        assert!(load_artifact(&trailing).is_err());
+    }
+
+    #[test]
+    fn config_digest_is_stable_and_value_sensitive() {
+        #[derive(Debug)]
+        struct Cfg {
+            // Read only through the derived Debug rendering the digest
+            // hashes — which is exactly the property under test.
+            #[allow(dead_code)]
+            n: usize,
+        }
+        let a = config_digest(&Cfg { n: 40 });
+        assert_eq!(a.len(), 16);
+        assert_eq!(a, config_digest(&Cfg { n: 40 }));
+        assert_ne!(a, config_digest(&Cfg { n: 41 }));
     }
 
     #[test]

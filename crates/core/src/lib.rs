@@ -39,14 +39,19 @@ pub mod device;
 pub mod driver;
 pub mod exchange;
 pub mod macromodel;
+pub mod modelstore;
 pub mod pipeline;
 pub mod receiver;
 pub mod session;
 pub mod validate;
 
 pub use driver::PwRbfDriverModel;
-pub use exchange::{load_model, load_model_from_path, save_model, save_model_to_path, AnyModel};
+pub use exchange::{
+    load_artifact, load_artifact_from_path, load_model, load_model_from_path, save_artifact,
+    save_artifact_to_path, save_model, save_model_to_path, AnyModel, Artifact, Provenance,
+};
 pub use macromodel::{Macromodel, ModelKind, ModelRegistry, PortStimulus, TestFixture};
+pub use modelstore::{LoadMode, ModelStore, StoreEntry, StoreFailure};
 pub use receiver::{CrModel, ReceiverModel};
 pub use session::{EstimatedModel, ExtractionSession};
 

@@ -1,0 +1,453 @@
+//! The model library layer: a directory tree of `.mdlx` artifacts served
+//! as one queryable collection.
+//!
+//! [`ModelStore::open`] scans a directory (recursively, in a deterministic
+//! sorted order) for `.mdlx` files and parses each through
+//! [`crate::exchange::load_artifact`] — v1 single-model files and v2
+//! provenance-stamped bundles side by side. A file that fails to parse
+//! does **not** abort the scan: its typed error is collected in
+//! [`ModelStore::failures`], so one corrupt artifact never takes the rest
+//! of the fleet down with it.
+//!
+//! Two load modes:
+//!
+//! * [`LoadMode::Eager`] (the [`ModelStore::open`] default) — every file is
+//!   parsed during the scan; load errors are available immediately.
+//! * [`LoadMode::Lazy`] — the scan only records paths; each artifact is
+//!   parsed on first access ([`StoreEntry::artifact`]) and memoized. Use
+//!   this when a harness touches a few models out of a large library.
+//!
+//! The store indexes by model name ([`ModelStore::get`]) and kind
+//! ([`ModelStore::of_kind`]) across every model of every artifact, and
+//! flattens into a [`ModelRegistry`] for trait-generic harnesses.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use macromodel::{Macromodel, ModelKind, ModelStore};
+//!
+//! # fn main() -> Result<(), macromodel::Error> {
+//! let store = ModelStore::open("artifacts/")?;
+//! for failure in store.failures() {
+//!     eprintln!("skipping {}: {}", failure.path.display(), failure.error);
+//! }
+//! for (path, model) in store.models() {
+//!     println!("{} [{}] from {}", model.name(), model.kind(), path.display());
+//! }
+//! let drivers = store.of_kind(ModelKind::PwRbfDriver);
+//! println!("{} PW-RBF drivers on the shelf", drivers.len());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::exchange::{load_artifact_from_path, AnyModel, Artifact, ExchangeError};
+use crate::macromodel::{Macromodel, ModelKind, ModelRegistry};
+use crate::{Error, Result};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// Directory-nesting bound of the store scan — far deeper than any sane
+/// artifact layout, shallow enough to break symlink cycles.
+const MAX_SCAN_DEPTH: usize = 32;
+
+/// When the store parses artifact files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Parse every file during [`ModelStore::open`].
+    Eager,
+    /// Record paths during the scan; parse on first access.
+    Lazy,
+}
+
+/// A `.mdlx` file that failed to load, with its typed error.
+#[derive(Debug, Clone)]
+pub struct StoreFailure {
+    /// Path of the offending file.
+    pub path: PathBuf,
+    /// The load failure.
+    pub error: Error,
+}
+
+/// One `.mdlx` file in the store.
+pub struct StoreEntry {
+    path: PathBuf,
+    /// Parse result, memoized on first access (pre-filled in eager mode).
+    slot: OnceLock<std::result::Result<Artifact, Error>>,
+}
+
+impl StoreEntry {
+    fn new(path: PathBuf) -> Self {
+        StoreEntry {
+            path,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Path of the artifact file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether the artifact has been parsed yet (always true in eager
+    /// mode; in lazy mode, true after the first [`StoreEntry::artifact`]
+    /// call).
+    pub fn is_loaded(&self) -> bool {
+        self.slot.get().is_some()
+    }
+
+    /// The parsed artifact, loading and memoizing it on first access.
+    ///
+    /// # Errors
+    ///
+    /// The file's load failure, replayed on every access.
+    pub fn artifact(&self) -> Result<&Artifact> {
+        self.slot
+            .get_or_init(|| load_artifact_from_path(&self.path))
+            .as_ref()
+            .map_err(Error::clone)
+    }
+}
+
+impl std::fmt::Debug for StoreEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreEntry")
+            .field("path", &self.path)
+            .field("loaded", &self.is_loaded())
+            .finish()
+    }
+}
+
+/// A directory tree of `.mdlx` artifacts, scanned into one collection.
+///
+/// See the [module docs](self) for the serving model.
+#[derive(Debug)]
+pub struct ModelStore {
+    root: PathBuf,
+    entries: Vec<StoreEntry>,
+    /// Subdirectories that could not be scanned (vanished mounts,
+    /// permission failures) — collected, like per-file load errors, so one
+    /// bad branch never hides sibling artifacts.
+    scan_failures: Vec<StoreFailure>,
+}
+
+impl ModelStore {
+    /// Opens a store eagerly: scans `dir` recursively for `.mdlx` files and
+    /// parses each one. Per-file load errors are collected, not fatal.
+    ///
+    /// # Errors
+    ///
+    /// [`ExchangeError::Io`] when the root directory itself cannot be read
+    /// (unreadable *sub*directories degrade to [`ModelStore::failures`]
+    /// entries instead).
+    pub fn open(dir: impl AsRef<Path>) -> Result<ModelStore> {
+        ModelStore::open_with_mode(dir, LoadMode::Eager)
+    }
+
+    /// Opens a store in the given [`LoadMode`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExchangeError::Io`] when the root directory itself cannot be read.
+    pub fn open_with_mode(dir: impl AsRef<Path>, mode: LoadMode) -> Result<ModelStore> {
+        let root = dir.as_ref().to_path_buf();
+        let mut files = Vec::new();
+        let mut scan_failures = Vec::new();
+        // The root must be readable — an unopenable store is an error, not
+        // an empty one.
+        std::fs::read_dir(&root).map_err(|e| ExchangeError::Io {
+            path: root.display().to_string(),
+            message: e.to_string(),
+        })?;
+        scan_dir(&root, 0, &mut files, &mut scan_failures);
+        files.sort();
+        let entries: Vec<StoreEntry> = files.into_iter().map(StoreEntry::new).collect();
+        if mode == LoadMode::Eager {
+            for e in &entries {
+                let _ = e.artifact();
+            }
+        }
+        Ok(ModelStore {
+            root,
+            entries,
+            scan_failures,
+        })
+    }
+
+    /// The scanned directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of `.mdlx` files found (loadable or not).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the scan found no artifact files at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Every scanned file, in sorted path order.
+    pub fn entries(&self) -> impl Iterator<Item = &StoreEntry> {
+        self.entries.iter()
+    }
+
+    /// The scan failures plus the load failures among the *parsed* entries
+    /// (every entry in eager mode; only the accessed ones in lazy mode).
+    pub fn failures(&self) -> Vec<StoreFailure> {
+        self.scan_failures
+            .iter()
+            .cloned()
+            .chain(self.entries.iter().filter_map(|e| match e.slot.get() {
+                Some(Err(error)) => Some(StoreFailure {
+                    path: e.path.clone(),
+                    error: error.clone(),
+                }),
+                _ => None,
+            }))
+            .collect()
+    }
+
+    /// Forces every entry to parse (a no-op in eager mode) and returns the
+    /// complete failure list.
+    pub fn load_all(&self) -> Vec<StoreFailure> {
+        for e in &self.entries {
+            let _ = e.artifact();
+        }
+        self.failures()
+    }
+
+    /// Every successfully loaded model, flattened across artifacts (a v2
+    /// bundle contributes each of its members), with its source path.
+    /// Forces lazy entries to load.
+    pub fn models(&self) -> Vec<(&Path, &AnyModel)> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            if let Ok(artifact) = e.artifact() {
+                out.extend(artifact.models.iter().map(|m| (e.path(), m)));
+            }
+        }
+        out
+    }
+
+    /// Looks a model up by [`Macromodel::name`] across every artifact. In
+    /// lazy mode entries are parsed one at a time, stopping at the first
+    /// match — an early hit in a large library leaves the rest unloaded.
+    pub fn get(&self, name: &str) -> Option<&AnyModel> {
+        self.entries.iter().find_map(|e| {
+            e.artifact()
+                .ok()
+                .and_then(|a| a.models.iter().find(|m| m.name() == name))
+        })
+    }
+
+    /// The models of one kind, in scan order. Forces lazy entries to load.
+    pub fn of_kind(&self, kind: ModelKind) -> Vec<&AnyModel> {
+        self.models()
+            .into_iter()
+            .map(|(_, m)| m)
+            .filter(|m| m.kind() == kind)
+            .collect()
+    }
+
+    /// Flattens the store into a [`ModelRegistry`] (clones every model;
+    /// registry semantics apply — a duplicated name keeps the later entry,
+    /// i.e. the lexicographically later path).
+    pub fn to_registry(&self) -> ModelRegistry {
+        let mut reg = ModelRegistry::new();
+        for (_, m) in self.models() {
+            reg.register(m.clone());
+        }
+        reg
+    }
+}
+
+/// Recursive scan collecting `.mdlx` paths. A vanished or unreadable
+/// directory degrades to a [`StoreFailure`] so one bad mount never hides
+/// sibling artifacts.
+fn scan_dir(dir: &Path, depth: usize, out: &mut Vec<PathBuf>, failures: &mut Vec<StoreFailure>) {
+    fn fail(dir: &Path, e: std::io::Error, failures: &mut Vec<StoreFailure>) {
+        failures.push(StoreFailure {
+            path: dir.to_path_buf(),
+            error: ExchangeError::Io {
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            }
+            .into(),
+        });
+    }
+    if depth >= MAX_SCAN_DEPTH {
+        return;
+    }
+    let reader = match std::fs::read_dir(dir) {
+        Ok(reader) => reader,
+        Err(e) => return fail(dir, e, failures),
+    };
+    for entry in reader {
+        let entry = match entry {
+            Ok(entry) => entry,
+            Err(e) => return fail(dir, e, failures),
+        };
+        let path = entry.path();
+        if path.is_dir() {
+            scan_dir(&path, depth + 1, out, failures);
+        } else if path.extension().is_some_and(|ext| ext == "mdlx") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{PwRbfDriverModel, WeightSequence};
+    use crate::exchange::{save_artifact_to_path, save_model_to_path, Provenance};
+    use crate::receiver::CrModel;
+    use numkit::interp::Pwl;
+    use sysid::narx::{NarxModel, NarxOrders};
+    use sysid::rbf::RbfNetwork;
+
+    fn dummy_driver(name: &str) -> AnyModel {
+        let narx = || {
+            NarxModel::from_network(
+                NarxOrders::dynamic(1),
+                RbfNetwork::affine(0.0, vec![0.01, 0.0, 0.0]),
+            )
+            .unwrap()
+        };
+        AnyModel::PwRbfDriver(PwRbfDriverModel {
+            name: name.into(),
+            ts: 25e-12,
+            vdd: 1.8,
+            i_high: narx(),
+            i_low: narx(),
+            up: WeightSequence::new(vec![0.0, 1.0], vec![1.0, 0.0]).unwrap(),
+            down: WeightSequence::new(vec![1.0, 0.0], vec![0.0, 1.0]).unwrap(),
+        })
+    }
+
+    fn dummy_cr(name: &str) -> AnyModel {
+        AnyModel::Cr(
+            CrModel::new(
+                name,
+                1e-12,
+                Pwl::new(vec![-1.0, 0.0, 1.0], vec![-0.1, 0.0, 0.1]).unwrap(),
+            )
+            .unwrap(),
+        )
+    }
+
+    /// Builds a store directory: two v1 files (one nested), a v2 bundle,
+    /// one corrupt artifact, and one non-mdlx bystander.
+    fn build_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mdlx_store_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        save_model_to_path(&dummy_driver("drv_a"), dir.join("a.mdlx")).unwrap();
+        save_model_to_path(&dummy_cr("cr_b"), dir.join("sub/b.mdlx")).unwrap();
+        save_artifact_to_path(
+            &Artifact::bundle(
+                vec![dummy_driver("drv_c"), dummy_driver("drv_d")],
+                Some(Provenance::new("feedc0de".to_string())),
+            ),
+            dir.join("c-bundle.mdlx"),
+        )
+        .unwrap();
+        std::fs::write(dir.join("broken.mdlx"), "mdlx 1 pwrbf-driver\ngarbage\n").unwrap();
+        std::fs::write(dir.join("README.txt"), "not an artifact").unwrap();
+        dir
+    }
+
+    #[test]
+    fn eager_open_collects_models_and_failures() {
+        let dir = build_store("eager");
+        let store = ModelStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 4, "four .mdlx files scanned");
+        assert!(store.entries().all(StoreEntry::is_loaded));
+        let failures = store.failures();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].path.ends_with("broken.mdlx"));
+        assert!(matches!(failures[0].error, Error::Exchange(_)));
+        // Four models across three loadable artifacts, bundle flattened.
+        let models = store.models();
+        assert_eq!(models.len(), 4);
+        assert!(store.get("drv_d").is_some());
+        assert!(store.get("nope").is_none());
+        assert_eq!(store.of_kind(ModelKind::PwRbfDriver).len(), 3);
+        assert_eq!(store.of_kind(ModelKind::CrBaseline).len(), 1);
+        assert_eq!(store.of_kind(ModelKind::Ibis).len(), 0);
+        let reg = store.to_registry();
+        assert_eq!(reg.len(), 4);
+        assert!(reg.get("cr_b").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lazy_open_defers_parsing() {
+        let dir = build_store("lazy");
+        let store = ModelStore::open_with_mode(&dir, LoadMode::Lazy).unwrap();
+        assert_eq!(store.len(), 4);
+        assert!(store.entries().all(|e| !e.is_loaded()));
+        assert!(store.failures().is_empty(), "nothing parsed yet");
+        // First access parses and memoizes one entry only.
+        let first = store.entries().next().unwrap();
+        first.artifact().unwrap();
+        assert!(first.is_loaded());
+        assert_eq!(store.entries().filter(|e| e.is_loaded()).count(), 1);
+        // load_all forces the rest and surfaces the broken file.
+        let failures = store.load_all();
+        assert_eq!(failures.len(), 1);
+        assert!(store.entries().all(StoreEntry::is_loaded));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lazy_get_stops_at_first_match() {
+        let dir = build_store("lazyget");
+        let store = ModelStore::open_with_mode(&dir, LoadMode::Lazy).unwrap();
+        // "a.mdlx" sorts first and holds drv_a: the lookup parses only it.
+        assert!(store.get("drv_a").is_some());
+        assert_eq!(store.entries().filter(|e| e.is_loaded()).count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn entries_are_sorted_and_errors_replay() {
+        let dir = build_store("sorted");
+        let store = ModelStore::open(&dir).unwrap();
+        let paths: Vec<_> = store.entries().map(|e| e.path().to_path_buf()).collect();
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted);
+        let broken = store
+            .entries()
+            .find(|e| e.path().ends_with("broken.mdlx"))
+            .unwrap();
+        assert!(broken.artifact().is_err());
+        assert!(broken.artifact().is_err(), "error is memoized, not retried");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_a_typed_error() {
+        let missing = std::env::temp_dir().join("mdlx_store_definitely_missing");
+        std::fs::remove_dir_all(&missing).ok();
+        assert!(matches!(
+            ModelStore::open(&missing),
+            Err(Error::Exchange(ExchangeError::Io { .. }))
+        ));
+    }
+
+    #[test]
+    fn empty_directory_is_an_empty_store() {
+        let dir = std::env::temp_dir().join(format!("mdlx_store_empty_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = ModelStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        assert!(store.models().is_empty());
+        assert!(store.to_registry().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -35,7 +35,10 @@
 //! circuit once and warm-start each point from the previous solution, and
 //! each transient holds a single factorization workspace for its whole run.
 
-use crate::exchange::{save_model, save_model_to_path, AnyModel};
+use crate::exchange::{
+    config_digest, save_artifact_to_path, save_model, save_model_to_path, AnyModel, Artifact,
+    Provenance,
+};
 use crate::macromodel::{Macromodel, PortStimulus, TestFixture};
 use crate::pipeline::{
     check_driver_config, check_receiver_config, fit_cr_from_captures, fit_driver_from_captures,
@@ -102,6 +105,15 @@ pub struct EstimatedModel {
     model: AnyModel,
     reference: ReferencePort,
     records: Option<(StateIdRecord, StateIdRecord)>,
+    provenance: Provenance,
+}
+
+/// Provenance stamp shared by every session: the extraction-config digest
+/// plus the parameters that identify the estimation run.
+fn session_provenance(cfg: &impl std::fmt::Debug, device: &str, kind: &str) -> Provenance {
+    Provenance::new(config_digest(cfg))
+        .with_param("device", device)
+        .with_param("kind", kind)
 }
 
 impl EstimatedModel {
@@ -144,13 +156,34 @@ impl EstimatedModel {
         save_model(&self.model)
     }
 
-    /// Saves the artifact to a `.mdlx` file.
+    /// Saves the artifact to a `.mdlx` file in the v1 single-model format.
     ///
     /// # Errors
     ///
     /// See [`save_model_to_path`].
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
         save_model_to_path(&self.model, path)
+    }
+
+    /// Provenance of the estimation run: extraction-config digest, tool
+    /// version, device and kind parameters.
+    pub fn provenance(&self) -> &Provenance {
+        &self.provenance
+    }
+
+    /// Wraps the model into a v2 single-model bundle carrying the session's
+    /// provenance.
+    pub fn to_artifact(&self) -> Artifact {
+        Artifact::bundle(vec![self.model.clone()], Some(self.provenance.clone()))
+    }
+
+    /// Saves the artifact as a provenance-stamped `mdlx 2` bundle.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::exchange::save_artifact_to_path`].
+    pub fn save_v2(&self, path: impl AsRef<Path>) -> Result<()> {
+        save_artifact_to_path(&self.to_artifact(), path)
     }
 
     /// Installs the artifact as a one-port device at `pad`.
@@ -317,6 +350,7 @@ impl DriverSession {
             model: AnyModel::PwRbfDriver(model),
             reference: ReferencePort::Driver(self.spec.clone()),
             records: Some((rec_h, rec_l)),
+            provenance: session_provenance(&self.cfg, self.spec.name, "pwrbf-driver"),
         })
     }
 }
@@ -407,6 +441,7 @@ impl ReceiverSession {
             model: AnyModel::Receiver(model),
             reference: ReferencePort::Receiver(self.spec.clone()),
             records: None,
+            provenance: session_provenance(&self.cfg, self.spec.name, "receiver"),
         })
     }
 }
@@ -453,6 +488,7 @@ impl CrSession {
             model: AnyModel::Cr(model),
             reference: ReferencePort::Receiver(self.spec.clone()),
             records: None,
+            provenance: session_provenance(&self.ts, self.spec.name, "cr-baseline"),
         })
     }
 }
@@ -508,6 +544,7 @@ impl IbisSession {
             model: AnyModel::Ibis(model),
             reference: ReferencePort::Driver(self.spec.clone()),
             records: None,
+            provenance: session_provenance(&self.cfg, self.spec.name, "ibis"),
         })
     }
 }

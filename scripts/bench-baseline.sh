@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Records bench medians into JSON-lines baseline files so the performance
-# trajectory is a committed artifact instead of scrollback. The criterion
-# stub appends one record per benchmark when BENCH_BASELINE_JSON is set;
-# this script truncates the target first so each run is a fresh snapshot.
+# Bench-trajectory tracking: runs a criterion bench, compares each fresh
+# median against the BEST committed record in BENCH_<name>.json, and FAILS
+# on a regression beyond the limit (default 25 %, override with
+# BENCH_REGRESSION_LIMIT, percent). Passing runs append their records, so
+# the committed file accumulates a per-run trajectory — but the gate always
+# measures against the best median ever committed, so a sequence of
+# sub-limit slowdowns can never compound into an unbounded ratchet.
+#
+# The criterion stub appends one JSON object per benchmark when
+# BENCH_BASELINE_JSON is set; this script drives it through a temp file.
 #
 # Usage: scripts/bench-baseline.sh [bench-name]   (default: table1)
 set -euo pipefail
@@ -10,10 +16,71 @@ set -euo pipefail
 bench="${1:-table1}"
 # Absolute path: cargo runs bench binaries with the *package* directory as
 # their working directory, not the workspace root.
-out="$(pwd)/BENCH_${bench}.json"
+committed="$(pwd)/BENCH_${bench}.json"
+limit="${BENCH_REGRESSION_LIMIT:-25}"
 
-: >"$out"
-BENCH_BASELINE_JSON="$out" cargo bench -p emc-bench --bench "$bench"
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
 
-echo "baseline written to $out:"
-cat "$out"
+BENCH_BASELINE_JSON="$fresh" cargo bench -p emc-bench --bench "$bench"
+
+python3 - "$committed" "$fresh" "$limit" <<'EOF'
+import json
+import sys
+
+committed_path, fresh_path, limit = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def read_records(path):
+    records = []
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    except FileNotFoundError:
+        pass
+    return records
+
+committed = read_records(committed_path)
+fresh = read_records(fresh_path)
+if not fresh:
+    sys.exit(f"no fresh bench records in {fresh_path}")
+
+# Baseline per bench id: the BEST committed median — comparing against
+# the latest record would let sub-limit slowdowns compound run over run.
+baseline = {}
+for rec in committed:
+    name = rec["bench"]
+    if name not in baseline or rec["median_s"] < baseline[name]:
+        baseline[name] = rec["median_s"]
+
+failed = False
+for rec in fresh:
+    name, median = rec["bench"], rec["median_s"]
+    base_median = baseline.get(name)
+    if base_median is None:
+        print(f"{name}: no committed baseline, recording {median:.4e} s")
+        continue
+    delta_pct = 100.0 * (median - base_median) / base_median
+    verdict = "ok"
+    if delta_pct > limit:
+        verdict = f"REGRESSION (> {limit:.0f}% limit)"
+        failed = True
+    print(
+        f"{name}: {median:.4e} s vs best committed {base_median:.4e} s "
+        f"({delta_pct:+.1f}%) {verdict}"
+    )
+
+if failed:
+    sys.exit(1)
+
+# Append the passing run so the committed file accumulates a trajectory.
+with open(committed_path, "a") as f:
+    for rec in fresh:
+        f.write(json.dumps(rec, separators=(",", ":")) + "\n")
+print(f"trajectory appended to {committed_path} ({len(fresh)} record(s))")
+EOF
+
+echo "baseline trajectory:"
+cat "$committed"

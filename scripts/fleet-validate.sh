@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# The model-fleet CI gate: extracts the standard artifact set into a store
+# directory — md1 PW-RBF driver (v1), the three md1 IBIS corners as one
+# mdlx 2 bundle, md4 receiver (v2 + provenance), md4 C–R̂ baseline (v1) —
+# then serves the whole library through `mdl store`:
+#
+#   ls        inventory (fails on unloadable artifacts)
+#   validate  batch re-certification of every model against its
+#             transistor-level reference, per-kind accuracy gates
+#   sweep     the scenario matrix (fixtures + bus ladders + mixed-backend
+#             bus) with per-cell pass/fail and SolveStats
+#
+# Both engine passes write machine-readable JSON reports into
+# $FLEET_REPORT_DIR (default: fleet-reports/) for upload as a workflow
+# artifact; any failing cell or unloadable file exits nonzero.
+#
+# Usage: scripts/fleet-validate.sh [store-dir]
+set -euo pipefail
+
+store="${1:-}"
+if [ -z "$store" ]; then
+    store="$(mktemp -d)"
+    trap 'rm -rf "$store"' EXIT
+fi
+report_dir="${FLEET_REPORT_DIR:-fleet-reports}"
+mkdir -p "$report_dir"
+
+mdl() {
+    cargo run --release -q -p emc-bench --bin mdl -- "$@"
+}
+
+echo "== extracting the standard fleet into $store"
+mdl extract md1 --fast --out "$store/md1-pwrbf.mdlx"
+mdl extract md1 --kind ibis --fast --corners --out "$store/md1-ibis-corners.mdlx"
+mdl extract md4 --kind receiver --fast --v2 --out "$store/md4-receiver.mdlx"
+mdl extract md4 --kind cr --out "$store/md4-cr.mdlx"
+
+echo "== store inventory"
+mdl store ls "$store"
+
+echo "== batch validation against transistor-level references"
+mdl store validate "$store" --fast --json "$report_dir/fleet-validate.json"
+
+echo "== scenario-matrix sweep"
+mdl store sweep "$store" --fast --json "$report_dir/fleet-sweep.json"
+
+echo "model fleet: ok (reports in $report_dir/)"

@@ -45,8 +45,10 @@ pub mod prelude {
     pub use circuit::{Circuit, TranParams, Waveform, GROUND};
     pub use macromodel::device::{PwRbfDriver, ReceiverModelDevice};
     pub use macromodel::exchange::{
-        load_model, load_model_from_path, save_model, save_model_to_path,
+        load_artifact, load_artifact_from_path, load_model, load_model_from_path, save_artifact,
+        save_artifact_to_path, save_model, save_model_to_path, Artifact, Provenance,
     };
+    pub use macromodel::modelstore::{LoadMode, ModelStore};
     pub use macromodel::pipeline::{
         estimate_cr_baseline, estimate_driver, estimate_receiver, DriverEstimationConfig,
         ReceiverEstimationConfig,

@@ -143,6 +143,51 @@ fn estimated_receiver_and_cr_round_trip_and_replay() {
     }
 }
 
+/// v1 ↔ v2 compatibility on estimated artifacts: a v1 byte stream loads
+/// through the artifact path and re-saves as v1 unchanged; the same model
+/// wrapped into a v2 bundle replays identically; and a v1 file that picked
+/// up CRLF endings or trailing blank lines (Windows checkout, final-newline
+/// editors) still loads and replays exactly.
+#[test]
+fn v1_compatibility_and_crlf_normalization_on_estimated_artifacts() {
+    use macromodel::exchange::{load_artifact, save_artifact, Artifact, Provenance};
+    let mut session = ExtractionSession::for_driver(refdev::md1()).config(fast_cfg());
+    let est = session.run().expect("estimation");
+    let model = est.model().clone();
+    let v1_text = save_model(&model).expect("save v1");
+
+    // v1 byte stream reads unchanged through the v2-aware artifact path.
+    let artifact = load_artifact(&v1_text).expect("v1 via load_artifact");
+    assert_eq!(artifact.version, 1);
+    assert_eq!(save_artifact(&artifact).expect("re-save"), v1_text);
+
+    // The same model in a v2 bundle replays the validation waveform.
+    let bundle = Artifact::bundle(
+        vec![model.clone()],
+        Some(Provenance::new("cafe".to_string()).with_param("device", "md1")),
+    );
+    let v2_text = save_artifact(&bundle).expect("save v2");
+    let from_v2 = load_model(&v2_text).expect("single-model v2 via load_model");
+
+    // CRLF + trailing blank line on the v1 stream.
+    let mangled = format!("{}\r\n", v1_text.replace('\n', "\r\n"));
+    let from_crlf = load_model(&mangled).expect("CRLF artifact loads");
+    assert_eq!(save_model(&from_crlf).expect("re-save"), v1_text);
+
+    let fixture = TestFixture::resistive(50.0);
+    let stim = PortStimulus::new("010", 4e-9);
+    let ts = model.sample_time().expect("sampled model");
+    let reference_wave = model
+        .simulate_on_load(&fixture, Some(&stim), ts, 8e-9)
+        .expect("in-memory run");
+    for loaded in [from_v2, from_crlf] {
+        let wave = loaded
+            .simulate_on_load(&fixture, Some(&stim), ts, 8e-9)
+            .expect("loaded run");
+        assert!(max_diff(&reference_wave, &wave) <= 1e-12);
+    }
+}
+
 /// A loaded artifact drives the generic validation harness exactly like the
 /// in-memory model (acceptance: `validate_driver` is backend-generic).
 #[test]

@@ -4,7 +4,10 @@
 //! errors — never load silently.
 
 use macromodel::driver::{PwRbfDriverModel, WeightSequence};
-use macromodel::exchange::{load_model, save_model, AnyModel, ExchangeError};
+use macromodel::exchange::{
+    load_artifact, load_model, save_artifact, save_model, AnyModel, Artifact, ExchangeError,
+    Provenance,
+};
 use macromodel::receiver::{CrModel, ReceiverModel};
 use macromodel::Error;
 use numkit::interp::Pwl;
@@ -182,9 +185,11 @@ proptest! {
         );
     }
 
-    /// Every future version tag is rejected up front.
+    /// Every future version tag is rejected up front (2 is understood, but
+    /// only with the bundle grammar — a v1 body under a v2 header is a
+    /// syntax error, not a model).
     #[test]
-    fn future_versions_rejected(version in 2u32..1000) {
+    fn future_versions_rejected(version in 3u32..1000) {
         let model: AnyModel = synth_cr(3, 1e-12, 0.1).into();
         let text = save_model(&model).unwrap();
         let bumped = text.replacen("mdlx 1 ", &format!("mdlx {version} "), 1);
@@ -193,5 +198,99 @@ proptest! {
             err,
             Error::Exchange(ExchangeError::UnsupportedVersion { .. })
         ));
+        let v2 = text.replacen("mdlx 1 ", "mdlx 2 ", 1);
+        prop_assert!(matches!(
+            load_model(&v2).unwrap_err(),
+            Error::Exchange(ExchangeError::Syntax { line: 1, .. })
+        ));
+    }
+
+    /// A random mdlx 2 bundle (random model mix, random provenance) is
+    /// byte-identical under save → load → save, and a v1 file re-saved
+    /// through the artifact path stays on its v1 byte form.
+    #[test]
+    fn bundle_round_trip_byte_identical(
+        n_models in 1usize..5,
+        order in 1usize..3,
+        n_centers in 0usize..4,
+        scale in 0.01f64..5.0,
+        n_params in 0usize..4,
+        digest_seed in any::<u64>(),
+    ) {
+        let digest = format!("{digest_seed:016x}");
+        let models: Vec<AnyModel> = (0..n_models)
+            .map(|i| match i % 3 {
+                0 => synth_driver(4 + i, order, n_centers, scale, 0.2).into(),
+                1 => synth_receiver(order, n_centers, 0.3, scale).into(),
+                _ => synth_cr(5 + i, 1e-12, scale).into(),
+            })
+            .collect();
+        let mut prov = Provenance::new(digest);
+        for k in 0..n_params {
+            prov = prov.with_param(format!("key{k}"), format!("value {k} with spaces"));
+        }
+        let bundle = Artifact::bundle(models, Some(prov.clone()));
+        let text = save_artifact(&bundle).unwrap();
+        prop_assert!(text.starts_with("mdlx 2 bundle\n"));
+        let loaded = load_artifact(&text).unwrap();
+        prop_assert_eq!(loaded.models.len(), n_models);
+        prop_assert_eq!(loaded.provenance.as_ref(), Some(&prov));
+        prop_assert_eq!(save_artifact(&loaded).unwrap(), text);
+
+        // v1 re-saved as v1.
+        let v1_text = save_model(&synth_cr(4, 1e-12, scale).into()).unwrap();
+        let v1_artifact = load_artifact(&v1_text).unwrap();
+        prop_assert_eq!(v1_artifact.version, 1);
+        prop_assert_eq!(save_artifact(&v1_artifact).unwrap(), v1_text);
+    }
+
+    /// Truncating a v2 bundle anywhere — inside the provenance block, a
+    /// model section, or between sections — fails with a typed error.
+    #[test]
+    fn truncated_bundles_rejected(
+        keep_frac in 0.0f64..1.0,
+        n_models in 1usize..4,
+    ) {
+        let models: Vec<AnyModel> = (0..n_models)
+            .map(|i| synth_driver(3 + i, 1, 2, 0.5, 0.2).into())
+            .collect();
+        let bundle = Artifact::bundle(
+            models,
+            Some(Provenance::new("feedc0defeedc0de").with_param("device", "prop")),
+        );
+        let text = save_artifact(&bundle).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = ((lines.len() - 1) as f64 * keep_frac) as usize;
+        let truncated = lines[..keep].join("\n");
+        let err = load_artifact(&truncated).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                Error::Exchange(
+                    ExchangeError::Truncated { .. }
+                        | ExchangeError::Syntax { .. }
+                        | ExchangeError::UnknownField { .. }
+                )
+            ),
+            "unexpected error class: {:?}", err
+        );
+    }
+
+    /// CRLF endings and trailing blank lines never change what loads: the
+    /// normalized artifact re-saves to the canonical LF bytes.
+    #[test]
+    fn crlf_and_trailing_blank_lines_are_normalized(
+        n_win in 2usize..12,
+        trailing_newlines in 0usize..4,
+        crlf in any::<bool>(),
+    ) {
+        let model: AnyModel = synth_driver(n_win, 1, 2, 0.5, 0.2).into();
+        let text = save_model(&model).unwrap();
+        let mut mangled = if crlf { text.replace('\n', "\r\n") } else { text.clone() };
+        for _ in 0..trailing_newlines {
+            mangled.push_str(if crlf { "\r\n" } else { "\n" });
+        }
+        let loaded = load_model(&mangled).unwrap();
+        prop_assert_eq!(save_model(&loaded).unwrap(), text);
     }
 }
