@@ -12,6 +12,9 @@
 //! mdl store ls <dir>
 //! mdl store validate <dir> [--fast] [--json PATH]
 //! mdl store sweep <dir> [--fast] [--json PATH]
+//! mdl serve <dir> --socket PATH [--poll-ms N] [--fast]
+//! mdl bench-serve <dir>|--socket PATH [--clients N] [--requests N] [--json PATH]
+//! mdl request --socket PATH <request line...>
 //! ```
 //!
 //! `extract` runs a builder-style [`ExtractionSession`] and saves the
@@ -27,11 +30,18 @@
 //! matrix ([`emc_bench::serve`]) — both write machine-readable JSON
 //! reports with `--json` and exit nonzero on any failing cell. Everything
 //! after `extract` works from the files alone — no re-estimation.
+//!
+//! `serve` keeps a store resident behind a Unix socket with hot reload and
+//! a digest-keyed artifact cache ([`emc_bench::server`]); `bench-serve`
+//! fires a mixed load burst at a daemon (spawning one in-process when
+//! given a directory) and reports p50/p95/p99 latency plus throughput;
+//! `request` is the one-shot protocol client for scripts.
 
 use emc_bench::serve::{
     driver_spec, receiver_spec, standard_scenarios, sweep_store, validate_model, validate_store,
     FleetReport,
 };
+use emc_bench::server::{self, LoadGenConfig, ServeConfig};
 use macromodel::exchange::{
     load_artifact_from_path, load_model_from_path, save_artifact, save_artifact_to_path, AnyModel,
     Artifact,
@@ -43,7 +53,7 @@ type CliResult<T> = Result<T, Box<dyn std::error::Error + Send + Sync>>;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr] [--out PATH] [--fast] [--v2] [--corners]\n  mdl info <file.mdlx>\n  mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]\n  mdl simulate <file.mdlx> [--fixture r50|linecap|pulse] [--pattern BITS] [--bit-time S] [--t-stop S]\n  mdl store ls <dir>\n  mdl store validate <dir> [--fast] [--json PATH]\n  mdl store sweep <dir> [--fast] [--json PATH]"
+        "usage:\n  mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr] [--out PATH] [--fast] [--v2] [--corners]\n  mdl info <file.mdlx>\n  mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]\n  mdl simulate <file.mdlx> [--fixture r50|linecap|pulse] [--pattern BITS] [--bit-time S] [--t-stop S]\n  mdl store ls <dir>\n  mdl store validate <dir> [--fast] [--json PATH]\n  mdl store sweep <dir> [--fast] [--json PATH]\n  mdl serve <dir> --socket PATH [--poll-ms N] [--fast]\n  mdl bench-serve <dir>|--socket PATH [--clients N] [--requests N] [--sweep-every N] [--validate-every N] [--json PATH] [--baseline PATH] [--full]\n  mdl request --socket PATH <request line...>"
     );
     std::process::exit(2);
 }
@@ -297,7 +307,15 @@ fn cmd_store(mut args: Vec<String>) -> CliResult<()> {
     let fast = parse_flag(&mut args, "--fast");
     let json = parse_opt(&mut args, "--json");
     let [dir] = args.as_slice() else { usage() };
-    let store = ModelStore::open(dir)?;
+    // `ls` opens lazily (listing must not pay an eager parse of a large
+    // library up front) and surfaces each entry's failure as it iterates;
+    // the fleet engines force a full load in their report header anyway.
+    let mode = if sub == "ls" {
+        macromodel::LoadMode::Lazy
+    } else {
+        macromodel::LoadMode::Eager
+    };
+    let store = ModelStore::open_with_mode(dir, mode)?;
     match sub.as_str() {
         "ls" => {
             for entry in store.entries() {
@@ -366,6 +384,126 @@ fn cmd_simulate(mut args: Vec<String>) -> CliResult<()> {
     Ok(())
 }
 
+fn cmd_serve(mut args: Vec<String>) -> CliResult<()> {
+    let fast = parse_flag(&mut args, "--fast");
+    let socket = parse_opt(&mut args, "--socket").unwrap_or_else(|| {
+        eprintln!("serve needs --socket PATH");
+        usage();
+    });
+    let poll_ms = parse_f64_opt(&mut args, "--poll-ms").unwrap_or(500.0);
+    let [dir] = args.as_slice() else { usage() };
+    let mut cfg = ServeConfig::new(dir, &socket);
+    cfg.poll_interval = std::time::Duration::from_millis(poll_ms.max(1.0) as u64);
+    cfg.fast = fast;
+    let handle = server::start(cfg)?;
+    println!("serving {dir} on {socket} (send 'shutdown' to stop)");
+    handle.join();
+    println!("daemon stopped");
+    Ok(())
+}
+
+fn cmd_bench_serve(mut args: Vec<String>) -> CliResult<()> {
+    let full = parse_flag(&mut args, "--full");
+    let socket = parse_opt(&mut args, "--socket");
+    let clients = parse_f64_opt(&mut args, "--clients").map(|v| v as usize);
+    let requests = parse_f64_opt(&mut args, "--requests").map(|v| v as usize);
+    let sweep_every = parse_f64_opt(&mut args, "--sweep-every").map(|v| v as usize);
+    let validate_every = parse_f64_opt(&mut args, "--validate-every").map(|v| v as usize);
+    let json = parse_opt(&mut args, "--json");
+    let baseline = parse_opt(&mut args, "--baseline");
+
+    // Either bench an already-running daemon (--socket) or spawn one
+    // in-process over the given store directory for the duration.
+    let (socket_path, handle) = match (socket, args.as_slice()) {
+        (Some(sock), []) => (std::path::PathBuf::from(sock), None),
+        (None, [dir]) => {
+            let sock =
+                std::env::temp_dir().join(format!("mdl-bench-serve-{}.sock", std::process::id()));
+            let mut cfg = ServeConfig::new(dir, &sock);
+            cfg.poll_interval = std::time::Duration::from_millis(200);
+            cfg.fast = !full;
+            (sock, Some(server::start(cfg)?))
+        }
+        _ => usage(),
+    };
+
+    let mut cfg = LoadGenConfig::new(&socket_path);
+    cfg.fast = !full;
+    if let Some(n) = clients {
+        cfg.clients = n.max(1);
+    }
+    if let Some(n) = requests {
+        cfg.requests_per_client = n.max(1);
+    }
+    if let Some(n) = sweep_every {
+        cfg.sweep_every = n;
+    }
+    if let Some(n) = validate_every {
+        cfg.validate_every = n;
+    }
+    let result = server::run_load(&cfg);
+    if let Some(handle) = handle {
+        handle.stop();
+    }
+    let report = result?;
+
+    println!(
+        "bench-serve: {} requests over {} clients in {:.2} s ({:.1} req/s)",
+        report.total, cfg.clients, report.elapsed_s, report.throughput_rps
+    );
+    for s in std::iter::once(&report.overall).chain(&report.per_op) {
+        println!(
+            "  {:<9} n={:<4} p50 {:.1} ms  p95 {:.1} ms  p99 {:.1} ms  max {:.1} ms",
+            s.op,
+            s.count,
+            s.p50_s * 1e3,
+            s.p95_s * 1e3,
+            s.p99_s * 1e3,
+            s.max_s * 1e3
+        );
+    }
+    println!(
+        "  request failures {}  cell failures {}",
+        report.request_failures, report.cell_failures
+    );
+    if let Some(path) = json {
+        std::fs::write(&path, report.to_json())?;
+        println!("report written to {path}");
+    }
+    if let Some(path) = baseline {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        for record in report.baseline_records() {
+            writeln!(f, "{record}")?;
+        }
+        println!("baseline records appended to {path}");
+    }
+    if report.request_failures > 0 {
+        return Err(format!("{} requests failed", report.request_failures).into());
+    }
+    Ok(())
+}
+
+fn cmd_request(mut args: Vec<String>) -> CliResult<()> {
+    let socket = parse_opt(&mut args, "--socket").unwrap_or_else(|| {
+        eprintln!("request needs --socket PATH");
+        usage();
+    });
+    if args.is_empty() {
+        usage();
+    }
+    let line = args.join(" ");
+    let response = server::daemon::request_once(socket.as_ref(), &line)?;
+    println!("{response}");
+    if !response.contains("\"ok\":true") {
+        return Err("daemon reported an error".into());
+    }
+    Ok(())
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -378,6 +516,9 @@ fn main() {
         "validate" => cmd_validate(args),
         "simulate" => cmd_simulate(args),
         "store" => cmd_store(args),
+        "serve" => cmd_serve(args),
+        "bench-serve" => cmd_bench_serve(args),
+        "request" => cmd_request(args),
         _ => usage(),
     };
     if let Err(e) = result {

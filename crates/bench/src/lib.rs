@@ -24,6 +24,7 @@ use refdev::ibis::IbisExtractConfig;
 use refdev::{CmosDriverSpec, IbisCorner, IbisModel, ReceiverSpec};
 
 pub mod serve;
+pub mod server;
 
 /// Shared result alias (boxed error keeps the harness code terse; `Send +
 /// Sync` so experiment results can cross scoped-worker boundaries).

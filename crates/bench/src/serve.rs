@@ -371,7 +371,7 @@ impl FleetReport {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -389,7 +389,7 @@ fn json_str(s: &str) -> String {
     out
 }
 
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:e}")
     } else {
@@ -397,7 +397,7 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn json_opt(v: Option<f64>) -> String {
+pub(crate) fn json_opt(v: Option<f64>) -> String {
     v.map_or_else(|| "null".into(), json_f64)
 }
 
@@ -496,7 +496,7 @@ fn run_bus_cell(
 }
 
 /// Runs one (model, scenario) sweep cell.
-fn run_sweep_cell(model: &dyn Macromodel, scenario: &Scenario) -> CellReport {
+pub(crate) fn run_sweep_cell(model: &dyn Macromodel, scenario: &Scenario) -> CellReport {
     let t0 = std::time::Instant::now();
     let dt = model.sample_time().unwrap_or(DEFAULT_VALIDATION_DT);
     let outcome: crate::Result<(Vec<Waveform>, CellStats)> = match &scenario.kind {
@@ -656,16 +656,20 @@ pub fn validate_model(
 // ---------------------------------------------------------------------
 
 fn store_header(store: &ModelStore, mode: &str) -> FleetReport {
+    // Force every entry to parse first: a lazily opened store reports an
+    // empty failure list until its entries are touched, and a fleet report
+    // must never call a store healthy it hasn't actually loaded.
+    let load_failures = store
+        .load_all()
+        .into_iter()
+        .map(|f| (f.path.display().to_string(), f.error.to_string()))
+        .collect();
     FleetReport {
         store_root: store.root().display().to_string(),
         mode: mode.to_string(),
         artifacts: store.len(),
         models: store.models().len(),
-        load_failures: store
-            .failures()
-            .into_iter()
-            .map(|f| (f.path.display().to_string(), f.error.to_string()))
-            .collect(),
+        load_failures,
         cells: Vec::new(),
     }
 }

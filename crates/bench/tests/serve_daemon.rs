@@ -1,0 +1,334 @@
+//! End-to-end daemon integration: a real store directory served over a
+//! real Unix socket, exercised through the framed protocol — inventory,
+//! scheduled cells, digest-keyed caching, drop-free hot reload — plus the
+//! lazy-store concurrency guarantees the daemon builds on.
+
+use emc_bench::par_map;
+use emc_bench::server::daemon::Client;
+use emc_bench::server::{start, ServeConfig};
+use macromodel::driver::{PwRbfDriverModel, WeightSequence};
+use macromodel::exchange::{
+    save_artifact_to_path, save_model_to_path, AnyModel, Artifact, Provenance,
+};
+use macromodel::{LoadMode, ModelStore};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use sysid::narx::{NarxModel, NarxOrders};
+use sysid::rbf::RbfNetwork;
+
+/// A cheap linear PW-RBF driver; `gain` varies the artifact bytes so two
+/// calls with different gains produce different content digests.
+fn dummy_driver(name: &str, gain: f64) -> AnyModel {
+    let narx = || {
+        NarxModel::from_network(
+            NarxOrders::dynamic(1),
+            RbfNetwork::affine(0.0, vec![gain, 0.0, 0.0]),
+        )
+        .unwrap()
+    };
+    AnyModel::PwRbfDriver(PwRbfDriverModel {
+        name: name.into(),
+        ts: 25e-12,
+        vdd: 1.8,
+        i_high: narx(),
+        i_low: narx(),
+        up: WeightSequence::new(vec![0.0, 1.0], vec![1.0, 0.0]).unwrap(),
+        down: WeightSequence::new(vec![1.0, 0.0], vec![0.0, 1.0]).unwrap(),
+    })
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("serve_daemon_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn serve_cfg(dir: &std::path::Path, tag: &str, poll_ms: u64) -> ServeConfig {
+    let mut cfg = ServeConfig::new(
+        dir,
+        std::env::temp_dir().join(format!("serve_daemon_{tag}_{}.sock", std::process::id())),
+    );
+    cfg.poll_interval = Duration::from_millis(poll_ms);
+    cfg.fast = true;
+    cfg
+}
+
+/// Extracts the string value of a `"key":"value"` pair from a compact
+/// JSON payload.
+fn json_str_value(payload: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = payload.find(&needle)? + needle.len();
+    let end = payload[start..].find('"')?;
+    Some(payload[start..start + end].to_string())
+}
+
+/// Extracts the integer value of a `"key":N` pair.
+fn json_u64_value(payload: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = payload.find(&needle)? + needle.len();
+    let digits: String = payload[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn daemon_serves_schedules_and_reports_cache_stats() {
+    let dir = temp_dir("basic");
+    save_model_to_path(&dummy_driver("drv_a", 0.02), dir.join("a.mdlx")).unwrap();
+    save_artifact_to_path(
+        &Artifact::bundle(
+            vec![dummy_driver("drv_b", 0.03)],
+            Some(Provenance::new("cfg-digest-b")),
+        ),
+        dir.join("b.mdlx"),
+    )
+    .unwrap();
+
+    let handle = start(serve_cfg(&dir, "basic", 200)).unwrap();
+    let socket = handle.socket_path();
+    let mut client = Client::connect(&socket).unwrap();
+
+    // Inventory: both artifacts served, bundle provenance digest exposed.
+    let ls = client.request("ls").unwrap();
+    assert!(ls.contains("\"ok\":true"), "ls failed: {ls}");
+    assert!(ls.contains("\"name\":\"drv_a\"") && ls.contains("\"name\":\"drv_b\""));
+    assert!(ls.contains("\"config_digest\":\"cfg-digest-b\""));
+    assert!(ls.contains("\"artifacts\":2"));
+    assert!(ls.contains("\"failures\":[]"));
+
+    let info = client.request("info drv_a").unwrap();
+    assert!(info.contains("\"ok\":true"), "info failed: {info}");
+    let digest = json_str_value(&info, "digest").unwrap();
+    assert_eq!(digest.len(), 16, "content digest is 16 hex chars: {digest}");
+
+    // Scheduled cells: simulate through the batched scheduler.
+    let sim = client.request("simulate drv_a").unwrap();
+    assert!(
+        sim.contains("\"ok\":true") && sim.contains("\"pass\":true"),
+        "{sim}"
+    );
+    assert!(
+        sim.contains("\"scenario\":\"r50\""),
+        "auto picks r50: {sim}"
+    );
+    let sim2 = client
+        .request("simulate drv_b --scenario bus-ladder")
+        .unwrap();
+    assert!(
+        sim2.contains("\"ok\":true") && sim2.contains("\"pass\":true"),
+        "{sim2}"
+    );
+
+    // Request-level failures answer with ok:false, connection stays up.
+    let missing = client.request("simulate nosuch").unwrap();
+    assert!(missing.contains("\"ok\":false") && missing.contains("nosuch"));
+    let inapplicable = client.request("simulate drv_a --scenario pulse").unwrap();
+    assert!(inapplicable.contains("\"ok\":false"), "{inapplicable}");
+    let garbage = client.request("frobnicate").unwrap();
+    assert!(garbage.contains("\"ok\":false"));
+
+    // A validate cell runs end to end; the dummy has no transistor-level
+    // reference, so the request succeeds and the cell reports its failure.
+    let val = client.request("validate drv_a --fast").unwrap();
+    assert!(
+        val.contains("\"ok\":true") && val.contains("\"pass\":false"),
+        "{val}"
+    );
+    assert!(val.contains("no reference"));
+
+    // Sweep: 2 drivers × 3 driver scenarios, all green.
+    let sweep = client.request("sweep --fast").unwrap();
+    assert!(sweep.contains("\"ok\":true"), "sweep failed: {sweep}");
+    assert_eq!(json_u64_value(&sweep, "cells"), Some(6));
+    assert_eq!(json_u64_value(&sweep, "failed"), Some(0));
+
+    // Stats: both artifacts were parse misses at startup, scheduler saw
+    // the cells, request counter covers this whole conversation.
+    let stats = client.request("stats").unwrap();
+    assert!(stats.contains("\"ok\":true"));
+    assert_eq!(json_u64_value(&stats, "misses"), Some(2));
+    assert!(json_u64_value(&stats, "requests").unwrap() >= 9);
+    assert!(
+        json_u64_value(&stats, "cells").unwrap() >= 9,
+        "sweep + singles: {stats}"
+    );
+    assert!(stats.contains("\"hit_rate\":"));
+
+    // Clean remote shutdown: acknowledged, then the daemon exits.
+    let bye = client.request("shutdown").unwrap();
+    assert!(bye.contains("\"ok\":true"));
+    handle.join();
+    assert!(!socket.exists(), "socket file removed on shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hot_reload_swaps_digests_without_dropping_requests() {
+    let dir = temp_dir("reload");
+    let artifact = dir.join("drv.mdlx");
+    save_model_to_path(&dummy_driver("drv", 0.02), &artifact).unwrap();
+
+    let handle = start(serve_cfg(&dir, "reload", 30)).unwrap();
+    let socket = handle.socket_path();
+    let mut client = Client::connect(&socket).unwrap();
+    let digest0 = json_str_value(&client.request("info drv").unwrap(), "digest").unwrap();
+
+    // Continuous simulate burst on its own connection while the artifact
+    // is overwritten mid-flight.
+    let burst_socket = socket.clone();
+    let burst = std::thread::spawn(move || {
+        let mut conn = Client::connect(&burst_socket).unwrap();
+        let mut failures = Vec::new();
+        for i in 0..40 {
+            let resp = match conn.request("simulate drv") {
+                Ok(r) => r,
+                Err(e) => {
+                    failures.push(format!("request {i}: {e}"));
+                    continue;
+                }
+            };
+            if !(resp.contains("\"ok\":true") && resp.contains("\"pass\":true")) {
+                failures.push(format!("request {i}: {resp}"));
+            }
+        }
+        failures
+    });
+
+    // Overwrite with different content mid-burst: the next generation must
+    // serve the new digest.
+    std::thread::sleep(Duration::from_millis(100));
+    save_model_to_path(&dummy_driver("drv", 0.05), &artifact).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let digest1 = loop {
+        let digest = json_str_value(&client.request("info drv").unwrap(), "digest").unwrap();
+        if digest != digest0 {
+            break digest;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "reload never served the new digest"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_ne!(digest1, digest0);
+
+    let failures = burst.join().unwrap();
+    assert!(
+        failures.is_empty(),
+        "hot reload dropped requests: {failures:?}"
+    );
+    let stats = client.request("stats").unwrap();
+    assert!(json_u64_value(&stats, "reloads").unwrap() >= 1, "{stats}");
+
+    // Touch without a content change: the fingerprint poll fires, but the
+    // digest cache answers — a reload with zero re-parses.
+    let bytes = std::fs::read(&artifact).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        std::fs::write(&artifact, &bytes).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        let stats = client.request("stats").unwrap();
+        if json_u64_value(&stats, "hits").unwrap() >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "identical rewrite never produced a cache hit: {stats}"
+        );
+    }
+
+    handle.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Lazy-store guarantees the daemon builds on
+// ---------------------------------------------------------------------
+
+#[test]
+fn lazy_store_surfaces_failures_once_entries_are_touched() {
+    let dir = temp_dir("lazyfail");
+    save_model_to_path(&dummy_driver("good", 0.02), dir.join("good.mdlx")).unwrap();
+    std::fs::write(dir.join("broken.mdlx"), "mdlx 1 pwrbf-driver\njunk\n").unwrap();
+
+    let store = ModelStore::open_with_mode(&dir, LoadMode::Lazy).unwrap();
+    // The documented (and previously misleading) behavior: nothing parsed,
+    // so nothing reported yet — the store *looks* healthy.
+    assert!(
+        store.failures().is_empty(),
+        "unparsed lazy store reports nothing"
+    );
+
+    // The `store ls` path: iterate entries, forcing each parse; the
+    // memoized failure must surface afterwards.
+    let mut seen_err = 0;
+    for entry in store.entries() {
+        if entry.artifact().is_err() {
+            seen_err += 1;
+            assert!(entry.failure().is_some(), "memoized failure per entry");
+        }
+    }
+    assert_eq!(seen_err, 1);
+    let failures = store.failures();
+    assert_eq!(failures.len(), 1, "failures now visible without load_all");
+    assert!(failures[0].path.ends_with("broken.mdlx"));
+
+    // load_all is idempotent and returns the same list.
+    assert_eq!(store.load_all().len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_lazy_access_parses_once_and_replays_errors() {
+    let dir = temp_dir("lazyconc");
+    save_model_to_path(&dummy_driver("good", 0.02), dir.join("good.mdlx")).unwrap();
+    std::fs::write(dir.join("broken.mdlx"), "mdlx 1 pwrbf-driver\njunk\n").unwrap();
+
+    let store = ModelStore::open_with_mode(&dir, LoadMode::Lazy).unwrap();
+    let entries: Vec<_> = store.entries().collect();
+    let broken = entries
+        .iter()
+        .find(|e| e.path().ends_with("broken.mdlx"))
+        .unwrap();
+    let good = entries
+        .iter()
+        .find(|e| e.path().ends_with("good.mdlx"))
+        .unwrap();
+
+    // Hammer both entries from parallel workers: the OnceLock slot must
+    // parse each file exactly once and hand every thread the same memoized
+    // result — identical &Artifact for the good file, an identical
+    // replayed error for the corrupt one.
+    let outcomes = par_map((0..16).collect::<Vec<usize>>(), |i| {
+        if i % 2 == 0 {
+            good.artifact()
+                .map(|a| a as *const _ as usize)
+                .map_err(|e| e.to_string())
+        } else {
+            broken
+                .artifact()
+                .map(|a| a as *const _ as usize)
+                .map_err(|e| e.to_string())
+        }
+    });
+    let oks: Vec<usize> = outcomes
+        .iter()
+        .filter_map(|o| o.as_ref().ok().copied())
+        .collect();
+    let errs: Vec<&String> = outcomes.iter().filter_map(|o| o.as_ref().err()).collect();
+    assert_eq!(oks.len(), 8);
+    assert_eq!(errs.len(), 8);
+    assert!(
+        oks.windows(2).all(|w| w[0] == w[1]),
+        "every thread sees the same memoized Artifact"
+    );
+    assert!(
+        errs.windows(2).all(|w| w[0] == w[1]),
+        "the load error replays identically"
+    );
+    assert_eq!(store.failures().len(), 1, "one failure after the stampede");
+    std::fs::remove_dir_all(&dir).ok();
+}

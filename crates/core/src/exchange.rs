@@ -282,6 +282,22 @@ impl Macromodel for AnyModel {
 // Provenance and artifacts (format v2)
 // ---------------------------------------------------------------------
 
+/// FNV-1a 64-bit digest of a byte string, hex-encoded.
+///
+/// This is the digest a *serving* layer keys caches with: two artifact
+/// files with equal content digests parse into identical models, so a
+/// parsed instance can be reused across file touches and hot-reloads
+/// without re-reading the grammar. (Contrast [`config_digest`], which
+/// identifies the extraction *configuration* embedded in provenance.)
+pub fn content_digest(bytes: &[u8]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
 /// FNV-1a 64-bit digest of a configuration's `Debug` rendering, hex-encoded.
 ///
 /// The digest ties an artifact to the extraction configuration that
@@ -289,12 +305,7 @@ impl Macromodel for AnyModel {
 /// estimation settings (same struct layout and values), without the format
 /// having to serialize every config field.
 pub fn config_digest(cfg: &impl std::fmt::Debug) -> String {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in format!("{cfg:?}").bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x100_0000_01b3);
-    }
-    format!("{hash:016x}")
+    content_digest(format!("{cfg:?}").as_bytes())
 }
 
 /// Embedded provenance of a `mdlx 2` artifact: where the models came from.

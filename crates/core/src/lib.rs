@@ -47,11 +47,14 @@ pub mod validate;
 
 pub use driver::PwRbfDriverModel;
 pub use exchange::{
-    load_artifact, load_artifact_from_path, load_model, load_model_from_path, save_artifact,
-    save_artifact_to_path, save_model, save_model_to_path, AnyModel, Artifact, Provenance,
+    content_digest, load_artifact, load_artifact_from_path, load_model, load_model_from_path,
+    save_artifact, save_artifact_to_path, save_model, save_model_to_path, AnyModel, Artifact,
+    Provenance,
 };
 pub use macromodel::{Macromodel, ModelKind, ModelRegistry, PortStimulus, TestFixture};
-pub use modelstore::{LoadMode, ModelStore, StoreEntry, StoreFailure};
+pub use modelstore::{
+    FileFingerprint, LoadMode, ModelStore, StoreEntry, StoreFailure, StoreRefresh,
+};
 pub use receiver::{CrModel, ReceiverModel};
 pub use session::{EstimatedModel, ExtractionSession};
 

@@ -45,6 +45,7 @@ use crate::macromodel::{Macromodel, ModelKind, ModelRegistry};
 use crate::{Error, Result};
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
+use std::time::SystemTime;
 
 /// Directory-nesting bound of the store scan — far deeper than any sane
 /// artifact layout, shallow enough to break symlink cycles.
@@ -68,17 +69,48 @@ pub struct StoreFailure {
     pub error: Error,
 }
 
+/// Cheap change-detection fingerprint of an artifact file: byte length plus
+/// modification time. The polling hot-reload watcher compares fingerprints
+/// between scans — no inotify or other platform watcher dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileFingerprint {
+    /// File length in bytes.
+    pub len: u64,
+    /// Modification time (`None` on filesystems that do not report one).
+    pub mtime: Option<SystemTime>,
+}
+
+impl FileFingerprint {
+    /// Stats `path` and captures its fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `stat` failure (vanished file, permissions).
+    pub fn of(path: &Path) -> std::io::Result<FileFingerprint> {
+        let meta = std::fs::metadata(path)?;
+        Ok(FileFingerprint {
+            len: meta.len(),
+            mtime: meta.modified().ok(),
+        })
+    }
+}
+
 /// One `.mdlx` file in the store.
 pub struct StoreEntry {
     path: PathBuf,
+    /// Fingerprint captured at scan time (`None` when the stat failed —
+    /// the parse will surface the real error on access).
+    fingerprint: Option<FileFingerprint>,
     /// Parse result, memoized on first access (pre-filled in eager mode).
     slot: OnceLock<std::result::Result<Artifact, Error>>,
 }
 
 impl StoreEntry {
     fn new(path: PathBuf) -> Self {
+        let fingerprint = FileFingerprint::of(&path).ok();
         StoreEntry {
             path,
+            fingerprint,
             slot: OnceLock::new(),
         }
     }
@@ -86,6 +118,24 @@ impl StoreEntry {
     /// Path of the artifact file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The fingerprint captured when the entry was scanned.
+    pub fn fingerprint(&self) -> Option<FileFingerprint> {
+        self.fingerprint
+    }
+
+    /// The memoized load failure of this entry, if it has been parsed and
+    /// failed. `None` means "loaded fine" *or* "not parsed yet" — a lazy
+    /// store cannot know a file is corrupt before touching it.
+    pub fn failure(&self) -> Option<StoreFailure> {
+        match self.slot.get() {
+            Some(Err(error)) => Some(StoreFailure {
+                path: self.path.clone(),
+                error: error.clone(),
+            }),
+            _ => None,
+        }
     }
 
     /// Whether the artifact has been parsed yet (always true in eager
@@ -193,19 +243,19 @@ impl ModelStore {
         self.entries.iter()
     }
 
-    /// The scan failures plus the load failures among the *parsed* entries
-    /// (every entry in eager mode; only the accessed ones in lazy mode).
+    /// The scan failures plus the load failures among the *parsed* entries,
+    /// collected from the memoized [`StoreEntry`] slots — every entry in
+    /// eager mode; in lazy mode only the entries accessed so far. A lazy
+    /// store therefore reports an empty list right after open even when
+    /// artifacts are corrupt: health checks (`mdl store ls`, fleet report
+    /// headers) must force parsing first via [`ModelStore::load_all`] or by
+    /// iterating [`StoreEntry::artifact`], or the fleet looks misleadingly
+    /// healthy.
     pub fn failures(&self) -> Vec<StoreFailure> {
         self.scan_failures
             .iter()
             .cloned()
-            .chain(self.entries.iter().filter_map(|e| match e.slot.get() {
-                Some(Err(error)) => Some(StoreFailure {
-                    path: e.path.clone(),
-                    error: error.clone(),
-                }),
-                _ => None,
-            }))
+            .chain(self.entries.iter().filter_map(StoreEntry::failure))
             .collect()
     }
 
@@ -216,6 +266,51 @@ impl ModelStore {
             let _ = e.artifact();
         }
         self.failures()
+    }
+
+    /// Re-scans the directory tree and reconciles the entry list against
+    /// the filesystem: new `.mdlx` files are added, vanished ones removed,
+    /// and entries whose [`FileFingerprint`] (length/mtime) changed get a
+    /// fresh unparsed slot, so the next [`StoreEntry::artifact`] access
+    /// re-reads the file. Unchanged entries keep their memoized parse.
+    ///
+    /// This is the store side of daemon hot-reload: a watcher thread calls
+    /// `refresh` on a poll interval and re-serves whatever changed, while
+    /// in-flight requests keep whatever `Arc`-cloned instances they already
+    /// hold. Entries are parsed lazily after a refresh regardless of the
+    /// original open mode — the caller decides what to touch.
+    pub fn refresh(&mut self) -> StoreRefresh {
+        let mut files = Vec::new();
+        let mut scan_failures = Vec::new();
+        scan_dir(&self.root, 0, &mut files, &mut scan_failures);
+        files.sort();
+        let mut outcome = StoreRefresh::default();
+        let old: std::collections::BTreeMap<PathBuf, StoreEntry> =
+            std::mem::take(&mut self.entries)
+                .into_iter()
+                .map(|e| (e.path.clone(), e))
+                .collect();
+        let mut kept: std::collections::BTreeMap<PathBuf, StoreEntry> = old;
+        for path in &files {
+            match kept.remove(path) {
+                Some(entry) => {
+                    let fresh = FileFingerprint::of(path).ok();
+                    if fresh == entry.fingerprint && fresh.is_some() {
+                        self.entries.push(entry);
+                    } else {
+                        outcome.changed.push(path.clone());
+                        self.entries.push(StoreEntry::new(path.clone()));
+                    }
+                }
+                None => {
+                    outcome.added.push(path.clone());
+                    self.entries.push(StoreEntry::new(path.clone()));
+                }
+            }
+        }
+        outcome.removed = kept.into_keys().collect();
+        self.scan_failures = scan_failures;
+        outcome
     }
 
     /// Every successfully loaded model, flattened across artifacts (a v2
@@ -260,6 +355,27 @@ impl ModelStore {
             reg.register(m.clone());
         }
         reg
+    }
+}
+
+/// Outcome of one [`ModelStore::refresh`] reconciliation pass, in sorted
+/// path order. Empty vectors all around mean the filesystem matched the
+/// store exactly.
+#[derive(Debug, Clone, Default)]
+pub struct StoreRefresh {
+    /// Files that appeared since the last scan.
+    pub added: Vec<PathBuf>,
+    /// Files that vanished.
+    pub removed: Vec<PathBuf>,
+    /// Files whose fingerprint (length/mtime) changed; their entries were
+    /// reset to unparsed.
+    pub changed: Vec<PathBuf>,
+}
+
+impl StoreRefresh {
+    /// Whether anything on disk differed from the store.
+    pub fn any(&self) -> bool {
+        !(self.added.is_empty() && self.removed.is_empty() && self.changed.is_empty())
     }
 }
 
@@ -426,6 +542,43 @@ mod tests {
             .unwrap();
         assert!(broken.artifact().is_err());
         assert!(broken.artifact().is_err(), "error is memoized, not retried");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn refresh_reconciles_added_changed_and_removed_files() {
+        let dir = std::env::temp_dir().join(format!("mdlx_store_refresh_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        save_model_to_path(&dummy_driver("drv_a"), dir.join("a.mdlx")).unwrap();
+        save_model_to_path(&dummy_cr("cr_b"), dir.join("b.mdlx")).unwrap();
+
+        let mut store = ModelStore::open_with_mode(&dir, LoadMode::Lazy).unwrap();
+        store.load_all();
+        assert!(!store.refresh().any(), "no churn, no outcome");
+        assert!(
+            store.entries().all(StoreEntry::is_loaded),
+            "a no-op refresh keeps memoized entries"
+        );
+
+        // One added, one rewritten (a longer model name changes the byte
+        // length, so the fingerprint flips even within mtime granularity),
+        // one removed.
+        save_model_to_path(&dummy_driver("drv_c"), dir.join("c.mdlx")).unwrap();
+        save_model_to_path(&dummy_driver("drv_a_regrown"), dir.join("a.mdlx")).unwrap();
+        std::fs::remove_file(dir.join("b.mdlx")).unwrap();
+
+        let outcome = store.refresh();
+        assert!(outcome.any());
+        assert_eq!(outcome.added, vec![dir.join("c.mdlx")]);
+        assert_eq!(outcome.changed, vec![dir.join("a.mdlx")]);
+        assert_eq!(outcome.removed, vec![dir.join("b.mdlx")]);
+        assert_eq!(store.len(), 2);
+        assert!(
+            store.get("drv_a_regrown").is_some(),
+            "changed file re-parses"
+        );
+        assert!(store.get("cr_b").is_none(), "removed file is gone");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -514,6 +514,43 @@ pub(crate) struct ReceiverCaptures {
     pub(crate) dn: (Vec<f64>, Vec<f64>),
 }
 
+/// Share of protection-excitation levels stratified *inside* the
+/// protection-conducting region (beyond the rail the submodel covers). A
+/// plain full-range staircase would leave the region only
+/// `v_over / (vdd + 2 v_over)` of the levels in expectation (≈ 18 % at the
+/// defaults) — too sparse exactly where the protection current is largest.
+const PROTECTION_FOCUS_SHARE: f64 = 0.35;
+
+/// Builds the up/down protection identification signals: multilevel
+/// staircases over the full excursion range with a guaranteed stratified
+/// share of levels inside the respective protection-conducting region
+/// (above VDD for `up`, below ground for `down`) — stratified sampling per
+/// region, so neither the rails interior nor the diode knees are left with
+/// coverage gaps.
+pub(crate) fn protection_signals(vdd: f64, cfg: &ReceiverEstimationConfig) -> (Vec<f64>, Vec<f64>) {
+    let lo = -cfg.v_over;
+    let hi = vdd + cfg.v_over;
+    let sig_up = signals::multilevel_focus(
+        lo,
+        hi,
+        signals::Focus::new(vdd, hi, PROTECTION_FOCUS_SHARE),
+        cfg.n_levels,
+        cfg.dwell,
+        cfg.edge_samples,
+        cfg.seed,
+    );
+    let sig_dn = signals::multilevel_focus(
+        lo,
+        hi,
+        signals::Focus::new(lo, 0.0, PROTECTION_FOCUS_SHARE),
+        cfg.n_levels,
+        cfg.dwell,
+        cfg.edge_samples,
+        cfg.seed ^ 0xffff,
+    );
+    (sig_up, sig_dn)
+}
+
 /// Runs the three independent receiver captures on scoped workers.
 pub(crate) fn run_receiver_captures(
     spec: &ReceiverSpec,
@@ -526,17 +563,7 @@ pub(crate) fn run_receiver_captures(
         cfg.dwell * 2,
         cfg.edge_samples,
     );
-    let lo = -cfg.v_over;
-    let hi = spec.vdd + cfg.v_over;
-    let sig_up = signals::multilevel(lo, hi, cfg.n_levels, cfg.dwell, cfg.edge_samples, cfg.seed);
-    let sig_dn = signals::multilevel(
-        lo,
-        hi,
-        cfg.n_levels,
-        cfg.dwell,
-        cfg.edge_samples,
-        cfg.seed ^ 0xffff,
-    );
+    let (sig_up, sig_dn) = protection_signals(spec.vdd, cfg);
     let (lin, up, dn) = thread::scope(|s| {
         let cap_lin = s.spawn(|| capture_rx(spec, lin_sig, cfg.ts));
         let cap_up = s.spawn(|| capture_rx(spec, sig_up, cfg.ts));
@@ -783,6 +810,45 @@ mod tests {
         let v_over = vec![spec.vdd + 0.8; n];
         let i = model.simulate(&v_over);
         assert!(i[n - 1] > 5e-3, "clamp current {}", i[n - 1]);
+    }
+
+    #[test]
+    fn protection_signals_cover_the_conducting_regions() {
+        let cfg = ReceiverEstimationConfig::default();
+        let vdd = 3.3;
+        let (sig_up, sig_dn) = protection_signals(vdd, &cfg);
+        // The focused share guarantees a solid fraction of *dwell* samples
+        // inside each protection-conducting region — far more than the
+        // v_over/(vdd + 2 v_over) ≈ 18 % a plain full-range staircase
+        // leaves there in expectation.
+        let above = sig_up.iter().filter(|&&v| v > vdd).count() as f64 / sig_up.len() as f64;
+        let below = sig_dn.iter().filter(|&&v| v < 0.0).count() as f64 / sig_dn.len() as f64;
+        assert!(above > 0.28, "only {above:.2} of up-signal beyond VDD");
+        assert!(below > 0.28, "only {below:.2} of down-signal below ground");
+        // Stratified coverage inside the regions: every third of each
+        // region sees samples (no clustering gap).
+        let hi = vdd + cfg.v_over;
+        for k in 0..3 {
+            let (a, b) = (
+                vdd + cfg.v_over * k as f64 / 3.0,
+                vdd + cfg.v_over * (k + 1) as f64 / 3.0,
+            );
+            assert!(
+                sig_up.iter().any(|&v| v >= a && v <= b),
+                "up region slice [{a:.2},{b:.2}] V unexcited"
+            );
+            let (a, b) = (
+                -cfg.v_over * (k + 1) as f64 / 3.0,
+                -cfg.v_over * k as f64 / 3.0,
+            );
+            assert!(
+                sig_dn.iter().any(|&v| v >= a && v <= b),
+                "down region slice [{a:.2},{b:.2}] V unexcited"
+            );
+        }
+        // Full range still spanned (rails interior keeps its coverage).
+        assert!(sig_up.iter().cloned().fold(f64::INFINITY, f64::min) < -0.8 * cfg.v_over);
+        assert!(sig_up.iter().cloned().fold(f64::NEG_INFINITY, f64::max) > hi - 1e-9);
     }
 
     #[test]

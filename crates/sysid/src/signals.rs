@@ -46,18 +46,109 @@ pub fn multilevel(
     let mut rng = StdRng::seed_from_u64(seed);
     // Stratified levels: one draw per equal-width stratum, then a
     // Fisher-Yates shuffle so consecutive levels still jump randomly.
-    let width = (hi - lo) / n_levels as f64;
-    let mut levels: Vec<f64> = (0..n_levels)
+    let mut levels = stratified_levels(lo, hi, n_levels, &mut rng);
+    shuffle(&mut levels, &mut rng);
+    pin_extremes(&mut levels, lo, hi);
+    staircase(&levels, dwell, edge)
+}
+
+/// A focus sub-range of a [`multilevel_focus`] excitation: the slice of the
+/// port range that must receive a guaranteed `share` of the levels.
+#[derive(Debug, Clone, Copy)]
+pub struct Focus {
+    /// Lower edge of the focus region.
+    pub lo: f64,
+    /// Upper edge of the focus region.
+    pub hi: f64,
+    /// Fraction of the levels stratified inside the region, in `(0, 1)`.
+    pub share: f64,
+}
+
+impl Focus {
+    /// A focus region `[lo, hi]` receiving `share` of the levels.
+    pub fn new(lo: f64, hi: f64, share: f64) -> Self {
+        Focus { lo, hi, share }
+    }
+}
+
+/// Like [`multilevel`], but with a guaranteed stratified share of levels
+/// inside a [`Focus`] sub-range of `[lo, hi]` — the excitation for
+/// submodels whose nonlinearity lives in a small slice of the port range,
+/// like the receiver protection circuits that only conduct beyond the
+/// rails.
+///
+/// A plain staircase over the full range gives the focus region only
+/// `n_levels · (focus width) / (hi − lo)` levels in expectation; when the
+/// region is narrow, the downstream RBF fit sees too few samples exactly
+/// where the current is largest. Here `ceil(focus.share · n_levels)` levels
+/// are stratified *inside* the focus region (one per equal-width stratum —
+/// no clustering, no gaps), the rest are stratified over the full range,
+/// and the combined set is shuffled so consecutive levels still jump
+/// randomly. The global extremes stay pinned to `lo` / `hi` like
+/// [`multilevel`].
+///
+/// Returns a signal of `n_levels * dwell` samples.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`multilevel`], or when the focus
+/// region is degenerate, reaches outside `[lo, hi]`, or its share is not
+/// within `(0, 1)`.
+pub fn multilevel_focus(
+    lo: f64,
+    hi: f64,
+    focus: Focus,
+    n_levels: usize,
+    dwell: usize,
+    edge: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(dwell > 0, "dwell must be positive");
+    assert!(edge < dwell, "edge must be shorter than dwell");
+    assert!(hi > lo, "range must be non-degenerate");
+    assert!(focus.hi > focus.lo, "focus range must be non-degenerate");
+    assert!(
+        focus.lo >= lo && focus.hi <= hi,
+        "focus must lie within the range"
+    );
+    assert!(
+        focus.share > 0.0 && focus.share < 1.0,
+        "focus share must be in (0, 1)"
+    );
+    let n_focus = ((focus.share * n_levels as f64).ceil() as usize)
+        .clamp(1, n_levels.saturating_sub(1).max(1));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut levels = stratified_levels(lo, hi, n_levels - n_focus, &mut rng);
+    levels.extend(stratified_levels(focus.lo, focus.hi, n_focus, &mut rng));
+    shuffle(&mut levels, &mut rng);
+    pin_extremes(&mut levels, lo, hi);
+    staircase(&levels, dwell, edge)
+}
+
+/// One uniform draw inside each of `n` equal-width strata of `[lo, hi]` —
+/// stratified sampling cannot cluster and leave coverage gaps the way
+/// plain uniform draws can.
+fn stratified_levels(lo: f64, hi: f64, n: usize, rng: &mut StdRng) -> Vec<f64> {
+    let width = (hi - lo) / n as f64;
+    (0..n)
         .map(|i| lo + (i as f64 + rng.gen_range(0.0..1.0)) * width)
-        .collect();
-    for i in (1..n_levels).rev() {
+        .collect()
+}
+
+/// In-place Fisher–Yates shuffle.
+fn shuffle(levels: &mut [f64], rng: &mut StdRng) {
+    for i in (1..levels.len()).rev() {
         let j = rng.gen_range(0..=i);
         levels.swap(i, j);
     }
-    // Make sure the extremes are visited so the fit covers the full range:
-    // move the lowest and highest draws (the stratum-0 and stratum-(n-1)
-    // representatives) to the front and snap them to the endpoints, so no
-    // interior stratum loses its representative.
+}
+
+/// Makes sure the extremes are visited so the fit covers the full range:
+/// moves the lowest and highest draws (the stratum-0 and stratum-(n-1)
+/// representatives) to the front and snaps them to the endpoints, so no
+/// interior stratum loses its representative.
+fn pin_extremes(levels: &mut [f64], lo: f64, hi: f64) {
+    let n_levels = levels.len();
     if n_levels >= 2 {
         let i_min = levels
             .iter()
@@ -77,9 +168,14 @@ pub fn multilevel(
         levels[0] = lo;
         levels[1] = hi;
     }
-    let mut out = Vec::with_capacity(n_levels * dwell);
+}
+
+/// Synthesizes the staircase waveform: each level held `dwell` samples,
+/// with raised-cosine transitions of `edge` samples.
+fn staircase(levels: &[f64], dwell: usize, edge: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(levels.len() * dwell);
     let mut prev = levels[0];
-    for &level in &levels {
+    for &level in levels {
         for k in 0..dwell {
             if k < edge && edge > 0 {
                 // Raised-cosine edge from prev to level.
@@ -197,6 +293,51 @@ mod tests {
             .fold(0.0_f64, f64::max);
         // Full swing over 8 samples, peak slope pi/2/edge.
         assert!(max_step < 1.0 * std::f64::consts::PI / 16.0 + 1e-9);
+    }
+
+    #[test]
+    fn multilevel_focus_covers_every_focus_stratum() {
+        let (lo, hi) = (-0.9, 4.2);
+        let (share, n_levels, dwell) = (0.35, 50, 4);
+        let focus = Focus::new(3.3, 4.2, share);
+        let s = multilevel_focus(lo, hi, focus, n_levels, dwell, 1, 0xace);
+        assert_eq!(s.len(), n_levels * dwell);
+        // Recover the dwelt levels (the settled tail of each dwell block).
+        let levels: Vec<f64> = s.chunks(dwell).map(|c| c[dwell - 1]).collect();
+        // Every equal-width stratum of the focus region holds a level —
+        // the coverage guarantee plain uniform draws cannot give.
+        let n_focus = (share * n_levels as f64).ceil() as usize;
+        let width = (focus.hi - focus.lo) / n_focus as f64;
+        for k in 0..n_focus {
+            let (a, b) = (
+                focus.lo + k as f64 * width,
+                focus.lo + (k + 1) as f64 * width,
+            );
+            assert!(
+                levels.iter().any(|&v| v >= a - 1e-12 && v <= b + 1e-12),
+                "focus stratum {k} [{a:.3},{b:.3}] has no level"
+            );
+        }
+        // The full range is still spanned exactly.
+        let min = levels.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = levels.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!((min - lo).abs() < 1e-9, "min {min}");
+        assert!((max - hi).abs() < 1e-9, "max {max}");
+        // Reproducible; different seed, different signal.
+        assert_eq!(
+            s,
+            multilevel_focus(lo, hi, focus, n_levels, dwell, 1, 0xace)
+        );
+        assert_ne!(
+            s,
+            multilevel_focus(lo, hi, focus, n_levels, dwell, 1, 0xacf)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "focus must lie within")]
+    fn multilevel_focus_validates_focus_range() {
+        multilevel_focus(0.0, 1.0, Focus::new(0.5, 1.5, 0.3), 10, 8, 2, 0);
     }
 
     #[test]

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Bench-trajectory tracking: runs a criterion bench, compares each fresh
-# median against the BEST committed record in BENCH_<name>.json, and FAILS
-# on a regression beyond the limit (default 25 %, override with
+# median against the CONFIRMED best in BENCH_<name>.json, and FAILS on a
+# regression beyond the limit (default 25 %, override with
 # BENCH_REGRESSION_LIMIT, percent). Passing runs append their records, so
-# the committed file accumulates a per-run trajectory — but the gate always
-# measures against the best median ever committed, so a sequence of
-# sub-limit slowdowns can never compound into an unbounded ratchet.
+# the committed file accumulates a per-run trajectory.
+#
+# "Confirmed best" is the minimum over rolling median-of-3 windows of the
+# committed trajectory: a speedup only tightens the gate once two
+# neighbouring runs corroborate it, so a single lucky outlier run cannot
+# ratchet the baseline below what the machine can actually sustain — while
+# still comparing against the best confirmed level ever committed, so a
+# sequence of sub-limit slowdowns can never compound either.
 #
 # The criterion stub appends one JSON object per benchmark when
 # BENCH_BASELINE_JSON is set; this script drives it through a temp file.
@@ -47,13 +52,26 @@ fresh = read_records(fresh_path)
 if not fresh:
     sys.exit(f"no fresh bench records in {fresh_path}")
 
-# Baseline per bench id: the BEST committed median — comparing against
-# the latest record would let sub-limit slowdowns compound run over run.
-baseline = {}
+# Baseline per bench id: the confirmed best — the minimum over rolling
+# median-of-3 windows of the committed trajectory. Comparing against the
+# latest record would let sub-limit slowdowns compound run over run;
+# comparing against the single best-ever median lets one lucky outlier
+# run ratchet the gate permanently below sustainable performance. The
+# median-of-3 requires two neighbouring runs to corroborate a speedup
+# before it tightens the gate. With fewer than three committed records
+# the plain minimum is the only option.
+history = {}
 for rec in committed:
-    name = rec["bench"]
-    if name not in baseline or rec["median_s"] < baseline[name]:
-        baseline[name] = rec["median_s"]
+    history.setdefault(rec["bench"], []).append(rec["median_s"])
+
+baseline = {}
+for name, medians in history.items():
+    if len(medians) < 3:
+        baseline[name] = min(medians)
+    else:
+        baseline[name] = min(
+            sorted(medians[i : i + 3])[1] for i in range(len(medians) - 2)
+        )
 
 failed = False
 for rec in fresh:
@@ -68,7 +86,7 @@ for rec in fresh:
         verdict = f"REGRESSION (> {limit:.0f}% limit)"
         failed = True
     print(
-        f"{name}: {median:.4e} s vs best committed {base_median:.4e} s "
+        f"{name}: {median:.4e} s vs confirmed best {base_median:.4e} s "
         f"({delta_pct:+.1f}%) {verdict}"
     )
 
