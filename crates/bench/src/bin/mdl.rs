@@ -14,6 +14,7 @@
 //! mdl store sweep <dir> [--fast] [--json PATH]
 //! mdl serve <dir> --socket PATH [--poll-ms N] [--fast]
 //! mdl bench-serve <dir>|--socket PATH [--clients N] [--requests N] [--json PATH]
+//! mdl bench-eval [--steps N] [--reps N] [--lanes N] [--centers N] [--json] [--baseline PATH]
 //! mdl request --socket PATH <request line...>
 //! ```
 //!
@@ -35,7 +36,10 @@
 //! a digest-keyed artifact cache ([`emc_bench::server`]); `bench-serve`
 //! fires a mixed load burst at a daemon (spawning one in-process when
 //! given a directory) and reports p50/p95/p99 latency plus throughput;
-//! `request` is the one-shot protocol client for scripts.
+//! `bench-eval` times the per-step evaluation runtime (legacy scalar vs
+//! compiled vs batched lanes, [`emc_bench::evalbench`]) and emits
+//! baseline-gate records; `request` is the one-shot protocol client for
+//! scripts.
 
 use emc_bench::serve::{
     driver_spec, receiver_spec, standard_scenarios, sweep_store, validate_model, validate_store,
@@ -53,7 +57,7 @@ type CliResult<T> = Result<T, Box<dyn std::error::Error + Send + Sync>>;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr] [--out PATH] [--fast] [--v2] [--corners]\n  mdl info <file.mdlx>\n  mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]\n  mdl simulate <file.mdlx> [--fixture r50|linecap|pulse] [--pattern BITS] [--bit-time S] [--t-stop S]\n  mdl store ls <dir>\n  mdl store validate <dir> [--fast] [--json PATH]\n  mdl store sweep <dir> [--fast] [--json PATH]\n  mdl serve <dir> --socket PATH [--poll-ms N] [--fast]\n  mdl bench-serve <dir>|--socket PATH [--clients N] [--requests N] [--sweep-every N] [--validate-every N] [--json PATH] [--baseline PATH] [--full]\n  mdl request --socket PATH <request line...>"
+        "usage:\n  mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr] [--out PATH] [--fast] [--v2] [--corners]\n  mdl info <file.mdlx>\n  mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]\n  mdl simulate <file.mdlx> [--fixture r50|linecap|pulse] [--pattern BITS] [--bit-time S] [--t-stop S]\n  mdl store ls <dir>\n  mdl store validate <dir> [--fast] [--json PATH]\n  mdl store sweep <dir> [--fast] [--json PATH]\n  mdl serve <dir> --socket PATH [--poll-ms N] [--fast]\n  mdl bench-serve <dir>|--socket PATH [--clients N] [--requests N] [--sweep-every N] [--validate-every N] [--json PATH] [--baseline PATH] [--full]\n  mdl bench-eval [--steps N] [--reps N] [--lanes N] [--centers N] [--json] [--baseline PATH]\n  mdl request --socket PATH <request line...>"
     );
     std::process::exit(2);
 }
@@ -487,6 +491,50 @@ fn cmd_bench_serve(mut args: Vec<String>) -> CliResult<()> {
     Ok(())
 }
 
+fn cmd_bench_eval(mut args: Vec<String>) -> CliResult<()> {
+    use emc_bench::evalbench::{run_eval_bench, summarize, EvalBenchConfig};
+
+    let json = parse_flag(&mut args, "--json");
+    let baseline = parse_opt(&mut args, "--baseline");
+    let mut cfg = EvalBenchConfig::default();
+    if let Some(n) = parse_f64_opt(&mut args, "--steps") {
+        cfg.steps = (n as usize).max(1);
+    }
+    if let Some(n) = parse_f64_opt(&mut args, "--reps") {
+        cfg.reps = (n as usize).max(1);
+    }
+    if let Some(n) = parse_f64_opt(&mut args, "--lanes") {
+        cfg.lanes = (n as usize).max(1);
+    }
+    if let Some(n) = parse_f64_opt(&mut args, "--centers") {
+        cfg.centers = (n as usize).max(1);
+    }
+    if !args.is_empty() {
+        usage();
+    }
+
+    let records = run_eval_bench(&cfg);
+    if json {
+        for r in &records {
+            println!("{}", r.to_json());
+        }
+    } else {
+        print!("{}", summarize(&records));
+    }
+    if let Some(path) = baseline {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        for r in &records {
+            writeln!(f, "{}", r.to_json())?;
+        }
+        println!("baseline records appended to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_request(mut args: Vec<String>) -> CliResult<()> {
     let socket = parse_opt(&mut args, "--socket").unwrap_or_else(|| {
         eprintln!("request needs --socket PATH");
@@ -518,6 +566,7 @@ fn main() {
         "store" => cmd_store(args),
         "serve" => cmd_serve(args),
         "bench-serve" => cmd_bench_serve(args),
+        "bench-eval" => cmd_bench_eval(args),
         "request" => cmd_request(args),
         _ => usage(),
     };

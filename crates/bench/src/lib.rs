@@ -23,6 +23,7 @@ use refdev::extraction::{capture_driver, capture_receiver};
 use refdev::ibis::IbisExtractConfig;
 use refdev::{CmosDriverSpec, IbisCorner, IbisModel, ReceiverSpec};
 
+pub mod evalbench;
 pub mod serve;
 pub mod server;
 

@@ -467,23 +467,39 @@ fn run_bus_cell(
     let z0 = spec.z0(0);
     let mut ckt = Circuit::new();
     let line = expand_coupled_line(&mut ckt, &spec, segments, (1e7, 2e10))?;
-    for lane in 0..conductors {
-        let model = drivers[lane % drivers.len()];
-        let stim = PortStimulus::new(rotate_pattern(pattern, lane), bit_time);
-        let pad = ckt.node(format!("serve_pad{lane}"));
-        model.instantiate(&mut ckt, pad, Some(&stim))?;
-        ckt.add(Resistor::new(
-            format!("jn{lane}"),
-            pad,
-            line.near[lane],
-            1e-3,
-        ));
-        ckt.add(Resistor::new(
-            format!("rl{lane}"),
-            line.far[lane],
-            GROUND,
-            z0,
-        ));
+    // Lanes are assigned round-robin to the drivers; lanes sharing a model
+    // are installed through `instantiate_lanes`, so backends with a batched
+    // evaluation runtime (the PW-RBF driver) step all their lanes together
+    // as one compiled multi-lane device.
+    for (di, model) in drivers.iter().enumerate() {
+        let mut pads = Vec::new();
+        let mut stims = Vec::new();
+        for lane in (di..conductors).step_by(drivers.len()) {
+            let pad = ckt.node(format!("serve_pad{lane}"));
+            pads.push(pad);
+            stims.push(PortStimulus::new(rotate_pattern(pattern, lane), bit_time));
+            ckt.add(Resistor::new(
+                format!("jn{lane}"),
+                pad,
+                line.near[lane],
+                1e-3,
+            ));
+            ckt.add(Resistor::new(
+                format!("rl{lane}"),
+                line.far[lane],
+                GROUND,
+                z0,
+            ));
+        }
+        if pads.is_empty() {
+            continue;
+        }
+        let lanes: Vec<(circuit::Node, Option<&PortStimulus>)> = pads
+            .iter()
+            .zip(&stims)
+            .map(|(&pad, stim)| (pad, Some(stim)))
+            .collect();
+        model.instantiate_lanes(&mut ckt, &lanes)?;
     }
     let res = ckt.transient(TranParams::new(dt, t_stop))?;
     let waves: Vec<Waveform> = (0..conductors).map(|j| res.voltage(line.far[j])).collect();

@@ -1,0 +1,133 @@
+//! The digest-keyed artifact cache with LRU eviction.
+//!
+//! The daemon parses each artifact at most once per unique byte content:
+//! reloads hash the file and look the digest up here. The cache is bounded;
+//! when a flood of new digests (e.g. a directory of freshly generated
+//! artifacts rotating through the store) pushes it past capacity, the
+//! **least recently used** entries leave first, so the models the serving
+//! traffic actually touches stay parsed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use super::ServedModel;
+
+/// A bounded digest → parsed-models map with least-recently-used eviction.
+#[derive(Debug)]
+pub struct DigestCache {
+    cap: usize,
+    tick: u64,
+    entries: HashMap<String, (u64, Vec<Arc<ServedModel>>)>,
+}
+
+impl DigestCache {
+    /// An empty cache holding at most `cap` digests (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        DigestCache {
+            cap: cap.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Cached digests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a digest, marking it most recently used on a hit.
+    pub fn get(&mut self, digest: &str) -> Option<Vec<Arc<ServedModel>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(digest).map(|(used, models)| {
+            *used = tick;
+            models.clone()
+        })
+    }
+
+    /// Inserts (or refreshes) a digest as most recently used, evicting the
+    /// least recently used entries while over capacity.
+    pub fn insert(&mut self, digest: String, models: Vec<Arc<ServedModel>>) {
+        self.tick += 1;
+        self.entries.insert(digest, (self.tick, models));
+        while self.entries.len() > self.cap {
+            let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(digest, _)| digest.clone())
+            else {
+                break;
+            };
+            self.entries.remove(&oldest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str) -> Vec<Arc<ServedModel>> {
+        vec![Arc::new(super::super::tests::served_dummy(name))]
+    }
+
+    #[test]
+    fn hot_entries_survive_a_cold_flood() {
+        let mut cache = DigestCache::new(8);
+        let hot: Vec<String> = (0..3).map(|i| format!("hot{i}")).collect();
+        for d in &hot {
+            cache.insert(d.clone(), entry(d));
+        }
+        // Flood with cold digests, touching the hot set between waves the
+        // way serving traffic would: each wave's colds displace the
+        // previous wave's, never the recently used hot set.
+        for wave in 0..10 {
+            for d in &hot {
+                assert!(cache.get(d).is_some(), "hot digest {d} evicted");
+            }
+            for i in 0..5 {
+                cache.insert(format!("cold{wave}_{i}"), entry("cold"));
+            }
+        }
+        assert!(cache.len() <= 8, "capacity respected: {}", cache.len());
+        for d in &hot {
+            assert!(
+                cache.get(d).is_some(),
+                "hot digest {d} must survive the flood"
+            );
+        }
+        // The most recent cold wave displaced the older cold entries.
+        assert!(cache.get("cold0_0").is_none(), "oldest cold entry evicted");
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let mut cache = DigestCache::new(2);
+        cache.insert("a".into(), entry("a"));
+        cache.insert("b".into(), entry("b"));
+        // Touch `a`, then insert `c`: `b` is now the LRU entry.
+        assert!(cache.get("a").is_some());
+        cache.insert("c".into(), entry("c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency() {
+        let mut cache = DigestCache::new(2);
+        cache.insert("a".into(), entry("a"));
+        cache.insert("b".into(), entry("b"));
+        cache.insert("a".into(), entry("a"));
+        cache.insert("c".into(), entry("c"));
+        assert!(cache.get("a").is_some(), "reinserted entry is recent");
+        assert!(cache.get("b").is_none());
+    }
+}

@@ -37,12 +37,13 @@ use macromodel::{content_digest, load_artifact, LoadMode, Macromodel, ModelKind,
 
 use crate::serve::{json_f64, json_opt, json_str, standard_scenarios, CellReport, Scenario};
 
+use super::cache::DigestCache;
 use super::protocol::{self, Request};
 use super::scheduler::{CellTask, Job, Scheduler};
 use super::ServedModel;
 
-/// Live cache entries kept across reloads before stale digests (no longer
-/// on disk in any generation) are evicted.
+/// Bound on live digest-cache entries; least-recently-used digests are
+/// evicted past this.
 const CACHE_CAP: usize = 128;
 
 /// Daemon configuration.
@@ -103,9 +104,10 @@ struct Inner {
     cfg: ServeConfig,
     store: Mutex<ModelStore>,
     generation: RwLock<Arc<Generation>>,
-    /// Content digest → parsed artifact models. Shared across generations:
-    /// the hot-reload path only pays a parse for bytes it has never seen.
-    cache: Mutex<HashMap<String, Vec<Arc<ServedModel>>>>,
+    /// Content digest → parsed artifact models, LRU-bounded. Shared across
+    /// generations: the hot-reload path only pays a parse for bytes it has
+    /// never seen recently.
+    cache: Mutex<DigestCache>,
     scheduler: Arc<Scheduler>,
     stop: AtomicBool,
     counters: Counters,
@@ -204,7 +206,7 @@ pub fn start(cfg: ServeConfig) -> crate::Result<ServerHandle> {
             artifacts: 0,
             failures: Vec::new(),
         })),
-        cache: Mutex::new(HashMap::new()),
+        cache: Mutex::new(DigestCache::new(CACHE_CAP)),
         scheduler: Scheduler::new(),
         stop: AtomicBool::new(false),
         counters: Counters::default(),
@@ -258,7 +260,6 @@ fn publish_generation(inner: &Inner) {
     let mut by_name = HashMap::new();
     let artifacts = paths.len();
     let mut cache = inner.cache.lock().expect("artifact cache poisoned");
-    let mut live: Vec<String> = Vec::with_capacity(artifacts);
     for path in paths {
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
@@ -268,10 +269,9 @@ fn publish_generation(inner: &Inner) {
             }
         };
         let digest = content_digest(&bytes);
-        live.push(digest.clone());
         let served = if let Some(cached) = cache.get(&digest) {
             inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-            cached.clone()
+            cached
         } else {
             let parsed = String::from_utf8(bytes)
                 .map_err(|e| e.to_string())
@@ -307,9 +307,6 @@ fn publish_generation(inner: &Inner) {
             by_name.insert(m.model.name().to_string(), models.len());
             models.push(m);
         }
-    }
-    if cache.len() > CACHE_CAP {
-        cache.retain(|digest, _| live.contains(digest));
     }
     drop(cache);
 

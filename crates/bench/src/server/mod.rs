@@ -7,7 +7,10 @@
 //!
 //! * [`protocol`] — the length-framed request/response codec;
 //! * [`scheduler`] — the batched cell scheduler packing queued requests
-//!   onto the [`crate::par_map`] worker pool;
+//!   onto the [`crate::par_map`] worker pool, grouping same-model cells
+//!   so one worker steps a model's cells back to back;
+//! * [`cache`] — the bounded, LRU-evicting digest → parsed-models cache
+//!   behind hot reload;
 //! * [`daemon`] — the daemon itself: generation-swapped inventory,
 //!   content-digest artifact cache, mtime/len polling hot reload, and the
 //!   connection loops;
@@ -21,6 +24,7 @@
 //! admitted before the swap finish on the artifacts they started with;
 //! requests after it see the fresh bytes.
 
+pub mod cache;
 pub mod daemon;
 pub mod loadgen;
 pub mod protocol;

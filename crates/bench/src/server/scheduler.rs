@@ -5,10 +5,12 @@
 //! Batching is what turns N concurrent single-cell requests into one
 //! parallel sweep instead of N serialized transients: every drain takes
 //! whatever has accumulated (up to [`MAX_BATCH`]) so queued cells from
-//! different connections share a worker fan-out. Replies travel back over
-//! per-job `mpsc` channels and are sent the moment each cell finishes, so
-//! a slow bus-ladder cell never holds a quick `r50` cell's response
-//! hostage beyond the shared batch.
+//! different connections share a worker fan-out. Each drained batch is
+//! grouped by model digest so cells of one model run back to back on a
+//! worker (warm compiled-model state). Replies travel back over per-job
+//! `mpsc` channels and are sent the moment each cell finishes, so a slow
+//! bus-ladder cell never holds a quick `r50` cell's response hostage
+//! beyond the shared batch.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -137,7 +139,13 @@ impl Scheduler {
                     q = guard;
                 }
                 let n = q.len().min(MAX_BATCH);
-                q.drain(..n).collect()
+                let mut batch: Vec<Job> = q.drain(..n).collect();
+                // Group same-model cells (stable, by artifact digest) so a
+                // worker sweeping its slice of the batch steps one model's
+                // cells back to back over the same compiled parameter slab
+                // instead of bouncing between models.
+                batch.sort_by(|a, b| a.model.digest.cmp(&b.model.digest));
+                batch
             };
             self.batches.fetch_add(1, Ordering::Relaxed);
             self.cells.fetch_add(batch.len() as u64, Ordering::Relaxed);

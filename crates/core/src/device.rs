@@ -6,14 +6,23 @@
 //! models are estimated and exercised at the same fixed sampling time).
 //! Within each step the present port voltage participates in the Newton
 //! iteration through the analytic RBF input gradient.
+//!
+//! All sampled devices step through the compiled runtime in [`crate::evalrt`]:
+//! the model is flattened once at construction and the per-iteration
+//! `stamp`/`accept_step` path performs **zero allocations**. The
+//! [`PwRbfDriverBank`] variant advances several pads of one compiled model
+//! as parallel lanes of a single batched evaluation.
+
+use std::cell::RefCell;
+use std::sync::Arc;
 
 use crate::driver::PwRbfDriverModel;
+use crate::evalrt::{CompiledDriver, CompiledReceiver, DriverLanes, LaneStim, ReceiverLanes};
 use crate::receiver::{CrModel, ReceiverModel};
 use circuit::devices::Capacitor;
 use circuit::mna::{register_conductance, stamp_linearized_current, EvalCtx, Mode};
 use circuit::{Circuit, Device, Node, PatternBuilder, StampWorkspace, GROUND};
 use numkit::interp::Pwl;
-use sysid::narx::NarxModel;
 
 /// Relative tolerance on `dt == Ts`.
 const TS_TOL: f64 = 1e-6;
@@ -27,63 +36,12 @@ fn check_sample_clock(label: &str, ts: f64, mode: Mode) {
     }
 }
 
-/// Settles a NARX submodel's output by fixed-point iteration at a constant
-/// input (used to initialize histories from a DC operating point).
-fn settle_narx(model: &NarxModel, v: f64) -> f64 {
-    let o = model.orders();
-    let u_hist = vec![v; o.input_lags + 1];
-    let mut y = 0.0;
-    for _ in 0..64 {
-        let y_hist = vec![y; o.output_lags.max(1)];
-        let y_new = model.one_step(&u_hist, &y_hist);
-        if (y_new - y).abs() < 1e-12 {
-            return y_new;
-        }
-        y = y_new;
-    }
-    y
-}
-
-/// Crate-internal alias used by the estimation pipeline to initialize
-/// submodel free runs from a settled state.
-pub(crate) fn settle_for_pipeline(model: &NarxModel, v: f64) -> f64 {
-    settle_narx(model, v)
-}
-
-/// A scheduled logic edge.
-#[derive(Debug, Clone, Copy)]
-struct Edge {
-    t: f64,
-    rising: bool,
-}
-
-fn schedule_from_pattern(pattern: &str, bit_time: f64) -> (Vec<Edge>, bool) {
-    let bits: Vec<bool> = pattern
-        .chars()
-        .map(|c| match c {
-            '0' => false,
-            '1' => true,
-            other => panic!("invalid bit character '{other}' in pattern"),
-        })
-        .collect();
-    assert!(!bits.is_empty(), "pattern must not be empty");
-    let mut edges = Vec::new();
-    for k in 1..bits.len() {
-        if bits[k] != bits[k - 1] {
-            edges.push(Edge {
-                t: k as f64 * bit_time,
-                rising: bits[k],
-            });
-        }
-    }
-    (edges, bits[0])
-}
-
 /// The PW-RBF driver installed as a one-port behavioral element.
 ///
 /// The device delivers `i(k) = w_H(k) i_H(k) + w_L(k) i_L(k)` into `out`,
 /// where both submodels free-run on the (shared) port-voltage history and
-/// their own current histories.
+/// their own current histories. Internally this is a single-lane
+/// [`DriverLanes`] over the compiled model.
 ///
 /// # Panics
 ///
@@ -92,16 +50,9 @@ fn schedule_from_pattern(pattern: &str, bit_time: f64) -> (Vec<Edge>, bool) {
 #[derive(Debug, Clone)]
 pub struct PwRbfDriver {
     label: String,
-    model: PwRbfDriverModel,
+    ts: f64,
     out: Node,
-    edges: Vec<Edge>,
-    initial_high: bool,
-    /// Past port voltages, newest first (`v(k-1), v(k-2), ...`).
-    v_past: Vec<f64>,
-    /// Past high-submodel currents, newest first.
-    ih_past: Vec<f64>,
-    /// Past low-submodel currents, newest first.
-    il_past: Vec<f64>,
+    lanes: RefCell<DriverLanes>,
 }
 
 impl PwRbfDriver {
@@ -113,61 +64,24 @@ impl PwRbfDriver {
     /// error) or an invalid model.
     pub fn new(model: PwRbfDriverModel, out: Node, pattern: &str, bit_time: f64) -> Self {
         model.validate().expect("invalid PW-RBF model");
-        let (edges, initial_high) = schedule_from_pattern(pattern, bit_time);
-        let lags_v = model
-            .i_high
-            .orders()
-            .input_lags
-            .max(model.i_low.orders().input_lags);
-        let lags_ih = model.i_high.orders().output_lags.max(1);
-        let lags_il = model.i_low.orders().output_lags.max(1);
+        let compiled = Arc::new(CompiledDriver::compile(&model));
+        Self::from_compiled(compiled, out, LaneStim::from_pattern(pattern, bit_time))
+    }
+
+    /// Creates a driver over an already-compiled model (shared via `Arc`
+    /// when many instances of one model populate a circuit).
+    pub fn from_compiled(compiled: Arc<CompiledDriver>, out: Node, stim: LaneStim) -> Self {
         PwRbfDriver {
-            label: format!("{}_pwrbf", model.name),
-            model,
+            label: format!("{}_pwrbf", compiled.name()),
+            ts: compiled.ts(),
             out,
-            edges,
-            initial_high,
-            v_past: vec![0.0; lags_v],
-            ih_past: vec![0.0; lags_ih],
-            il_past: vec![0.0; lags_il],
+            lanes: RefCell::new(DriverLanes::new(compiled, vec![stim])),
         }
     }
 
     /// Switching weights at absolute time `t`.
-    fn weights_at(&self, t: f64) -> (f64, f64) {
-        let mut state_high = self.initial_high;
-        let mut active: Option<(f64, bool)> = None;
-        for e in &self.edges {
-            if e.t <= t + 1e-18 {
-                state_high = e.rising;
-                active = Some((e.t, e.rising));
-            } else {
-                break;
-            }
-        }
-        if let Some((t0, rising)) = active {
-            let k = ((t - t0) / self.model.ts).round() as usize;
-            let seq = if rising {
-                &self.model.up
-            } else {
-                &self.model.down
-            };
-            if k < seq.len() {
-                return seq.at(k);
-            }
-        }
-        if state_high {
-            (1.0, 0.0)
-        } else {
-            (0.0, 1.0)
-        }
-    }
-
-    fn u_hist(&self, v_now: f64, lags: usize) -> Vec<f64> {
-        let mut u = Vec::with_capacity(lags + 1);
-        u.push(v_now);
-        u.extend_from_slice(&self.v_past[..lags]);
-        u
+    pub fn weights_at(&self, t: f64) -> (f64, f64) {
+        self.lanes.borrow().weights_at(0, t)
     }
 }
 
@@ -185,63 +99,148 @@ impl Device for PwRbfDriver {
     }
 
     fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
-        check_sample_clock(&self.label, self.model.ts, ctx.mode);
-        let v = ctx.v(self.out);
-        let (wh, wl) = self.weights_at(ctx.mode.time());
-        let (ih, gh) = self.model.i_high.one_step_with_gradient(
-            &self.u_hist(v, self.model.i_high.orders().input_lags),
-            &self.ih_past,
-        );
-        let (il, gl) = self.model.i_low.one_step_with_gradient(
-            &self.u_hist(v, self.model.i_low.orders().input_lags),
-            &self.il_past,
-        );
-        let i_del = wh * ih + wl * il;
-        let g_del = wh * gh + wl * gl;
-        // The device injects i_del into the node.
-        stamp_linearized_current(ws, self.out, GROUND, -i_del, -g_del, v);
+        check_sample_clock(&self.label, self.ts, ctx.mode);
+        let v = [ctx.v(self.out)];
+        let (mut i, mut g) = ([0.0], [0.0]);
+        self.lanes
+            .borrow_mut()
+            .step(ctx.mode.time(), &v, &mut i, &mut g);
+        // The device injects i into the node.
+        stamp_linearized_current(ws, self.out, GROUND, -i[0], -g[0], v[0]);
     }
 
     fn init_state(&mut self, ctx: &EvalCtx<'_>) {
-        let v0 = ctx.v(self.out);
-        for v in &mut self.v_past {
-            *v = v0;
-        }
-        let ih0 = settle_narx(&self.model.i_high, v0);
-        for i in &mut self.ih_past {
-            *i = ih0;
-        }
-        let il0 = settle_narx(&self.model.i_low, v0);
-        for i in &mut self.il_past {
-            *i = il0;
-        }
+        let v0 = [ctx.v(self.out)];
+        self.lanes.get_mut().init_dc(&v0);
     }
 
     fn accept_step(&mut self, ctx: &EvalCtx<'_>) {
         if !ctx.mode.is_tran() {
             return;
         }
-        let v = ctx.v(self.out);
-        let ih = self.model.i_high.one_step(
-            &self.u_hist(v, self.model.i_high.orders().input_lags),
-            &self.ih_past,
-        );
-        let il = self.model.i_low.one_step(
-            &self.u_hist(v, self.model.i_low.orders().input_lags),
-            &self.il_past,
-        );
-        self.v_past.rotate_right(1);
-        if !self.v_past.is_empty() {
-            self.v_past[0] = v;
-        }
-        self.ih_past.rotate_right(1);
-        self.ih_past[0] = ih;
-        self.il_past.rotate_right(1);
-        self.il_past[0] = il;
+        let v = [ctx.v(self.out)];
+        self.lanes.get_mut().commit(&v);
     }
 }
 
-/// The receiver parametric model installed as a one-port load.
+/// Mutable bank state: the lane bank plus the per-stamp staging rows, all
+/// behind one `RefCell` so `stamp(&self)` can step without allocating.
+#[derive(Debug, Clone)]
+struct BankState {
+    lanes: DriverLanes,
+    v: Vec<f64>,
+    i: Vec<f64>,
+    g: Vec<f64>,
+}
+
+/// Several PW-RBF drivers of **one** model advancing as parallel lanes of a
+/// single batched evaluation (see [`DriverLanes`]).
+///
+/// Electrically identical to adding one [`PwRbfDriver`] per pad; the lanes
+/// share the compiled parameter slab and step together, so the inner loops
+/// stay in cache and auto-vectorize across pads. Used by bus-ladder and
+/// scenario-matrix sweeps where every line carries the same driver model
+/// with a different bit pattern.
+///
+/// # Panics
+///
+/// `stamp` panics if the transient step differs from the model sample time.
+#[derive(Debug, Clone)]
+pub struct PwRbfDriverBank {
+    label: String,
+    ts: f64,
+    pads: Vec<Node>,
+    state: RefCell<BankState>,
+}
+
+impl PwRbfDriverBank {
+    /// Creates a bank driving each `(pad, stimulus)` lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid model or an empty lane list.
+    pub fn new(model: &PwRbfDriverModel, lanes: Vec<(Node, LaneStim)>) -> Self {
+        model.validate().expect("invalid PW-RBF model");
+        Self::from_compiled(Arc::new(CompiledDriver::compile(model)), lanes)
+    }
+
+    /// Creates a bank over an already-compiled model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is empty.
+    pub fn from_compiled(compiled: Arc<CompiledDriver>, lanes: Vec<(Node, LaneStim)>) -> Self {
+        assert!(!lanes.is_empty(), "driver bank requires at least one lane");
+        let n = lanes.len();
+        let (pads, stims): (Vec<Node>, Vec<LaneStim>) = lanes.into_iter().unzip();
+        PwRbfDriverBank {
+            label: format!("{}_pwrbf_bank", compiled.name()),
+            ts: compiled.ts(),
+            pads,
+            state: RefCell::new(BankState {
+                lanes: DriverLanes::new(compiled, stims),
+                v: vec![0.0; n],
+                i: vec![0.0; n],
+                g: vec![0.0; n],
+            }),
+        }
+    }
+
+    /// Number of pads (lanes).
+    pub fn n_lanes(&self) -> usize {
+        self.pads.len()
+    }
+}
+
+impl Device for PwRbfDriverBank {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
+    fn register(&self, pb: &mut PatternBuilder) {
+        for &pad in &self.pads {
+            register_conductance(pb, pad, GROUND);
+        }
+    }
+
+    fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
+        check_sample_clock(&self.label, self.ts, ctx.mode);
+        let st = &mut *self.state.borrow_mut();
+        for (l, &pad) in self.pads.iter().enumerate() {
+            st.v[l] = ctx.v(pad);
+        }
+        st.lanes.step(ctx.mode.time(), &st.v, &mut st.i, &mut st.g);
+        for (l, &pad) in self.pads.iter().enumerate() {
+            stamp_linearized_current(ws, pad, GROUND, -st.i[l], -st.g[l], st.v[l]);
+        }
+    }
+
+    fn init_state(&mut self, ctx: &EvalCtx<'_>) {
+        let st = self.state.get_mut();
+        for (l, &pad) in self.pads.iter().enumerate() {
+            st.v[l] = ctx.v(pad);
+        }
+        st.lanes.init_dc(&st.v);
+    }
+
+    fn accept_step(&mut self, ctx: &EvalCtx<'_>) {
+        if !ctx.mode.is_tran() {
+            return;
+        }
+        let st = self.state.get_mut();
+        for (l, &pad) in self.pads.iter().enumerate() {
+            st.v[l] = ctx.v(pad);
+        }
+        st.lanes.commit(&st.v);
+    }
+}
+
+/// The receiver parametric model installed as a one-port load. Internally a
+/// single-lane [`ReceiverLanes`] over the compiled model.
 ///
 /// # Panics
 ///
@@ -249,12 +248,9 @@ impl Device for PwRbfDriver {
 #[derive(Debug, Clone)]
 pub struct ReceiverModelDevice {
     label: String,
-    model: ReceiverModel,
+    ts: f64,
     pad: Node,
-    v_past: Vec<f64>,
-    ilin_past: Vec<f64>,
-    iup_past: Vec<f64>,
-    idn_past: Vec<f64>,
+    lanes: RefCell<ReceiverLanes>,
 }
 
 impl ReceiverModelDevice {
@@ -265,45 +261,17 @@ impl ReceiverModelDevice {
     /// Panics on an invalid model.
     pub fn new(model: ReceiverModel, pad: Node) -> Self {
         model.validate().expect("invalid receiver model");
-        let lags_v = model
-            .linear
-            .orders()
-            .nb
-            .max(model.up.orders().input_lags)
-            .max(model.down.orders().input_lags);
-        ReceiverModelDevice {
-            label: format!("{}_rxmodel", model.name),
-            pad,
-            v_past: vec![0.0; lags_v.max(1)],
-            ilin_past: vec![0.0; model.linear.orders().na.max(1)],
-            iup_past: vec![0.0; model.up.orders().output_lags.max(1)],
-            idn_past: vec![0.0; model.down.orders().output_lags.max(1)],
-            model,
-        }
+        Self::from_compiled(Arc::new(CompiledReceiver::compile(&model)), pad)
     }
 
-    fn parts(&self, v: f64) -> (f64, f64) {
-        // Linear ARX part: direct feed-through is its derivative w.r.t. v(k).
-        let mut u_lin = Vec::with_capacity(self.model.linear.orders().nb + 1);
-        u_lin.push(v);
-        u_lin.extend_from_slice(&self.v_past[..self.model.linear.orders().nb]);
-        let i_lin = self.model.linear.one_step(&u_lin, &self.ilin_past);
-        let g_lin = self.model.linear.feedthrough();
-
-        let mut u_up = Vec::with_capacity(self.model.up.orders().input_lags + 1);
-        u_up.push(v);
-        u_up.extend_from_slice(&self.v_past[..self.model.up.orders().input_lags]);
-        let (i_up, g_up) = self.model.up.one_step_with_gradient(&u_up, &self.iup_past);
-
-        let mut u_dn = Vec::with_capacity(self.model.down.orders().input_lags + 1);
-        u_dn.push(v);
-        u_dn.extend_from_slice(&self.v_past[..self.model.down.orders().input_lags]);
-        let (i_dn, g_dn) = self
-            .model
-            .down
-            .one_step_with_gradient(&u_dn, &self.idn_past);
-
-        (i_lin + i_up + i_dn, g_lin + g_up + g_dn)
+    /// Creates the device over an already-compiled model.
+    pub fn from_compiled(compiled: Arc<CompiledReceiver>, pad: Node) -> Self {
+        ReceiverModelDevice {
+            label: format!("{}_rxmodel", compiled.name()),
+            ts: compiled.ts(),
+            pad,
+            lanes: RefCell::new(ReceiverLanes::new(compiled, 1)),
+        }
     }
 }
 
@@ -321,72 +289,25 @@ impl Device for ReceiverModelDevice {
     }
 
     fn stamp(&self, ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
-        check_sample_clock(&self.label, self.model.ts, ctx.mode);
-        let v = ctx.v(self.pad);
-        let (i_in, g) = self.parts(v);
-        // i_in flows from the pad into the device (to ground).
-        stamp_linearized_current(ws, self.pad, GROUND, i_in, g, v);
+        check_sample_clock(&self.label, self.ts, ctx.mode);
+        let v = [ctx.v(self.pad)];
+        let (mut i, mut g) = ([0.0], [0.0]);
+        self.lanes.borrow_mut().step(&v, &mut i, &mut g);
+        // i flows from the pad into the device (to ground).
+        stamp_linearized_current(ws, self.pad, GROUND, i[0], g[0], v[0]);
     }
 
     fn init_state(&mut self, ctx: &EvalCtx<'_>) {
-        let v0 = ctx.v(self.pad);
-        for v in &mut self.v_past {
-            *v = v0;
-        }
-        // The linear part settles to its static gain; protection submodels
-        // to their fixed points.
-        let dc_gain = {
-            // i = sum(a) i + sum(b) v at steady state.
-            let sa: f64 = self.model.linear.a().iter().sum();
-            let sb: f64 = self.model.linear.b().iter().sum();
-            if (1.0 - sa).abs() > 1e-9 {
-                sb / (1.0 - sa) * v0
-            } else {
-                0.0
-            }
-        };
-        for i in &mut self.ilin_past {
-            *i = dc_gain;
-        }
-        let up0 = settle_narx(&self.model.up, v0);
-        for i in &mut self.iup_past {
-            *i = up0;
-        }
-        let dn0 = settle_narx(&self.model.down, v0);
-        for i in &mut self.idn_past {
-            *i = dn0;
-        }
+        let v0 = [ctx.v(self.pad)];
+        self.lanes.get_mut().init_dc(&v0);
     }
 
     fn accept_step(&mut self, ctx: &EvalCtx<'_>) {
         if !ctx.mode.is_tran() {
             return;
         }
-        let v = ctx.v(self.pad);
-        // Advance each submodel with the converged voltage.
-        let mut u_lin = Vec::with_capacity(self.model.linear.orders().nb + 1);
-        u_lin.push(v);
-        u_lin.extend_from_slice(&self.v_past[..self.model.linear.orders().nb]);
-        let i_lin = self.model.linear.one_step(&u_lin, &self.ilin_past);
-
-        let mut u_up = Vec::with_capacity(self.model.up.orders().input_lags + 1);
-        u_up.push(v);
-        u_up.extend_from_slice(&self.v_past[..self.model.up.orders().input_lags]);
-        let i_up = self.model.up.one_step(&u_up, &self.iup_past);
-
-        let mut u_dn = Vec::with_capacity(self.model.down.orders().input_lags + 1);
-        u_dn.push(v);
-        u_dn.extend_from_slice(&self.v_past[..self.model.down.orders().input_lags]);
-        let i_dn = self.model.down.one_step(&u_dn, &self.idn_past);
-
-        self.v_past.rotate_right(1);
-        self.v_past[0] = v;
-        self.ilin_past.rotate_right(1);
-        self.ilin_past[0] = i_lin;
-        self.iup_past.rotate_right(1);
-        self.iup_past[0] = i_up;
-        self.idn_past.rotate_right(1);
-        self.idn_past[0] = i_dn;
+        let v = [ctx.v(self.pad)];
+        self.lanes.get_mut().commit(&v);
     }
 }
 
@@ -457,7 +378,7 @@ mod tests {
     use circuit::devices::{Resistor, SourceWaveform, VoltageSource};
     use circuit::TranParams;
     use sysid::arx::{ArxModel, ArxOrders};
-    use sysid::narx::NarxOrders;
+    use sysid::narx::{NarxModel, NarxOrders};
     use sysid::rbf::RbfNetwork;
 
     /// A synthetic PW-RBF model with affine submodels mimicking ideal
@@ -542,6 +463,50 @@ mod tests {
         ckt.add(Resistor::new("rl", out, GROUND, 100.0));
         // dt != ts: must panic inside stamp.
         let _ = ckt.transient(TranParams::new(10e-12, 2e-9));
+    }
+
+    #[test]
+    fn driver_bank_matches_individual_devices() {
+        let model = synthetic_model(0.05, 1.8, 12);
+        let ts = model.ts;
+        let patterns = ["0110", "1001", "0011"];
+        let bit_time = 1e-9;
+        let t_stop = 4e-9;
+
+        // Reference: one PwRbfDriver per line.
+        let mut ref_ckt = Circuit::new();
+        let mut ref_pads = Vec::new();
+        for (k, pat) in patterns.iter().enumerate() {
+            let pad = ref_ckt.node(format!("p{k}"));
+            ref_ckt.add(PwRbfDriver::new(model.clone(), pad, pat, bit_time));
+            ref_ckt.add(Resistor::new(format!("r{k}"), pad, GROUND, 75.0));
+            ref_pads.push(pad);
+        }
+        let ref_res = ref_ckt.transient(TranParams::new(ts, t_stop)).unwrap();
+
+        // Bank: same three lines as lanes of one device.
+        let mut ckt = Circuit::new();
+        let mut lanes = Vec::new();
+        for (k, pat) in patterns.iter().enumerate() {
+            let pad = ckt.node(format!("p{k}"));
+            lanes.push((pad, LaneStim::from_pattern(pat, bit_time)));
+            ckt.add(Resistor::new(format!("r{k}"), pad, GROUND, 75.0));
+        }
+        let pads: Vec<Node> = lanes.iter().map(|(p, _)| *p).collect();
+        let bank = PwRbfDriverBank::new(&model, lanes);
+        assert_eq!(bank.n_lanes(), 3);
+        ckt.add(bank);
+        let res = ckt.transient(TranParams::new(ts, t_stop)).unwrap();
+
+        for (k, (&pad, &ref_pad)) in pads.iter().zip(&ref_pads).enumerate() {
+            let v = res.voltage(pad);
+            let vr = ref_res.voltage(ref_pad);
+            for i in 0..((t_stop / ts) as usize) {
+                let t = i as f64 * ts;
+                let d = (v.sample_at(t) - vr.sample_at(t)).abs();
+                assert!(d < 1e-12, "lane {k} diverges at t={t:.3e}: {d:.3e}");
+            }
+        }
     }
 
     fn synthetic_receiver(c_over_ts: f64) -> ReceiverModel {

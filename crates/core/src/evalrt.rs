@@ -1,0 +1,1194 @@
+//! `evalrt` — the compiled, allocation-free evaluation runtime.
+//!
+//! Per-timestep model evaluation is the innermost loop of every transient
+//! cell (fixtures, bus ladders, the `mdl serve` simulate path). The
+//! estimation-side model structs are built for construction and validation,
+//! not stepping: RBF centers live in `Vec<Vec<f64>>`, regressors and
+//! gradients allocate per call, and histories are shuffled with
+//! `rotate_right`. This module adds a one-time **compile step** per model
+//! that flattens everything into contiguous, fixed-capacity structures
+//! (see [`sysid::flat`]) plus per-instance lane state, so that `step()` and
+//! `commit()` perform **zero allocations** — asserted by a
+//! counting-allocator test in `crates/core/tests/zero_alloc_step.rs`.
+//!
+//! # Layers
+//!
+//! * [`CompiledDriver`] / [`CompiledReceiver`] / [`CompiledCr`] /
+//!   [`CompiledIbis`] — immutable flattened parameters, shareable across
+//!   instances (compile once per model, step many lanes);
+//! * [`DriverLanes`] / [`ReceiverLanes`] — the mutable lane state: `N`
+//!   instances of one compiled model advancing together over the flat
+//!   parameter slab. State is **lane-major** (`[history slot][lane]`), so
+//!   the batched inner loops run over contiguous memory and
+//!   auto-vectorize. A single device is simply `N = 1`;
+//! * [`EvalScratch`] — reusable per-instance staging buffers (lane-major
+//!   regressor, squared-distance accumulator, per-lane value/gradient
+//!   rows), allocated once at construction;
+//! * [`compile`] / [`CompiledModel`] — entry point over [`AnyModel`].
+//!
+//! # Numerical contract
+//!
+//! Compiled stepping reproduces the estimation-side scalar paths
+//! ([`NarxModel::one_step`](sysid::narx::NarxModel::one_step),
+//! [`ArxModel::one_step`](sysid::arx::ArxModel::one_step), PWL table
+//! lookups) bit-for-bit — every accumulation visits the same terms in the
+//! same order, and the Gaussian exponent is formed from the same
+//! precomputed reciprocal. `tests/proptest_evalrt.rs` asserts ≤ 1e-15
+//! agreement across random models of all four kinds and random lane
+//! counts; in practice the agreement is exact.
+
+use std::sync::Arc;
+
+use crate::driver::PwRbfDriverModel;
+use crate::exchange::AnyModel;
+use crate::macromodel::ModelKind;
+use crate::receiver::{CrModel, ReceiverModel};
+use numkit::interp::Pwl;
+use refdev::IbisModel;
+use sysid::flat::{FlatArx, FlatNarx, LaneRing};
+use sysid::narx::NarxModel;
+
+/// A scheduled logic edge.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    t: f64,
+    rising: bool,
+}
+
+/// Per-lane logic stimulus: the edge schedule derived from a bit pattern.
+///
+/// Each lane of a [`DriverLanes`] bank carries its own `LaneStim`, so lanes
+/// of one compiled model can drive different patterns (e.g. the rotated
+/// patterns of a bus ladder).
+#[derive(Debug, Clone)]
+pub struct LaneStim {
+    edges: Vec<Edge>,
+    initial_high: bool,
+}
+
+impl LaneStim {
+    /// Builds the edge schedule for `pattern` (a `0`/`1` string) with the
+    /// given bit time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty pattern or a non-`0`/`1` character (experiment
+    /// definition error).
+    pub fn from_pattern(pattern: &str, bit_time: f64) -> Self {
+        let bits: Vec<bool> = pattern
+            .chars()
+            .map(|c| match c {
+                '0' => false,
+                '1' => true,
+                other => panic!("invalid bit character '{other}' in pattern"),
+            })
+            .collect();
+        assert!(!bits.is_empty(), "pattern must not be empty");
+        let mut edges = Vec::new();
+        for k in 1..bits.len() {
+            if bits[k] != bits[k - 1] {
+                edges.push(Edge {
+                    t: k as f64 * bit_time,
+                    rising: bits[k],
+                });
+            }
+        }
+        LaneStim {
+            edges,
+            initial_high: bits[0],
+        }
+    }
+}
+
+/// Reusable staging buffers for batched stepping: one lane-major regressor
+/// block plus per-lane accumulator rows. Allocated once per lane bank; the
+/// hot path only ever writes into it.
+#[derive(Debug, Clone)]
+pub struct EvalScratch {
+    /// Lane-major regressor staging, `dim_max * n_lanes`.
+    x: Vec<f64>,
+    /// Squared-distance accumulator row, `n_lanes`.
+    d2: Vec<f64>,
+    /// Per-lane staging rows (submodel values, gradients, weights).
+    v0: Vec<f64>,
+    g0: Vec<f64>,
+    v1: Vec<f64>,
+    g1: Vec<f64>,
+    w0: Vec<f64>,
+    w1: Vec<f64>,
+}
+
+impl EvalScratch {
+    /// Scratch for `n_lanes` lanes of a model whose largest regressor has
+    /// `dim_max` components.
+    pub fn new(dim_max: usize, n_lanes: usize) -> Self {
+        EvalScratch {
+            x: vec![0.0; dim_max.max(1) * n_lanes],
+            d2: vec![0.0; n_lanes],
+            v0: vec![0.0; n_lanes],
+            g0: vec![0.0; n_lanes],
+            v1: vec![0.0; n_lanes],
+            g1: vec![0.0; n_lanes],
+            w0: vec![0.0; n_lanes],
+            w1: vec![0.0; n_lanes],
+        }
+    }
+}
+
+/// Settles a NARX submodel's output by fixed-point iteration at a constant
+/// input (used to initialize histories from a DC operating point). This is
+/// the scalar reference form; [`DriverLanes::init_dc`] uses the equivalent
+/// flat iteration.
+pub fn settle_narx(model: &NarxModel, v: f64) -> f64 {
+    let o = model.orders();
+    let u_hist = vec![v; o.input_lags + 1];
+    let mut y = 0.0;
+    for _ in 0..64 {
+        let y_hist = vec![y; o.output_lags.max(1)];
+        let y_new = model.one_step(&u_hist, &y_hist);
+        if (y_new - y).abs() < 1e-12 {
+            return y_new;
+        }
+        y = y_new;
+    }
+    y
+}
+
+/// Flat fixed-point settle, bit-identical to [`settle_narx`] but writing
+/// the regressor into caller scratch (`x.len() >= narx.dim()`).
+fn settle_flat(narx: &FlatNarx, v: f64, x: &mut [f64]) -> f64 {
+    let dim = narx.dim();
+    let x = &mut x[..dim];
+    x[..narx.input_lags() + 1].fill(v);
+    let mut y = 0.0;
+    for _ in 0..64 {
+        x[narx.input_lags() + 1..].fill(y);
+        let y_new = narx.rbf().eval(x);
+        if (y_new - y).abs() < 1e-12 {
+            return y_new;
+        }
+        y = y_new;
+    }
+    y
+}
+
+/// A [`PwRbfDriverModel`] compiled for flat, batched stepping: both NARX
+/// submodels as [`FlatNarx`] slabs plus the switching-weight tables.
+///
+/// Compile once, then open any number of [`DriverLanes`] banks over it.
+///
+/// ```
+/// use std::sync::Arc;
+/// use macromodel::driver::{PwRbfDriverModel, WeightSequence};
+/// use macromodel::evalrt::{CompiledDriver, DriverLanes, LaneStim};
+/// use sysid::narx::{NarxModel, NarxOrders};
+/// use sysid::rbf::RbfNetwork;
+///
+/// // A synthetic driver: i_H = g (vdd - v), i_L = -g v, 4-sample windows.
+/// let g = 0.05;
+/// let high = NarxModel::from_network(
+///     NarxOrders::dynamic(1),
+///     RbfNetwork::affine(g * 1.8, vec![-g, 0.0, 0.0]),
+/// )
+/// .unwrap();
+/// let low = NarxModel::from_network(
+///     NarxOrders::dynamic(1),
+///     RbfNetwork::affine(0.0, vec![-g, 0.0, 0.0]),
+/// )
+/// .unwrap();
+/// let ramp: Vec<f64> = (0..4).map(|k| k as f64 / 3.0).collect();
+/// let inv: Vec<f64> = ramp.iter().map(|w| 1.0 - w).collect();
+/// let model = PwRbfDriverModel {
+///     name: "synth".into(),
+///     ts: 25e-12,
+///     vdd: 1.8,
+///     i_high: high,
+///     i_low: low,
+///     up: WeightSequence::new(ramp.clone(), inv.clone()).unwrap(),
+///     down: WeightSequence::new(inv, ramp).unwrap(),
+/// };
+///
+/// // Compile once, step two lanes together with zero allocation.
+/// let compiled = Arc::new(CompiledDriver::compile(&model));
+/// let stims = vec![
+///     LaneStim::from_pattern("01", 1e-9),
+///     LaneStim::from_pattern("10", 1e-9),
+/// ];
+/// let mut lanes = DriverLanes::new(Arc::clone(&compiled), stims);
+/// lanes.init_dc(&[0.0, 1.8]);
+/// let (mut i, mut g_out) = ([0.0; 2], [0.0; 2]);
+/// lanes.step(0.0, &[0.0, 1.8], &mut i, &mut g_out);
+/// lanes.commit(&[0.0, 1.8]);
+/// assert!(i.iter().all(|x| x.is_finite()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledDriver {
+    name: String,
+    ts: f64,
+    vdd: f64,
+    high: FlatNarx,
+    low: FlatNarx,
+    up: WeightTable,
+    down: WeightTable,
+}
+
+/// A switching-weight window flattened to two parallel rows.
+#[derive(Debug, Clone)]
+struct WeightTable {
+    w_high: Vec<f64>,
+    w_low: Vec<f64>,
+}
+
+impl WeightTable {
+    #[inline]
+    fn at(&self, k: usize) -> (f64, f64) {
+        let i = k.min(self.w_high.len() - 1);
+        (self.w_high[i], self.w_low[i])
+    }
+}
+
+impl CompiledDriver {
+    /// Flattens a validated driver model. One-time cost; the result is
+    /// immutable and shared by every lane bank via `Arc`.
+    pub fn compile(m: &PwRbfDriverModel) -> Self {
+        CompiledDriver {
+            name: m.name.clone(),
+            ts: m.ts,
+            vdd: m.vdd,
+            high: FlatNarx::compile(&m.i_high),
+            low: FlatNarx::compile(&m.i_low),
+            up: WeightTable {
+                w_high: m.up.w_high().to_vec(),
+                w_low: m.up.w_low().to_vec(),
+            },
+            down: WeightTable {
+                w_high: m.down.w_high().to_vec(),
+                w_low: m.down.w_low().to_vec(),
+            },
+        }
+    }
+
+    /// Source model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Model sample time (s).
+    pub fn ts(&self) -> f64 {
+        self.ts
+    }
+
+    /// Supply voltage (V).
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Largest submodel regressor dimension.
+    fn dim_max(&self) -> usize {
+        self.high.dim().max(self.low.dim())
+    }
+
+    /// Switching weights of one stimulus at absolute time `t`.
+    pub fn weights_at(&self, stim: &LaneStim, t: f64) -> (f64, f64) {
+        let mut state_high = stim.initial_high;
+        let mut active: Option<(f64, bool)> = None;
+        for e in &stim.edges {
+            if e.t <= t + 1e-18 {
+                state_high = e.rising;
+                active = Some((e.t, e.rising));
+            } else {
+                break;
+            }
+        }
+        if let Some((t0, rising)) = active {
+            let k = ((t - t0) / self.ts).round() as usize;
+            let seq = if rising { &self.up } else { &self.down };
+            if k < seq.w_high.len() {
+                return seq.at(k);
+            }
+        }
+        if state_high {
+            (1.0, 0.0)
+        } else {
+            (0.0, 1.0)
+        }
+    }
+}
+
+/// `N` lanes of one [`CompiledDriver`] advancing together: lane-major
+/// voltage/current history rings plus reusable scratch. `step` computes the
+/// delivered current and its voltage derivative for every lane in one pass
+/// over the flat parameter slab; `commit` advances the histories with the
+/// converged voltages. Both are zero-allocation.
+#[derive(Debug, Clone)]
+pub struct DriverLanes {
+    model: Arc<CompiledDriver>,
+    stims: Vec<LaneStim>,
+    n_lanes: usize,
+    v_past: LaneRing,
+    ih_past: LaneRing,
+    il_past: LaneRing,
+    scratch: EvalScratch,
+    /// Voltages of the most recent [`DriverLanes::step`], while the
+    /// submodel values it computed are still valid in scratch. Newton
+    /// accepts the voltages of its own final evaluation, so commit almost
+    /// always reuses them instead of re-evaluating both submodels.
+    last_v: Vec<f64>,
+    last_valid: bool,
+}
+
+impl DriverLanes {
+    /// Opens a lane bank with one stimulus per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stims` is empty.
+    pub fn new(model: Arc<CompiledDriver>, stims: Vec<LaneStim>) -> Self {
+        assert!(!stims.is_empty(), "at least one lane required");
+        let n = stims.len();
+        let lags_v = model.high.input_lags().max(model.low.input_lags());
+        DriverLanes {
+            n_lanes: n,
+            v_past: LaneRing::new(lags_v, n),
+            ih_past: LaneRing::new(model.high.output_lags(), n),
+            il_past: LaneRing::new(model.low.output_lags(), n),
+            scratch: EvalScratch::new(model.dim_max(), n),
+            last_v: vec![0.0; n],
+            last_valid: false,
+            model,
+            stims,
+        }
+    }
+
+    /// Lane count.
+    pub fn n_lanes(&self) -> usize {
+        self.n_lanes
+    }
+
+    /// The shared compiled model.
+    pub fn model(&self) -> &Arc<CompiledDriver> {
+        &self.model
+    }
+
+    /// Switching weights of lane `lane` at absolute time `t`.
+    pub fn weights_at(&self, lane: usize, t: f64) -> (f64, f64) {
+        self.model.weights_at(&self.stims[lane], t)
+    }
+
+    /// Batched Newton evaluation at time `t` and trial voltages `v` (one
+    /// per lane): writes the delivered current into `i_out` and its
+    /// derivative w.r.t. the lane voltage into `g_out`. Histories are not
+    /// modified — call repeatedly within one Newton loop, then
+    /// [`DriverLanes::commit`] once converged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v`, `i_out` or `g_out` are not `n_lanes` long.
+    pub fn step(&mut self, t: f64, v: &[f64], i_out: &mut [f64], g_out: &mut [f64]) {
+        let DriverLanes {
+            model,
+            stims,
+            n_lanes,
+            v_past,
+            ih_past,
+            il_past,
+            scratch: s,
+            last_v,
+            last_valid,
+        } = self;
+        let n = *n_lanes;
+        assert_eq!(v.len(), n, "voltage lane count mismatch");
+        assert_eq!(i_out.len(), n, "current lane count mismatch");
+        assert_eq!(g_out.len(), n, "gradient lane count mismatch");
+        for (l, stim) in stims.iter().enumerate() {
+            let (wh, wl) = model.weights_at(stim, t);
+            s.w0[l] = wh;
+            s.w1[l] = wl;
+        }
+        model.high.gather_lanes(v, v_past, ih_past, &mut s.x);
+        model
+            .high
+            .step_lanes(&s.x, n, &mut s.d2, &mut s.v0, &mut s.g0);
+        model.low.gather_lanes(v, v_past, il_past, &mut s.x);
+        model
+            .low
+            .step_lanes(&s.x, n, &mut s.d2, &mut s.v1, &mut s.g1);
+        for l in 0..n {
+            i_out[l] = s.w0[l] * s.v0[l] + s.w1[l] * s.v1[l];
+            g_out[l] = s.w0[l] * s.g0[l] + s.w1[l] * s.g1[l];
+        }
+        last_v.copy_from_slice(v);
+        *last_valid = true;
+    }
+
+    /// Advances every lane's history with the converged voltages.
+    ///
+    /// When `v` is exactly the voltages of the preceding
+    /// [`DriverLanes::step`] — the common case: Newton's final evaluation
+    /// is at the solution it accepts — the submodel values that step
+    /// already computed are pushed directly (the fused value equals the
+    /// value-only evaluation bit for bit), skipping both re-evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != n_lanes`.
+    pub fn commit(&mut self, v: &[f64]) {
+        let DriverLanes {
+            model,
+            n_lanes,
+            v_past,
+            ih_past,
+            il_past,
+            scratch: s,
+            last_v,
+            last_valid,
+            ..
+        } = self;
+        let n = *n_lanes;
+        assert_eq!(v.len(), n, "voltage lane count mismatch");
+        let reuse = *last_valid
+            && v.iter()
+                .zip(last_v.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !reuse {
+            model.high.gather_lanes(v, v_past, ih_past, &mut s.x);
+            model.high.rbf().eval_lanes(&s.x, n, &mut s.d2, &mut s.v0);
+            model.low.gather_lanes(v, v_past, il_past, &mut s.x);
+            model.low.rbf().eval_lanes(&s.x, n, &mut s.d2, &mut s.v1);
+        }
+        v_past.push_row(v);
+        ih_past.push_row(&s.v0);
+        il_past.push_row(&s.v1);
+        *last_valid = false;
+    }
+
+    /// Resets every lane's history to the DC operating point `v0` (one
+    /// voltage per lane), settling each submodel to its fixed point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v0.len() != n_lanes`.
+    pub fn init_dc(&mut self, v0: &[f64]) {
+        assert_eq!(v0.len(), self.n_lanes, "voltage lane count mismatch");
+        self.last_valid = false;
+        for (l, &v) in v0.iter().enumerate() {
+            self.v_past.fill_lane(l, v);
+            let ih = settle_flat(&self.model.high, v, &mut self.scratch.x);
+            self.ih_past.fill_lane(l, ih);
+            let il = settle_flat(&self.model.low, v, &mut self.scratch.x);
+            self.il_past.fill_lane(l, il);
+        }
+    }
+}
+
+/// A [`ReceiverModel`] compiled for flat, batched stepping: the linear ARX
+/// part as [`FlatArx`] taps and both protection submodels as [`FlatNarx`]
+/// slabs.
+///
+/// ```
+/// use std::sync::Arc;
+/// use macromodel::evalrt::{CompiledReceiver, ReceiverLanes};
+/// use macromodel::receiver::ReceiverModel;
+/// use sysid::arx::{ArxModel, ArxOrders};
+/// use sysid::narx::{NarxModel, NarxOrders};
+/// use sysid::rbf::RbfNetwork;
+///
+/// // A capacitor-like receiver: i = C/Ts (v(k) - v(k-1)).
+/// let linear = ArxModel::from_coefficients(
+///     ArxOrders { na: 0, nb: 1 },
+///     vec![],
+///     vec![80.0, -80.0],
+/// )
+/// .unwrap();
+/// let zero = NarxModel::from_network(
+///     NarxOrders::dynamic(1),
+///     RbfNetwork::affine(0.0, vec![0.0, 0.0, 0.0]),
+/// )
+/// .unwrap();
+/// let model = ReceiverModel {
+///     name: "rx".into(),
+///     ts: 25e-12,
+///     vdd: 1.8,
+///     linear,
+///     up: zero.clone(),
+///     down: zero,
+/// };
+///
+/// let compiled = Arc::new(CompiledReceiver::compile(&model));
+/// let mut lanes = ReceiverLanes::new(compiled, 3);
+/// lanes.init_dc(&[0.0, 0.9, 1.8]);
+/// let (mut i, mut g) = ([0.0; 3], [0.0; 3]);
+/// lanes.step(&[0.1, 0.9, 1.7], &mut i, &mut g);
+/// lanes.commit(&[0.1, 0.9, 1.7]);
+/// assert!(i[0] > 0.0 && i[2] < 0.0); // capacitive charge/discharge
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledReceiver {
+    name: String,
+    ts: f64,
+    vdd: f64,
+    linear: FlatArx,
+    up: FlatNarx,
+    down: FlatNarx,
+    /// `Σ a_i` and `Σ b_j` of the linear part (DC-gain settle).
+    lin_a_sum: f64,
+    lin_b_sum: f64,
+}
+
+impl CompiledReceiver {
+    /// Flattens a validated receiver model. One-time cost.
+    pub fn compile(m: &ReceiverModel) -> Self {
+        CompiledReceiver {
+            name: m.name.clone(),
+            ts: m.ts,
+            vdd: m.vdd,
+            linear: FlatArx::compile(&m.linear),
+            up: FlatNarx::compile(&m.up),
+            down: FlatNarx::compile(&m.down),
+            lin_a_sum: m.linear.a().iter().sum(),
+            lin_b_sum: m.linear.b().iter().sum(),
+        }
+    }
+
+    /// Source model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Model sample time (s).
+    pub fn ts(&self) -> f64 {
+        self.ts
+    }
+
+    /// Supply voltage (V).
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    fn dim_max(&self) -> usize {
+        self.up.dim().max(self.down.dim())
+    }
+}
+
+/// `N` lanes of one [`CompiledReceiver`]; see [`DriverLanes`] for the
+/// step/commit protocol.
+#[derive(Debug, Clone)]
+pub struct ReceiverLanes {
+    model: Arc<CompiledReceiver>,
+    n_lanes: usize,
+    v_past: LaneRing,
+    ilin_past: LaneRing,
+    iup_past: LaneRing,
+    idn_past: LaneRing,
+    scratch: EvalScratch,
+    /// See [`DriverLanes`]: step voltages whose submodel values are still
+    /// staged in scratch, reusable by a matching commit.
+    last_v: Vec<f64>,
+    last_valid: bool,
+}
+
+impl ReceiverLanes {
+    /// Opens a lane bank of `n_lanes` instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_lanes == 0`.
+    pub fn new(model: Arc<CompiledReceiver>, n_lanes: usize) -> Self {
+        assert!(n_lanes > 0, "at least one lane required");
+        let lags_v = model
+            .linear
+            .nb()
+            .max(model.up.input_lags())
+            .max(model.down.input_lags());
+        ReceiverLanes {
+            n_lanes,
+            v_past: LaneRing::new(lags_v, n_lanes),
+            ilin_past: LaneRing::new(model.linear.na(), n_lanes),
+            iup_past: LaneRing::new(model.up.output_lags(), n_lanes),
+            idn_past: LaneRing::new(model.down.output_lags(), n_lanes),
+            scratch: EvalScratch::new(model.dim_max(), n_lanes),
+            last_v: vec![0.0; n_lanes],
+            last_valid: false,
+            model,
+        }
+    }
+
+    /// Lane count.
+    pub fn n_lanes(&self) -> usize {
+        self.n_lanes
+    }
+
+    /// The shared compiled model.
+    pub fn model(&self) -> &Arc<CompiledReceiver> {
+        &self.model
+    }
+
+    /// Batched Newton evaluation at trial voltages `v`: total port current
+    /// (`i_lin + i_up + i_down`) into `i_out`, its voltage derivative into
+    /// `g_out`. Histories are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v`, `i_out` or `g_out` are not `n_lanes` long.
+    pub fn step(&mut self, v: &[f64], i_out: &mut [f64], g_out: &mut [f64]) {
+        let ReceiverLanes {
+            model,
+            n_lanes,
+            v_past,
+            ilin_past,
+            iup_past,
+            idn_past,
+            scratch: s,
+            last_v,
+            last_valid,
+        } = self;
+        let n = *n_lanes;
+        assert_eq!(v.len(), n, "voltage lane count mismatch");
+        assert_eq!(i_out.len(), n, "current lane count mismatch");
+        assert_eq!(g_out.len(), n, "gradient lane count mismatch");
+        model.linear.step_lanes(v, v_past, ilin_past, &mut s.v0);
+        let g_lin = model.linear.feedthrough();
+        model.up.gather_lanes(v, v_past, iup_past, &mut s.x);
+        model
+            .up
+            .step_lanes(&s.x, n, &mut s.d2, &mut s.v1, &mut s.g1);
+        model.down.gather_lanes(v, v_past, idn_past, &mut s.x);
+        model
+            .down
+            .step_lanes(&s.x, n, &mut s.d2, &mut s.w0, &mut s.w1);
+        for l in 0..n {
+            i_out[l] = s.v0[l] + s.v1[l] + s.w0[l];
+            g_out[l] = g_lin + s.g1[l] + s.w1[l];
+        }
+        last_v.copy_from_slice(v);
+        *last_valid = true;
+    }
+
+    /// Advances every lane's history with the converged voltages. As with
+    /// [`DriverLanes::commit`], a commit at exactly the voltages of the
+    /// preceding [`ReceiverLanes::step`] reuses that step's staged
+    /// submodel values instead of re-evaluating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != n_lanes`.
+    pub fn commit(&mut self, v: &[f64]) {
+        let ReceiverLanes {
+            model,
+            n_lanes,
+            v_past,
+            ilin_past,
+            iup_past,
+            idn_past,
+            scratch: s,
+            last_v,
+            last_valid,
+        } = self;
+        let n = *n_lanes;
+        assert_eq!(v.len(), n, "voltage lane count mismatch");
+        let reuse = *last_valid
+            && v.iter()
+                .zip(last_v.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !reuse {
+            model.linear.step_lanes(v, v_past, ilin_past, &mut s.v0);
+            model.up.gather_lanes(v, v_past, iup_past, &mut s.x);
+            model.up.rbf().eval_lanes(&s.x, n, &mut s.d2, &mut s.v1);
+            model.down.gather_lanes(v, v_past, idn_past, &mut s.x);
+            model.down.rbf().eval_lanes(&s.x, n, &mut s.d2, &mut s.w0);
+        }
+        v_past.push_row(v);
+        ilin_past.push_row(&s.v0);
+        iup_past.push_row(&s.v1);
+        idn_past.push_row(&s.w0);
+        *last_valid = false;
+    }
+
+    /// Resets every lane's history to the DC operating point `v0`: the
+    /// linear part settles to its static gain, the protection submodels to
+    /// their fixed points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v0.len() != n_lanes`.
+    pub fn init_dc(&mut self, v0: &[f64]) {
+        assert_eq!(v0.len(), self.n_lanes, "voltage lane count mismatch");
+        self.last_valid = false;
+        for (l, &v) in v0.iter().enumerate() {
+            self.v_past.fill_lane(l, v);
+            let dc_gain = if (1.0 - self.model.lin_a_sum).abs() > 1e-9 {
+                self.model.lin_b_sum / (1.0 - self.model.lin_a_sum) * v
+            } else {
+                0.0
+            };
+            self.ilin_past.fill_lane(l, dc_gain);
+            let up0 = settle_flat(&self.model.up, v, &mut self.scratch.x);
+            self.iup_past.fill_lane(l, up0);
+            let dn0 = settle_flat(&self.model.down, v, &mut self.scratch.x);
+            self.idn_past.fill_lane(l, dn0);
+        }
+    }
+}
+
+/// A [`CrModel`] compiled for batched evaluation. The PWL table is already
+/// a flat sorted array ([`numkit::interp::Pwl`]); the capacitor part stamps
+/// as a linear element and needs no runtime. Stateless: `step_lanes` is the
+/// whole protocol.
+#[derive(Debug, Clone)]
+pub struct CompiledCr {
+    name: String,
+    c: f64,
+    iv: Pwl,
+}
+
+impl CompiledCr {
+    /// Flattens the C–R̂ baseline. One-time cost.
+    pub fn compile(m: &CrModel) -> Self {
+        CompiledCr {
+            name: m.name.clone(),
+            c: m.c,
+            iv: m.static_iv.clone(),
+        }
+    }
+
+    /// Source model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Die capacitance (F).
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// Static resistor current and clamped slope for every lane (matches
+    /// the `PwlResistor` device stamp).
+    ///
+    /// # Panics
+    ///
+    /// Panics on lane-count mismatches.
+    pub fn step_lanes(&self, v: &[f64], i_out: &mut [f64], g_out: &mut [f64]) {
+        assert_eq!(v.len(), i_out.len(), "current lane count mismatch");
+        assert_eq!(v.len(), g_out.len(), "gradient lane count mismatch");
+        for (l, &vl) in v.iter().enumerate() {
+            i_out[l] = self.iv.eval(vl);
+            g_out[l] = self.iv.slope(vl).max(0.0);
+        }
+    }
+}
+
+/// An [`IbisModel`] output stage compiled for batched evaluation: static
+/// pullup/pulldown tables (already flat PWL arrays) blended by the
+/// switching coefficients. Stateless like [`CompiledCr`].
+#[derive(Debug, Clone)]
+pub struct CompiledIbis {
+    name: String,
+    vdd: f64,
+    pullup: Pwl,
+    pulldown: Pwl,
+}
+
+impl CompiledIbis {
+    /// Flattens the IBIS baseline's output stage. One-time cost.
+    pub fn compile(m: &IbisModel) -> Self {
+        CompiledIbis {
+            name: m.name.clone(),
+            vdd: m.vdd,
+            pullup: m.pullup.clone(),
+            pulldown: m.pulldown.clone(),
+        }
+    }
+
+    /// Source model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Supply voltage (V).
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Delivered current and slope at port voltage `v` with switching
+    /// coefficients `(ku, kd)` — the `IbisDriver` stamp expression.
+    #[inline]
+    pub fn output(&self, v: f64, ku: f64, kd: f64) -> (f64, f64) {
+        let i = ku * self.pullup.eval(v) + kd * self.pulldown.eval(v);
+        let g = ku * self.pullup.slope(v) + kd * self.pulldown.slope(v);
+        (i, g)
+    }
+
+    /// Batched [`CompiledIbis::output`] over parallel lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on lane-count mismatches.
+    pub fn step_lanes(
+        &self,
+        v: &[f64],
+        ku: &[f64],
+        kd: &[f64],
+        i_out: &mut [f64],
+        g_out: &mut [f64],
+    ) {
+        assert!(
+            v.len() == ku.len() && v.len() == kd.len(),
+            "coefficient lane count mismatch"
+        );
+        assert!(
+            v.len() == i_out.len() && v.len() == g_out.len(),
+            "output lane count mismatch"
+        );
+        for l in 0..v.len() {
+            let (i, g) = self.output(v[l], ku[l], kd[l]);
+            i_out[l] = i;
+            g_out[l] = g;
+        }
+    }
+}
+
+/// A compiled model of any kind; produced by [`compile`].
+#[derive(Debug, Clone)]
+pub enum CompiledModel {
+    /// Compiled PW-RBF driver.
+    PwRbfDriver(CompiledDriver),
+    /// Compiled receiver parametric model.
+    Receiver(CompiledReceiver),
+    /// Compiled C–R̂ baseline.
+    Cr(CompiledCr),
+    /// Compiled IBIS output stage.
+    Ibis(CompiledIbis),
+}
+
+impl CompiledModel {
+    /// The model kind.
+    pub fn kind(&self) -> ModelKind {
+        match self {
+            CompiledModel::PwRbfDriver(_) => ModelKind::PwRbfDriver,
+            CompiledModel::Receiver(_) => ModelKind::Receiver,
+            CompiledModel::Cr(_) => ModelKind::CrBaseline,
+            CompiledModel::Ibis(_) => ModelKind::Ibis,
+        }
+    }
+
+    /// Source model name.
+    pub fn name(&self) -> &str {
+        match self {
+            CompiledModel::PwRbfDriver(m) => m.name(),
+            CompiledModel::Receiver(m) => m.name(),
+            CompiledModel::Cr(m) => m.name(),
+            CompiledModel::Ibis(m) => m.name(),
+        }
+    }
+}
+
+/// Compiles any exchangeable model into its flat runtime form.
+///
+/// ```
+/// use macromodel::evalrt::{compile, CompiledModel};
+/// use macromodel::exchange::AnyModel;
+/// use macromodel::receiver::CrModel;
+/// use numkit::interp::Pwl;
+///
+/// let iv = Pwl::new(vec![-1.0, 0.0, 1.0], vec![-0.1, 0.0, 0.1]).unwrap();
+/// let model = AnyModel::Cr(CrModel::new("cr", 1e-12, iv).unwrap());
+/// let compiled = compile(&model);
+/// assert!(matches!(compiled, CompiledModel::Cr(_)));
+/// assert_eq!(compiled.name(), "cr");
+/// ```
+pub fn compile(model: &AnyModel) -> CompiledModel {
+    match model {
+        AnyModel::PwRbfDriver(m) => CompiledModel::PwRbfDriver(CompiledDriver::compile(m)),
+        AnyModel::Receiver(m) => CompiledModel::Receiver(CompiledReceiver::compile(m)),
+        AnyModel::Cr(m) => CompiledModel::Cr(CompiledCr::compile(m)),
+        AnyModel::Ibis(m) => CompiledModel::Ibis(CompiledIbis::compile(m)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::WeightSequence;
+    use sysid::arx::{ArxModel, ArxOrders};
+    use sysid::narx::NarxOrders;
+    use sysid::rbf::RbfNetwork;
+
+    fn nonlinear_narx(seed: f64) -> NarxModel {
+        let net = RbfNetwork::from_parts(
+            3,
+            vec![
+                vec![0.2 + seed, -0.1, 0.5],
+                vec![-0.6, 0.9, 0.1 - seed],
+                vec![1.1, 0.4, -0.3],
+            ],
+            vec![0.8, 1.1, 0.6],
+            vec![0.02, -0.015, 0.01],
+            0.001 * seed,
+            vec![-0.04, 0.005, 0.3],
+        )
+        .unwrap();
+        NarxModel::from_network(NarxOrders::dynamic(1), net).unwrap()
+    }
+
+    fn test_driver() -> PwRbfDriverModel {
+        let ramp: Vec<f64> = (0..8).map(|k| k as f64 / 7.0).collect();
+        let inv: Vec<f64> = ramp.iter().map(|w| 1.0 - w).collect();
+        PwRbfDriverModel {
+            name: "d".into(),
+            ts: 25e-12,
+            vdd: 1.8,
+            i_high: nonlinear_narx(0.1),
+            i_low: nonlinear_narx(-0.2),
+            up: WeightSequence::new(ramp.clone(), inv.clone()).unwrap(),
+            down: WeightSequence::new(inv, ramp).unwrap(),
+        }
+    }
+
+    /// Reference single-lane driver stepper built directly on the scalar
+    /// model paths (mirrors the pre-compile device implementation).
+    struct ScalarDriverRef {
+        model: PwRbfDriverModel,
+        v_past: Vec<f64>,
+        ih_past: Vec<f64>,
+        il_past: Vec<f64>,
+    }
+
+    impl ScalarDriverRef {
+        fn new(model: PwRbfDriverModel, v0: f64) -> Self {
+            let lags_v = model
+                .i_high
+                .orders()
+                .input_lags
+                .max(model.i_low.orders().input_lags);
+            let ih0 = settle_narx(&model.i_high, v0);
+            let il0 = settle_narx(&model.i_low, v0);
+            ScalarDriverRef {
+                v_past: vec![v0; lags_v],
+                ih_past: vec![ih0; model.i_high.orders().output_lags.max(1)],
+                il_past: vec![il0; model.i_low.orders().output_lags.max(1)],
+                model,
+            }
+        }
+
+        fn u_hist(&self, v_now: f64, lags: usize) -> Vec<f64> {
+            let mut u = Vec::with_capacity(lags + 1);
+            u.push(v_now);
+            u.extend_from_slice(&self.v_past[..lags]);
+            u
+        }
+
+        fn step(&self, wh: f64, wl: f64, v: f64) -> (f64, f64) {
+            let (ih, gh) = self.model.i_high.one_step_with_gradient(
+                &self.u_hist(v, self.model.i_high.orders().input_lags),
+                &self.ih_past,
+            );
+            let (il, gl) = self.model.i_low.one_step_with_gradient(
+                &self.u_hist(v, self.model.i_low.orders().input_lags),
+                &self.il_past,
+            );
+            (wh * ih + wl * il, wh * gh + wl * gl)
+        }
+
+        fn commit(&mut self, v: f64) {
+            let ih = self.model.i_high.one_step(
+                &self.u_hist(v, self.model.i_high.orders().input_lags),
+                &self.ih_past,
+            );
+            let il = self.model.i_low.one_step(
+                &self.u_hist(v, self.model.i_low.orders().input_lags),
+                &self.il_past,
+            );
+            self.v_past.rotate_right(1);
+            if !self.v_past.is_empty() {
+                self.v_past[0] = v;
+            }
+            self.ih_past.rotate_right(1);
+            self.ih_past[0] = ih;
+            self.il_past.rotate_right(1);
+            self.il_past[0] = il;
+        }
+    }
+
+    #[test]
+    fn driver_lanes_match_scalar_reference_bitwise() {
+        let model = test_driver();
+        let compiled = Arc::new(CompiledDriver::compile(&model));
+        let stims = vec![
+            LaneStim::from_pattern("0110", 1e-9),
+            LaneStim::from_pattern("1010", 1e-9),
+            LaneStim::from_pattern("0011", 1e-9),
+        ];
+        let v0 = [0.0, 1.8, 0.4];
+        let mut lanes = DriverLanes::new(Arc::clone(&compiled), stims.clone());
+        lanes.init_dc(&v0);
+        let mut refs: Vec<ScalarDriverRef> = v0
+            .iter()
+            .map(|&v| ScalarDriverRef::new(model.clone(), v))
+            .collect();
+        let ts = model.ts;
+        let mut v = v0;
+        let (mut i, mut g) = ([0.0; 3], [0.0; 3]);
+        for k in 0..200 {
+            let t = k as f64 * ts;
+            // A deterministic pseudo-waveform per lane.
+            for (l, vl) in v.iter_mut().enumerate() {
+                *vl = 0.9 + 0.9 * ((0.13 * k as f64) + l as f64).sin();
+            }
+            lanes.step(t, &v, &mut i, &mut g);
+            for (l, r) in refs.iter().enumerate() {
+                let (wh, wl) = compiled.weights_at(&stims[l], t);
+                let (ri, rg) = r.step(wh, wl, v[l]);
+                assert_eq!(i[l].to_bits(), ri.to_bits(), "i lane {l} step {k}");
+                assert_eq!(g[l].to_bits(), rg.to_bits(), "g lane {l} step {k}");
+            }
+            lanes.commit(&v);
+            for (l, r) in refs.iter_mut().enumerate() {
+                r.commit(v[l]);
+            }
+        }
+    }
+
+    /// Reference single-lane receiver stepper built directly on the scalar
+    /// model paths (mirrors the pre-compile device implementation).
+    struct ScalarReceiverRef {
+        model: ReceiverModel,
+        v_past: Vec<f64>,
+        ilin_past: Vec<f64>,
+        iup_past: Vec<f64>,
+        idn_past: Vec<f64>,
+    }
+
+    impl ScalarReceiverRef {
+        fn new(model: ReceiverModel, v0: f64) -> Self {
+            let lags_v = model
+                .linear
+                .orders()
+                .nb
+                .max(model.up.orders().input_lags)
+                .max(model.down.orders().input_lags);
+            let sa: f64 = model.linear.a().iter().sum();
+            let sb: f64 = model.linear.b().iter().sum();
+            let dc_gain = if (1.0 - sa).abs() > 1e-9 {
+                sb / (1.0 - sa) * v0
+            } else {
+                0.0
+            };
+            let up0 = settle_narx(&model.up, v0);
+            let dn0 = settle_narx(&model.down, v0);
+            ScalarReceiverRef {
+                v_past: vec![v0; lags_v.max(1)],
+                ilin_past: vec![dc_gain; model.linear.orders().na.max(1)],
+                iup_past: vec![up0; model.up.orders().output_lags.max(1)],
+                idn_past: vec![dn0; model.down.orders().output_lags.max(1)],
+                model,
+            }
+        }
+
+        fn parts(&self, v: f64) -> (f64, f64, f64, f64, f64, f64) {
+            let mut u_lin = vec![v];
+            u_lin.extend_from_slice(&self.v_past[..self.model.linear.orders().nb]);
+            let i_lin = self.model.linear.one_step(&u_lin, &self.ilin_past);
+            let g_lin = self.model.linear.feedthrough();
+            let mut u_up = vec![v];
+            u_up.extend_from_slice(&self.v_past[..self.model.up.orders().input_lags]);
+            let (i_up, g_up) = self.model.up.one_step_with_gradient(&u_up, &self.iup_past);
+            let mut u_dn = vec![v];
+            u_dn.extend_from_slice(&self.v_past[..self.model.down.orders().input_lags]);
+            let (i_dn, g_dn) = self
+                .model
+                .down
+                .one_step_with_gradient(&u_dn, &self.idn_past);
+            (i_lin, g_lin, i_up, g_up, i_dn, g_dn)
+        }
+
+        fn step(&self, v: f64) -> (f64, f64) {
+            let (i_lin, g_lin, i_up, g_up, i_dn, g_dn) = self.parts(v);
+            (i_lin + i_up + i_dn, g_lin + g_up + g_dn)
+        }
+
+        fn commit(&mut self, v: f64) {
+            let (i_lin, _, i_up, _, i_dn, _) = self.parts(v);
+            self.v_past.rotate_right(1);
+            self.v_past[0] = v;
+            self.ilin_past.rotate_right(1);
+            self.ilin_past[0] = i_lin;
+            self.iup_past.rotate_right(1);
+            self.iup_past[0] = i_up;
+            self.idn_past.rotate_right(1);
+            self.idn_past[0] = i_dn;
+        }
+    }
+
+    #[test]
+    fn receiver_lanes_match_scalar_reference_bitwise() {
+        let linear =
+            ArxModel::from_coefficients(ArxOrders { na: 1, nb: 1 }, vec![0.35], vec![0.08, -0.06])
+                .unwrap();
+        let model = ReceiverModel {
+            name: "rx".into(),
+            ts: 25e-12,
+            vdd: 1.8,
+            linear,
+            up: nonlinear_narx(0.05),
+            down: nonlinear_narx(-0.15),
+        };
+        let compiled = Arc::new(CompiledReceiver::compile(&model));
+        let v0 = [0.0, 1.2];
+        let mut lanes = ReceiverLanes::new(compiled, 2);
+        lanes.init_dc(&v0);
+        let mut refs: Vec<ScalarReceiverRef> = v0
+            .iter()
+            .map(|&v| ScalarReceiverRef::new(model.clone(), v))
+            .collect();
+        let (mut i, mut g) = ([0.0; 2], [0.0; 2]);
+        for k in 0..150 {
+            let v = [
+                0.9 + 0.9 * (0.21 * k as f64).sin(),
+                0.9 - 0.9 * (0.17 * k as f64).cos(),
+            ];
+            lanes.step(&v, &mut i, &mut g);
+            for (l, r) in refs.iter().enumerate() {
+                let (ri, rg) = r.step(v[l]);
+                assert_eq!(i[l].to_bits(), ri.to_bits(), "i lane {l} step {k}");
+                assert_eq!(g[l].to_bits(), rg.to_bits(), "g lane {l} step {k}");
+            }
+            lanes.commit(&v);
+            for (l, r) in refs.iter_mut().enumerate() {
+                r.commit(v[l]);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_at_matches_schedule() {
+        let model = test_driver();
+        let compiled = CompiledDriver::compile(&model);
+        let stim = LaneStim::from_pattern("010", 1e-9);
+        assert_eq!(compiled.weights_at(&stim, 0.5e-9), (0.0, 1.0));
+        let (wh, wl) = compiled.weights_at(&stim, 1e-9 + 3.0 * model.ts);
+        assert!(wh > 0.0 && wh < 1.0 && wl > 0.0 && wl < 1.0);
+        assert_eq!(compiled.weights_at(&stim, 1.9e-9), (1.0, 0.0));
+        assert_eq!(compiled.weights_at(&stim, 5e-9), (0.0, 1.0));
+    }
+
+    #[test]
+    fn compile_dispatches_all_kinds() {
+        let drv = AnyModel::PwRbfDriver(test_driver());
+        assert_eq!(compile(&drv).kind(), ModelKind::PwRbfDriver);
+        assert_eq!(compile(&drv).name(), "d");
+        let iv = Pwl::new(vec![-1.0, 0.0, 1.0], vec![-0.1, 0.0, 0.1]).unwrap();
+        let cr = AnyModel::Cr(CrModel::new("cr", 1e-12, iv).unwrap());
+        let compiled = compile(&cr);
+        assert_eq!(compiled.kind(), ModelKind::CrBaseline);
+        if let CompiledModel::Cr(c) = &compiled {
+            assert_eq!(c.c(), 1e-12);
+            let (mut i, mut g) = ([0.0; 2], [0.0; 2]);
+            c.step_lanes(&[0.5, -0.5], &mut i, &mut g);
+            assert!((i[0] - 0.05).abs() < 1e-15);
+            assert!((i[1] + 0.05).abs() < 1e-15);
+            assert!(g.iter().all(|&x| x >= 0.0));
+        } else {
+            panic!("expected CR");
+        }
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`device`] — implementations of [`circuit::Device`] that install the
 //!   estimated discrete-time models into the circuit simulator (the paper's
 //!   "SPICE implementation" step);
+//! * [`evalrt`] — the compiled, allocation-free evaluation runtime: a
+//!   one-time flattening pass per model plus batched multi-lane stepping
+//!   (the hot path behind every device above);
 //! * [`pipeline`] — end-to-end estimation from transistor-level reference
 //!   devices: identification-signal synthesis, waveform capture, submodel
 //!   training, weight inversion;
@@ -37,6 +40,7 @@
 
 pub mod device;
 pub mod driver;
+pub mod evalrt;
 pub mod exchange;
 pub mod macromodel;
 pub mod modelstore;
@@ -46,6 +50,10 @@ pub mod session;
 pub mod validate;
 
 pub use driver::PwRbfDriverModel;
+pub use evalrt::{
+    compile, CompiledCr, CompiledDriver, CompiledIbis, CompiledModel, CompiledReceiver,
+    DriverLanes, EvalScratch, LaneStim, ReceiverLanes,
+};
 pub use exchange::{
     content_digest, load_artifact, load_artifact_from_path, load_model, load_model_from_path,
     save_artifact, save_artifact_to_path, save_model, save_model_to_path, AnyModel, Artifact,

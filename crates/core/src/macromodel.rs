@@ -40,14 +40,16 @@
 //! # }
 //! ```
 
-use crate::device::{PwRbfDriver, ReceiverModelDevice};
+use crate::device::{PwRbfDriver, PwRbfDriverBank, ReceiverModelDevice};
 use crate::driver::PwRbfDriverModel;
+use crate::evalrt::{CompiledDriver, LaneStim};
 use crate::receiver::{CrModel, ReceiverModel};
 use crate::{Error, Result};
 use circuit::devices::{Capacitor, IdealLine, Resistor, SourceWaveform, VoltageSource};
 use circuit::{Circuit, Node, TranParams, Waveform, GROUND};
 use refdev::IbisModel;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The model families the workspace can estimate and exchange.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -277,6 +279,26 @@ pub trait Macromodel: Send + Sync {
     /// driver stimulus.
     fn instantiate(&self, ckt: &mut Circuit, pad: Node, stim: Option<&PortStimulus>) -> Result<()>;
 
+    /// Installs the model at several pads of one circuit. Backends with a
+    /// batched runtime (the PW-RBF driver) compile the model once and add a
+    /// single multi-lane device stepping every pad together; the default
+    /// falls back to one [`Macromodel::instantiate`] call per pad.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidModel`] for an invalid model or a missing
+    /// driver stimulus.
+    fn instantiate_lanes(
+        &self,
+        ckt: &mut Circuit,
+        lanes: &[(Node, Option<&PortStimulus>)],
+    ) -> Result<()> {
+        for &(pad, stim) in lanes {
+            self.instantiate(ckt, pad, stim)?;
+        }
+        Ok(())
+    }
+
     /// Runs the model against a standard fixture and returns the pad
     /// voltage: a fresh circuit with the fixture installed around the pad,
     /// the model instantiated at it, and a transient of `t_stop` seconds at
@@ -349,6 +371,25 @@ impl Macromodel for PwRbfDriverModel {
             &stim.pattern,
             stim.bit_time,
         ));
+        Ok(())
+    }
+
+    fn instantiate_lanes(
+        &self,
+        ckt: &mut Circuit,
+        lanes: &[(Node, Option<&PortStimulus>)],
+    ) -> Result<()> {
+        if lanes.is_empty() {
+            return Ok(());
+        }
+        PwRbfDriverModel::validate(self)?;
+        let mut bank_lanes = Vec::with_capacity(lanes.len());
+        for &(pad, stim) in lanes {
+            let stim = stim.ok_or_else(|| missing_stimulus(&self.name))?;
+            bank_lanes.push((pad, LaneStim::from_pattern(&stim.pattern, stim.bit_time)));
+        }
+        let compiled = Arc::new(CompiledDriver::compile(self));
+        ckt.add(PwRbfDriverBank::from_compiled(compiled, bank_lanes));
         Ok(())
     }
 }

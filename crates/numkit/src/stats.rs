@@ -56,6 +56,31 @@ pub fn median(v: &[f64]) -> f64 {
     }
 }
 
+/// Median by partial selection, reordering `v` in place; zero for an empty
+/// slice. Not-a-number values order last (as in [`median`]).
+///
+/// Produces the same value as [`median`] — including the two-middle average
+/// for even lengths — without sorting the whole slice: one
+/// `select_nth_unstable_by` pass places the upper middle, and for even
+/// lengths the lower middle is the maximum of the partition below it.
+pub fn median_inplace(v: &mut [f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let n = v.len();
+    let order = |a: &f64, b: &f64| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less);
+    let (below, upper_mid, _) = v.select_nth_unstable_by(n / 2, order);
+    if n % 2 == 1 {
+        *upper_mid
+    } else {
+        let lower_mid = below
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, |m, x| if x > m { x } else { m });
+        0.5 * (lower_mid + *upper_mid)
+    }
+}
+
 /// Root-mean-square error between two equally long signals.
 ///
 /// # Panics
@@ -127,6 +152,29 @@ mod tests {
         assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
         assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_inplace_matches_sorting_median() {
+        // Deterministic LCG inputs; equivalence must hold bit-for-bit.
+        let mut state = 0x2545_f491_4f6c_dd1d_u64;
+        for n in [1usize, 2, 3, 4, 5, 8, 13, 64, 101, 256] {
+            let v: Vec<f64> = (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 11) as f64 / (1u64 << 53) as f64) * 20.0 - 10.0
+                })
+                .collect();
+            let by_sort = median(&v);
+            let mut scratch = v.clone();
+            let by_select = median_inplace(&mut scratch);
+            assert_eq!(by_select.to_bits(), by_sort.to_bits(), "n={n}");
+        }
+        assert_eq!(median_inplace(&mut []), 0.0);
+        assert_eq!(median_inplace(&mut [7.0]), 7.0);
+        assert_eq!(median_inplace(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
     }
 
     #[test]

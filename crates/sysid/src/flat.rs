@@ -1,0 +1,712 @@
+//! Flat, allocation-free evaluation kernels.
+//!
+//! The estimation-side structures ([`RbfNetwork`](crate::rbf::RbfNetwork),
+//! [`ArxModel`](crate::arx::ArxModel), [`NarxModel`](crate::narx::NarxModel))
+//! are optimized for construction and validation: centers live in
+//! `Vec<Vec<f64>>`, histories are rebuilt per call, gradients allocate. This
+//! module holds their *compiled* counterparts for the per-timestep hot path:
+//!
+//! * [`FlatRbf`] — centers in one row-major `[f64]` slab with the Gaussian
+//!   exponent scale `-1/(2σ²)` (and `1/σ²` for gradients) precomputed per
+//!   center;
+//! * [`FlatArx`] — ARX taps over in-place ring-buffer histories;
+//! * [`FlatNarx`] — a [`FlatRbf`] over a lagged regressor gathered from ring
+//!   buffers;
+//! * [`LaneRing`] — a lane-major ring buffer: `n_lanes` independent
+//!   histories advanced together so batched stepping reads contiguous rows.
+//!
+//! Every kernel writes into caller-provided scratch and allocates nothing.
+//! All lane-major layouts are `[slot][lane]`: lane is the fastest-varying
+//! index, so the inner loops run over contiguous memory and auto-vectorize.
+//!
+//! # Numerical contract
+//!
+//! Compiled kernels reproduce the estimation-side scalar paths **bit for
+//! bit**, not merely to a tolerance: the scalar [`RbfNetwork`] forms the
+//! Gaussian exponent by multiplying with the same reciprocal this module
+//! precomputes, and every accumulation (bias → linear tail → centers in
+//! index order; `a` taps before `b` taps) visits terms in the same order.
+//! The equivalence proptests in `tests/proptest_evalrt.rs` assert a ≤1e-15
+//! agreement that in practice is exact.
+
+use crate::arx::ArxModel;
+use crate::narx::NarxModel;
+use crate::rbf::RbfNetwork;
+
+/// A [`RbfNetwork`](crate::rbf::RbfNetwork) compiled into contiguous slabs.
+///
+/// ```
+/// use sysid::flat::FlatRbf;
+/// use sysid::rbf::RbfNetwork;
+///
+/// let net = RbfNetwork::from_parts(
+///     1,
+///     vec![vec![0.0], vec![1.0]],
+///     vec![0.7, 0.4],
+///     vec![2.0, -1.0],
+///     0.1,
+///     vec![0.3],
+/// )
+/// .unwrap();
+/// let flat = FlatRbf::compile(&net);
+/// let x = [0.25];
+/// assert_eq!(flat.eval(&x), net.eval(&x)); // bit-identical, not just close
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatRbf {
+    dim: usize,
+    n_centers: usize,
+    /// Row-major center slab, `n_centers x dim`.
+    centers: Vec<f64>,
+    /// Per-center Gaussian exponent scale `-1/(2σ²)`.
+    kscale: Vec<f64>,
+    /// Per-center `1/σ²` (gradient factor).
+    inv_s2: Vec<f64>,
+    weights: Vec<f64>,
+    bias: f64,
+    linear: Vec<f64>,
+}
+
+impl FlatRbf {
+    /// Compiles a trained network into flat form. One-time cost; the
+    /// resulting object is immutable and shareable across lanes.
+    pub fn compile(net: &RbfNetwork) -> Self {
+        let dim = net.dim();
+        let n = net.n_centers();
+        let mut centers = Vec::with_capacity(n * dim);
+        for c in net.centers() {
+            centers.extend_from_slice(c);
+        }
+        let kscale: Vec<f64> = net.widths().iter().map(|w| -1.0 / (2.0 * w * w)).collect();
+        let inv_s2: Vec<f64> = net.widths().iter().map(|w| 1.0 / (w * w)).collect();
+        FlatRbf {
+            dim,
+            n_centers: n,
+            centers,
+            kscale,
+            inv_s2,
+            weights: net.weights().to_vec(),
+            bias: net.bias(),
+            linear: net.linear().to_vec(),
+        }
+    }
+
+    /// Input dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of Gaussian units.
+    pub fn n_centers(&self) -> usize {
+        self.n_centers
+    }
+
+    /// Row of the center slab for unit `i`.
+    #[inline]
+    fn center(&self, i: usize) -> &[f64] {
+        &self.centers[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Evaluates the network at `x` (single lane, zero allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim`.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        let mut acc = self.bias;
+        for (wj, xj) in self.linear.iter().zip(x) {
+            acc += wj * xj;
+        }
+        for i in 0..self.n_centers {
+            let mut d2 = 0.0;
+            for (xj, cj) in x.iter().zip(self.center(i)) {
+                let d = xj - cj;
+                d2 += d * d;
+            }
+            acc += self.weights[i] * (d2 * self.kscale[i]).exp();
+        }
+        acc
+    }
+
+    /// Fused value + derivative with respect to `x[0]` in a single pass over
+    /// the center slab (the pair every Newton stamp needs; the legacy path
+    /// walked the centers twice, recomputing every exponential).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim`.
+    pub fn eval_grad0(&self, x: &[f64]) -> (f64, f64) {
+        assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        let mut acc = self.bias;
+        for (wj, xj) in self.linear.iter().zip(x) {
+            acc += wj * xj;
+        }
+        let mut g = self.linear[0];
+        let x0 = x[0];
+        for i in 0..self.n_centers {
+            let c = self.center(i);
+            let mut d2 = 0.0;
+            for (xj, cj) in x.iter().zip(c) {
+                let d = xj - cj;
+                d2 += d * d;
+            }
+            let wphi = self.weights[i] * (d2 * self.kscale[i]).exp();
+            acc += wphi;
+            g += wphi * ((c[0] - x0) * self.inv_s2[i]);
+        }
+        (acc, g)
+    }
+
+    /// Full gradient into `out`, one pass over the center slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim` or `out.len() != dim`.
+    pub fn grad_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        assert_eq!(out.len(), self.dim, "output dimension mismatch");
+        out.copy_from_slice(&self.linear);
+        for i in 0..self.n_centers {
+            let c = self.center(i);
+            let mut d2 = 0.0;
+            for (xj, cj) in x.iter().zip(c) {
+                let d = xj - cj;
+                d2 += d * d;
+            }
+            let wphi = self.weights[i] * (d2 * self.kscale[i]).exp();
+            let inv = self.inv_s2[i];
+            for (oj, (cj, xj)) in out.iter_mut().zip(c.iter().zip(x)) {
+                *oj += wphi * ((cj - xj) * inv);
+            }
+        }
+    }
+
+    /// Batched fused value + `∂/∂x[0]` over `n_lanes` lanes.
+    ///
+    /// `x` is lane-major, `dim` rows of `n_lanes` values (`x[j*n_lanes + l]`
+    /// is component `j` of lane `l`); `d2` is scratch of length `n_lanes`;
+    /// `out_val`/`out_g0` receive per-lane value and derivative. Each lane's
+    /// result is bit-identical to [`FlatRbf::eval_grad0`] on that lane's
+    /// regressor: the inner loops run over lanes, but per-lane accumulation
+    /// order is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice is shorter than required.
+    pub fn eval_grad0_lanes(
+        &self,
+        x: &[f64],
+        n_lanes: usize,
+        d2: &mut [f64],
+        out_val: &mut [f64],
+        out_g0: &mut [f64],
+    ) {
+        assert!(x.len() >= self.dim * n_lanes, "lane regressor too short");
+        assert!(
+            d2.len() >= n_lanes && out_val.len() >= n_lanes && out_g0.len() >= n_lanes,
+            "lane output buffers too short"
+        );
+        // A single lane's lane-major regressor IS a contiguous scalar
+        // regressor; the scalar kernel keeps its accumulators in registers
+        // instead of round-tripping per-center sums through the staging
+        // rows, which is several times faster at this width (and
+        // bit-identical — same terms, same order).
+        if n_lanes == 1 {
+            let (v, g) = self.eval_grad0(&x[..self.dim]);
+            out_val[0] = v;
+            out_g0[0] = g;
+            return;
+        }
+        let d2 = &mut d2[..n_lanes];
+        let out_val = &mut out_val[..n_lanes];
+        let out_g0 = &mut out_g0[..n_lanes];
+        out_val.fill(self.bias);
+        for (j, wj) in self.linear.iter().enumerate() {
+            let row = &x[j * n_lanes..(j + 1) * n_lanes];
+            for (o, xl) in out_val.iter_mut().zip(row) {
+                *o += wj * xl;
+            }
+        }
+        out_g0.fill(self.linear[0]);
+        let x0 = &x[..n_lanes];
+        for i in 0..self.n_centers {
+            let c = self.center(i);
+            d2.fill(0.0);
+            for (j, cj) in c.iter().enumerate() {
+                let row = &x[j * n_lanes..(j + 1) * n_lanes];
+                for (dl, xl) in d2.iter_mut().zip(row) {
+                    let d = xl - cj;
+                    *dl += d * d;
+                }
+            }
+            let (wi, ki, inv, c0) = (self.weights[i], self.kscale[i], self.inv_s2[i], c[0]);
+            for l in 0..n_lanes {
+                let wphi = wi * (d2[l] * ki).exp();
+                out_val[l] += wphi;
+                out_g0[l] += wphi * ((c0 - x0[l]) * inv);
+            }
+        }
+    }
+
+    /// Batched value-only evaluation over `n_lanes` lanes (layout as in
+    /// [`FlatRbf::eval_grad0_lanes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice is shorter than required.
+    pub fn eval_lanes(&self, x: &[f64], n_lanes: usize, d2: &mut [f64], out_val: &mut [f64]) {
+        assert!(x.len() >= self.dim * n_lanes, "lane regressor too short");
+        assert!(
+            d2.len() >= n_lanes && out_val.len() >= n_lanes,
+            "lane output buffers too short"
+        );
+        // Single lane: the scalar kernel (see eval_grad0_lanes).
+        if n_lanes == 1 {
+            out_val[0] = self.eval(&x[..self.dim]);
+            return;
+        }
+        let d2 = &mut d2[..n_lanes];
+        let out_val = &mut out_val[..n_lanes];
+        out_val.fill(self.bias);
+        for (j, wj) in self.linear.iter().enumerate() {
+            let row = &x[j * n_lanes..(j + 1) * n_lanes];
+            for (o, xl) in out_val.iter_mut().zip(row) {
+                *o += wj * xl;
+            }
+        }
+        for i in 0..self.n_centers {
+            let c = self.center(i);
+            d2.fill(0.0);
+            for (j, cj) in c.iter().enumerate() {
+                let row = &x[j * n_lanes..(j + 1) * n_lanes];
+                for (dl, xl) in d2.iter_mut().zip(row) {
+                    let d = xl - cj;
+                    *dl += d * d;
+                }
+            }
+            let (wi, ki) = (self.weights[i], self.kscale[i]);
+            for (o, dl) in out_val.iter_mut().zip(d2.iter()) {
+                *o += wi * (dl * ki).exp();
+            }
+        }
+    }
+}
+
+/// Lane-major ring buffer: `lags` history slots × `n_lanes` lanes, newest
+/// slot first. `push_row` rotates the head instead of shuffling data, so
+/// advancing history is O(`n_lanes`) writes regardless of depth, and
+/// [`LaneRing::row`] hands back a contiguous per-slot row for batched
+/// gathering.
+#[derive(Debug, Clone)]
+pub struct LaneRing {
+    lags: usize,
+    n_lanes: usize,
+    /// Index of the newest slot.
+    head: usize,
+    /// Slot-major storage, `lags x n_lanes`.
+    buf: Vec<f64>,
+}
+
+impl LaneRing {
+    /// A ring of `lags` slots over `n_lanes` lanes, zero-filled.
+    pub fn new(lags: usize, n_lanes: usize) -> Self {
+        LaneRing {
+            lags,
+            n_lanes,
+            head: 0,
+            buf: vec![0.0; lags * n_lanes],
+        }
+    }
+
+    /// Number of history slots.
+    pub fn lags(&self) -> usize {
+        self.lags
+    }
+
+    /// Lane count.
+    pub fn n_lanes(&self) -> usize {
+        self.n_lanes
+    }
+
+    /// Contiguous row of all lanes at history depth `lag` (0 = newest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lag >= lags`.
+    #[inline]
+    pub fn row(&self, lag: usize) -> &[f64] {
+        assert!(lag < self.lags, "lag out of range");
+        let slot = (self.head + lag) % self.lags;
+        &self.buf[slot * self.n_lanes..(slot + 1) * self.n_lanes]
+    }
+
+    /// Value at history depth `lag` for one lane.
+    #[inline]
+    pub fn get(&self, lag: usize, lane: usize) -> f64 {
+        self.row(lag)[lane]
+    }
+
+    /// Pushes one new row (all lanes) as the newest slot, dropping the
+    /// oldest. No-op for a zero-lag ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n_lanes`.
+    pub fn push_row(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.n_lanes, "lane count mismatch");
+        if self.lags == 0 {
+            return;
+        }
+        self.head = (self.head + self.lags - 1) % self.lags;
+        let slot = self.head;
+        self.buf[slot * self.n_lanes..(slot + 1) * self.n_lanes].copy_from_slice(values);
+    }
+
+    /// Overwrites every slot of one lane with `value` (history reset, e.g.
+    /// after a DC settle).
+    pub fn fill_lane(&mut self, lane: usize, value: f64) {
+        for slot in 0..self.lags {
+            self.buf[slot * self.n_lanes + lane] = value;
+        }
+    }
+
+    /// Overwrites all slots of all lanes.
+    pub fn fill(&mut self, value: f64) {
+        self.buf.fill(value);
+    }
+}
+
+/// An [`ArxModel`](crate::arx::ArxModel) compiled for ring-buffer stepping.
+///
+/// ```
+/// use sysid::arx::{ArxModel, ArxOrders};
+/// use sysid::flat::{FlatArx, LaneRing};
+///
+/// let m = ArxModel::from_coefficients(
+///     ArxOrders { na: 1, nb: 1 },
+///     vec![0.9],
+///     vec![1.0, -0.4],
+/// )
+/// .unwrap();
+/// let flat = FlatArx::compile(&m);
+/// let mut u_past = LaneRing::new(1, 1);
+/// let mut y_past = LaneRing::new(1, 1);
+/// let mut out = [0.0];
+/// flat.step_lanes(&[2.0], &u_past, &y_past, &mut out);
+/// assert_eq!(out[0], m.one_step(&[2.0, 0.0], &[0.0]));
+/// u_past.push_row(&[2.0]);
+/// y_past.push_row(&out);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatArx {
+    na: usize,
+    nb: usize,
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl FlatArx {
+    /// Compiles an estimated ARX model. One-time cost.
+    pub fn compile(m: &ArxModel) -> Self {
+        FlatArx {
+            na: m.orders().na,
+            nb: m.orders().nb,
+            a: m.a().to_vec(),
+            b: m.b().to_vec(),
+        }
+    }
+
+    /// Output-lag count `na`.
+    pub fn na(&self) -> usize {
+        self.na
+    }
+
+    /// Extra input-lag count `nb`.
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Direct feed-through coefficient `b_0`.
+    pub fn feedthrough(&self) -> f64 {
+        self.b[0]
+    }
+
+    /// One batched step: `out[l] = Σ a_i y(k-1-i) + b_0 u_now[l] + Σ b_j
+    /// u(k-j)` with histories read from lane rings (`u_past` newest-first
+    /// past inputs, `y_past` newest-first past outputs). Histories are not
+    /// advanced — call [`LaneRing::push_row`] after the step is accepted.
+    ///
+    /// Per-lane results are bit-identical to
+    /// [`ArxModel::one_step`](crate::arx::ArxModel::one_step) with the
+    /// equivalent history slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on lane-count mismatch or rings shallower than the orders.
+    pub fn step_lanes(&self, u_now: &[f64], u_past: &LaneRing, y_past: &LaneRing, out: &mut [f64]) {
+        let n_lanes = u_now.len();
+        assert_eq!(out.len(), n_lanes, "output lane count mismatch");
+        assert!(
+            self.na == 0 || y_past.lags() >= self.na,
+            "y ring too shallow"
+        );
+        assert!(
+            self.nb == 0 || u_past.lags() >= self.nb,
+            "u ring too shallow"
+        );
+        out.fill(0.0);
+        for (i, ai) in self.a.iter().enumerate() {
+            let row = y_past.row(i);
+            for (o, yl) in out.iter_mut().zip(row) {
+                *o += ai * yl;
+            }
+        }
+        let b0 = self.b[0];
+        for (o, ul) in out.iter_mut().zip(u_now) {
+            *o += b0 * ul;
+        }
+        for (j, bj) in self.b.iter().enumerate().skip(1) {
+            let row = u_past.row(j - 1);
+            for (o, ul) in out.iter_mut().zip(row) {
+                *o += bj * ul;
+            }
+        }
+    }
+}
+
+/// A [`NarxModel`](crate::narx::NarxModel) compiled for lane-major stepping:
+/// a [`FlatRbf`] plus the regressor gather from ring-buffer histories.
+#[derive(Debug, Clone)]
+pub struct FlatNarx {
+    input_lags: usize,
+    output_lags: usize,
+    rbf: FlatRbf,
+}
+
+impl FlatNarx {
+    /// Compiles a trained NARX model. One-time cost.
+    pub fn compile(m: &NarxModel) -> Self {
+        FlatNarx {
+            input_lags: m.orders().input_lags,
+            output_lags: m.orders().output_lags,
+            rbf: FlatRbf::compile(m.network()),
+        }
+    }
+
+    /// Past-input lag count.
+    pub fn input_lags(&self) -> usize {
+        self.input_lags
+    }
+
+    /// Past-output lag count.
+    pub fn output_lags(&self) -> usize {
+        self.output_lags
+    }
+
+    /// Regressor dimension `input_lags + 1 + output_lags`.
+    pub fn dim(&self) -> usize {
+        self.input_lags + 1 + self.output_lags
+    }
+
+    /// The compiled network.
+    pub fn rbf(&self) -> &FlatRbf {
+        &self.rbf
+    }
+
+    /// Gathers the lane-major regressor `[u(k); u(k-1)..; y(k-1)..]` into
+    /// `x` (length ≥ `dim * n_lanes`): row 0 is `u_now`, then past-input
+    /// ring rows, then past-output ring rows — each a contiguous copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on lane-count mismatches or rings shallower than the orders.
+    pub fn gather_lanes(&self, u_now: &[f64], u_past: &LaneRing, y_past: &LaneRing, x: &mut [f64]) {
+        let n_lanes = u_now.len();
+        assert!(
+            x.len() >= self.dim() * n_lanes,
+            "regressor buffer too short"
+        );
+        assert!(
+            self.input_lags == 0 || u_past.lags() >= self.input_lags,
+            "u ring too shallow"
+        );
+        assert!(
+            self.output_lags == 0 || y_past.lags() >= self.output_lags,
+            "y ring too shallow"
+        );
+        x[..n_lanes].copy_from_slice(u_now);
+        for j in 0..self.input_lags {
+            x[(1 + j) * n_lanes..(2 + j) * n_lanes].copy_from_slice(u_past.row(j));
+        }
+        let base = self.input_lags + 1;
+        for j in 0..self.output_lags {
+            x[(base + j) * n_lanes..(base + j + 1) * n_lanes].copy_from_slice(y_past.row(j));
+        }
+    }
+
+    /// Batched one-step value + `∂/∂u(k)` over a pre-gathered lane-major
+    /// regressor (see [`FlatNarx::gather_lanes`]); delegates to
+    /// [`FlatRbf::eval_grad0_lanes`].
+    pub fn step_lanes(
+        &self,
+        x: &[f64],
+        n_lanes: usize,
+        d2: &mut [f64],
+        out_val: &mut [f64],
+        out_g0: &mut [f64],
+    ) {
+        self.rbf.eval_grad0_lanes(x, n_lanes, d2, out_val, out_g0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arx::ArxOrders;
+    use crate::narx::NarxOrders;
+
+    fn net_2d() -> RbfNetwork {
+        RbfNetwork::from_parts(
+            2,
+            vec![vec![0.1, -0.4], vec![1.2, 0.8], vec![-0.7, 0.3]],
+            vec![0.5, 0.9, 1.3],
+            vec![2.0, -1.0, 0.4],
+            0.1,
+            vec![0.3, -0.2],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flat_rbf_matches_scalar_bitwise() {
+        let net = net_2d();
+        let flat = FlatRbf::compile(&net);
+        assert_eq!(flat.dim(), 2);
+        assert_eq!(flat.n_centers(), 3);
+        for x in [[0.0, 0.0], [0.3, -0.9], [2.0, 1.5], [-4.0, 0.2]] {
+            assert_eq!(flat.eval(&x).to_bits(), net.eval(&x).to_bits());
+            let (v, g0) = flat.eval_grad0(&x);
+            assert_eq!(v.to_bits(), net.eval(&x).to_bits());
+            assert_eq!(g0.to_bits(), net.grad_component(&x, 0).to_bits());
+            let mut gf = [0.0; 2];
+            flat.grad_into(&x, &mut gf);
+            let gs = net.grad(&x);
+            assert_eq!(gf[0].to_bits(), gs[0].to_bits());
+            assert_eq!(gf[1].to_bits(), gs[1].to_bits());
+        }
+    }
+
+    #[test]
+    fn lanes_match_single_lane_bitwise() {
+        let net = net_2d();
+        let flat = FlatRbf::compile(&net);
+        // 5 lanes (deliberately not a power of two), lane-major regressor.
+        let lanes = 5usize;
+        let xs = [
+            [0.0, 0.0],
+            [0.3, -0.9],
+            [2.0, 1.5],
+            [-4.0, 0.2],
+            [0.77, 0.13],
+        ];
+        let mut x = vec![0.0; 2 * lanes];
+        for (l, xi) in xs.iter().enumerate() {
+            x[l] = xi[0];
+            x[lanes + l] = xi[1];
+        }
+        let mut d2 = vec![0.0; lanes];
+        let mut val = vec![0.0; lanes];
+        let mut g0 = vec![0.0; lanes];
+        flat.eval_grad0_lanes(&x, lanes, &mut d2, &mut val, &mut g0);
+        for (l, xi) in xs.iter().enumerate() {
+            let (v, g) = flat.eval_grad0(xi);
+            assert_eq!(val[l].to_bits(), v.to_bits(), "lane {l}");
+            assert_eq!(g0[l].to_bits(), g.to_bits(), "lane {l}");
+        }
+        flat.eval_lanes(&x, lanes, &mut d2, &mut val);
+        for (l, xi) in xs.iter().enumerate() {
+            assert_eq!(val[l].to_bits(), flat.eval(xi).to_bits(), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn lane_ring_rotation() {
+        let mut ring = LaneRing::new(3, 2);
+        assert_eq!(ring.lags(), 3);
+        assert_eq!(ring.n_lanes(), 2);
+        ring.push_row(&[1.0, 10.0]);
+        ring.push_row(&[2.0, 20.0]);
+        ring.push_row(&[3.0, 30.0]);
+        ring.push_row(&[4.0, 40.0]); // drops [1, 10]
+        assert_eq!(ring.row(0), &[4.0, 40.0]);
+        assert_eq!(ring.row(1), &[3.0, 30.0]);
+        assert_eq!(ring.row(2), &[2.0, 20.0]);
+        assert_eq!(ring.get(1, 1), 30.0);
+        ring.fill_lane(0, 9.0);
+        assert_eq!(ring.row(2), &[9.0, 20.0]);
+        ring.fill(0.0);
+        assert_eq!(ring.row(0), &[0.0, 0.0]);
+        // Zero-lag ring: push is a no-op.
+        let mut empty = LaneRing::new(0, 2);
+        empty.push_row(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn flat_arx_matches_one_step() {
+        let m = ArxModel::from_coefficients(
+            ArxOrders { na: 2, nb: 1 },
+            vec![1.1, -0.4],
+            vec![0.7, 0.2],
+        )
+        .unwrap();
+        let flat = FlatArx::compile(&m);
+        assert_eq!(flat.na(), 2);
+        assert_eq!(flat.nb(), 1);
+        assert_eq!(flat.feedthrough(), 0.7);
+        let mut u_past = LaneRing::new(1, 2);
+        let mut y_past = LaneRing::new(2, 2);
+        u_past.push_row(&[0.5, -0.1]);
+        y_past.push_row(&[0.2, 0.0]);
+        y_past.push_row(&[0.3, 0.9]); // newest
+        let mut out = [0.0; 2];
+        flat.step_lanes(&[1.0, 2.0], &u_past, &y_past, &mut out);
+        let lane0 = m.one_step(&[1.0, 0.5], &[0.3, 0.2]);
+        let lane1 = m.one_step(&[2.0, -0.1], &[0.9, 0.0]);
+        assert_eq!(out[0].to_bits(), lane0.to_bits());
+        assert_eq!(out[1].to_bits(), lane1.to_bits());
+    }
+
+    #[test]
+    fn flat_narx_gather_and_step() {
+        let net = RbfNetwork::from_parts(
+            3,
+            vec![vec![0.2, -0.1, 0.5]],
+            vec![0.8],
+            vec![1.5],
+            0.05,
+            vec![1.0, -0.5, 0.25],
+        )
+        .unwrap();
+        let m = NarxModel::from_network(NarxOrders::dynamic(1), net).unwrap();
+        let flat = FlatNarx::compile(&m);
+        assert_eq!(flat.dim(), 3);
+        assert_eq!(flat.input_lags(), 1);
+        assert_eq!(flat.output_lags(), 1);
+        let mut u_past = LaneRing::new(1, 2);
+        let mut y_past = LaneRing::new(1, 2);
+        u_past.push_row(&[0.4, -0.6]);
+        y_past.push_row(&[0.1, 0.7]);
+        let mut x = vec![0.0; 3 * 2];
+        flat.gather_lanes(&[1.0, 2.0], &u_past, &y_past, &mut x);
+        assert_eq!(x, vec![1.0, 2.0, 0.4, -0.6, 0.1, 0.7]);
+        let (mut d2, mut v, mut g) = (vec![0.0; 2], vec![0.0; 2], vec![0.0; 2]);
+        flat.step_lanes(&x, 2, &mut d2, &mut v, &mut g);
+        let (v0, g0) = m.one_step_with_gradient(&[1.0, 0.4], &[0.1]);
+        let (v1, g1) = m.one_step_with_gradient(&[2.0, -0.6], &[0.7]);
+        assert_eq!(v[0].to_bits(), v0.to_bits());
+        assert_eq!(g[0].to_bits(), g0.to_bits());
+        assert_eq!(v[1].to_bits(), v1.to_bits());
+        assert_eq!(g[1].to_bits(), g1.to_bits());
+    }
+}

@@ -11,6 +11,9 @@
 //!   (Chen, Cowan & Grant, IEEE TNN 1991);
 //! * [`narx`] — nonlinear ARX models: an RBF network over lagged inputs and
 //!   outputs, with one-step and free-run simulation;
+//! * [`flat`] — compiled, allocation-free evaluation kernels (row-major
+//!   center slabs, ring-buffer histories, lane-major batched stepping) that
+//!   reproduce the scalar paths bit-for-bit;
 //! * [`signals`] — identification signal generators (multilevel staircases,
 //!   step trains, trapezoids);
 //! * [`metrics`] — fit metrics used to select model orders.
@@ -35,6 +38,7 @@
 //! ```
 
 pub mod arx;
+pub mod flat;
 pub mod metrics;
 pub mod narx;
 pub mod ols;

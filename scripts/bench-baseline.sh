@@ -14,6 +14,9 @@
 #
 # The criterion stub appends one JSON object per benchmark when
 # BENCH_BASELINE_JSON is set; this script drives it through a temp file.
+# The `eval` bench is not a criterion bench: it runs through the release
+# `mdl bench-eval` subcommand, which appends the same record schema via
+# its --baseline flag.
 #
 # Usage: scripts/bench-baseline.sh [bench-name]   (default: table1)
 set -euo pipefail
@@ -27,7 +30,11 @@ limit="${BENCH_REGRESSION_LIMIT:-25}"
 fresh="$(mktemp)"
 trap 'rm -f "$fresh"' EXIT
 
-BENCH_BASELINE_JSON="$fresh" cargo bench -p emc-bench --bench "$bench"
+if [ "$bench" = "eval" ]; then
+    cargo run --release -q -p emc-bench --bin mdl -- bench-eval --baseline "$fresh"
+else
+    BENCH_BASELINE_JSON="$fresh" cargo bench -p emc-bench --bench "$bench"
+fi
 
 python3 - "$committed" "$fresh" "$limit" <<'EOF'
 import json
