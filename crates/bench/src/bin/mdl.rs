@@ -6,6 +6,7 @@
 //! mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr]
 //!             [--out PATH] [--fast] [--v2] [--corners]
 //! mdl info <file.mdlx>
+//! mdl lint <file.mdlx>|<dir> [--json] [--deny CODE] [--allow CODE]
 //! mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]
 //! mdl simulate <file.mdlx> [--fixture r50|linecap|pulse]
 //!              [--pattern BITS] [--bit-time S] [--t-stop S]
@@ -17,6 +18,12 @@
 //! mdl bench-eval [--steps N] [--reps N] [--lanes N] [--centers N] [--json] [--baseline PATH]
 //! mdl request --socket PATH <request line...>
 //! ```
+//!
+//! `lint` runs the static diagnostic engine ([`macromodel::lint`]) over one
+//! artifact or a whole store directory: model-semantic rules (`M00x`) plus
+//! the circuit-structural audit (`C00x`), with per-code `--allow`/`--deny`
+//! overrides; the exit status is nonzero exactly when an error-severity
+//! finding (or a load failure) survives.
 //!
 //! `extract` runs a builder-style [`ExtractionSession`] and saves the
 //! artifact (`--v2` writes a provenance-stamped `mdlx 2` bundle;
@@ -57,7 +64,7 @@ type CliResult<T> = Result<T, Box<dyn std::error::Error + Send + Sync>>;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr] [--out PATH] [--fast] [--v2] [--corners]\n  mdl info <file.mdlx>\n  mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]\n  mdl simulate <file.mdlx> [--fixture r50|linecap|pulse] [--pattern BITS] [--bit-time S] [--t-stop S]\n  mdl store ls <dir>\n  mdl store validate <dir> [--fast] [--json PATH]\n  mdl store sweep <dir> [--fast] [--json PATH]\n  mdl serve <dir> --socket PATH [--poll-ms N] [--fast]\n  mdl bench-serve <dir>|--socket PATH [--clients N] [--requests N] [--sweep-every N] [--validate-every N] [--json PATH] [--baseline PATH] [--full]\n  mdl bench-eval [--steps N] [--reps N] [--lanes N] [--centers N] [--json] [--baseline PATH]\n  mdl request --socket PATH <request line...>"
+        "usage:\n  mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr] [--out PATH] [--fast] [--v2] [--corners]\n  mdl info <file.mdlx>\n  mdl lint <file.mdlx>|<dir> [--json] [--deny CODE] [--allow CODE]\n  mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]\n  mdl simulate <file.mdlx> [--fixture r50|linecap|pulse] [--pattern BITS] [--bit-time S] [--t-stop S]\n  mdl store ls <dir>\n  mdl store validate <dir> [--fast] [--json PATH]\n  mdl store sweep <dir> [--fast] [--json PATH]\n  mdl serve <dir> --socket PATH [--poll-ms N] [--fast]\n  mdl bench-serve <dir>|--socket PATH [--clients N] [--requests N] [--sweep-every N] [--validate-every N] [--json PATH] [--baseline PATH] [--full]\n  mdl bench-eval [--steps N] [--reps N] [--lanes N] [--centers N] [--json] [--baseline PATH]\n  mdl request --socket PATH <request line...>"
     );
     std::process::exit(2);
 }
@@ -88,6 +95,14 @@ fn parse_f64_opt(args: &mut Vec<String>, key: &str) -> Option<f64> {
             usage();
         })
     })
+}
+
+fn parse_multi_opt(args: &mut Vec<String>, key: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    while let Some(v) = parse_opt(args, key) {
+        out.push(v);
+    }
+    out
 }
 
 fn cmd_extract(mut args: Vec<String>) -> CliResult<()> {
@@ -208,6 +223,77 @@ fn cmd_info(args: Vec<String>) -> CliResult<()> {
         for (k, v) in model.metadata() {
             println!("  {k:<16} {v}");
         }
+    }
+    Ok(())
+}
+
+fn cmd_lint(mut args: Vec<String>) -> CliResult<()> {
+    use macromodel::lint::{code_spec, lint_artifact, LintConfig, LintReport};
+
+    let json = parse_flag(&mut args, "--json");
+    let mut cfg = LintConfig::default();
+    for (key, deny) in [("--deny", true), ("--allow", false)] {
+        for code in parse_multi_opt(&mut args, key) {
+            if code_spec(&code).is_none() {
+                eprintln!("{key}: unknown diagnostic code '{code}'");
+                usage();
+            }
+            if deny {
+                cfg.deny(code);
+            } else {
+                cfg.allow(code);
+            }
+        }
+    }
+    let [path] = args.as_slice() else { usage() };
+
+    let mut report = LintReport::default();
+    let mut load_failures: Vec<(String, String)> = Vec::new();
+    if std::fs::metadata(path)?.is_dir() {
+        let store = ModelStore::open_with_mode(path, macromodel::LoadMode::Eager)?;
+        for entry in store.entries() {
+            let file = entry.path().display().to_string();
+            match entry.artifact() {
+                Ok(artifact) => {
+                    for mut diag in lint_artifact(artifact).diagnostics {
+                        diag.subject = format!("{file}: {}", diag.subject);
+                        report.diagnostics.push(diag);
+                    }
+                }
+                Err(e) => load_failures.push((file, e.to_string())),
+            }
+        }
+    } else {
+        report = lint_artifact(&load_artifact_from_path(path)?);
+    }
+
+    if json {
+        let mut out = String::from("{\"load_failures\":[");
+        for (i, (file, error)) in load_failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"path\":{},\"error\":{}}}",
+                emc_bench::serve::json_str(file),
+                emc_bench::serve::json_str(error)
+            ));
+        }
+        out.push_str(&format!("],\"report\":{}}}", report.to_json(&cfg)));
+        println!("{out}");
+    } else {
+        for (file, error) in &load_failures {
+            println!("LOAD FAIL  {file}: {error}");
+        }
+        print!("{}", report.render_human(&cfg));
+    }
+    let denied = report.deny_count(&cfg);
+    if denied > 0 || !load_failures.is_empty() {
+        return Err(format!(
+            "{denied} error-severity finding(s), {} load failure(s)",
+            load_failures.len()
+        )
+        .into());
     }
     Ok(())
 }
@@ -561,6 +647,7 @@ fn main() {
     let result = match cmd.as_str() {
         "extract" => cmd_extract(args),
         "info" => cmd_info(args),
+        "lint" => cmd_lint(args),
         "validate" => cmd_validate(args),
         "simulate" => cmd_simulate(args),
         "store" => cmd_store(args),

@@ -9,6 +9,8 @@
 //! Reconstructed parameters (the available scan of the paper corrupts many
 //! numbers) are listed per experiment in `EXPERIMENTS.md`.
 
+#![forbid(unsafe_code)]
+
 use circuit::devices::{Capacitor, IdealLine, Resistor, SourceWaveform, VoltageSource};
 use circuit::mtl::{expand_coupled_line, CoupledLineSpec};
 use circuit::{Circuit, TranParams, Waveform, GROUND};

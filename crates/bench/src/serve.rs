@@ -266,6 +266,47 @@ impl CellReport {
     }
 }
 
+/// Static-analysis summary of one served model (see [`macromodel::lint`]).
+#[derive(Debug, Clone)]
+pub struct ModelLint {
+    /// Model name.
+    pub model: String,
+    /// Error-severity findings.
+    pub errors: usize,
+    /// Warning-severity findings.
+    pub warnings: usize,
+    /// Info-severity findings.
+    pub infos: usize,
+    /// Distinct diagnostic codes observed, in code order.
+    pub codes: Vec<String>,
+}
+
+impl ModelLint {
+    /// Lints one model (semantic rules plus the structural audit) and
+    /// summarizes the outcome under the default severity policy.
+    pub fn of(name: &str, model: &macromodel::AnyModel) -> Self {
+        let cfg = macromodel::LintConfig::default();
+        let report = macromodel::LintReport {
+            diagnostics: macromodel::lint_model_full(model),
+        };
+        let (errors, warnings, infos) = report.counts(&cfg);
+        let mut codes: Vec<String> = report
+            .diagnostics
+            .iter()
+            .map(|d| d.code.to_string())
+            .collect();
+        codes.sort();
+        codes.dedup();
+        ModelLint {
+            model: name.to_string(),
+            errors,
+            warnings,
+            infos,
+            codes,
+        }
+    }
+}
+
 /// The whole matrix outcome: one report per store sweep or validation run.
 #[derive(Debug, Clone)]
 pub struct FleetReport {
@@ -279,6 +320,8 @@ pub struct FleetReport {
     pub models: usize,
     /// Files that failed to load: `(path, error)`.
     pub load_failures: Vec<(String, String)>,
+    /// Per-model static-analysis summaries (default severity policy).
+    pub lints: Vec<ModelLint>,
     /// Every matrix cell.
     pub cells: Vec<CellReport>,
 }
@@ -326,6 +369,25 @@ impl FleetReport {
         if !self.load_failures.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("],\n  \"lints\": [");
+        for (i, l) in self.lints.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let codes: Vec<String> = l.codes.iter().map(|c| json_str(c)).collect();
+            out.push_str(&format!(
+                "\n    {{\"model\": {}, \"errors\": {}, \"warnings\": {}, \"infos\": {}, \
+                 \"codes\": [{}]}}",
+                json_str(&l.model),
+                l.errors,
+                l.warnings,
+                l.infos,
+                codes.join(", ")
+            ));
+        }
+        if !self.lints.is_empty() {
+            out.push_str("\n  ");
+        }
         out.push_str("],\n  \"cells\": [");
         for (i, c) in self.cells.iter().enumerate() {
             if i > 0 {
@@ -371,7 +433,9 @@ impl FleetReport {
     }
 }
 
-pub(crate) fn json_str(s: &str) -> String {
+/// Quotes and escapes a string as a JSON string literal (shared by the
+/// hand-rolled report emitters — the dependency set has no JSON library).
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -680,12 +744,18 @@ fn store_header(store: &ModelStore, mode: &str) -> FleetReport {
         .into_iter()
         .map(|f| (f.path.display().to_string(), f.error.to_string()))
         .collect();
+    let lints = store
+        .models()
+        .iter()
+        .map(|(_, m)| ModelLint::of(m.name(), m))
+        .collect();
     FleetReport {
         store_root: store.root().display().to_string(),
         mode: mode.to_string(),
         artifacts: store.len(),
         models: store.models().len(),
         load_failures,
+        lints,
         cells: Vec::new(),
     }
 }
@@ -897,6 +967,12 @@ mod tests {
         assert_eq!(report.cells.len(), 2 * 3 + 1 + 1);
         assert!(report.all_passed(), "failures: {:?}", report.cells);
         assert_eq!(report.models, 3);
+        // Healthy dummies carry clean per-model lint summaries.
+        assert_eq!(report.lints.len(), 3);
+        assert!(report
+            .lints
+            .iter()
+            .all(|l| l.errors == 0 && l.warnings == 0 && l.codes.is_empty()));
         let mixed = report
             .cells
             .iter()
@@ -921,6 +997,7 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"mode\": \"sweep\""));
         assert!(json.contains("\"all_passed\": true"));
+        assert!(json.contains("\"lints\""));
         assert!(json.contains("c\\\"quote"), "names are escaped");
         // Balanced braces/brackets (cheap well-formedness proxy given no
         // JSON parser in the dependency set).

@@ -292,7 +292,11 @@ fn publish_generation(inner: &Inner) {
                 .models
                 .into_iter()
                 .map(|model| {
+                    // Lint once per parse; cache hits carry the summary
+                    // along with the models (same bytes, same findings).
+                    let lint = crate::serve::ModelLint::of(model.name(), &model);
                     Arc::new(ServedModel {
+                        lint,
                         model,
                         digest: digest.clone(),
                         config_digest: config_digest.clone(),
@@ -586,6 +590,17 @@ fn ls_json(inner: &Arc<Inner>) -> String {
     out
 }
 
+fn lint_json(l: &crate::serve::ModelLint) -> String {
+    let codes: Vec<String> = l.codes.iter().map(|c| json_str(c)).collect();
+    format!(
+        "{{\"errors\":{},\"warnings\":{},\"infos\":{},\"codes\":[{}]}}",
+        l.errors,
+        l.warnings,
+        l.infos,
+        codes.join(",")
+    )
+}
+
 fn info_json(inner: &Arc<Inner>, name: &str) -> RespResult {
     let generation = Arc::clone(&inner.generation.read().expect("generation lock poisoned"));
     let Some(&idx) = generation.by_name.get(name) else {
@@ -594,7 +609,7 @@ fn info_json(inner: &Arc<Inner>, name: &str) -> RespResult {
     let m = &generation.models[idx];
     Ok(format!(
         "{{\"ok\":true,\"op\":\"info\",\"name\":{},\"kind\":{},\"digest\":{},\
-         \"config_digest\":{},\"path\":{},\"sample_time_s\":{},\"summary\":{}}}",
+         \"config_digest\":{},\"path\":{},\"sample_time_s\":{},\"summary\":{},\"lint\":{}}}",
         json_str(m.model.name()),
         json_str(m.model.kind().tag()),
         json_str(&m.digest),
@@ -604,6 +619,7 @@ fn info_json(inner: &Arc<Inner>, name: &str) -> RespResult {
         json_str(&m.path.display().to_string()),
         json_opt(m.model.sample_time()),
         json_str(&m.model.summary()),
+        lint_json(&m.lint),
     ))
 }
 
@@ -664,11 +680,21 @@ fn stats_json(inner: &Arc<Inner>) -> String {
         hits as f64 / (hits + misses) as f64
     };
     let sched = inner.scheduler.snapshot();
+    // Static-analysis totals of the published generation: a hot reload that
+    // swaps in a defective artifact shows up here without any new request.
+    let (lint_e, lint_w, lint_i) = generation.models.iter().fold((0, 0, 0), |acc, m| {
+        (
+            acc.0 + m.lint.errors,
+            acc.1 + m.lint.warnings,
+            acc.2 + m.lint.infos,
+        )
+    });
     format!(
         "{{\"ok\":true,\"op\":\"stats\",\"generation\":{},\"models\":{},\"artifacts\":{},\
          \"requests\":{},\"errors\":{},\
          \"ops\":{{\"ls\":{},\"info\":{},\"validate\":{},\"simulate\":{},\"sweep\":{},\"stats\":{}}},\
          \"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{},\"entries\":{}}},\
+         \"lint\":{{\"errors\":{lint_e},\"warnings\":{lint_w},\"infos\":{lint_i}}},\
          \"reloads\":{},\
          \"scheduler\":{{\"batches\":{},\"cells\":{},\"max_batch\":{}}},\
          \"uptime_s\":{}}}",

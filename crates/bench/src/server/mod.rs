@@ -33,6 +33,7 @@ pub mod scheduler;
 pub use daemon::{start, ServeConfig, ServerHandle};
 pub use loadgen::{run_load, LoadGenConfig, LoadReport};
 
+use crate::serve::ModelLint;
 use macromodel::AnyModel;
 use std::path::PathBuf;
 
@@ -49,6 +50,9 @@ pub struct ServedModel {
     pub config_digest: Option<String>,
     /// Source artifact path.
     pub path: PathBuf,
+    /// Static-analysis summary, computed once when the bytes were parsed
+    /// (cache hits reuse it — same bytes, same findings).
+    pub lint: ModelLint,
 }
 
 #[cfg(test)]
@@ -81,8 +85,10 @@ pub(crate) mod tests {
     }
 
     pub(crate) fn served_dummy(name: &str) -> ServedModel {
+        let model = dummy_driver(name);
         ServedModel {
-            model: dummy_driver(name),
+            lint: crate::serve::ModelLint::of(name, &model),
+            model,
             digest: "0123456789abcdef".into(),
             config_digest: None,
             path: std::path::PathBuf::from(format!("{name}.mdlx")),

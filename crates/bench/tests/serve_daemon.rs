@@ -244,6 +244,86 @@ fn hot_reload_swaps_digests_without_dropping_requests() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `dummy_driver` with one switching weight pushed outside the plausible
+/// [-0.5, 1.5] range: still loads (the clamp lives in extraction), so a
+/// hot reload swaps it in — and the parse-time lint must flag M007.
+fn hot_weight_driver(name: &str) -> AnyModel {
+    let AnyModel::PwRbfDriver(mut m) = dummy_driver(name, 0.02) else {
+        unreachable!()
+    };
+    m.up = WeightSequence::new(vec![0.0, 3.0], vec![1.0, 0.0]).unwrap();
+    AnyModel::PwRbfDriver(m)
+}
+
+#[test]
+fn hot_reload_surfaces_lint_findings_without_dropping_requests() {
+    let dir = temp_dir("lint");
+    save_model_to_path(&dummy_driver("drv_ok", 0.02), dir.join("ok.mdlx")).unwrap();
+    let bad_path = dir.join("bad.mdlx");
+    save_model_to_path(&dummy_driver("drv_bad", 0.03), &bad_path).unwrap();
+
+    let handle = start(serve_cfg(&dir, "lint", 30)).unwrap();
+    let socket = handle.socket_path();
+    let mut client = Client::connect(&socket).unwrap();
+
+    // Healthy generation: per-model and aggregate lint totals are zero.
+    let info = client.request("info drv_bad").unwrap();
+    assert!(
+        info.contains("\"lint\":{\"errors\":0,\"warnings\":0,\"infos\":0,\"codes\":[]}"),
+        "clean model must report an empty lint summary: {info}"
+    );
+    let stats = client.request("stats").unwrap();
+    assert!(
+        stats.contains("\"lint\":{\"errors\":0,\"warnings\":0,\"infos\":0}"),
+        "clean fleet must aggregate to zero: {stats}"
+    );
+
+    // Keep traffic on the *other* model flowing through the swap.
+    let burst_socket = socket.clone();
+    let burst = std::thread::spawn(move || {
+        let mut conn = Client::connect(&burst_socket).unwrap();
+        let mut failures = Vec::new();
+        for i in 0..40 {
+            match conn.request("simulate drv_ok") {
+                Ok(r) if r.contains("\"ok\":true") && r.contains("\"pass\":true") => {}
+                Ok(r) => failures.push(format!("request {i}: {r}")),
+                Err(e) => failures.push(format!("request {i}: {e}")),
+            }
+        }
+        failures
+    });
+
+    // Swap the defective artifact in mid-burst and wait for the daemon to
+    // republish with its lint findings.
+    std::thread::sleep(Duration::from_millis(100));
+    save_model_to_path(&hot_weight_driver("drv_bad"), &bad_path).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client.request("stats").unwrap();
+        if stats.contains("\"lint\":{\"errors\":0,\"warnings\":1,\"infos\":0}") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "reload never surfaced the lint warning: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let info = client.request("info drv_bad").unwrap();
+    assert!(
+        info.contains("\"codes\":[\"M007\"]"),
+        "defective model must name its code: {info}"
+    );
+
+    let failures = burst.join().unwrap();
+    assert!(
+        failures.is_empty(),
+        "hot reload dropped requests: {failures:?}"
+    );
+    handle.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 // ---------------------------------------------------------------------
 // Lazy-store guarantees the daemon builds on
 // ---------------------------------------------------------------------

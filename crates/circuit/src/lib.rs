@@ -35,7 +35,10 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod devices;
+pub mod lint;
 pub mod mna;
 pub mod mtl;
 pub mod netlist;

@@ -1,0 +1,373 @@
+//! Structural lint audit of a netlist: static MNA-pattern diagnostics that
+//! run *before* any factorization.
+//!
+//! The audit inspects what devices declare ([`crate::Device::register`]) and
+//! what they actually write ([`crate::Device::stamp`], observed through a
+//! recording [`StampWorkspace`] whose registered pattern is empty so every
+//! write is captured) and reports:
+//!
+//! * **C001** — the MNA pattern is structurally singular: no assignment of
+//!   numeric values can make the matrix nonsingular, so factorization is
+//!   guaranteed to fail. Detected by maximum-bipartite-matching structural
+//!   rank ([`numkit::structure::structural_rank`]) over the union of device
+//!   patterns and the solver's gmin node diagonals — exactly the pattern
+//!   [`crate::Circuit::make_workspace`] builds.
+//! * **C002** — a floating node: no device registers any position in the
+//!   node's row or column, so only the gmin leak ties it to ground. Usually a
+//!   wiring mistake (a port left dangling).
+//! * **C003** — a device stamps matrix positions it never registered. The
+//!   workspace tolerates this (the pattern grows at the next solve) but each
+//!   growth costs an extra symbolic analysis in the hot loop.
+//! * **C004** — a device registers positions it never stamps in either DC or
+//!   transient mode: harmless, but each one is a structural nonzero the
+//!   symbolic analysis must assume filled.
+//!
+//! Severity policy and rendering live in the `macromodel` crate's lint
+//! framework; this module only produces raw findings.
+
+use crate::mna::{EvalCtx, Mode};
+use crate::netlist::{Circuit, Node};
+use crate::workspace::{PatternBuilder, StampWorkspace};
+use std::collections::BTreeSet;
+
+/// A raw structural finding. `code` is one of the stable `C00x` diagnostic
+/// codes documented on [the module](self); `subject` names the node or
+/// device concerned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructuralIssue {
+    /// Stable diagnostic code (`"C001"` … `"C004"`).
+    pub code: &'static str,
+    /// Node or device the finding is about.
+    pub subject: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+fn fmt_positions(set: &BTreeSet<(usize, usize)>) -> String {
+    const SHOW: usize = 4;
+    let mut s = String::new();
+    for (i, (r, c)) in set.iter().take(SHOW).enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("({r}, {c})"));
+    }
+    if set.len() > SHOW {
+        s.push_str(&format!(", … {} total", set.len()));
+    }
+    s
+}
+
+/// Audits a circuit's structural health with a default 1 ns transient probe
+/// step. See [`audit_circuit_with_dt`].
+pub fn audit_circuit(ckt: &mut Circuit) -> Vec<StructuralIssue> {
+    audit_circuit_with_dt(ckt, 1e-9)
+}
+
+/// Audits a circuit's structural health. See the [module docs](self) for the
+/// finding catalogue.
+///
+/// The audit stamps every device once in DC mode, runs
+/// [`crate::Device::init_state`] on the all-zero solution (mirroring the
+/// solver lifecycle), and stamps once more in transient mode with step `dt`
+/// (sampled macromodel devices require `dt` to equal their sample clock).
+/// Device state is therefore left initialized at the zero solution: audit a
+/// scratch circuit, or one that has not started simulating yet.
+pub fn audit_circuit_with_dt(ckt: &mut Circuit, dt: f64) -> Vec<StructuralIssue> {
+    ckt.finalize();
+    let n = ckt.unknown_count();
+    let n_nodes = ckt.n_nodes();
+    let nv = n_nodes - 1;
+    let mut issues = Vec::new();
+    if n == 0 {
+        return issues;
+    }
+
+    // Declared pattern per device.
+    let mut registered: Vec<BTreeSet<(usize, usize)>> = Vec::with_capacity(ckt.n_devices());
+    for dev in ckt.devices() {
+        let mut pb = PatternBuilder::new(n);
+        dev.register(&mut pb);
+        registered.push(pb.entries().iter().copied().collect());
+    }
+
+    // C002: node-voltage unknowns no device pattern touches.
+    let mut touched = vec![false; nv];
+    for set in &registered {
+        for &(r, c) in set {
+            if r < nv {
+                touched[r] = true;
+            }
+            if c < nv {
+                touched[c] = true;
+            }
+        }
+    }
+    for (i, &t) in touched.iter().enumerate() {
+        if !t {
+            let name = ckt.node_name(Node::from_raw(i + 1)).to_string();
+            issues.push(StructuralIssue {
+                code: "C002",
+                subject: name.clone(),
+                message: format!(
+                    "node '{name}' is floating: no device stamps it, only the gmin leak to ground"
+                ),
+            });
+        }
+    }
+
+    // C001: structural rank of the exact pattern the solver workspace sees
+    // (device registrations plus the gmin diagonal on every node row).
+    let mut entries: Vec<(usize, usize)> = (0..nv).map(|i| (i, i)).collect();
+    for set in &registered {
+        entries.extend(set.iter().copied());
+    }
+    let rank = numkit::structure::structural_rank(n, &entries);
+    if rank < n {
+        let empty = numkit::structure::empty_rows(n, &entries);
+        let detail = if empty.is_empty() {
+            String::new()
+        } else {
+            let rows: Vec<String> = empty
+                .iter()
+                .take(4)
+                .map(|&r| format!("branch equation row {r}"))
+                .collect();
+            format!(" (structurally empty: {})", rows.join(", "))
+        };
+        issues.push(StructuralIssue {
+            code: "C001",
+            subject: "mna".to_string(),
+            message: format!(
+                "MNA pattern is structurally singular: structural rank {rank} < {n} unknowns{detail}"
+            ),
+        });
+    }
+
+    // C003/C004: observe actual stamp writes through a recording workspace.
+    // DC pass, then init_state at the zero solution (the solver lifecycle),
+    // then a transient pass — the union covers mode-dependent stamps.
+    let x = vec![0.0; n];
+    let mut written: Vec<BTreeSet<(usize, usize)>> = vec![BTreeSet::new(); ckt.n_devices()];
+    let mut ws = StampWorkspace::recording(n);
+    let dc = EvalCtx {
+        x: &x,
+        n_nodes,
+        mode: Mode::Dc,
+    };
+    for (i, dev) in ckt.devices().iter().enumerate() {
+        ws.begin();
+        dev.stamp(&dc, &mut ws);
+        written[i].extend(ws.overflow_entries().iter().map(|&(r, c, _)| (r, c)));
+    }
+    for dev in ckt.devices_mut() {
+        dev.init_state(&dc);
+    }
+    let tran = EvalCtx {
+        x: &x,
+        n_nodes,
+        mode: Mode::Tran { t: dt, dt },
+    };
+    for (i, dev) in ckt.devices().iter().enumerate() {
+        ws.begin();
+        dev.stamp(&tran, &mut ws);
+        written[i].extend(ws.overflow_entries().iter().map(|&(r, c, _)| (r, c)));
+    }
+
+    for (i, dev) in ckt.devices().iter().enumerate() {
+        let unregistered: BTreeSet<(usize, usize)> =
+            written[i].difference(&registered[i]).copied().collect();
+        if !unregistered.is_empty() {
+            issues.push(StructuralIssue {
+                code: "C003",
+                subject: dev.label().to_string(),
+                message: format!(
+                    "device '{}' stamps positions it never registered: {} — each costs an extra \
+                     symbolic analysis when the pattern grows",
+                    dev.label(),
+                    fmt_positions(&unregistered)
+                ),
+            });
+        }
+        let unstamped: BTreeSet<(usize, usize)> =
+            registered[i].difference(&written[i]).copied().collect();
+        if !unstamped.is_empty() {
+            issues.push(StructuralIssue {
+                code: "C004",
+                subject: dev.label().to_string(),
+                message: format!(
+                    "device '{}' registers positions it never stamps (DC or transient): {}",
+                    dev.label(),
+                    fmt_positions(&unstamped)
+                ),
+            });
+        }
+    }
+
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{Capacitor, Resistor, SourceWaveform, VoltageSource};
+    use crate::{Device, GROUND};
+
+    fn codes(issues: &[StructuralIssue]) -> Vec<&'static str> {
+        issues.iter().map(|i| i.code).collect()
+    }
+
+    #[test]
+    fn healthy_rc_circuit_audits_clean() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("out");
+        ckt.add(VoltageSource::new("v", a, GROUND, SourceWaveform::dc(1.0)));
+        ckt.add(Resistor::new("r", a, b, 1e3));
+        ckt.add(Capacitor::new("c", b, GROUND, 1e-9));
+        let issues = audit_circuit(&mut ckt);
+        assert!(issues.is_empty(), "expected clean, got {issues:?}");
+        // The audited circuit must still simulate.
+        let res = ckt.transient(crate::TranParams::new(1e-9, 1e-7)).unwrap();
+        let v = *res.voltage(b).values().last().unwrap();
+        assert!((v - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn floating_node_is_reported_but_not_singular() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let _orphan = ckt.node("orphan");
+        ckt.add(Resistor::new("r", a, GROUND, 50.0));
+        let issues = audit_circuit(&mut ckt);
+        assert_eq!(codes(&issues), vec!["C002"]);
+        assert!(issues[0].message.contains("orphan"));
+    }
+
+    /// A device that claims a branch unknown but registers and stamps
+    /// nothing for its branch equation row: the canonical structurally
+    /// singular two-node fixture.
+    struct HalfWiredSource {
+        label: String,
+        node: Node,
+        branch: usize,
+    }
+
+    impl Device for HalfWiredSource {
+        fn label(&self) -> &str {
+            &self.label
+        }
+        fn num_branches(&self) -> usize {
+            1
+        }
+        fn set_branch_base(&mut self, base: usize) {
+            self.branch = base;
+        }
+        fn register(&self, pb: &mut PatternBuilder) {
+            // KCL coupling only: the branch equation row stays empty.
+            crate::mna::register_branch_kcl(pb, self.node, GROUND, self.branch);
+        }
+        fn stamp(&self, _ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
+            crate::mna::stamp_branch_kcl(ws, self.node, GROUND, self.branch);
+        }
+    }
+
+    #[test]
+    fn empty_branch_row_is_structurally_singular() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Resistor::new("r", a, GROUND, 50.0));
+        ckt.add(HalfWiredSource {
+            label: "broken".into(),
+            node: a,
+            branch: 0,
+        });
+        let issues = audit_circuit(&mut ckt);
+        assert!(
+            codes(&issues).contains(&"C001"),
+            "expected C001, got {issues:?}"
+        );
+        let c001 = issues.iter().find(|i| i.code == "C001").unwrap();
+        assert!(c001.message.contains("structural rank"));
+        assert!(c001.message.contains("branch equation row"));
+    }
+
+    /// A resistor-like device whose register/stamp disagree in both
+    /// directions: registers the (0,0) diagonal it never writes, stamps the
+    /// (1,1) diagonal it never declared.
+    struct MismatchedStamp {
+        label: String,
+    }
+
+    impl Device for MismatchedStamp {
+        fn label(&self) -> &str {
+            &self.label
+        }
+        fn register(&self, pb: &mut PatternBuilder) {
+            pb.add(0, 0);
+        }
+        fn stamp(&self, _ctx: &EvalCtx<'_>, ws: &mut StampWorkspace) {
+            ws.add(1, 1, 1e-3);
+        }
+    }
+
+    #[test]
+    fn register_stamp_mismatch_reports_both_directions() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(Resistor::new("ra", a, GROUND, 50.0));
+        ckt.add(Resistor::new("rb", b, GROUND, 50.0));
+        ckt.add(MismatchedStamp {
+            label: "bad".into(),
+        });
+        let issues = audit_circuit(&mut ckt);
+        let cs = codes(&issues);
+        assert!(cs.contains(&"C003"), "got {issues:?}");
+        assert!(cs.contains(&"C004"), "got {issues:?}");
+        let c003 = issues.iter().find(|i| i.code == "C003").unwrap();
+        assert_eq!(c003.subject, "bad");
+        assert!(c003.message.contains("(1, 1)"));
+        let c004 = issues.iter().find(|i| i.code == "C004").unwrap();
+        assert!(c004.message.contains("(0, 0)"));
+    }
+
+    #[test]
+    fn standard_devices_have_consistent_patterns() {
+        // Every stock device must declare exactly what it stamps — the audit
+        // itself is the regression test.
+        use crate::devices::{
+            CurrentSource, Diode, DiodeParams, Inductor, MosPolarity, Mosfet, MosfetParams,
+        };
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let c = ckt.node("c");
+        ckt.add(VoltageSource::new("v", a, GROUND, SourceWaveform::dc(3.3)));
+        ckt.add(Resistor::new("r", a, b, 1e3));
+        ckt.add(Capacitor::new("cap", b, GROUND, 1e-12));
+        ckt.add(Inductor::new("l", b, c, 1e-9));
+        ckt.add(CurrentSource::new("i", c, GROUND, SourceWaveform::dc(1e-3)));
+        ckt.add(Diode::new("d", c, GROUND, DiodeParams::default()));
+        ckt.add(Mosfet::new(
+            "m",
+            a,
+            b,
+            GROUND,
+            MosPolarity::Nmos,
+            MosfetParams {
+                vt0: 0.7,
+                kp: 1e-4,
+                w: 1e-5,
+                l: 1e-6,
+                lambda: 0.01,
+            },
+        ));
+        let issues = audit_circuit(&mut ckt);
+        let hard: Vec<_> = issues
+            .iter()
+            .filter(|i| i.code == "C001" || i.code == "C003")
+            .collect();
+        assert!(hard.is_empty(), "stock devices misbehave: {hard:?}");
+    }
+}

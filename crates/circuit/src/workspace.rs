@@ -141,6 +141,13 @@ impl PatternBuilder {
     pub fn n(&self) -> usize {
         self.n
     }
+
+    /// Positions registered so far, in insertion order (duplicates
+    /// preserved). Used by the structural lint rules to compare a device's
+    /// declared pattern against what its `stamp` actually writes.
+    pub fn entries(&self) -> &[(usize, usize)] {
+        &self.entries
+    }
 }
 
 /// Cumulative solver diagnostics of a workspace.
@@ -247,6 +254,44 @@ impl StampWorkspace {
             flops_base: 0,
             x_out: vec![0.0; n],
             scratch: vec![0.0; n],
+        }
+    }
+
+    /// A recording workspace: the sparse backend with an *empty* registered
+    /// pattern, so that every [`StampWorkspace::add`] lands in the overflow
+    /// list. The structural lint audit uses this to observe exactly which
+    /// positions a device's `stamp` writes (read back via
+    /// [`StampWorkspace::overflow_entries`]) without touching the stamping
+    /// hot path. Not intended for solving.
+    pub fn recording(n: usize) -> Self {
+        let pattern =
+            CscPattern::from_entries(n, &[]).expect("empty pattern is valid at any dimension");
+        let slot = SlotMap::build(&pattern);
+        StampWorkspace {
+            n,
+            rhs: vec![0.0; n],
+            backend: Backend::Sparse(Box::new(SparseState {
+                values: Vec::new(),
+                slot,
+                pattern,
+                lu: None,
+                overflow: Vec::new(),
+            })),
+            stats: SolveStats::default(),
+            flops_base: 0,
+            x_out: vec![0.0; n],
+            scratch: vec![0.0; n],
+        }
+    }
+
+    /// Writes that landed outside the registered pattern since the last
+    /// [`StampWorkspace::begin`], in write order. On a workspace built by
+    /// [`StampWorkspace::recording`] this is the complete set of stamped
+    /// matrix positions.
+    pub fn overflow_entries(&self) -> &[(usize, usize, f64)] {
+        match &self.backend {
+            Backend::Dense { .. } => &[],
+            Backend::Sparse(state) => &state.overflow,
         }
     }
 

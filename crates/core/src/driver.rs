@@ -108,6 +108,16 @@ impl WeightSequence {
                 message: "weight sequences must not be empty".into(),
             });
         }
+        if self
+            .w_high
+            .iter()
+            .chain(&self.w_low)
+            .any(|w| !w.is_finite())
+        {
+            return Err(Error::InvalidModel {
+                message: "weight sequences must be finite".into(),
+            });
+        }
         Ok(())
     }
 }
@@ -142,6 +152,11 @@ impl PwRbfDriverModel {
         if self.ts <= 0.0 || !self.ts.is_finite() {
             return Err(Error::InvalidModel {
                 message: format!("sample time must be positive, got {}", self.ts),
+            });
+        }
+        if !self.vdd.is_finite() {
+            return Err(Error::InvalidModel {
+                message: format!("supply voltage must be finite, got {}", self.vdd),
             });
         }
         self.up.validate()?;
@@ -299,6 +314,24 @@ mod tests {
         bad.down.w_high.clear();
         bad.down.w_low.clear();
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_fields() {
+        // Regression for the `!(x > 0.0)` class of gap: NaN/Inf sneaking
+        // through checks written as range comparisons.
+        let mut bad = dummy_model();
+        bad.vdd = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut bad = dummy_model();
+        bad.vdd = f64::INFINITY;
+        assert!(bad.validate().is_err());
+        // Field-assembled weight sequences with non-finite samples must be
+        // caught by validate even though the constructor also rejects them.
+        let mut bad = dummy_model();
+        bad.up.w_high[0] = f64::NAN;
+        assert!(bad.validate().is_err());
+        assert!(WeightSequence::new(vec![f64::INFINITY], vec![0.0]).is_err());
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * [`evalrt`] — the compiled, allocation-free evaluation runtime: a
 //!   one-time flattening pass per model plus batched multi-lane stepping
 //!   (the hot path behind every device above);
+//! * [`lint`] — the static diagnostic engine behind `mdl lint`: stable
+//!   `M00x`/`C00x` codes covering model semantics (stability, center
+//!   placement, I–V monotonicity, provenance) and circuit structure
+//!   (structural rank, pattern consistency);
 //! * [`pipeline`] — end-to-end estimation from transistor-level reference
 //!   devices: identification-signal synthesis, waveform capture, submodel
 //!   training, weight inversion;
@@ -38,10 +42,13 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod device;
 pub mod driver;
 pub mod evalrt;
 pub mod exchange;
+pub mod lint;
 pub mod macromodel;
 pub mod modelstore;
 pub mod pipeline;
@@ -59,6 +66,7 @@ pub use exchange::{
     save_artifact, save_artifact_to_path, save_model, save_model_to_path, AnyModel, Artifact,
     Provenance,
 };
+pub use lint::{lint_artifact, lint_model, lint_model_full, LintConfig, LintReport, Severity};
 pub use macromodel::{Macromodel, ModelKind, ModelRegistry, PortStimulus, TestFixture};
 pub use modelstore::{
     FileFingerprint, LoadMode, ModelStore, StoreEntry, StoreFailure, StoreRefresh,

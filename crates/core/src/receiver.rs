@@ -46,6 +46,11 @@ impl ReceiverModel {
                 message: format!("sample time must be positive, got {}", self.ts),
             });
         }
+        if !self.vdd.is_finite() {
+            return Err(Error::InvalidModel {
+                message: format!("supply voltage must be finite, got {}", self.vdd),
+            });
+        }
         if !self.linear.is_stable() {
             return Err(Error::InvalidModel {
                 message: "linear ARX submodel is unstable".into(),
@@ -175,6 +180,16 @@ mod tests {
         let mut bad = dummy_receiver();
         bad.linear =
             ArxModel::from_coefficients(ArxOrders { na: 1, nb: 0 }, vec![1.5], vec![1.0]).unwrap();
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn receiver_validate_rejects_non_finite_vdd() {
+        let mut bad = dummy_receiver();
+        bad.vdd = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut bad = dummy_receiver();
+        bad.vdd = f64::NEG_INFINITY;
         assert!(bad.validate().is_err());
     }
 

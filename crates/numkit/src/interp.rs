@@ -33,6 +33,7 @@ impl Pwl {
     ///
     /// * [`Error::EmptyInput`] for empty inputs.
     /// * [`Error::DimensionMismatch`] if `x` and `y` differ in length.
+    /// * [`Error::NonFiniteValue`] if a breakpoint is NaN or infinite.
     /// * [`Error::NonMonotonicAbscissa`] if `x` is not strictly increasing.
     pub fn new(x: Vec<f64>, y: Vec<f64>) -> Result<Self> {
         if x.is_empty() {
@@ -43,6 +44,13 @@ impl Pwl {
                 expected: format!("y of length {}", x.len()),
                 got: format!("y of length {}", y.len()),
             });
+        }
+        // Finiteness first: a NaN abscissa would otherwise slip through the
+        // monotonicity comparison below (`NaN <= prev` is false).
+        for (i, v) in x.iter().chain(y.iter()).enumerate() {
+            if !v.is_finite() {
+                return Err(Error::NonFiniteValue { index: i % x.len() });
+            }
         }
         for i in 1..x.len() {
             if x[i] <= x[i - 1] {
@@ -248,6 +256,28 @@ mod tests {
         assert!(Pwl::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
         assert!(Pwl::new(vec![0.0, 1.0], vec![1.0]).is_err());
         assert!(Pwl::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn pwl_rejects_non_finite_breakpoints() {
+        // Regression: a NaN abscissa used to pass the strictly-increasing
+        // check (`NaN <= prev` is false) and build a corrupt table.
+        assert_eq!(
+            Pwl::new(vec![0.0, f64::NAN, 2.0], vec![0.0, 1.0, 2.0]),
+            Err(Error::NonFiniteValue { index: 1 })
+        );
+        assert!(matches!(
+            Pwl::new(vec![0.0, 1.0], vec![0.0, f64::INFINITY]),
+            Err(Error::NonFiniteValue { .. })
+        ));
+        assert!(matches!(
+            Pwl::new(vec![f64::NEG_INFINITY, 1.0], vec![0.0, 1.0]),
+            Err(Error::NonFiniteValue { .. })
+        ));
+        assert!(matches!(
+            Pwl::new(vec![0.0, 1.0], vec![f64::NAN, 1.0]),
+            Err(Error::NonFiniteValue { .. })
+        ));
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! straightforward, auditable algorithms, while [`sparse`] carries the one
 //! genuinely scale-sensitive workload — circuit MNA matrices, factored by a
 //! left-looking Gilbert–Peierls LU with a fill-reducing ordering so that
-//! thousands-of-unknowns systems stay O(flops into the factors).
+//! thousands-of-unknowns systems stay O(flops into the factors). The
+//! [`structure`] module adds combinatorial pattern analysis (structural rank
+//! via maximum bipartite matching) used by the static lint rules.
 //!
 //! # Example
 //!
@@ -25,6 +27,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cholesky;
 pub mod interp;
 pub mod lstsq;
@@ -33,6 +37,7 @@ pub mod matrix;
 pub mod qr;
 pub mod sparse;
 pub mod stats;
+pub mod structure;
 
 pub use matrix::Matrix;
 
@@ -63,6 +68,11 @@ pub enum Error {
         /// Index of the first offending sample.
         index: usize,
     },
+    /// A non-finite (NaN or infinite) value where finite data is required.
+    NonFiniteValue {
+        /// Index of the first offending sample.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -86,6 +96,9 @@ impl std::fmt::Display for Error {
                     f,
                     "abscissa values must be strictly increasing at index {index}"
                 )
+            }
+            Error::NonFiniteValue { index } => {
+                write!(f, "value at index {index} must be finite")
             }
         }
     }
@@ -116,6 +129,9 @@ mod tests {
         assert!(Error::NotPositiveDefinite { column: 0 }
             .to_string()
             .contains("positive definite"));
+        assert!(Error::NonFiniteValue { index: 2 }
+            .to_string()
+            .contains("finite"));
     }
 
     #[test]

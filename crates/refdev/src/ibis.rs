@@ -239,6 +239,11 @@ impl IbisModel {
                 message: format!("switching-table timestep must be positive, got {}", self.dt),
             });
         }
+        if !self.vdd.is_finite() {
+            return Err(Error::InvalidSpec {
+                message: format!("supply voltage must be finite, got {}", self.vdd),
+            });
+        }
         if self.c_comp <= 0.0 || !self.c_comp.is_finite() {
             return Err(Error::InvalidSpec {
                 message: format!("die capacitance must be positive, got {}", self.c_comp),
@@ -483,6 +488,33 @@ mod tests {
             dt: 50e-12,
             t_table: 3e-9,
         }
+    }
+
+    fn tiny_model() -> IbisModel {
+        IbisModel {
+            name: "tiny".into(),
+            vdd: 3.3,
+            pullup: Pwl::new(vec![0.0, 3.3], vec![0.05, 0.0]).unwrap(),
+            pulldown: Pwl::new(vec![0.0, 3.3], vec![0.0, -0.05]).unwrap(),
+            c_comp: 1e-12,
+            dt: 50e-12,
+            ku_rise: vec![0.0, 1.0],
+            kd_rise: vec![1.0, 0.0],
+            ku_fall: vec![1.0, 0.0],
+            kd_fall: vec![0.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_vdd() {
+        // Regression: vdd had no finiteness check at all.
+        assert!(tiny_model().validate().is_ok());
+        let mut bad = tiny_model();
+        bad.vdd = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut bad = tiny_model();
+        bad.vdd = f64::INFINITY;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //!   implementable as a [`circuit::Device`]. This is the baseline the paper
 //!   compares against in Fig. 1.
 
+#![forbid(unsafe_code)]
+
 pub mod drivers;
 pub mod extraction;
 pub mod ibis;

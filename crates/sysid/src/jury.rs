@@ -1,0 +1,216 @@
+//! Jury (Schur–Cohn) stability test for discrete-time polynomials.
+//!
+//! Decides whether all roots of a real polynomial lie strictly inside the
+//! unit circle using only rational arithmetic — no eigensolver, no root
+//! finding. The implementation runs the reflection-coefficient (inverse
+//! Levinson / Schur–Cohn) recursion: normalize the polynomial monic, read the
+//! trailing coefficient as a reflection coefficient `k`, require `|k| < 1`,
+//! and deflate
+//!
+//! ```text
+//! a'(i) = (a(i) − k · a(n − i)) / (1 − k²),   i = 0..n−1
+//! ```
+//!
+//! repeating until degree zero. The polynomial is Schur-stable iff every
+//! reflection coefficient satisfies `|k| < 1`; `min(1 − |k|)` over the
+//! recursion is a useful scalar stability margin (0 at the unit circle).
+//!
+//! This is the static-analysis counterpart of
+//! [`ArxModel::spectral_radius`](crate::arx::ArxModel::spectral_radius):
+//! exact, deterministic, and cheap enough to run on every artifact load.
+
+/// Outcome of a Jury stability test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JuryResult {
+    /// True iff every root lies strictly inside the unit circle.
+    pub stable: bool,
+    /// `min(1 − |k|)` over the reflection coefficients: positive for stable
+    /// polynomials (distance from the unit circle in reflection-coefficient
+    /// space), ≤ 0 when a root is on or outside the circle.
+    pub margin: f64,
+}
+
+impl JuryResult {
+    fn unstable(margin: f64) -> Self {
+        JuryResult {
+            stable: false,
+            margin,
+        }
+    }
+}
+
+/// Jury test on polynomial coefficients, highest degree first.
+///
+/// `coeffs = [c0, c1, …, cn]` represents `c0·z^n + c1·z^(n−1) + … + cn`.
+/// Requires `c0 ≠ 0` (the polynomial is normalized monic internally);
+/// non-finite or empty input reports unstable.
+///
+/// ```
+/// use sysid::jury::jury;
+/// // z − 0.5: root at 0.5, stable with margin 0.5.
+/// let r = jury(&[1.0, -0.5]);
+/// assert!(r.stable && (r.margin - 0.5).abs() < 1e-12);
+/// // z − 1.2: root outside the unit circle.
+/// assert!(!jury(&[1.0, -1.2]).stable);
+/// ```
+pub fn jury(coeffs: &[f64]) -> JuryResult {
+    if coeffs.is_empty() || coeffs.iter().any(|c| !c.is_finite()) || coeffs[0] == 0.0 {
+        return JuryResult::unstable(f64::NEG_INFINITY);
+    }
+    let lead = coeffs[0];
+    let mut a: Vec<f64> = coeffs.iter().map(|&c| c / lead).collect();
+    let mut margin = f64::INFINITY;
+    while a.len() > 1 {
+        let n = a.len() - 1;
+        let k = a[n];
+        if !k.is_finite() {
+            return JuryResult::unstable(f64::NEG_INFINITY);
+        }
+        let m = 1.0 - k.abs();
+        margin = margin.min(m);
+        if m <= 0.0 {
+            return JuryResult::unstable(margin);
+        }
+        // 1 − k² is bounded away from 0 exactly when the margin is, so this
+        // division is safe whenever we did not already bail out above.
+        let denom = 1.0 - k * k;
+        let next: Vec<f64> = (0..n).map(|i| (a[i] - k * a[n - i]) / denom).collect();
+        a = next;
+    }
+    JuryResult {
+        stable: true,
+        // Degree-0 polynomials are vacuously stable with no finite margin to
+        // report; clamp to 1 (the margin of the zero polynomial z^n).
+        margin: if margin.is_finite() { margin } else { 1.0 },
+    }
+}
+
+/// Jury test on the feedback (autoregressive) part of a difference equation.
+///
+/// For `y(k) = a1·y(k−1) + … + an·y(k−n) + (input terms)` the characteristic
+/// polynomial is `z^n − a1·z^(n−1) − … − an`; the recursion is stable iff that
+/// polynomial is Schur-stable. This matches the coefficient convention of
+/// [`ArxModel::a`](crate::arx::ArxModel::a) and of the output-lag tail of an
+/// RBF network's linear term.
+pub fn feedback_stability(a: &[f64]) -> JuryResult {
+    let mut coeffs = Vec::with_capacity(a.len() + 1);
+    coeffs.push(1.0);
+    coeffs.extend(a.iter().map(|&ai| -ai));
+    jury(&coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arx::{ArxModel, ArxOrders};
+
+    fn poly_from_roots(roots: &[f64]) -> Vec<f64> {
+        let mut c = vec![1.0];
+        for &r in roots {
+            // Multiply by (z − r).
+            let mut next = vec![0.0; c.len() + 1];
+            for (i, &ci) in c.iter().enumerate() {
+                next[i] += ci;
+                next[i + 1] -= ci * r;
+            }
+            c = next;
+        }
+        c
+    }
+
+    #[test]
+    fn degree_zero_and_empty_inputs() {
+        assert!(jury(&[2.0]).stable);
+        assert!(!jury(&[]).stable);
+        assert!(!jury(&[0.0, 1.0]).stable);
+        assert!(!jury(&[1.0, f64::NAN]).stable);
+    }
+
+    #[test]
+    fn real_roots_inside_circle_are_stable() {
+        let p = poly_from_roots(&[0.5, 0.8, -0.9, 0.0]);
+        let r = jury(&p);
+        assert!(r.stable, "expected stable, got {r:?}");
+        assert!(r.margin > 0.0);
+    }
+
+    #[test]
+    fn root_outside_circle_is_unstable() {
+        let p = poly_from_roots(&[0.5, 1.1]);
+        assert!(!jury(&p).stable);
+        let p = poly_from_roots(&[-1.05, 0.2, 0.3]);
+        assert!(!jury(&p).stable);
+    }
+
+    #[test]
+    fn root_on_unit_circle_is_rejected() {
+        // z − 1 (integrator): marginal, must be reported unstable.
+        let r = jury(&[1.0, -1.0]);
+        assert!(!r.stable);
+        assert!(r.margin <= 0.0);
+    }
+
+    #[test]
+    fn complex_pair_inside_circle() {
+        // z² − 1.2 z + 0.72: roots 0.6 ± 0.6i, |root| ≈ 0.849.
+        let r = jury(&[1.0, -1.2, 0.72]);
+        assert!(r.stable);
+        // z² − 1.2 z + 1.04: roots 0.6 ± 0.8i on |z| ≈ 1.02.
+        assert!(!jury(&[1.0, -1.2, 1.04]).stable);
+    }
+
+    #[test]
+    fn non_monic_input_is_normalized() {
+        let mut p = poly_from_roots(&[0.4, -0.3]);
+        for c in &mut p {
+            *c *= -3.5;
+        }
+        assert!(jury(&p).stable);
+    }
+
+    #[test]
+    fn margin_tracks_distance_to_instability() {
+        let tight = jury(&poly_from_roots(&[0.99]));
+        let loose = jury(&poly_from_roots(&[0.5]));
+        assert!(tight.stable && loose.stable);
+        assert!(tight.margin < loose.margin);
+    }
+
+    #[test]
+    fn feedback_convention_matches_arx_models() {
+        // y(k) = 1.3 y(k−1) − 0.4 y(k−2): roots 0.5 and 0.8 → stable.
+        let r = feedback_stability(&[1.3, -0.4]);
+        assert!(r.stable);
+        // y(k) = 1.6 y(k−1) − 0.55 y(k−2): roots 0.5 and 1.1 → unstable.
+        assert!(!feedback_stability(&[1.6, -0.55]).stable);
+    }
+
+    #[test]
+    fn jury_agrees_with_power_iteration_spectral_radius() {
+        // Cross-check against ArxModel::spectral_radius on a deterministic
+        // grid of feedback coefficient pairs (na = 2).
+        let grid = [-1.6, -1.1, -0.8, -0.3, 0.0, 0.4, 0.9, 1.2, 1.7];
+        for &a1 in &grid {
+            for &a2 in &grid {
+                let model = ArxModel::from_coefficients(
+                    ArxOrders { na: 2, nb: 0 },
+                    vec![a1, a2],
+                    vec![1.0],
+                )
+                .expect("valid orders");
+                let rho = model.spectral_radius();
+                // Skip the numerically ambiguous band around the circle where
+                // power iteration tolerance and Jury exactness may disagree.
+                if (rho - 1.0).abs() < 1e-6 {
+                    continue;
+                }
+                let verdict = feedback_stability(&[a1, a2]);
+                assert_eq!(
+                    verdict.stable,
+                    rho < 1.0,
+                    "a1={a1} a2={a2}: jury={verdict:?} rho={rho}"
+                );
+            }
+        }
+    }
+}

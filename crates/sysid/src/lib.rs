@@ -11,6 +11,8 @@
 //!   (Chen, Cowan & Grant, IEEE TNN 1991);
 //! * [`narx`] — nonlinear ARX models: an RBF network over lagged inputs and
 //!   outputs, with one-step and free-run simulation;
+//! * [`jury`] — the Jury (Schur–Cohn) stability criterion: exact unit-circle
+//!   root containment by pure arithmetic, used by the static lint rules;
 //! * [`flat`] — compiled, allocation-free evaluation kernels (row-major
 //!   center slabs, ring-buffer histories, lane-major batched stepping) that
 //!   reproduce the scalar paths bit-for-bit;
@@ -37,8 +39,11 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod arx;
 pub mod flat;
+pub mod jury;
 pub mod metrics;
 pub mod narx;
 pub mod ols;

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# The lint-fleet CI gate: extracts the standard artifact set into a store
+# directory (same fleet as fleet-validate.sh — md1 PW-RBF driver, md1 IBIS
+# corner bundle, md4 receiver v2, md4 C–R̂ baseline), then runs the static
+# diagnostic engine over the whole store:
+#
+#   mdl lint <store>          human-readable findings with fix hints
+#   mdl lint <store> --json   machine-readable report for artifact upload
+#
+# The exit status of `mdl lint` is the gate itself: nonzero when any
+# finding reports at error severity (deny-on-error is the default policy)
+# or an artifact fails to load. Warning/info findings are surfaced in the
+# log and the JSON report but do not fail the job.
+#
+# The JSON report lands in $LINT_REPORT_DIR (default: lint-reports/) for
+# upload as a workflow artifact.
+#
+# Usage: scripts/lint-fleet.sh [store-dir]
+set -euo pipefail
+
+store="${1:-}"
+if [ -z "$store" ]; then
+    store="$(mktemp -d)"
+    trap 'rm -rf "$store"' EXIT
+fi
+report_dir="${LINT_REPORT_DIR:-lint-reports}"
+mkdir -p "$report_dir"
+
+mdl() {
+    cargo run --release -q -p emc-bench --bin mdl -- "$@"
+}
+
+echo "== extracting the standard fleet into $store"
+mdl extract md1 --fast --out "$store/md1-pwrbf.mdlx"
+mdl extract md1 --kind ibis --fast --corners --out "$store/md1-ibis-corners.mdlx"
+mdl extract md4 --kind receiver --fast --v2 --out "$store/md4-receiver.mdlx"
+mdl extract md4 --kind cr --out "$store/md4-cr.mdlx"
+
+echo "== static analysis (JSON report)"
+mdl lint "$store" --json > "$report_dir/fleet-lint.json"
+
+echo "== static analysis (human-readable)"
+mdl lint "$store"
+
+echo "lint fleet: ok (report in $report_dir/fleet-lint.json)"

@@ -30,6 +30,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use circuit;
 pub use macromodel;
 pub use numkit;

@@ -20,6 +20,8 @@
 //! of the perf trajectory (the stub's stand-in for criterion's own
 //! baseline machinery).
 
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 use std::time::Instant;
 

@@ -15,6 +15,8 @@
 //! shrinking. Each `#[test]` still executes `ProptestConfig::cases`
 //! independent random cases.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     /// Runner configuration; only `cases` is consulted.
     #[derive(Debug, Clone)]

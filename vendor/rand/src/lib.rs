@@ -6,6 +6,8 @@
 //! differ from upstream `StdRng` (ChaCha12), which only matters if golden
 //! values were recorded against the real crate.
 
+#![forbid(unsafe_code)]
+
 /// Seedable generators, mirroring `rand::SeedableRng`.
 pub trait SeedableRng: Sized {
     fn seed_from_u64(seed: u64) -> Self;

@@ -6,6 +6,8 @@
 //! format ships in this environment; the real crate is a drop-in
 //! replacement once a registry is available.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker trait standing in for `serde::Serialize`.

@@ -6,6 +6,8 @@
 //! as they would be against real serde; swapping the real crates back in is
 //! a Cargo.toml-only change.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 #[proc_macro_derive(Serialize, attributes(serde))]
