@@ -10,14 +10,26 @@
 //! mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]
 //! mdl simulate <file.mdlx> [--fixture r50|linecap|pulse]
 //!              [--pattern BITS] [--bit-time S] [--t-stop S]
+//! mdl eye <file.mdlx> [--prbs 7|15|31] [--bits N] [--seed S]
+//!         [--lanes N] [--bit-time S] [--json]
+//! mdl mc <file.mdlx> [--trials N] [--seed S] [--prbs 7|15|31]
+//!        [--bits N] [--json]
 //! mdl store ls <dir>
 //! mdl store validate <dir> [--fast] [--json PATH]
 //! mdl store sweep <dir> [--fast] [--json PATH]
 //! mdl serve <dir> --socket PATH [--poll-ms N] [--fast]
 //! mdl bench-serve <dir>|--socket PATH [--clients N] [--requests N] [--json PATH]
 //! mdl bench-eval [--steps N] [--reps N] [--lanes N] [--centers N] [--json] [--baseline PATH]
+//! mdl bench-eye [--prbs-bits N] [--fold-bits N] [--channel-bits N] [--lanes N] [--reps N] [--json] [--baseline PATH]
 //! mdl request --socket PATH <request line...>
 //! ```
+//!
+//! `eye` drives every lane of a generated channel ([`si::channel`]) with a
+//! seed-offset PRBS stream from the artifact's driver model and folds the
+//! far-end waveforms into an eye diagram — metrics plus an ASCII raster of
+//! the worst lane; the exit status is nonzero when the eye is closed. `mc`
+//! runs the Latin-hypercube Monte-Carlo channel sweep ([`si::mc`]) and
+//! gates on population eye statistics. Both are deterministic in `--seed`.
 //!
 //! `lint` runs the static diagnostic engine ([`macromodel::lint`]) over one
 //! artifact or a whole store directory: model-semantic rules (`M00x`) plus
@@ -49,8 +61,9 @@
 //! scripts.
 
 use emc_bench::serve::{
-    driver_spec, receiver_spec, standard_scenarios, sweep_store, validate_model, validate_store,
-    FleetReport,
+    driver_spec, mc_summary_json, receiver_spec, run_eye_workload, run_mc_workload,
+    standard_scenarios, sweep_store, validate_model, validate_store, EyeWorkload, FleetReport,
+    McWorkload,
 };
 use emc_bench::server::{self, LoadGenConfig, ServeConfig};
 use macromodel::exchange::{
@@ -64,7 +77,7 @@ type CliResult<T> = Result<T, Box<dyn std::error::Error + Send + Sync>>;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr] [--out PATH] [--fast] [--v2] [--corners]\n  mdl info <file.mdlx>\n  mdl lint <file.mdlx>|<dir> [--json] [--deny CODE] [--allow CODE]\n  mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]\n  mdl simulate <file.mdlx> [--fixture r50|linecap|pulse] [--pattern BITS] [--bit-time S] [--t-stop S]\n  mdl store ls <dir>\n  mdl store validate <dir> [--fast] [--json PATH]\n  mdl store sweep <dir> [--fast] [--json PATH]\n  mdl serve <dir> --socket PATH [--poll-ms N] [--fast]\n  mdl bench-serve <dir>|--socket PATH [--clients N] [--requests N] [--sweep-every N] [--validate-every N] [--json PATH] [--baseline PATH] [--full]\n  mdl bench-eval [--steps N] [--reps N] [--lanes N] [--centers N] [--json] [--baseline PATH]\n  mdl request --socket PATH <request line...>"
+        "usage:\n  mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr] [--out PATH] [--fast] [--v2] [--corners]\n  mdl info <file.mdlx>\n  mdl lint <file.mdlx>|<dir> [--json] [--deny CODE] [--allow CODE]\n  mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]\n  mdl simulate <file.mdlx> [--fixture r50|linecap|pulse] [--pattern BITS] [--bit-time S] [--t-stop S]\n  mdl eye <file.mdlx> [--prbs 7|15|31] [--bits N] [--seed S] [--lanes N] [--bit-time S] [--json]\n  mdl mc <file.mdlx> [--trials N] [--seed S] [--prbs 7|15|31] [--bits N] [--json]\n  mdl store ls <dir>\n  mdl store validate <dir> [--fast] [--json PATH]\n  mdl store sweep <dir> [--fast] [--json PATH]\n  mdl serve <dir> --socket PATH [--poll-ms N] [--fast]\n  mdl bench-serve <dir>|--socket PATH [--clients N] [--requests N] [--sweep-every N] [--validate-every N] [--json PATH] [--baseline PATH] [--full]\n  mdl bench-eval [--steps N] [--reps N] [--lanes N] [--centers N] [--json] [--baseline PATH]\n  mdl bench-eye [--prbs-bits N] [--fold-bits N] [--channel-bits N] [--lanes N] [--reps N] [--json] [--baseline PATH]\n  mdl request --socket PATH <request line...>"
     );
     std::process::exit(2);
 }
@@ -474,6 +487,138 @@ fn cmd_simulate(mut args: Vec<String>) -> CliResult<()> {
     Ok(())
 }
 
+fn cmd_eye(mut args: Vec<String>) -> CliResult<()> {
+    use si::{EyeAnalyzer, EyeConfig};
+
+    let json = parse_flag(&mut args, "--json");
+    let mut w = EyeWorkload::standard(false);
+    if let Some(p) = parse_f64_opt(&mut args, "--prbs") {
+        w.prbs = p as u32;
+    }
+    if let Some(b) = parse_f64_opt(&mut args, "--bits") {
+        w.bits = (b as usize).max(4);
+    }
+    if let Some(s) = parse_f64_opt(&mut args, "--seed") {
+        w.seed = s as u64;
+    }
+    if let Some(l) = parse_f64_opt(&mut args, "--lanes") {
+        w.lanes = (l as usize).max(1);
+    }
+    if let Some(bt) = parse_f64_opt(&mut args, "--bit-time") {
+        w.bit_time = bt;
+    }
+    let [path] = args.as_slice() else { usage() };
+    let model = load_model_from_path(path)?;
+    if !model.kind().is_driver() {
+        return Err(format!("eye requires a driver model, got {}", model.kind().tag()).into());
+    }
+    let dt = model.sample_time().unwrap_or(DEFAULT_VALIDATION_DT);
+    let mut analyzer = EyeAnalyzer::new(EyeConfig::new(w.bit_time));
+    let (_, stats, outcome) = run_eye_workload(model.as_dyn(), &w, dt, &mut analyzer)?;
+    if json {
+        println!("{}", outcome.json());
+    } else {
+        let m = &outcome.metrics;
+        print!("{}", analyzer.raster().render_ascii());
+        println!(
+            "eye {} prbs{} bits {} seed {} lanes {} (worst lane {})",
+            model.name(),
+            outcome.prbs,
+            outcome.bits,
+            outcome.seed,
+            outcome.lanes,
+            outcome.worst_lane
+        );
+        println!(
+            "  open {}  height {:.4} V  width {:.3} UI",
+            m.open, m.eye_height, m.eye_width_ui
+        );
+        println!(
+            "  jitter pp {:.1} ps  rms {:.1} ps  crossings {}",
+            m.jitter_pp_s * 1e12,
+            m.jitter_rms_s * 1e12,
+            m.crossings
+        );
+        println!(
+            "  rails {:.3} / {:.3} V  overshoot {:.1}%  undershoot {:.1}%",
+            m.v_low,
+            m.v_high,
+            m.overshoot * 100.0,
+            m.undershoot * 100.0
+        );
+        println!(
+            "  solver: {} unknowns, {} newton iterations",
+            stats.unknowns, stats.newton_iterations
+        );
+    }
+    if !outcome.metrics.open {
+        return Err(format!("lane {} eye closed", outcome.worst_lane).into());
+    }
+    Ok(())
+}
+
+fn cmd_mc(mut args: Vec<String>) -> CliResult<()> {
+    let json = parse_flag(&mut args, "--json");
+    let mut w = McWorkload::standard(false);
+    if let Some(t) = parse_f64_opt(&mut args, "--trials") {
+        w.trials = (t as usize).max(1);
+    }
+    if let Some(s) = parse_f64_opt(&mut args, "--seed") {
+        w.seed = s as u64;
+    }
+    if let Some(p) = parse_f64_opt(&mut args, "--prbs") {
+        w.prbs = p as u32;
+    }
+    if let Some(b) = parse_f64_opt(&mut args, "--bits") {
+        w.bits = (b as usize).max(4);
+    }
+    let [path] = args.as_slice() else { usage() };
+    let model = load_model_from_path(path)?;
+    if !model.kind().is_driver() {
+        return Err(format!("mc requires a driver model, got {}", model.kind().tag()).into());
+    }
+    let dt = model.sample_time().unwrap_or(DEFAULT_VALIDATION_DT);
+    let (_, _, s) = run_mc_workload(model.as_dyn(), &w, dt)?;
+    if json {
+        println!("{}", mc_summary_json(&s));
+    } else {
+        println!(
+            "mc {} trials {} seed {} prbs{} bits {}",
+            model.name(),
+            s.trials,
+            s.seed,
+            w.prbs,
+            w.bits
+        );
+        println!(
+            "  eye height min {:.4} V  mean {:.4} V  q05 {:.4} V",
+            s.eye_height_min, s.eye_height_mean, s.eye_height_q05
+        );
+        println!(
+            "  eye width min {:.3} UI  jitter q{:.0} {:.1} ps  max {:.1} ps",
+            s.eye_width_min_ui,
+            w.gates.jitter_quantile * 100.0,
+            s.jitter_pp_q_s * 1e12,
+            s.jitter_pp_max_s * 1e12
+        );
+        println!(
+            "  closed eyes {}  gates: height >= {:.3} V, q-jitter <= {:.1} ps",
+            s.closed_eyes,
+            w.gates.min_eye_height,
+            w.gates.max_jitter_pp_s * 1e12
+        );
+        println!("  population {}", if s.pass { "PASS" } else { "FAIL" });
+    }
+    if !s.pass {
+        return Err(format!(
+            "mc gates failed: {} closed eyes, min eye height {:.4} V over {} trials",
+            s.closed_eyes, s.eye_height_min, s.trials
+        )
+        .into());
+    }
+    Ok(())
+}
+
 fn cmd_serve(mut args: Vec<String>) -> CliResult<()> {
     let fast = parse_flag(&mut args, "--fast");
     let socket = parse_opt(&mut args, "--socket").unwrap_or_else(|| {
@@ -621,6 +766,53 @@ fn cmd_bench_eval(mut args: Vec<String>) -> CliResult<()> {
     Ok(())
 }
 
+fn cmd_bench_eye(mut args: Vec<String>) -> CliResult<()> {
+    use emc_bench::eyebench::{run_eye_bench, summarize, EyeBenchConfig};
+
+    let json = parse_flag(&mut args, "--json");
+    let baseline = parse_opt(&mut args, "--baseline");
+    let mut cfg = EyeBenchConfig::default();
+    if let Some(n) = parse_f64_opt(&mut args, "--prbs-bits") {
+        cfg.prbs_bits = (n as usize).max(1);
+    }
+    if let Some(n) = parse_f64_opt(&mut args, "--fold-bits") {
+        cfg.fold_bits = (n as usize).max(4);
+    }
+    if let Some(n) = parse_f64_opt(&mut args, "--channel-bits") {
+        cfg.channel_bits = (n as usize).max(4);
+    }
+    if let Some(n) = parse_f64_opt(&mut args, "--lanes") {
+        cfg.lanes = (n as usize).max(1);
+    }
+    if let Some(n) = parse_f64_opt(&mut args, "--reps") {
+        cfg.reps = (n as usize).max(1);
+    }
+    if !args.is_empty() {
+        usage();
+    }
+
+    let records = run_eye_bench(&cfg);
+    if json {
+        for r in &records {
+            println!("{}", r.to_json());
+        }
+    } else {
+        print!("{}", summarize(&records));
+    }
+    if let Some(path) = baseline {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        for r in &records {
+            writeln!(f, "{}", r.to_json())?;
+        }
+        println!("baseline records appended to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_request(mut args: Vec<String>) -> CliResult<()> {
     let socket = parse_opt(&mut args, "--socket").unwrap_or_else(|| {
         eprintln!("request needs --socket PATH");
@@ -650,10 +842,13 @@ fn main() {
         "lint" => cmd_lint(args),
         "validate" => cmd_validate(args),
         "simulate" => cmd_simulate(args),
+        "eye" => cmd_eye(args),
+        "mc" => cmd_mc(args),
         "store" => cmd_store(args),
         "serve" => cmd_serve(args),
         "bench-serve" => cmd_bench_serve(args),
         "bench-eval" => cmd_bench_eval(args),
+        "bench-eye" => cmd_bench_eye(args),
         "request" => cmd_request(args),
         _ => usage(),
     };

@@ -26,6 +26,7 @@ use refdev::ibis::IbisExtractConfig;
 use refdev::{CmosDriverSpec, IbisCorner, IbisModel, ReceiverSpec};
 
 pub mod evalbench;
+pub mod eyebench;
 pub mod serve;
 pub mod server;
 

@@ -27,11 +27,21 @@ use circuit::{Circuit, SolveStats, TranParams, Waveform, GROUND};
 use macromodel::validate::{validate_macromodel, ReferencePort, DEFAULT_VALIDATION_DT};
 use macromodel::{Macromodel, ModelKind, ModelStore, PortStimulus, TestFixture};
 use refdev::{CmosDriverSpec, ReceiverSpec};
+use si::{
+    prbs_pattern, ChannelSpec, EyeAnalyzer, EyeConfig, EyeMetrics, McGates, McParam, McPlan,
+    McSummary, PrbsOrder, Termination,
+};
 
 /// Bound on plausible pad voltages (V): every reference device is a 1.8 V
 /// or 3.3 V part, so anything beyond this is a solver or model blow-up,
 /// not a waveform.
 const SANE_VOLTAGE_BOUND: f64 = 25.0;
+
+/// Schema version of [`FleetReport::to_json`]. Bump on any
+/// field-level change so trend tooling can dispatch on the shape it is
+/// reading. Version 2 added `schema` itself plus the `eyes` and `mc`
+/// signal-integrity aggregate blocks.
+pub const FLEET_REPORT_SCHEMA: u32 = 2;
 
 // ---------------------------------------------------------------------
 // Reference resolution
@@ -107,6 +117,85 @@ pub enum ScenarioKind {
         /// Simulated window (s).
         t_stop: f64,
     },
+    /// A PRBS eye-diagram cell: every lane of a generated
+    /// [`si::ChannelSpec`] channel is driven by a macromodel instance with
+    /// a seed-offset PRBS stream, and the far-end waveforms are folded
+    /// into eye metrics ([`si::eye`]).
+    Eye(EyeWorkload),
+    /// A Monte-Carlo statistical sweep: the model drives a 2-lane channel
+    /// whose parameters are Latin-hypercube sampled per trial, gated on
+    /// population eye statistics ([`si::mc`]).
+    MonteCarlo(McWorkload),
+}
+
+/// Parameters of one PRBS eye-diagram cell.
+#[derive(Debug, Clone)]
+pub struct EyeWorkload {
+    /// PRBS order tag (7, 15 or 31).
+    pub prbs: u32,
+    /// Bits simulated per lane.
+    pub bits: usize,
+    /// Master seed; lane `k` streams from `seed + k`.
+    pub seed: u64,
+    /// Unit interval (s).
+    pub bit_time: f64,
+    /// Channel lanes (one driven macromodel instance each).
+    pub lanes: usize,
+    /// RLGC segments of the channel expansion.
+    pub segments: usize,
+}
+
+impl EyeWorkload {
+    /// The standard workload: a 4-lane PRBS-7 stream (2 lanes and a
+    /// shorter stream under `fast`).
+    pub fn standard(fast: bool) -> Self {
+        EyeWorkload {
+            prbs: 7,
+            bits: if fast { 12 } else { 24 },
+            seed: 1,
+            bit_time: 2e-9,
+            lanes: if fast { 2 } else { 4 },
+            segments: 3,
+        }
+    }
+
+    /// Simulated window (s): one unit interval per bit.
+    pub fn t_stop(&self) -> f64 {
+        self.bits as f64 * self.bit_time
+    }
+}
+
+/// Parameters of one Monte-Carlo channel sweep.
+#[derive(Debug, Clone)]
+pub struct McWorkload {
+    /// Trials in the Latin-hypercube plan.
+    pub trials: usize,
+    /// Master seed; every stochastic choice (trial parameters, per-trial
+    /// PRBS streams) derives from it.
+    pub seed: u64,
+    /// PRBS order tag of the per-trial stimulus.
+    pub prbs: u32,
+    /// Bits simulated per trial.
+    pub bits: usize,
+    /// Unit interval (s).
+    pub bit_time: f64,
+    /// Statistical pass gates over the trial population.
+    pub gates: McGates,
+}
+
+impl McWorkload {
+    /// The standard sweep: 8 trials (4 under `fast`) of a PRBS-7 stream
+    /// over the 2-lane channel parameter space.
+    pub fn standard(fast: bool) -> Self {
+        McWorkload {
+            trials: if fast { 4 } else { 8 },
+            seed: 0xec0_5eed,
+            prbs: 7,
+            bits: if fast { 10 } else { 16 },
+            bit_time: 2e-9,
+            gates: McGates::default(),
+        }
+    }
 }
 
 /// One named column of the scenario matrix.
@@ -164,6 +253,16 @@ pub fn standard_scenarios(fast: bool) -> Vec<Scenario> {
                 bit_time: 2e-9,
                 t_stop: if fast { 5e-9 } else { 8e-9 },
             },
+        },
+        Scenario {
+            name: "eye-prbs7".into(),
+            applies_to: Applicability::Drivers,
+            kind: ScenarioKind::Eye(EyeWorkload::standard(fast)),
+        },
+        Scenario {
+            name: "mc-channel".into(),
+            applies_to: Applicability::Drivers,
+            kind: ScenarioKind::MonteCarlo(McWorkload::standard(fast)),
         },
         Scenario {
             name: "pulse".into(),
@@ -241,6 +340,10 @@ pub struct CellReport {
     pub v_max: f64,
     /// Solver diagnostics of the model-side transient.
     pub stats: Option<CellStats>,
+    /// Eye-diagram outcome (eye cells only).
+    pub eye: Option<EyeOutcome>,
+    /// Monte-Carlo population aggregates (MC cells only).
+    pub mc: Option<McSummary>,
     /// Wall-clock seconds of the cell.
     pub elapsed_s: f64,
 }
@@ -261,9 +364,102 @@ impl CellReport {
             v_min: 0.0,
             v_max: 0.0,
             stats: None,
+            eye: None,
+            mc: None,
             elapsed_s: 0.0,
         }
     }
+}
+
+/// Eye-diagram outcome of one eye cell: the workload identity plus the
+/// worst lane's metrics (the gate subject — a link budget is only as good
+/// as its weakest lane).
+#[derive(Debug, Clone)]
+pub struct EyeOutcome {
+    /// PRBS order tag.
+    pub prbs: u32,
+    /// Bits simulated per lane.
+    pub bits: usize,
+    /// Master seed of the lane streams.
+    pub seed: u64,
+    /// Channel lanes simulated.
+    pub lanes: usize,
+    /// Lane with the smallest eye opening (metrics below are its).
+    pub worst_lane: usize,
+    /// Worst-lane eye metrics.
+    pub metrics: EyeMetrics,
+}
+
+impl EyeOutcome {
+    /// The outcome as one compact JSON object (the `eye` block of cell
+    /// and fleet reports; the `mdl eye --json` payload).
+    pub fn json(&self) -> String {
+        let m = &self.metrics;
+        format!(
+            "{{\"prbs\": {}, \"bits\": {}, \"seed\": {}, \"lanes\": {}, \"worst_lane\": {}, \
+             \"open\": {}, \"eye_height\": {}, \"eye_width_ui\": {}, \"jitter_pp_s\": {}, \
+             \"jitter_rms_s\": {}, \"overshoot\": {}, \"undershoot\": {}, \"v_high\": {}, \
+             \"v_low\": {}, \"crossings\": {}}}",
+            self.prbs,
+            self.bits,
+            self.seed,
+            self.lanes,
+            self.worst_lane,
+            m.open,
+            json_f64(m.eye_height),
+            json_f64(m.eye_width_ui),
+            json_f64(m.jitter_pp_s),
+            json_f64(m.jitter_rms_s),
+            json_f64(m.overshoot),
+            json_f64(m.undershoot),
+            json_f64(m.v_high),
+            json_f64(m.v_low),
+            m.crossings,
+        )
+    }
+}
+
+/// Serializes a Monte-Carlo population summary as one compact JSON object
+/// (the `mc` block of cell and fleet reports; the `mdl mc --json` payload).
+pub fn mc_summary_json(s: &McSummary) -> String {
+    format!(
+        "{{\"trials\": {}, \"seed\": {}, \"closed_eyes\": {}, \"eye_height_min\": {}, \
+         \"eye_height_mean\": {}, \"eye_height_q05\": {}, \"eye_width_min_ui\": {}, \
+         \"jitter_pp_q_s\": {}, \"jitter_pp_max_s\": {}, \"pass\": {}}}",
+        s.trials,
+        s.seed,
+        s.closed_eyes,
+        json_f64(s.eye_height_min),
+        json_f64(s.eye_height_mean),
+        json_f64(s.eye_height_q05),
+        json_f64(s.eye_width_min_ui),
+        json_f64(s.jitter_pp_q_s),
+        json_f64(s.jitter_pp_max_s),
+        s.pass,
+    )
+}
+
+/// One eye-diagram aggregate of a fleet report: the cell identity plus
+/// its [`EyeOutcome`].
+#[derive(Debug, Clone)]
+pub struct EyeSummary {
+    /// Model name.
+    pub model: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// The eye outcome.
+    pub outcome: EyeOutcome,
+}
+
+/// One Monte-Carlo aggregate of a fleet report.
+#[derive(Debug, Clone)]
+pub struct McCellSummary {
+    /// Model name.
+    pub model: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// The population aggregates.
+    pub summary: McSummary,
 }
 
 /// Static-analysis summary of one served model (see [`macromodel::lint`]).
@@ -310,6 +506,8 @@ impl ModelLint {
 /// The whole matrix outcome: one report per store sweep or validation run.
 #[derive(Debug, Clone)]
 pub struct FleetReport {
+    /// JSON schema version ([`FLEET_REPORT_SCHEMA`]).
+    pub schema: u32,
     /// Store directory the models came from.
     pub store_root: String,
     /// `"sweep"` or `"validate"`.
@@ -324,6 +522,10 @@ pub struct FleetReport {
     pub lints: Vec<ModelLint>,
     /// Every matrix cell.
     pub cells: Vec<CellReport>,
+    /// Eye-diagram aggregates, one per eye cell (sweep mode).
+    pub eyes: Vec<EyeSummary>,
+    /// Monte-Carlo aggregates, one per MC cell (sweep mode).
+    pub mc: Vec<McCellSummary>,
 }
 
 impl FleetReport {
@@ -348,6 +550,7 @@ impl FleetReport {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", self.schema));
         out.push_str(&format!("  \"store\": {},\n", json_str(&self.store_root)));
         out.push_str(&format!("  \"mode\": {},\n", json_str(&self.mode)));
         out.push_str(&format!("  \"artifacts\": {},\n", self.artifacts));
@@ -423,9 +626,47 @@ impl FleetReport {
                 )),
                 None => out.push_str("\"stats\": null, "),
             }
+            match &c.eye {
+                Some(eye) => out.push_str(&format!("\"eye\": {}, ", eye.json())),
+                None => out.push_str("\"eye\": null, "),
+            }
+            match &c.mc {
+                Some(mc) => out.push_str(&format!("\"mc\": {}, ", mc_summary_json(mc))),
+                None => out.push_str("\"mc\": null, "),
+            }
             out.push_str(&format!("\"elapsed_s\": {}}}", json_f64(c.elapsed_s)));
         }
         if !self.cells.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"eyes\": [");
+        for (i, e) in self.eyes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"model\": {}, \"scenario\": {}, \"outcome\": {}}}",
+                json_str(&e.model),
+                json_str(&e.scenario),
+                e.outcome.json()
+            ));
+        }
+        if !self.eyes.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"mc\": [");
+        for (i, m) in self.mc.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"model\": {}, \"scenario\": {}, \"summary\": {}}}",
+                json_str(&m.model),
+                json_str(&m.scenario),
+                mc_summary_json(&m.summary)
+            ));
+        }
+        if !self.mc.is_empty() {
             out.push_str("\n  ");
         }
         out.push_str("]\n}\n");
@@ -575,10 +816,168 @@ fn run_bus_cell(
     Ok((waves, stats))
 }
 
+/// Runs the eye workload: every channel lane driven by an instance of
+/// `model` with a seed-offset PRBS stream, far-end waveforms folded by
+/// `analyzer`. On return the analyzer's raster holds the *worst* lane's
+/// fold (callers render it; the fleet path reads only the metrics).
+///
+/// # Errors
+///
+/// An unknown PRBS tag, a degenerate channel, or a failed transient.
+pub fn run_eye_workload(
+    model: &dyn Macromodel,
+    w: &EyeWorkload,
+    dt: f64,
+    analyzer: &mut EyeAnalyzer,
+) -> crate::Result<(Vec<Waveform>, CellStats, EyeOutcome)> {
+    let order = PrbsOrder::from_tag(w.prbs)
+        .ok_or_else(|| format!("unknown PRBS order tag {} (expected 7, 15 or 31)", w.prbs))?;
+    let mut spec = ChannelSpec::new(w.lanes);
+    spec.segments = w.segments;
+    let mut ckt = Circuit::new();
+    let f_band = (1.0 / (w.bits as f64 * w.bit_time), 10.0 / w.bit_time);
+    let ports = spec.build(&mut ckt, f_band)?;
+    let stims: Vec<PortStimulus> = (0..w.lanes)
+        .map(|lane| {
+            PortStimulus::new(
+                prbs_pattern(order, w.bits, w.seed.wrapping_add(lane as u64)),
+                w.bit_time,
+            )
+        })
+        .collect();
+    let mut pads = Vec::with_capacity(w.lanes);
+    for (lane, &near) in ports.near.iter().enumerate() {
+        let pad = ckt.node(format!("eye_pad{lane}"));
+        ckt.add(Resistor::new(format!("eye_jn{lane}"), pad, near, 1e-3));
+        pads.push(pad);
+    }
+    let lanes: Vec<(circuit::Node, Option<&PortStimulus>)> = pads
+        .iter()
+        .zip(&stims)
+        .map(|(&pad, stim)| (pad, Some(stim)))
+        .collect();
+    model.instantiate_lanes(&mut ckt, &lanes)?;
+    let res = ckt.transient(TranParams::new(dt, w.t_stop()))?;
+    let waves: Vec<Waveform> = ports.far.iter().map(|&far| res.voltage(far)).collect();
+    let stats = CellStats::new(
+        res.solve_stats,
+        res.total_newton_iterations,
+        ckt.unknown_count(),
+    );
+    // Worst lane: any closed eye beats every open one; among open eyes the
+    // smallest height. Re-analyze it last so the analyzer's raster matches
+    // the reported metrics.
+    let metrics: Vec<EyeMetrics> = waves.iter().map(|wave| analyzer.analyze(wave)).collect();
+    let worst_lane = (0..metrics.len())
+        .min_by(|&a, &b| {
+            let key = |m: &EyeMetrics| if m.open { m.eye_height } else { -1.0 };
+            key(&metrics[a]).total_cmp(&key(&metrics[b]))
+        })
+        .unwrap_or(0);
+    let metrics = analyzer.analyze(&waves[worst_lane]);
+    Ok((
+        waves,
+        stats,
+        EyeOutcome {
+            prbs: w.prbs,
+            bits: w.bits,
+            seed: w.seed,
+            lanes: w.lanes,
+            worst_lane,
+            metrics,
+        },
+    ))
+}
+
+/// Runs the Monte-Carlo workload: `trials` Latin-hypercube draws over the
+/// 2-lane channel parameter space (pad load, coupling, termination,
+/// segment length), the model driving lane 0 with a per-trial PRBS stream,
+/// lane 1 a passively terminated victim. Returns the driven lane's far-end
+/// waveform per trial plus the gated population aggregates.
+///
+/// # Errors
+///
+/// An unknown PRBS tag, a degenerate plan, or a failed trial transient.
+pub fn run_mc_workload(
+    model: &dyn Macromodel,
+    w: &McWorkload,
+    dt: f64,
+) -> crate::Result<(Vec<Waveform>, CellStats, McSummary)> {
+    let order = PrbsOrder::from_tag(w.prbs)
+        .ok_or_else(|| format!("unknown PRBS order tag {} (expected 7, 15 or 31)", w.prbs))?;
+    let plan = McPlan::new(
+        w.trials,
+        w.seed,
+        vec![
+            McParam::new("load_cap", 1e-12, 5e-12),
+            McParam::new("coupling", 0.25, 1.25),
+            McParam::new("r_term", 35.0, 65.0),
+            McParam::new("segment_length", 0.015, 0.03),
+        ],
+    );
+    let trials = plan.sample();
+    let mut analyzer = EyeAnalyzer::new(EyeConfig::new(w.bit_time));
+    let mut waves = Vec::with_capacity(trials.len());
+    let mut metrics = Vec::with_capacity(trials.len());
+    let mut agg: Option<CellStats> = None;
+    for trial in &trials {
+        let mut spec = ChannelSpec::new(2);
+        spec.segments = 2;
+        spec.load_cap = trial.value(&plan, "load_cap").unwrap_or(spec.load_cap);
+        spec.coupling = trial.value(&plan, "coupling").unwrap_or(spec.coupling);
+        spec.termination = Termination::Resistive(trial.value(&plan, "r_term").unwrap_or(50.0));
+        spec.segment_length = trial
+            .value(&plan, "segment_length")
+            .unwrap_or(spec.segment_length);
+        let mut ckt = Circuit::new();
+        let f_band = (1.0 / (w.bits as f64 * w.bit_time), 10.0 / w.bit_time);
+        let ports = spec.build(&mut ckt, f_band)?;
+        let pad = ckt.node("mc_pad0");
+        ckt.add(Resistor::new("mc_jn0", pad, ports.near[0], 1e-3));
+        // The victim lane is near-end terminated, not driven.
+        ckt.add(Resistor::new("mc_rv1", ports.near[1], GROUND, ports.z0));
+        let stim = PortStimulus::new(prbs_pattern(order, w.bits, trial.seed), w.bit_time);
+        model.instantiate_lanes(&mut ckt, &[(pad, Some(&stim))])?;
+        let t_stop = w.bits as f64 * w.bit_time;
+        let res = ckt.transient(TranParams::new(dt, t_stop))?;
+        let wave = res.voltage(ports.far[0]);
+        metrics.push(analyzer.analyze(&wave));
+        waves.push(wave);
+        let s = CellStats::new(
+            res.solve_stats,
+            res.total_newton_iterations,
+            ckt.unknown_count(),
+        );
+        agg = Some(match agg {
+            None => s,
+            Some(a) => CellStats {
+                symbolic_analyses: a.symbolic_analyses + s.symbolic_analyses,
+                factorizations: a.factorizations + s.factorizations,
+                factor_nnz: a.factor_nnz.max(s.factor_nnz),
+                flops: a.flops + s.flops,
+                newton_iterations: a.newton_iterations + s.newton_iterations,
+                unknowns: a.unknowns.max(s.unknowns),
+            },
+        });
+    }
+    let summary = McSummary::from_metrics(&metrics, &w.gates, w.seed);
+    let stats = agg.unwrap_or(CellStats {
+        symbolic_analyses: 0,
+        factorizations: 0,
+        factor_nnz: 0,
+        flops: 0,
+        newton_iterations: 0,
+        unknowns: 0,
+    });
+    Ok((waves, stats, summary))
+}
+
 /// Runs one (model, scenario) sweep cell.
 pub(crate) fn run_sweep_cell(model: &dyn Macromodel, scenario: &Scenario) -> CellReport {
     let t0 = std::time::Instant::now();
     let dt = model.sample_time().unwrap_or(DEFAULT_VALIDATION_DT);
+    let mut eye = None;
+    let mut mc = None;
     let outcome: crate::Result<(Vec<Waveform>, CellStats)> = match &scenario.kind {
         ScenarioKind::Fixture {
             fixture,
@@ -612,12 +1011,43 @@ pub(crate) fn run_sweep_cell(model: &dyn Macromodel, scenario: &Scenario) -> Cel
             *t_stop,
             dt,
         ),
+        ScenarioKind::Eye(w) => {
+            let mut analyzer = EyeAnalyzer::new(EyeConfig::new(w.bit_time));
+            run_eye_workload(model, w, dt, &mut analyzer).map(|(waves, stats, outcome)| {
+                eye = Some(outcome);
+                (waves, stats)
+            })
+        }
+        ScenarioKind::MonteCarlo(w) => {
+            run_mc_workload(model, w, dt).map(|(waves, stats, summary)| {
+                mc = Some(summary);
+                (waves, stats)
+            })
+        }
     };
     let elapsed_s = t0.elapsed().as_secs_f64();
     match outcome {
         Ok((waves, stats)) => {
             let (samples, v_min, v_max) = waveform_extrema(&waves);
-            let gate = sanity_gate(&waves);
+            // Waveform sanity first; eye and MC cells additionally gate on
+            // their signal-integrity outcome.
+            let mut gate = sanity_gate(&waves);
+            if gate.is_ok() {
+                if let Some(o) = &eye {
+                    if !o.metrics.open {
+                        gate = Err(format!("lane {} eye closed", o.worst_lane));
+                    }
+                }
+                if let Some(s) = &mc {
+                    if !s.pass {
+                        gate = Err(format!(
+                            "mc gates failed: {} closed eyes, min eye height {:.4} V, \
+                             q-jitter {:.3e} s over {} trials",
+                            s.closed_eyes, s.eye_height_min, s.jitter_pp_q_s, s.trials
+                        ));
+                    }
+                }
+            }
             CellReport {
                 model: model.name().to_string(),
                 kind: model.kind().tag().to_string(),
@@ -632,6 +1062,8 @@ pub(crate) fn run_sweep_cell(model: &dyn Macromodel, scenario: &Scenario) -> Cel
                 v_min,
                 v_max,
                 stats: Some(stats),
+                eye,
+                mc,
                 elapsed_s,
             }
         }
@@ -727,6 +1159,8 @@ pub fn validate_model(
         v_min,
         v_max,
         stats: None,
+        eye: None,
+        mc: None,
         elapsed_s: t0.elapsed().as_secs_f64(),
     }
 }
@@ -750,6 +1184,7 @@ fn store_header(store: &ModelStore, mode: &str) -> FleetReport {
         .map(|(_, m)| ModelLint::of(m.name(), m))
         .collect();
     FleetReport {
+        schema: FLEET_REPORT_SCHEMA,
         store_root: store.root().display().to_string(),
         mode: mode.to_string(),
         artifacts: store.len(),
@@ -757,6 +1192,8 @@ fn store_header(store: &ModelStore, mode: &str) -> FleetReport {
         load_failures,
         lints,
         cells: Vec::new(),
+        eyes: Vec::new(),
+        mc: Vec::new(),
     }
 }
 
@@ -823,6 +1260,8 @@ pub fn sweep_store(store: &ModelStore, scenarios: &[Scenario]) -> FleetReport {
                         v_min,
                         v_max,
                         stats: Some(stats),
+                        eye: None,
+                        mc: None,
                         elapsed_s,
                     }
                 }
@@ -840,13 +1279,44 @@ pub fn sweep_store(store: &ModelStore, scenarios: &[Scenario]) -> FleetReport {
                     v_min: 0.0,
                     v_max: 0.0,
                     stats: None,
+                    eye: None,
+                    mc: None,
                     elapsed_s,
                 },
             };
             report.cells.push(cell);
         }
     }
+    collect_si_aggregates(&mut report);
     report
+}
+
+/// Lifts the per-cell eye and MC outcomes into the report's top-level
+/// aggregate blocks (the trend-tooling view: one row per signal-integrity
+/// cell without walking the full matrix).
+fn collect_si_aggregates(report: &mut FleetReport) {
+    report.eyes = report
+        .cells
+        .iter()
+        .filter_map(|c| {
+            c.eye.clone().map(|outcome| EyeSummary {
+                model: c.model.clone(),
+                scenario: c.scenario.clone(),
+                outcome,
+            })
+        })
+        .collect();
+    report.mc = report
+        .cells
+        .iter()
+        .filter_map(|c| {
+            c.mc.map(|summary| McCellSummary {
+                model: c.model.clone(),
+                scenario: c.scenario.clone(),
+                summary,
+            })
+        })
+        .collect();
 }
 
 /// Re-certifies every model in the store against its transistor-level
@@ -869,11 +1339,14 @@ mod tests {
     use sysid::narx::{NarxModel, NarxOrders};
     use sysid::rbf::RbfNetwork;
 
+    /// A cheap switching PW-RBF driver: the high state pulls the pad to
+    /// 1.8 V and the low state to 0 V, each through 20 Ω — pattern-
+    /// dependent output, so eye cells see an open eye.
     fn dummy_driver(name: &str) -> AnyModel {
-        let narx = || {
+        let narx = |bias: f64| {
             NarxModel::from_network(
                 NarxOrders::dynamic(1),
-                RbfNetwork::affine(0.0, vec![0.02, 0.0, 0.0]),
+                RbfNetwork::affine(bias, vec![-0.05, 0.0, 0.0]),
             )
             .unwrap()
         };
@@ -881,8 +1354,8 @@ mod tests {
             name: name.into(),
             ts: 25e-12,
             vdd: 1.8,
-            i_high: narx(),
-            i_low: narx(),
+            i_high: narx(0.09),
+            i_low: narx(0.0),
             up: WeightSequence::new(vec![0.0, 1.0], vec![1.0, 0.0]).unwrap(),
             down: WeightSequence::new(vec![1.0, 0.0], vec![0.0, 1.0]).unwrap(),
         })
@@ -920,14 +1393,14 @@ mod tests {
             .iter()
             .filter(|s| s.applies(ModelKind::CrBaseline))
             .count();
-        assert_eq!(driver_cols, 3);
+        assert_eq!(driver_cols, 5);
         assert_eq!(load_cols, 1);
         assert!(
             scenarios
                 .iter()
                 .filter(|s| s.applies(ModelKind::Ibis))
                 .count()
-                >= 3
+                >= 5
         );
     }
 
@@ -963,9 +1436,23 @@ mod tests {
         );
         let scenarios = standard_scenarios(true);
         let report = sweep_store(&store, &scenarios);
-        // 2 drivers × 3 driver scenarios + 1 load × 1 load scenario + mixed.
-        assert_eq!(report.cells.len(), 2 * 3 + 1 + 1);
+        // 2 drivers × 5 driver scenarios + 1 load × 1 load scenario + mixed.
+        assert_eq!(report.cells.len(), 2 * 5 + 1 + 1);
         assert!(report.all_passed(), "failures: {:?}", report.cells);
+        assert_eq!(report.schema, FLEET_REPORT_SCHEMA);
+        // The signal-integrity cells surface their aggregates: one eye and
+        // one MC block per driver.
+        assert_eq!(report.eyes.len(), 2);
+        assert_eq!(report.mc.len(), 2);
+        assert!(report.eyes.iter().all(|e| {
+            e.scenario == "eye-prbs7"
+                && e.outcome.metrics.open
+                && e.outcome.metrics.eye_height > 0.0
+        }));
+        assert!(report
+            .mc
+            .iter()
+            .all(|m| m.scenario == "mc-channel" && m.summary.pass && m.summary.closed_eyes == 0));
         assert_eq!(report.models, 3);
         // Healthy dummies carry clean per-model lint summaries.
         assert_eq!(report.lints.len(), 3);
@@ -991,6 +1478,65 @@ mod tests {
     }
 
     #[test]
+    fn eight_lane_eye_workload_sweeps_through_the_fleet_engine() {
+        let store = tmp_store("wide", &[dummy_driver("wide1")]);
+        let scenarios = vec![Scenario {
+            name: "eye-wide".into(),
+            applies_to: Applicability::Drivers,
+            kind: ScenarioKind::Eye(EyeWorkload {
+                prbs: 7,
+                bits: 12,
+                seed: 3,
+                bit_time: 2e-9,
+                lanes: 8,
+                segments: 2,
+            }),
+        }];
+        let report = sweep_store(&store, &scenarios);
+        assert!(report.all_passed(), "failures: {:?}", report.cells);
+        assert_eq!(report.eyes.len(), 1);
+        let outcome = &report.eyes[0].outcome;
+        assert_eq!(outcome.lanes, 8);
+        assert!(outcome.worst_lane < 8);
+        assert!(outcome.metrics.open && outcome.metrics.eye_height > 0.0);
+        assert!(outcome.metrics.eye_width_ui > 0.5);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn eye_and_mc_workloads_are_seed_reproducible() {
+        let AnyModel::PwRbfDriver(d) = dummy_driver("det") else {
+            unreachable!()
+        };
+        let w = EyeWorkload::standard(true);
+        let dt = 25e-12;
+        let mut analyzer = EyeAnalyzer::new(EyeConfig::new(w.bit_time));
+        let (_, _, a) = run_eye_workload(&d, &w, dt, &mut analyzer).unwrap();
+        let (_, _, b) = run_eye_workload(&d, &w, dt, &mut analyzer).unwrap();
+        assert_eq!(a.worst_lane, b.worst_lane);
+        assert_eq!(
+            a.metrics.eye_height.to_bits(),
+            b.metrics.eye_height.to_bits()
+        );
+        assert_eq!(
+            a.metrics.jitter_pp_s.to_bits(),
+            b.metrics.jitter_pp_s.to_bits()
+        );
+        // A different seed steers every lane onto a different PRBS stream.
+        let mut other = w.clone();
+        other.seed = 99;
+        let (_, _, c) = run_eye_workload(&d, &other, dt, &mut analyzer).unwrap();
+        assert_eq!(c.seed, 99);
+
+        let mw = McWorkload::standard(true);
+        let (_, _, s1) = run_mc_workload(&d, &mw, dt).unwrap();
+        let (_, _, s2) = run_mc_workload(&d, &mw, dt).unwrap();
+        assert_eq!(s1.eye_height_min.to_bits(), s2.eye_height_min.to_bits());
+        assert_eq!(s1.jitter_pp_q_s.to_bits(), s2.jitter_pp_q_s.to_bits());
+        assert_eq!(s1.trials, mw.trials);
+    }
+
+    #[test]
     fn json_report_is_well_formed() {
         let store = tmp_store("json", &[dummy_driver("d1"), dummy_cr("c\"quote")]);
         let report = sweep_store(&store, &standard_scenarios(true));
@@ -998,6 +1544,11 @@ mod tests {
         assert!(json.contains("\"mode\": \"sweep\""));
         assert!(json.contains("\"all_passed\": true"));
         assert!(json.contains("\"lints\""));
+        assert!(json.contains(&format!("\"schema\": {FLEET_REPORT_SCHEMA}")));
+        assert!(json.contains("\"eyes\": ["), "top-level eye aggregates");
+        assert!(json.contains("\"mc\": ["), "top-level MC aggregates");
+        assert!(json.contains("\"eye_height\":"));
+        assert!(json.contains("\"jitter_pp_q_s\":"));
         assert!(json.contains("c\\\"quote"), "names are escaped");
         // Balanced braces/brackets (cheap well-formedness proxy given no
         // JSON parser in the dependency set).

@@ -35,7 +35,10 @@ use std::time::{Duration, Instant};
 
 use macromodel::{content_digest, load_artifact, LoadMode, Macromodel, ModelKind, ModelStore};
 
-use crate::serve::{json_f64, json_opt, json_str, standard_scenarios, CellReport, Scenario};
+use crate::serve::{
+    json_f64, json_opt, json_str, mc_summary_json, standard_scenarios, Applicability, CellReport,
+    EyeWorkload, McWorkload, Scenario, ScenarioKind,
+};
 
 use super::cache::DigestCache;
 use super::protocol::{self, Request};
@@ -97,6 +100,8 @@ struct Counters {
     op_validate: AtomicU64,
     op_simulate: AtomicU64,
     op_sweep: AtomicU64,
+    op_eye: AtomicU64,
+    op_mc: AtomicU64,
     op_stats: AtomicU64,
 }
 
@@ -451,6 +456,64 @@ fn respond(inner: &Arc<Inner>, line: &str) -> (String, bool) {
             inner.counters.op_sweep.fetch_add(1, Ordering::Relaxed);
             sweep_json(inner, fast)
         }
+        Request::Eye {
+            name,
+            prbs,
+            bits,
+            seed,
+        } => {
+            inner.counters.op_eye.fetch_add(1, Ordering::Relaxed);
+            let mut w = EyeWorkload::standard(inner.cfg.fast);
+            if let Some(p) = prbs {
+                w.prbs = p;
+            }
+            if let Some(b) = bits {
+                w.bits = b;
+            }
+            if let Some(s) = seed {
+                w.seed = s;
+            }
+            run_one(
+                inner,
+                &name,
+                |kind| {
+                    if !kind.is_driver() {
+                        return Err(format!("eye requires a driver model, got {}", kind.tag()));
+                    }
+                    Ok(CellTask::Scenario(Scenario {
+                        name: "eye".into(),
+                        applies_to: Applicability::Drivers,
+                        kind: ScenarioKind::Eye(w),
+                    }))
+                },
+                "eye",
+            )
+        }
+        Request::Mc { name, trials, seed } => {
+            inner.counters.op_mc.fetch_add(1, Ordering::Relaxed);
+            let mut w = McWorkload::standard(inner.cfg.fast);
+            if let Some(t) = trials {
+                w.trials = t;
+            }
+            if let Some(s) = seed {
+                w.seed = s;
+            }
+            run_one(
+                inner,
+                &name,
+                |kind| {
+                    if !kind.is_driver() {
+                        return Err(format!("mc requires a driver model, got {}", kind.tag()));
+                    }
+                    Ok(CellTask::Scenario(Scenario {
+                        name: "mc".into(),
+                        applies_to: Applicability::Drivers,
+                        kind: ScenarioKind::MonteCarlo(w),
+                    }))
+                },
+                "mc",
+            )
+        }
         Request::Stats => {
             inner.counters.op_stats.fetch_add(1, Ordering::Relaxed);
             Ok(stats_json(inner))
@@ -533,7 +596,7 @@ fn cell_json(op: &str, model: &ServedModel, c: &CellReport) -> String {
     format!(
         "{{\"ok\":true,\"op\":{},\"model\":{},\"kind\":{},\"scenario\":{},\"pass\":{},\
          \"detail\":{},\"digest\":{},\"config_digest\":{},\"rms_error\":{},\"samples\":{},\
-         \"v_min\":{},\"v_max\":{},\"elapsed_s\":{}}}",
+         \"v_min\":{},\"v_max\":{},\"eye\":{},\"mc\":{},\"elapsed_s\":{}}}",
         json_str(op),
         json_str(&c.model),
         json_str(&c.kind),
@@ -549,6 +612,11 @@ fn cell_json(op: &str, model: &ServedModel, c: &CellReport) -> String {
         c.samples,
         json_f64(c.v_min),
         json_f64(c.v_max),
+        c.eye
+            .as_ref()
+            .map_or_else(|| "null".to_string(), |e| e.json()),
+        c.mc.as_ref()
+            .map_or_else(|| "null".to_string(), mc_summary_json),
         json_f64(c.elapsed_s),
     )
 }
@@ -692,7 +760,8 @@ fn stats_json(inner: &Arc<Inner>) -> String {
     format!(
         "{{\"ok\":true,\"op\":\"stats\",\"generation\":{},\"models\":{},\"artifacts\":{},\
          \"requests\":{},\"errors\":{},\
-         \"ops\":{{\"ls\":{},\"info\":{},\"validate\":{},\"simulate\":{},\"sweep\":{},\"stats\":{}}},\
+         \"ops\":{{\"ls\":{},\"info\":{},\"validate\":{},\"simulate\":{},\"sweep\":{},\
+         \"eye\":{},\"mc\":{},\"stats\":{}}},\
          \"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{},\"entries\":{}}},\
          \"lint\":{{\"errors\":{lint_e},\"warnings\":{lint_w},\"infos\":{lint_i}}},\
          \"reloads\":{},\
@@ -708,6 +777,8 @@ fn stats_json(inner: &Arc<Inner>) -> String {
         c.op_validate.load(Ordering::Relaxed),
         c.op_simulate.load(Ordering::Relaxed),
         c.op_sweep.load(Ordering::Relaxed),
+        c.op_eye.load(Ordering::Relaxed),
+        c.op_mc.load(Ordering::Relaxed),
         c.op_stats.load(Ordering::Relaxed),
         hits,
         misses,

@@ -16,6 +16,8 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use numkit::stats::percentile_nearest_rank as percentile;
+
 use crate::par_map;
 use crate::serve::{json_f64, json_str};
 
@@ -180,17 +182,6 @@ struct Sample {
     seconds: f64,
     ok: bool,
     pass: bool,
-}
-
-/// Nearest-rank percentile of a sorted slice.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((q * sorted.len() as f64).ceil() as usize)
-        .saturating_sub(1)
-        .min(sorted.len() - 1);
-    sorted[idx]
 }
 
 fn summarize(op: &str, latencies: &[f64]) -> OpSummary {

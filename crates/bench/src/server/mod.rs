@@ -63,13 +63,14 @@ pub(crate) mod tests {
     use sysid::narx::{NarxModel, NarxOrders};
     use sysid::rbf::RbfNetwork;
 
-    /// A cheap linear PW-RBF driver for daemon and scheduler tests — one
-    /// affine RBF per state, millisecond-scale transients.
+    /// A cheap switching PW-RBF driver for daemon and scheduler tests —
+    /// one affine RBF per state (1.8 V pull-up / 0 V pull-down through
+    /// 20 Ω), millisecond-scale transients with pattern-dependent output.
     pub(crate) fn dummy_driver(name: &str) -> AnyModel {
-        let narx = || {
+        let narx = |bias: f64| {
             NarxModel::from_network(
                 NarxOrders::dynamic(1),
-                RbfNetwork::affine(0.0, vec![0.02, 0.0, 0.0]),
+                RbfNetwork::affine(bias, vec![-0.05, 0.0, 0.0]),
             )
             .unwrap()
         };
@@ -77,8 +78,8 @@ pub(crate) mod tests {
             name: name.into(),
             ts: 25e-12,
             vdd: 1.8,
-            i_high: narx(),
-            i_low: narx(),
+            i_high: narx(0.09),
+            i_low: narx(0.0),
             up: WeightSequence::new(vec![0.0, 1.0], vec![1.0, 0.0]).unwrap(),
             down: WeightSequence::new(vec![1.0, 0.0], vec![0.0, 1.0]).unwrap(),
         })

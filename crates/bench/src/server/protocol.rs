@@ -92,6 +92,26 @@ pub enum Request {
         /// Use the shrunken smoke-test scenario set.
         fast: bool,
     },
+    /// Fold a PRBS eye diagram on one served driver model.
+    Eye {
+        /// Model name.
+        name: String,
+        /// PRBS order tag (7, 15 or 31); `None` keeps the standard workload.
+        prbs: Option<u32>,
+        /// Bits simulated per lane.
+        bits: Option<usize>,
+        /// Master seed of the lane streams.
+        seed: Option<u64>,
+    },
+    /// Run a Monte-Carlo channel sweep on one served driver model.
+    Mc {
+        /// Model name.
+        name: String,
+        /// Latin-hypercube trials.
+        trials: Option<usize>,
+        /// Master seed of the sweep.
+        seed: Option<u64>,
+    },
     /// Report request, cache, reload, and scheduler counters.
     Stats,
     /// Stop the daemon after acknowledging.
@@ -152,6 +172,26 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "sweep" => Request::Sweep {
             fast: take_flag(&mut tokens, "--fast"),
         },
+        "eye" => {
+            let prbs = take_parsed(&mut tokens, "--prbs")?;
+            let bits = take_parsed(&mut tokens, "--bits")?;
+            let seed = take_parsed(&mut tokens, "--seed")?;
+            Request::Eye {
+                name: one_name(&mut tokens, verb)?,
+                prbs,
+                bits,
+                seed,
+            }
+        }
+        "mc" => {
+            let trials = take_parsed(&mut tokens, "--trials")?;
+            let seed = take_parsed(&mut tokens, "--seed")?;
+            Request::Mc {
+                name: one_name(&mut tokens, verb)?,
+                trials,
+                seed,
+            }
+        }
         "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown request '{other}'")),
@@ -160,6 +200,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         return Err(format!("unexpected arguments: {}", tokens.join(" ")));
     }
     Ok(req)
+}
+
+/// [`take_opt`] plus a parse of the value into `T`.
+fn take_parsed<T: std::str::FromStr>(
+    tokens: &mut Vec<&str>,
+    key: &str,
+) -> Result<Option<T>, String> {
+    match take_opt(tokens, key)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{key} value '{v}' does not parse")),
+    }
 }
 
 fn one_name(tokens: &mut Vec<&str>, verb: &str) -> Result<String, String> {
@@ -238,6 +292,32 @@ mod tests {
             parse_request("sweep --fast").unwrap(),
             Request::Sweep { fast: true }
         );
+        assert_eq!(
+            parse_request("eye md1").unwrap(),
+            Request::Eye {
+                name: "md1".into(),
+                prbs: None,
+                bits: None,
+                seed: None
+            }
+        );
+        assert_eq!(
+            parse_request("eye md1 --prbs 15 --bits 48 --seed 7").unwrap(),
+            Request::Eye {
+                name: "md1".into(),
+                prbs: Some(15),
+                bits: Some(48),
+                seed: Some(7)
+            }
+        );
+        assert_eq!(
+            parse_request("mc md1 --trials 12 --seed 42").unwrap(),
+            Request::Mc {
+                name: "md1".into(),
+                trials: Some(12),
+                seed: Some(42)
+            }
+        );
         assert_eq!(parse_request("stats").unwrap(), Request::Stats);
         assert_eq!(parse_request("shutdown").unwrap(), Request::Shutdown);
     }
@@ -250,5 +330,11 @@ mod tests {
         assert!(parse_request("info").is_err(), "missing name");
         assert!(parse_request("ls extra").is_err(), "surplus arguments");
         assert!(parse_request("simulate md1 --scenario").is_err());
+        assert!(parse_request("eye").is_err(), "missing name");
+        assert!(
+            parse_request("eye md1 --prbs nine").is_err(),
+            "non-numeric option value"
+        );
+        assert!(parse_request("mc md1 --trials").is_err());
     }
 }

@@ -16,13 +16,15 @@ use std::time::{Duration, Instant};
 use sysid::narx::{NarxModel, NarxOrders};
 use sysid::rbf::RbfNetwork;
 
-/// A cheap linear PW-RBF driver; `gain` varies the artifact bytes so two
-/// calls with different gains produce different content digests.
+/// A cheap switching PW-RBF driver (pull-up to 1.8 V / pull-down to 0 V
+/// through `1/gain` Ω, so eye cells see an open eye); `gain` also varies
+/// the artifact bytes so two calls with different gains produce different
+/// content digests.
 fn dummy_driver(name: &str, gain: f64) -> AnyModel {
-    let narx = || {
+    let narx = |bias: f64| {
         NarxModel::from_network(
             NarxOrders::dynamic(1),
-            RbfNetwork::affine(0.0, vec![gain, 0.0, 0.0]),
+            RbfNetwork::affine(bias, vec![-gain, 0.0, 0.0]),
         )
         .unwrap()
     };
@@ -30,8 +32,8 @@ fn dummy_driver(name: &str, gain: f64) -> AnyModel {
         name: name.into(),
         ts: 25e-12,
         vdd: 1.8,
-        i_high: narx(),
-        i_low: narx(),
+        i_high: narx(1.8 * gain),
+        i_low: narx(0.0),
         up: WeightSequence::new(vec![0.0, 1.0], vec![1.0, 0.0]).unwrap(),
         down: WeightSequence::new(vec![1.0, 0.0], vec![0.0, 1.0]).unwrap(),
     })
@@ -61,6 +63,19 @@ fn json_str_value(payload: &str, key: &str) -> Option<String> {
     let start = payload.find(&needle)? + needle.len();
     let end = payload[start..].find('"')?;
     Some(payload[start..start + end].to_string())
+}
+
+/// Extracts the raw numeric text of a `"key":N` pair (any JSON number —
+/// returned as text so bit-exact reproducibility can be compared without
+/// parsing).
+fn json_num_field(payload: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let start = payload.find(&needle)? + needle.len();
+    let end = payload[start..]
+        .find([',', '}'])
+        .map(|e| start + e)
+        .unwrap_or(payload.len());
+    Some(payload[start..end].to_string())
 }
 
 /// Extracts the integer value of a `"key":N` pair.
@@ -139,10 +154,39 @@ fn daemon_serves_schedules_and_reports_cache_stats() {
     );
     assert!(val.contains("no reference"));
 
-    // Sweep: 2 drivers × 3 driver scenarios, all green.
+    // Eye and Monte-Carlo cells run through the same scheduler; the
+    // switching dummy keeps the eye open, and a repeated request with the
+    // same seed folds bit-identical metrics.
+    let eye = client.request("eye drv_a --bits 12 --seed 5").unwrap();
+    assert!(
+        eye.contains("\"ok\":true") && eye.contains("\"pass\":true"),
+        "{eye}"
+    );
+    assert!(eye.contains("\"open\": true"), "{eye}");
+    let height = json_num_field(&eye, "eye_height").unwrap();
+    let eye2 = client.request("eye drv_a --bits 12 --seed 5").unwrap();
+    assert_eq!(
+        json_num_field(&eye2, "eye_height").unwrap(),
+        height,
+        "same seed, same eye"
+    );
+    let mc = client.request("mc drv_a --trials 3 --seed 9").unwrap();
+    assert!(
+        mc.contains("\"ok\":true") && mc.contains("\"pass\":true"),
+        "{mc}"
+    );
+    assert!(
+        mc.contains("\"trials\": 3") && mc.contains("\"closed_eyes\": 0"),
+        "{mc}"
+    );
+    let inapplicable_eye = client.request("eye nosuch").unwrap();
+    assert!(inapplicable_eye.contains("\"ok\":false"));
+
+    // Sweep: 2 drivers × 5 driver scenarios (incl. the PRBS eye and the
+    // Monte-Carlo channel cells), all green.
     let sweep = client.request("sweep --fast").unwrap();
     assert!(sweep.contains("\"ok\":true"), "sweep failed: {sweep}");
-    assert_eq!(json_u64_value(&sweep, "cells"), Some(6));
+    assert_eq!(json_u64_value(&sweep, "cells"), Some(10));
     assert_eq!(json_u64_value(&sweep, "failed"), Some(0));
 
     // Stats: both artifacts were parse misses at startup, scheduler saw

@@ -81,6 +81,23 @@ pub fn median_inplace(v: &mut [f64]) -> f64 {
     }
 }
 
+/// Nearest-rank percentile of an **ascending-sorted** slice.
+///
+/// Uses the classic nearest-rank definition: for quantile `q` in `(0, 1]`
+/// the result is element `ceil(q * n)` (1-based) of the sorted data — an
+/// actual sample, never an interpolated value. `q <= 0` returns the first
+/// element, `q >= 1` the last, and an empty slice returns zero. Callers are
+/// responsible for sorting; not-a-number handling follows whatever order
+/// the caller established.
+pub fn percentile_nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(n - 1)]
+}
+
 /// Root-mean-square error between two equally long signals.
 ///
 /// # Panics
@@ -175,6 +192,39 @@ mod tests {
         assert_eq!(median_inplace(&mut []), 0.0);
         assert_eq!(median_inplace(&mut [7.0]), 7.0);
         assert_eq!(median_inplace(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_known_answers() {
+        // Wikipedia's canonical nearest-rank example: scores
+        // {15, 20, 35, 40, 50}, P30 -> 20, P40 -> 20, P50 -> 35,
+        // P100 -> 50.
+        let v = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(percentile_nearest_rank(&v, 0.30), 20.0);
+        assert_eq!(percentile_nearest_rank(&v, 0.40), 20.0);
+        assert_eq!(percentile_nearest_rank(&v, 0.50), 35.0);
+        assert_eq!(percentile_nearest_rank(&v, 1.00), 50.0);
+        // Rank 1 floor: tiny quantiles still return a real sample.
+        assert_eq!(percentile_nearest_rank(&v, 0.0), 15.0);
+        assert_eq!(percentile_nearest_rank(&v, 1e-9), 15.0);
+        // Out-of-range q clamps instead of indexing out of bounds.
+        assert_eq!(percentile_nearest_rank(&v, 1.5), 50.0);
+        assert_eq!(percentile_nearest_rank(&v, -0.5), 15.0);
+        // Degenerate sizes.
+        assert_eq!(percentile_nearest_rank(&[], 0.5), 0.0);
+        assert_eq!(percentile_nearest_rank(&[7.0], 0.01), 7.0);
+        assert_eq!(percentile_nearest_rank(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_always_a_sample() {
+        // Whatever q is, the result must be one of the input values.
+        let v: Vec<f64> = (0..17).map(|i| i as f64 * 0.5).collect();
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let p = percentile_nearest_rank(&v, q);
+            assert!(v.contains(&p), "q={q} gave non-sample {p}");
+        }
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Parameterized channel topologies.
+//!
+//! [`ChannelSpec`] is the combinatorial replacement for hand-written bus
+//! fixtures: lane count, segment count/length, coupling strength,
+//! termination scheme and pad loading are free parameters, and
+//! [`ChannelSpec::build`] expands the resulting coupled line into a
+//! circuit through [`circuit::mtl::expand_coupled_line`]. Driven at high
+//! lane/segment counts this is also the generator of the
+//! 10⁴⁺-unknown MNA systems the sparse-LU roadmap items target.
+
+use circuit::devices::{Capacitor, Resistor};
+use circuit::mtl::{expand_coupled_line, CoupledLineSpec};
+use circuit::{Circuit, Node, Result, GROUND};
+
+/// Far-end termination scheme of every lane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Termination {
+    /// Resistor matched to the lane's nominal characteristic impedance.
+    Matched,
+    /// A fixed resistance (Ω) to ground.
+    Resistive(f64),
+    /// No resistive termination (CMOS receiver input).
+    Open,
+}
+
+/// A parameterized multi-lane channel.
+#[derive(Debug, Clone)]
+pub struct ChannelSpec {
+    /// Coupled signal lanes.
+    pub lanes: usize,
+    /// RLGC segments the line expands into.
+    pub segments: usize,
+    /// Physical length per segment (m).
+    pub segment_length: f64,
+    /// Coupling-strength scale on the mutual L/C matrices: 1.0 keeps the
+    /// [`CoupledLineSpec::bus`] nearest-neighbor coupling, 0.0 decouples
+    /// the lanes entirely.
+    pub coupling: f64,
+    /// Far-end termination scheme.
+    pub termination: Termination,
+    /// Far-end pad capacitance per lane (F); 0 disables.
+    pub load_cap: f64,
+}
+
+/// Port nodes of a built channel.
+#[derive(Debug, Clone)]
+pub struct ChannelPorts {
+    /// Near-end (transmitter) node per lane.
+    pub near: Vec<Node>,
+    /// Far-end (receiver) node per lane.
+    pub far: Vec<Node>,
+    /// Nominal characteristic impedance of lane 0 (Ω).
+    pub z0: f64,
+    /// Nominal one-way delay of lane 0 (s).
+    pub delay: f64,
+}
+
+impl ChannelSpec {
+    /// The standard short channel: 4 segments of 25 mm, nominal coupling,
+    /// matched terminations, 2 pF pads.
+    pub fn new(lanes: usize) -> Self {
+        ChannelSpec {
+            lanes,
+            segments: 4,
+            segment_length: 0.025,
+            coupling: 1.0,
+            termination: Termination::Matched,
+            load_cap: 2e-12,
+        }
+    }
+
+    /// Total physical length (m).
+    pub fn length(&self) -> f64 {
+        self.segments as f64 * self.segment_length
+    }
+
+    /// The per-unit-length line description: the 50 Ω-class
+    /// [`CoupledLineSpec::bus`] geometry with the mutual L/C matrices
+    /// scaled by the coupling strength.
+    pub fn line_spec(&self) -> CoupledLineSpec {
+        let mut spec = CoupledLineSpec::bus(self.lanes, self.length());
+        for i in 0..self.lanes {
+            for j in 0..self.lanes {
+                if i != j {
+                    spec.l_mutual
+                        .set(i, j, spec.l_mutual.get(i, j) * self.coupling);
+                    spec.c_mutual
+                        .set(i, j, spec.c_mutual.get(i, j) * self.coupling);
+                }
+            }
+        }
+        spec
+    }
+
+    /// Expands the channel into `ckt`: the coupled line plus the far-end
+    /// terminations and pad capacitors. `f_band` is the skin-effect fit
+    /// band — use roughly `(1/t_bit, 1/t_rise)` of the intended signals.
+    ///
+    /// The near-end nodes are returned bare: the caller attaches drivers
+    /// (macromodel lanes, ideal NRZ sources) there.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`circuit::Error`] for a degenerate spec
+    /// (zero lanes or segments, non-positive lengths).
+    pub fn build(&self, ckt: &mut Circuit, f_band: (f64, f64)) -> Result<ChannelPorts> {
+        let spec = self.line_spec();
+        let line = expand_coupled_line(ckt, &spec, self.segments, f_band)?;
+        let z0 = spec.z0(0);
+        for (lane, &far) in line.far.iter().enumerate() {
+            match self.termination {
+                Termination::Matched => {
+                    ckt.add(Resistor::new(format!("chan_rt{lane}"), far, GROUND, z0));
+                }
+                Termination::Resistive(r) => {
+                    ckt.add(Resistor::new(format!("chan_rt{lane}"), far, GROUND, r));
+                }
+                Termination::Open => {}
+            }
+            if self.load_cap > 0.0 {
+                ckt.add(Capacitor::new(
+                    format!("chan_cl{lane}"),
+                    far,
+                    GROUND,
+                    self.load_cap,
+                ));
+            }
+        }
+        Ok(ChannelPorts {
+            near: line.near,
+            far: line.far,
+            z0,
+            delay: spec.delay(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::devices::{SourceWaveform, VoltageSource};
+    use circuit::TranParams;
+
+    #[test]
+    fn builds_an_eight_lane_channel() {
+        let spec = ChannelSpec::new(8);
+        let mut ckt = Circuit::new();
+        let ports = spec.build(&mut ckt, (1e7, 2e10)).unwrap();
+        assert_eq!(ports.near.len(), 8);
+        assert_eq!(ports.far.len(), 8);
+        assert!(ports.z0 > 40.0 && ports.z0 < 60.0, "z0 {}", ports.z0);
+        assert!(ports.delay > 0.0);
+        // 8 lanes × 4 segments of RLGC cells dwarf a hand-written fixture.
+        assert!(
+            ckt.unknown_count() > 100,
+            "unknowns {}",
+            ckt.unknown_count()
+        );
+    }
+
+    #[test]
+    fn unknowns_scale_with_segments() {
+        let count = |segments: usize| {
+            let mut spec = ChannelSpec::new(4);
+            spec.segments = segments;
+            let mut ckt = Circuit::new();
+            spec.build(&mut ckt, (1e7, 2e10)).unwrap();
+            ckt.unknown_count()
+        };
+        assert!(count(16) > 2 * count(4));
+    }
+
+    #[test]
+    fn decoupled_channel_has_no_crosstalk() {
+        // Drive lane 0 of a coupling=0 channel; the victim lane must stay
+        // quiet while the coupled build shows aggressor energy.
+        let run = |coupling: f64| {
+            let mut spec = ChannelSpec::new(2);
+            spec.coupling = coupling;
+            let mut ckt = Circuit::new();
+            let ports = spec.build(&mut ckt, (1e7, 2e10)).unwrap();
+            ckt.add(VoltageSource::new(
+                "vdrv",
+                ports.near[0],
+                GROUND,
+                SourceWaveform::step(0.0, 1.0, 0.1e-9),
+            ));
+            ckt.add(Resistor::new("rterm1", ports.near[1], GROUND, 50.0));
+            let res = ckt.transient(TranParams::new(20e-12, 4e-9)).unwrap();
+            res.voltage(ports.far[1])
+                .values()
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()))
+        };
+        let quiet = run(0.0);
+        let coupled = run(1.0);
+        assert!(quiet < 1e-6, "decoupled victim saw {quiet} V");
+        assert!(
+            coupled > 10.0 * quiet.max(1e-9),
+            "coupled victim {coupled} V"
+        );
+    }
+
+    #[test]
+    fn termination_schemes_install_expected_elements() {
+        for (term, cap) in [
+            (Termination::Matched, 0.0),
+            (Termination::Resistive(75.0), 1e-12),
+            (Termination::Open, 2e-12),
+        ] {
+            let mut spec = ChannelSpec::new(2);
+            spec.termination = term;
+            spec.load_cap = cap;
+            let mut ckt = Circuit::new();
+            let ports = spec.build(&mut ckt, (1e7, 2e10)).unwrap();
+            assert_eq!(ports.far.len(), 2);
+        }
+    }
+
+    #[test]
+    fn degenerate_specs_error_instead_of_panicking() {
+        let mut bad = ChannelSpec::new(0);
+        let mut ckt = Circuit::new();
+        assert!(bad.build(&mut ckt, (1e7, 2e10)).is_err());
+        bad = ChannelSpec::new(2);
+        bad.segments = 0;
+        assert!(bad.build(&mut ckt, (1e7, 2e10)).is_err());
+    }
+}

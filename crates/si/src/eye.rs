@@ -1,0 +1,519 @@
+//! Eye-diagram folding and scalar eye metrics.
+//!
+//! [`EyeAnalyzer`] folds a transient waveform at the recovered bit clock
+//! into a fixed-resolution [`EyeRaster`] and reduces it to the scalar
+//! figures a signal-integrity sign-off consumes ([`EyeMetrics`]): eye
+//! height and width at a BER-proxy percentile, peak-to-peak and RMS jitter
+//! at the mid-level crossing, overshoot/undershoot, and the recovered
+//! rails.
+//!
+//! The bit clock is *recovered*, not assumed: the nominal unit interval is
+//! given, but the fold phase is the circular mean of the mid-level
+//! crossing times modulo the unit interval, so a fixed propagation delay
+//! through a channel does not smear the eye. Percentiles use the shared
+//! nearest-rank definition ([`numkit::stats::percentile_nearest_rank`]) —
+//! the same code path as the serve-daemon latency reports.
+//!
+//! The analyzer reuses every internal buffer across calls (fleet sweeps
+//! fold thousands of eyes) and is fully deterministic: same waveform, same
+//! configuration, bit-identical metrics. Degenerate inputs — a flat
+//! waveform, a stream with no transitions — report a *closed* eye instead
+//! of panicking.
+
+use circuit::Waveform;
+use numkit::stats::percentile_nearest_rank;
+
+/// Eye-folding configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EyeConfig {
+    /// Nominal unit interval (s).
+    pub bit_time: f64,
+    /// Time bins per unit interval in the raster.
+    pub cols: usize,
+    /// Voltage bins in the raster.
+    pub rows: usize,
+    /// BER-proxy percentile `q` for eye height/width: the eye opening is
+    /// measured between the `q` / `1 − q` tails of the level and crossing
+    /// distributions instead of worst-case samples.
+    pub ber_percentile: f64,
+    /// Startup unit intervals excluded from the fold (line charge-up).
+    pub skip_ui: usize,
+}
+
+impl EyeConfig {
+    /// The standard fold: 64 × 48 raster, 1 % BER-proxy tails, 2 startup
+    /// UIs skipped.
+    pub fn new(bit_time: f64) -> Self {
+        EyeConfig {
+            bit_time,
+            cols: 64,
+            rows: 48,
+            ber_percentile: 0.01,
+            skip_ui: 2,
+        }
+    }
+}
+
+/// The folded eye: sample counts on a `rows × cols` grid covering one unit
+/// interval (time) by the observed voltage range.
+#[derive(Debug, Clone)]
+pub struct EyeRaster {
+    /// Time bins per unit interval.
+    pub cols: usize,
+    /// Voltage bins.
+    pub rows: usize,
+    /// Row-major counts; row 0 is the *lowest* voltage bin.
+    pub counts: Vec<u32>,
+    /// Voltage of the bottom raster edge (V).
+    pub v_lo: f64,
+    /// Voltage of the top raster edge (V).
+    pub v_hi: f64,
+}
+
+impl EyeRaster {
+    fn new(cols: usize, rows: usize) -> Self {
+        EyeRaster {
+            cols,
+            rows,
+            counts: vec![0; cols * rows],
+            v_lo: 0.0,
+            v_hi: 0.0,
+        }
+    }
+
+    /// Sample count of bin (`row`, `col`).
+    pub fn count(&self, row: usize, col: usize) -> u32 {
+        self.counts[row * self.cols + col]
+    }
+
+    /// A terminal rendering: one character per bin, density-ramped,
+    /// highest voltage row first.
+    pub fn render_ascii(&self) -> String {
+        const RAMP: [char; 5] = [' ', '.', ':', '+', '#'];
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for row in (0..self.rows).rev() {
+            for col in 0..self.cols {
+                let c = self.count(row, col);
+                let idx = if c == 0 {
+                    0
+                } else {
+                    // Log-ish ramp: sparse trails stay visible next to the
+                    // heavily-hit rails.
+                    1 + (3 * c as usize).div_ceil(peak as usize).min(3)
+                };
+                out.push(RAMP[idx.min(RAMP.len() - 1)]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Scalar eye metrics. All voltages in volts, times in seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct EyeMetrics {
+    /// Whether the eye is open (positive height and width).
+    pub open: bool,
+    /// Vertical opening at the sampling instant between the BER-proxy
+    /// tails of the high and low level distributions; non-positive when
+    /// the eye is closed.
+    pub eye_height: f64,
+    /// Horizontal opening in unit intervals (1.0 = jitter-free).
+    pub eye_width_ui: f64,
+    /// Peak-to-peak crossing jitter (s).
+    pub jitter_pp_s: f64,
+    /// RMS crossing jitter about the recovered clock phase (s).
+    pub jitter_rms_s: f64,
+    /// Worst excursion above the settled high rail (V).
+    pub overshoot: f64,
+    /// Worst excursion below the settled low rail (V).
+    pub undershoot: f64,
+    /// Recovered high rail (median of the high cluster at the sampling
+    /// instant, V).
+    pub v_high: f64,
+    /// Recovered low rail (V).
+    pub v_low: f64,
+    /// Mid-level crossings observed after the startup skip.
+    pub crossings: usize,
+    /// Waveform samples folded.
+    pub samples: usize,
+}
+
+impl EyeMetrics {
+    /// The closed-eye report used for degenerate inputs (flat waveform,
+    /// no transitions): everything zero, `open == false`.
+    pub fn closed(samples: usize, crossings: usize) -> Self {
+        EyeMetrics {
+            open: false,
+            eye_height: 0.0,
+            eye_width_ui: 0.0,
+            jitter_pp_s: 0.0,
+            jitter_rms_s: 0.0,
+            overshoot: 0.0,
+            undershoot: 0.0,
+            v_high: 0.0,
+            v_low: 0.0,
+            crossings,
+            samples,
+        }
+    }
+}
+
+/// Wraps `x` onto `[0, period)`.
+fn wrap(x: f64, period: f64) -> f64 {
+    let w = x - period * (x / period).floor();
+    if w >= period {
+        0.0
+    } else {
+        w
+    }
+}
+
+/// The eye-folding engine. Construct once, call [`EyeAnalyzer::analyze`]
+/// per waveform — every internal buffer (raster counts, level clusters,
+/// crossing deviations) is reused across calls.
+#[derive(Debug, Clone)]
+pub struct EyeAnalyzer {
+    cfg: EyeConfig,
+    raster: EyeRaster,
+    highs: Vec<f64>,
+    lows: Vec<f64>,
+    devs: Vec<f64>,
+}
+
+impl EyeAnalyzer {
+    /// An analyzer for the given fold configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive bit time, a zero-sized raster, or a
+    /// BER-proxy percentile outside `(0, 0.5)` — fold misconfiguration is
+    /// a programming error in the workload definition.
+    pub fn new(cfg: EyeConfig) -> Self {
+        assert!(cfg.bit_time > 0.0, "bit time must be positive");
+        assert!(cfg.cols > 0 && cfg.rows > 0, "raster must be non-empty");
+        assert!(
+            cfg.ber_percentile > 0.0 && cfg.ber_percentile < 0.5,
+            "BER-proxy percentile must be in (0, 0.5)"
+        );
+        EyeAnalyzer {
+            raster: EyeRaster::new(cfg.cols, cfg.rows),
+            cfg,
+            highs: Vec::new(),
+            lows: Vec::new(),
+            devs: Vec::new(),
+        }
+    }
+
+    /// The fold configuration.
+    pub fn config(&self) -> &EyeConfig {
+        &self.cfg
+    }
+
+    /// The raster of the most recent [`EyeAnalyzer::analyze`] call.
+    pub fn raster(&self) -> &EyeRaster {
+        &self.raster
+    }
+
+    /// Folds `wave` at the recovered bit clock and returns the scalar
+    /// metrics; the raster stays available through
+    /// [`EyeAnalyzer::raster`]. Degenerate inputs return
+    /// [`EyeMetrics::closed`].
+    pub fn analyze(&mut self, wave: &Waveform) -> EyeMetrics {
+        let t_ui = self.cfg.bit_time;
+        let t_skip = self.cfg.skip_ui as f64 * t_ui;
+        self.raster.counts.iter_mut().for_each(|c| *c = 0);
+        self.highs.clear();
+        self.lows.clear();
+        self.devs.clear();
+
+        // Observed range over the analyzed window.
+        let (mut v_min, mut v_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut samples = 0usize;
+        for (&t, &v) in wave.times().iter().zip(wave.values()) {
+            if t < t_skip {
+                continue;
+            }
+            samples += 1;
+            v_min = v_min.min(v);
+            v_max = v_max.max(v);
+        }
+        self.raster.v_lo = if v_min.is_finite() { v_min } else { 0.0 };
+        self.raster.v_hi = if v_max.is_finite() { v_max } else { 0.0 };
+        if samples == 0 || (v_max - v_min) < 1e-9 {
+            // Flat stream (all-zeros pattern, dead driver): closed eye.
+            return EyeMetrics::closed(samples, 0);
+        }
+        let v_mid = 0.5 * (v_min + v_max);
+
+        // Mid-level crossings after the startup skip.
+        let crossings = wave.threshold_crossings(v_mid);
+        let times: Vec<f64> = crossings
+            .iter()
+            .map(|c| c.time)
+            .filter(|&t| t >= t_skip)
+            .collect();
+        if times.len() < 2 {
+            return EyeMetrics::closed(samples, times.len());
+        }
+
+        // Clock recovery: circular mean of the crossing phases modulo the
+        // unit interval — immune to the phase wraparound a plain mean
+        // would smear.
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let (mut s, mut c) = (0.0, 0.0);
+        for &t in &times {
+            let theta = two_pi * wrap(t, t_ui) / t_ui;
+            s += theta.sin();
+            c += theta.cos();
+        }
+        let phase = wrap(s.atan2(c) / two_pi * t_ui, t_ui);
+
+        // Crossing deviations from the recovered clock, in
+        // [-T/2, T/2).
+        for &t in &times {
+            self.devs
+                .push(wrap(t - phase + 0.5 * t_ui, t_ui) - 0.5 * t_ui);
+        }
+        let mean_dev = self.devs.iter().sum::<f64>() / self.devs.len() as f64;
+        let jitter_rms_s = (self
+            .devs
+            .iter()
+            .map(|d| (d - mean_dev) * (d - mean_dev))
+            .sum::<f64>()
+            / self.devs.len() as f64)
+            .sqrt();
+        let (mut d_min, mut d_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &d in &self.devs {
+            d_min = d_min.min(d);
+            d_max = d_max.max(d);
+        }
+        let jitter_pp_s = d_max - d_min;
+
+        // Fold every sample; collect the level clusters in the central
+        // quarter-UI sampling window around the eye center (T/2 after the
+        // recovered crossing phase).
+        let v_span = v_max - v_min;
+        for (&t, &v) in wave.times().iter().zip(wave.values()) {
+            if t < t_skip {
+                continue;
+            }
+            let x = wrap(t - phase, t_ui);
+            let col = ((x / t_ui * self.cfg.cols as f64) as usize).min(self.cfg.cols - 1);
+            let row =
+                (((v - v_min) / v_span * self.cfg.rows as f64) as usize).min(self.cfg.rows - 1);
+            self.raster.counts[row * self.cfg.cols + col] += 1;
+            if (x - 0.5 * t_ui).abs() <= 0.125 * t_ui {
+                if v >= v_mid {
+                    self.highs.push(v);
+                } else {
+                    self.lows.push(v);
+                }
+            }
+        }
+        if self.highs.is_empty() || self.lows.is_empty() {
+            return EyeMetrics::closed(samples, times.len());
+        }
+
+        // BER-proxy opening: the q-tail of the highs against the
+        // (1 − q)-tail of the lows, nearest-rank like every other
+        // percentile in the workspace.
+        let q = self.cfg.ber_percentile;
+        self.highs.sort_by(f64::total_cmp);
+        self.lows.sort_by(f64::total_cmp);
+        self.devs.sort_by(f64::total_cmp);
+        let high_floor = percentile_nearest_rank(&self.highs, q);
+        let low_ceil = percentile_nearest_rank(&self.lows, 1.0 - q);
+        let eye_height = high_floor - low_ceil;
+        let dev_lo = percentile_nearest_rank(&self.devs, q);
+        let dev_hi = percentile_nearest_rank(&self.devs, 1.0 - q);
+        let eye_width_ui = (1.0 - (dev_hi - dev_lo) / t_ui).clamp(0.0, 1.0);
+
+        let v_high = percentile_nearest_rank(&self.highs, 0.5);
+        let v_low = percentile_nearest_rank(&self.lows, 0.5);
+        EyeMetrics {
+            open: eye_height > 0.0 && eye_width_ui > 0.0,
+            eye_height,
+            eye_width_ui,
+            jitter_pp_s,
+            jitter_rms_s,
+            overshoot: (v_max - v_high).max(0.0),
+            undershoot: (v_low - v_min).max(0.0),
+            v_high,
+            v_low,
+            crossings: times.len(),
+            samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nrz::NrzShaper;
+    use crate::prbs::{prbs_pattern, PrbsOrder};
+
+    fn trapezoid_eye(pattern: &str) -> (EyeMetrics, EyeAnalyzer) {
+        let shaper = NrzShaper {
+            bit_time: 1e-9,
+            rise: 0.2e-9,
+            fall: 0.2e-9,
+            low: 0.0,
+            high: 1.0,
+            pre_emphasis: 0.0,
+        };
+        let wave = shaper.waveform(pattern, 0.01e-9);
+        let mut analyzer = EyeAnalyzer::new(EyeConfig::new(1e-9));
+        let metrics = analyzer.analyze(&wave);
+        (metrics, analyzer)
+    }
+
+    #[test]
+    fn golden_trapezoid_alternating_pattern() {
+        // An ideal alternating trapezoid: every crossing at the same
+        // phase, fully settled rails. Analytically: height 1 V, width
+        // 1 UI, zero jitter, zero over/undershoot.
+        let (m, an) = trapezoid_eye("0101010101010101");
+        assert!(m.open);
+        assert!((m.eye_height - 1.0).abs() < 1e-9, "height {}", m.eye_height);
+        assert!(
+            (m.eye_width_ui - 1.0).abs() < 1e-6,
+            "width {}",
+            m.eye_width_ui
+        );
+        assert!(m.jitter_pp_s < 1e-13, "pp jitter {}", m.jitter_pp_s);
+        assert!(m.jitter_rms_s < 1e-13, "rms jitter {}", m.jitter_rms_s);
+        assert!(m.overshoot < 1e-9 && m.undershoot < 1e-9);
+        assert!((m.v_high - 1.0).abs() < 1e-9);
+        assert!(m.v_low.abs() < 1e-9);
+        // 14 analyzed transitions (2 UIs skipped): one crossing per
+        // boundary.
+        assert_eq!(m.crossings, 14);
+        // The raster saw every analyzed sample.
+        let folded: u32 = an.raster().counts.iter().sum();
+        assert_eq!(folded as usize, m.samples);
+    }
+
+    #[test]
+    fn golden_known_jitter_from_alternating_edge_offsets() {
+        // Hand-built NRZ with edges alternately on time and late by
+        // delta: pp jitter = delta, rms = delta/2, width = 1 − delta/T.
+        let (t_ui, delta, dt) = (1e-9, 0.08e-9, 0.005e-9);
+        let bits = 24usize;
+        let rise = 0.1e-9;
+        let mut t = Vec::new();
+        let mut y = Vec::new();
+        let n = (bits as f64 * t_ui / dt) as usize;
+        for k in 0..=n {
+            let tk = k as f64 * dt;
+            let i = ((tk / t_ui) as usize).min(bits - 1);
+            let (lo, hi) = if i.is_multiple_of(2) {
+                (1.0, 0.0)
+            } else {
+                (0.0, 1.0)
+            };
+            // Odd-indexed boundaries start their edge late by delta.
+            let start = i as f64 * t_ui + if i.is_multiple_of(2) { 0.0 } else { delta };
+            let phase = tk - start;
+            let v = if phase <= 0.0 {
+                lo
+            } else if phase >= rise {
+                hi
+            } else {
+                lo + (hi - lo) * phase / rise
+            };
+            t.push(tk);
+            y.push(v);
+        }
+        let wave = Waveform::from_parts(t, y);
+        let mut analyzer = EyeAnalyzer::new(EyeConfig::new(t_ui));
+        let m = analyzer.analyze(&wave);
+        assert!(m.open);
+        assert!(
+            (m.jitter_pp_s - delta).abs() < 1e-12,
+            "pp {} vs {}",
+            m.jitter_pp_s,
+            delta
+        );
+        assert!(
+            (m.jitter_rms_s - 0.5 * delta).abs() < 1e-12,
+            "rms {} vs {}",
+            m.jitter_rms_s,
+            0.5 * delta
+        );
+        assert!(
+            (m.eye_width_ui - (1.0 - delta / t_ui)).abs() < 1e-6,
+            "width {}",
+            m.eye_width_ui
+        );
+    }
+
+    #[test]
+    fn degenerate_streams_report_closed_eyes_without_panicking() {
+        let mut analyzer = EyeAnalyzer::new(EyeConfig::new(1e-9));
+        // All-zeros stream: flat waveform.
+        let n = 1000;
+        let flat = Waveform::from_parts((0..n).map(|k| k as f64 * 0.01e-9).collect(), vec![0.0; n]);
+        let m = analyzer.analyze(&flat);
+        assert!(!m.open);
+        assert_eq!(m.eye_height, 0.0);
+        assert_eq!(m.crossings, 0);
+        // A single step: one crossing is not an eye.
+        let step = Waveform::from_parts(
+            (0..n).map(|k| k as f64 * 0.01e-9).collect(),
+            (0..n).map(|k| if k > n / 2 { 1.0 } else { 0.0 }).collect(),
+        );
+        let m = analyzer.analyze(&step);
+        assert!(!m.open);
+        assert!(m.crossings <= 1);
+        // Empty waveform.
+        let m = analyzer.analyze(&Waveform::empty());
+        assert!(!m.open);
+        assert_eq!(m.samples, 0);
+    }
+
+    #[test]
+    fn analysis_is_deterministic_and_reuses_buffers() {
+        let shaper = NrzShaper::new(2e-9);
+        let wave = shaper.waveform(&prbs_pattern(PrbsOrder::P7, 96, 7), 0.025e-9);
+        let mut analyzer = EyeAnalyzer::new(EyeConfig::new(2e-9));
+        let a = analyzer.analyze(&wave);
+        // Interleave an unrelated analysis, then repeat: bit-identical.
+        analyzer.analyze(&shaper.waveform("0110", 0.025e-9));
+        let b = analyzer.analyze(&wave);
+        assert_eq!(a.eye_height.to_bits(), b.eye_height.to_bits());
+        assert_eq!(a.eye_width_ui.to_bits(), b.eye_width_ui.to_bits());
+        assert_eq!(a.jitter_rms_s.to_bits(), b.jitter_rms_s.to_bits());
+        assert_eq!(a.crossings, b.crossings);
+        assert!(a.open);
+    }
+
+    #[test]
+    fn delayed_waveform_recovers_the_clock() {
+        // A constant propagation delay must not smear the fold: shift the
+        // ideal trapezoid by 0.37 UI and expect the same open eye.
+        let shaper = NrzShaper::new(1e-9);
+        let base = shaper.waveform("01010101010101", 0.01e-9);
+        let delayed = Waveform::from_parts(
+            base.times().iter().map(|t| t + 0.37e-9).collect(),
+            base.values().to_vec(),
+        );
+        let mut analyzer = EyeAnalyzer::new(EyeConfig::new(1e-9));
+        let m = analyzer.analyze(&delayed);
+        assert!(m.open, "delayed eye closed: {m:?}");
+        assert!(m.eye_height > 0.9, "height {}", m.eye_height);
+        assert!(m.eye_width_ui > 0.95, "width {}", m.eye_width_ui);
+    }
+
+    #[test]
+    fn ascii_render_has_expected_shape() {
+        let (_, analyzer) = trapezoid_eye("01010101");
+        let art = analyzer.raster().render_ascii();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), analyzer.config().rows);
+        assert!(lines.iter().all(|l| l.len() == analyzer.config().cols));
+        assert!(art.contains('#'), "rails should be dense");
+        assert!(art.contains(' '), "the eye opening should be empty");
+    }
+}

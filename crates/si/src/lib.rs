@@ -1,0 +1,45 @@
+//! Signal-integrity workloads for the macromodel fleet.
+//!
+//! The paper's buffer macromodels exist to be *used*: dropped into
+//! production signal-integrity and EMC analyses where the stimulus is a
+//! long pseudo-random bit stream, the figure of merit is a statistical eye
+//! diagram, and acceptance rests on population statistics over corner and
+//! parameter spreads — not on one golden trace. This crate is that
+//! workload layer, in four pieces:
+//!
+//! * [`prbs`] — PRBS-7/15/31 maximal-length LFSR bit generators with
+//!   deterministic seeding, emitting `'0'`/`'1'` pattern strings directly
+//!   compatible with the bit-pattern port stimulus used across the
+//!   workspace;
+//! * [`nrz`] — NRZ symbol shaping (bit time, rise/fall, optional
+//!   pre-emphasis tap) turning a bit string into a sampled
+//!   [`circuit::Waveform`];
+//! * [`eye`] — eye-diagram folding of a transient waveform at the
+//!   recovered bit clock into a fixed-resolution raster plus scalar
+//!   metrics (eye height/width at BER-proxy percentiles, crossing jitter,
+//!   overshoot/undershoot), allocation-reused and deterministic;
+//! * [`channel`] — a parameterized coupled-channel topology generator
+//!   ([`channel::ChannelSpec`]) expanding into the RLGC bus ladders of
+//!   [`circuit::mtl`], so the scenario matrix grows combinatorially
+//!   instead of by hand-written fixture;
+//! * [`mc`] — Monte-Carlo sweep plans over parameter ranges (the
+//!   stratified / Latin-hypercube discipline of
+//!   [`sysid::signals::stratified_samples`]) with aggregate pass gates
+//!   (minimum eye height over N trials, quantile jitter bounds).
+//!
+//! Every stochastic path in this crate is driven by one explicit `u64`
+//! seed, so fleet and CI runs are bit-reproducible.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod eye;
+pub mod mc;
+pub mod nrz;
+pub mod prbs;
+
+pub use channel::{ChannelPorts, ChannelSpec, Termination};
+pub use eye::{EyeAnalyzer, EyeConfig, EyeMetrics, EyeRaster};
+pub use mc::{McGates, McParam, McPlan, McSummary, McTrial};
+pub use nrz::NrzShaper;
+pub use prbs::{prbs_pattern, Prbs, PrbsOrder};

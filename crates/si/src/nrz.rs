@@ -1,0 +1,164 @@
+//! NRZ symbol shaping: bit strings to sampled waveforms.
+//!
+//! Turns a `'0'`/`'1'` pattern into a non-return-to-zero voltage waveform
+//! with finite rise/fall edges and an optional one-tap pre-emphasis boost
+//! — the ideal-transmitter stimulus for driving channels and receivers
+//! directly, and the synthetic input of the eye-folding golden tests
+//! (piecewise-linear edges make eye height, width and jitter analytically
+//! known).
+
+use circuit::Waveform;
+
+/// NRZ waveform shaper.
+///
+/// Levels transition linearly over `rise` (low→high) or `fall`
+/// (high→low) seconds starting at each bit boundary. With a nonzero
+/// `pre_emphasis` tap, the first bit after every transition over- and
+/// under-shoots its rail by `pre_emphasis · (high − low)` — the classic
+/// 2-tap FIR transmit equalization that compensates channel loss.
+#[derive(Debug, Clone)]
+pub struct NrzShaper {
+    /// Unit interval (s).
+    pub bit_time: f64,
+    /// 0 → 100 % rise time (s), shorter than `bit_time`.
+    pub rise: f64,
+    /// 100 % → 0 fall time (s), shorter than `bit_time`.
+    pub fall: f64,
+    /// Logic-low level (V).
+    pub low: f64,
+    /// Logic-high level (V).
+    pub high: f64,
+    /// Pre-emphasis tap weight in `[0, 0.5)`; 0 disables the tap.
+    pub pre_emphasis: f64,
+}
+
+impl NrzShaper {
+    /// A unit-swing shaper (0 → 1 V) with 10 % edges and no pre-emphasis.
+    pub fn new(bit_time: f64) -> Self {
+        NrzShaper {
+            bit_time,
+            rise: 0.1 * bit_time,
+            fall: 0.1 * bit_time,
+            low: 0.0,
+            high: 1.0,
+            pre_emphasis: 0.0,
+        }
+    }
+
+    /// The target level of bit `i`: the rail, plus the pre-emphasis boost
+    /// on the first bit after a transition.
+    fn level(&self, bits: &[bool], i: usize) -> f64 {
+        let rail = if bits[i] { self.high } else { self.low };
+        if self.pre_emphasis == 0.0 || i == 0 || bits[i] == bits[i - 1] {
+            return rail;
+        }
+        let boost = self.pre_emphasis * (self.high - self.low);
+        if bits[i] {
+            rail + boost
+        } else {
+            rail - boost
+        }
+    }
+
+    /// Samples the shaped waveform on a uniform `dt` grid covering
+    /// `bits.len()` unit intervals (plus the final sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pattern contains characters other than `'0'`/`'1'`,
+    /// or when `dt`, `bit_time` or the edge times are non-positive /
+    /// longer than a unit interval — stimulus misconfiguration is a
+    /// programming error in the workload definition.
+    pub fn waveform(&self, pattern: &str, dt: f64) -> Waveform {
+        assert!(dt > 0.0, "sample step must be positive");
+        assert!(self.bit_time > 0.0, "bit time must be positive");
+        assert!(
+            self.rise > 0.0 && self.rise < self.bit_time,
+            "rise time must be in (0, bit_time)"
+        );
+        assert!(
+            self.fall > 0.0 && self.fall < self.bit_time,
+            "fall time must be in (0, bit_time)"
+        );
+        let bits: Vec<bool> = pattern
+            .chars()
+            .map(|c| match c {
+                '0' => false,
+                '1' => true,
+                other => panic!("invalid pattern character '{other}'"),
+            })
+            .collect();
+        assert!(!bits.is_empty(), "empty bit pattern");
+
+        let t_stop = bits.len() as f64 * self.bit_time;
+        let n = (t_stop / dt).round() as usize;
+        let mut t = Vec::with_capacity(n + 1);
+        let mut y = Vec::with_capacity(n + 1);
+        let mut prev = self.level(&bits, 0);
+        for k in 0..=n {
+            let tk = k as f64 * dt;
+            let i = ((tk / self.bit_time) as usize).min(bits.len() - 1);
+            let target = self.level(&bits, i);
+            // Track the settled level of the previous bit so each edge
+            // ramps from where the last interval ended.
+            if i > 0 {
+                prev = self.level(&bits, i - 1);
+            }
+            let phase = tk - i as f64 * self.bit_time;
+            let edge = if target >= prev { self.rise } else { self.fall };
+            let v = if phase >= edge {
+                target
+            } else {
+                prev + (target - prev) * phase / edge
+            };
+            t.push(tk);
+            y.push(v);
+        }
+        Waveform::from_parts(t, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_linear_edges_at_bit_boundaries() {
+        let shaper = NrzShaper {
+            bit_time: 1e-9,
+            rise: 0.2e-9,
+            fall: 0.2e-9,
+            low: 0.0,
+            high: 1.0,
+            pre_emphasis: 0.0,
+        };
+        let w = shaper.waveform("010", 0.05e-9);
+        // Settled levels at bit centers.
+        assert!((w.sample_at(0.5e-9) - 0.0).abs() < 1e-12);
+        assert!((w.sample_at(1.5e-9) - 1.0).abs() < 1e-12);
+        assert!((w.sample_at(2.5e-9) - 0.0).abs() < 1e-12);
+        // Mid-rise exactly halfway up the edge.
+        assert!((w.sample_at(1.1e-9) - 0.5).abs() < 1e-9);
+        // Mid-fall on the way back down.
+        assert!((w.sample_at(2.1e-9) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pre_emphasis_boosts_only_transition_bits() {
+        let mut shaper = NrzShaper::new(1e-9);
+        shaper.pre_emphasis = 0.2;
+        let w = shaper.waveform("0110", 0.05e-9);
+        // First 1 after the transition is boosted to 1.2 V...
+        assert!((w.sample_at(1.5e-9) - 1.2).abs() < 1e-9);
+        // ...the repeated 1 settles back on the rail...
+        assert!((w.sample_at(2.5e-9) - 1.0).abs() < 1e-9);
+        // ...and the 0 after the falling transition undershoots.
+        assert!((w.sample_at(3.5e-9) - (-0.2)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid pattern character")]
+    fn rejects_non_bit_patterns() {
+        NrzShaper::new(1e-9).waveform("01x", 0.1e-9);
+    }
+}

@@ -1,0 +1,266 @@
+//! Pseudo-random binary sequences (PRBS-7/15/31).
+//!
+//! Maximal-length Fibonacci LFSRs with the standard ITU-T O.150 feedback
+//! polynomials:
+//!
+//! | order | polynomial        | period       |
+//! |-------|-------------------|--------------|
+//! | 7     | x⁷ + x⁶ + 1       | 127          |
+//! | 15    | x¹⁵ + x¹⁴ + 1     | 32 767       |
+//! | 31    | x³¹ + x²⁸ + 1     | 2³¹ − 1      |
+//!
+//! A maximal sequence of order *n* visits every nonzero state exactly once
+//! per period, so it is balanced to within one bit (2ⁿ⁻¹ ones,
+//! 2ⁿ⁻¹ − 1 zeros) and has the textbook run-length distribution — the
+//! properties the proptests in this module pin down.
+//!
+//! Seeding is deterministic: the `u64` seed folds onto the nonzero state
+//! space, so the same seed always produces the same bit stream and every
+//! seed yields a valid (never-stuck) generator.
+
+/// Which maximal-length sequence to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrbsOrder {
+    /// PRBS-7: x⁷ + x⁶ + 1, period 127.
+    P7,
+    /// PRBS-15: x¹⁵ + x¹⁴ + 1, period 32 767.
+    P15,
+    /// PRBS-31: x³¹ + x²⁸ + 1, period 2³¹ − 1.
+    P31,
+}
+
+impl PrbsOrder {
+    /// Parses the conventional order tag (7, 15 or 31).
+    pub fn from_tag(tag: u32) -> Option<Self> {
+        match tag {
+            7 => Some(PrbsOrder::P7),
+            15 => Some(PrbsOrder::P15),
+            31 => Some(PrbsOrder::P31),
+            _ => None,
+        }
+    }
+
+    /// The LFSR register width `n`.
+    pub fn order(self) -> u32 {
+        match self {
+            PrbsOrder::P7 => 7,
+            PrbsOrder::P15 => 15,
+            PrbsOrder::P31 => 31,
+        }
+    }
+
+    /// The conventional order tag (7, 15 or 31), for reports.
+    pub fn tag(self) -> u32 {
+        self.order()
+    }
+
+    /// The sequence period `2ⁿ − 1`.
+    pub fn period(self) -> u64 {
+        (1u64 << self.order()) - 1
+    }
+
+    /// Zero-based feedback tap positions `(n − 1, t − 1)` of the
+    /// polynomial `xⁿ + xᵗ + 1`.
+    fn taps(self) -> (u32, u32) {
+        match self {
+            PrbsOrder::P7 => (6, 5),
+            PrbsOrder::P15 => (14, 13),
+            PrbsOrder::P31 => (30, 27),
+        }
+    }
+}
+
+/// A running PRBS generator. Iterates bits forever (the sequence is
+/// periodic); use [`prbs_pattern`] for a bounded `'0'`/`'1'` string.
+#[derive(Debug, Clone)]
+pub struct Prbs {
+    order: PrbsOrder,
+    state: u64,
+}
+
+impl Prbs {
+    /// A generator of `order` seeded deterministically from `seed`.
+    ///
+    /// The seed is reduced onto `[1, 2ⁿ − 1]`, the nonzero state space of
+    /// the register — every `u64` seed yields a valid generator, equal
+    /// seeds yield identical streams, and the all-zeros stuck state is
+    /// unreachable.
+    pub fn new(order: PrbsOrder, seed: u64) -> Self {
+        Prbs {
+            order,
+            state: (seed % order.period()) + 1,
+        }
+    }
+
+    /// The sequence order.
+    pub fn order(&self) -> PrbsOrder {
+        self.order
+    }
+
+    /// The current register state (nonzero, `< 2ⁿ`).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Advances the register one step and returns the output bit (the
+    /// feedback bit of the Fibonacci form).
+    pub fn next_bit(&mut self) -> bool {
+        let (a, b) = self.order.taps();
+        let fb = ((self.state >> a) ^ (self.state >> b)) & 1;
+        let mask = self.order.period(); // 2ⁿ − 1: an n-bit all-ones mask.
+        self.state = ((self.state << 1) | fb) & mask;
+        fb == 1
+    }
+}
+
+impl Iterator for Prbs {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        Some(self.next_bit())
+    }
+}
+
+/// The first `bits` bits of the seeded sequence as a `'0'`/`'1'` pattern
+/// string — the format the workspace's bit-pattern port stimulus consumes
+/// directly.
+pub fn prbs_pattern(order: PrbsOrder, bits: usize, seed: u64) -> String {
+    Prbs::new(order, seed)
+        .take(bits)
+        .map(|b| if b { '1' } else { '0' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Cyclic run-length histogram of one period: `(ones_runs, zeros_runs)`
+    /// indexed by run length.
+    fn run_lengths(order: PrbsOrder, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        let bits: Vec<bool> = Prbs::new(order, seed)
+            .take(order.period() as usize)
+            .collect();
+        let n = bits.len();
+        // Start at a cyclic run boundary so wraparound runs count once.
+        let start = (0..n)
+            .find(|&i| bits[i] != bits[(i + n - 1) % n])
+            .expect("a maximal sequence is not constant");
+        let cap = order.order() as usize + 1;
+        let (mut ones, mut zeros) = (vec![0usize; cap + 1], vec![0usize; cap + 1]);
+        let mut i = 0;
+        while i < n {
+            let value = bits[(start + i) % n];
+            let mut len = 0;
+            while i < n && bits[(start + i) % n] == value {
+                len += 1;
+                i += 1;
+            }
+            let slot = len.min(cap);
+            if value {
+                ones[slot] += 1;
+            } else {
+                zeros[slot] += 1;
+            }
+        }
+        (ones, zeros)
+    }
+
+    #[test]
+    fn periods_are_exactly_2n_minus_1() {
+        // Exhaustive for the enumerable orders: the register returns to
+        // its initial state after exactly 2ⁿ − 1 steps and never earlier.
+        for order in [PrbsOrder::P7, PrbsOrder::P15] {
+            let mut gen = Prbs::new(order, 1);
+            let initial = gen.state();
+            let period = order.period();
+            for step in 1..=period {
+                gen.next_bit();
+                if gen.state() == initial {
+                    assert_eq!(step, period, "short cycle in {order:?}");
+                }
+            }
+            assert_eq!(gen.state(), initial, "{order:?} did not close its cycle");
+        }
+    }
+
+    #[test]
+    fn prbs31_never_degenerates_over_a_long_window() {
+        // 2³¹ − 1 steps are not enumerable in a unit test; instead check
+        // the register stays nonzero and aperiodic-looking over a window
+        // far longer than any low-order cycle.
+        let mut gen = Prbs::new(PrbsOrder::P31, 0xdead_beef);
+        let initial = gen.state();
+        for step in 1..=100_000u64 {
+            gen.next_bit();
+            assert_ne!(gen.state(), 0, "stuck state at step {step}");
+            assert_ne!(gen.state(), initial, "short cycle at step {step}");
+        }
+    }
+
+    proptest! {
+        // Each case walks full PRBS-7/15 periods; 16 cases keep the suite
+        // fast while still sampling the seed space.
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn balance_within_one_bit_over_a_period(seed in any::<u64>()) {
+            for order in [PrbsOrder::P7, PrbsOrder::P15] {
+                let ones = Prbs::new(order, seed)
+                    .take(order.period() as usize)
+                    .filter(|&b| b)
+                    .count() as u64;
+                let zeros = order.period() - ones;
+                prop_assert_eq!(ones, zeros + 1, "{:?} unbalanced", order);
+            }
+        }
+
+        #[test]
+        fn seed_determinism_and_state_folding(seed in any::<u64>()) {
+            let a = prbs_pattern(PrbsOrder::P31, 256, seed);
+            let b = prbs_pattern(PrbsOrder::P31, 256, seed);
+            prop_assert_eq!(&a, &b, "same seed, same stream");
+            // Seeds congruent modulo the period alias to the same state.
+            let c = prbs_pattern(PrbsOrder::P7, 64, seed % PrbsOrder::P7.period());
+            let d = prbs_pattern(PrbsOrder::P7, 64, seed);
+            prop_assert_eq!(c, d);
+        }
+
+        #[test]
+        fn run_length_distribution_is_the_maximal_sequence_one(seed in any::<u64>()) {
+            // A maximal sequence of order n has, per period: one run of n
+            // ones, one run of n−1 zeros, and 2^(n−2−k) runs of each value
+            // for lengths 1 ≤ k ≤ n−2.
+            for order in [PrbsOrder::P7, PrbsOrder::P15] {
+                let n = order.order() as usize;
+                let (ones, zeros) = run_lengths(order, seed);
+                prop_assert_eq!(ones[n], 1, "{:?}: runs of {} ones", order, n);
+                prop_assert_eq!(zeros[n - 1], 1, "{:?}: runs of {} zeros", order, n - 1);
+                for k in 1..=(n - 2) {
+                    let expect = 1usize << (n - 2 - k);
+                    prop_assert_eq!(ones[k], expect, "{:?}: one-runs of {}", order, k);
+                    prop_assert_eq!(zeros[k], expect, "{:?}: zero-runs of {}", order, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_string_is_bit_chars() {
+        let p = prbs_pattern(PrbsOrder::P7, 127, 42);
+        assert_eq!(p.len(), 127);
+        assert!(p.chars().all(|c| c == '0' || c == '1'));
+        assert_ne!(p, prbs_pattern(PrbsOrder::P7, 127, 43));
+    }
+
+    #[test]
+    fn order_tags_round_trip() {
+        for tag in [7u32, 15, 31] {
+            let order = PrbsOrder::from_tag(tag).unwrap();
+            assert_eq!(order.tag(), tag);
+            assert_eq!(order.period(), (1u64 << tag) - 1);
+        }
+        assert!(PrbsOrder::from_tag(9).is_none());
+    }
+}

@@ -125,6 +125,29 @@ pub fn multilevel_focus(
     staircase(&levels, dwell, edge)
 }
 
+/// `n` shuffled stratified draws over `[lo, hi]`: one uniform sample inside
+/// each of `n` equal-width strata, then a Fisher–Yates shuffle — the same
+/// coverage discipline [`multilevel`] uses for excitation levels, exposed
+/// for Monte-Carlo parameter sweeps (per-dimension stratified columns give
+/// a Latin-hypercube plan when each dimension uses an independent seed).
+///
+/// Unlike plain uniform draws, every stratum is guaranteed a
+/// representative, so `n` trials cannot cluster and leave a corner of the
+/// parameter range untested. Reproducible for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `hi <= lo` or `n == 0` — a degenerate sweep range is a
+/// programming error in the experiment definition.
+pub fn stratified_samples(lo: f64, hi: f64, n: usize, seed: u64) -> Vec<f64> {
+    assert!(hi > lo, "range must be non-degenerate");
+    assert!(n > 0, "sample count must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = stratified_levels(lo, hi, n, &mut rng);
+    shuffle(&mut samples, &mut rng);
+    samples
+}
+
 /// One uniform draw inside each of `n` equal-width strata of `[lo, hi]` —
 /// stratified sampling cannot cluster and leave coverage gaps the way
 /// plain uniform draws can.
@@ -358,6 +381,24 @@ mod tests {
         assert_eq!(s[9], 2.0); // top
         assert_eq!(s[27], 0.0);
         assert!((s[5 + 2] - 1.0).abs() < 1e-12); // mid-rise
+    }
+
+    #[test]
+    fn stratified_samples_cover_every_stratum() {
+        let (lo, hi, n) = (-2.0, 3.0, 16);
+        let s = stratified_samples(lo, hi, n, 0xbeef);
+        assert_eq!(s.len(), n);
+        let width = (hi - lo) / n as f64;
+        for k in 0..n {
+            let (a, b) = (lo + k as f64 * width, lo + (k + 1) as f64 * width);
+            assert!(
+                s.iter().any(|&v| v >= a && v <= b),
+                "stratum {k} [{a:.3},{b:.3}] empty"
+            );
+        }
+        // Reproducible; different seed, different draw.
+        assert_eq!(s, stratified_samples(lo, hi, n, 0xbeef));
+        assert_ne!(s, stratified_samples(lo, hi, n, 0xbef0));
     }
 
     #[test]

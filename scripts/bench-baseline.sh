@@ -14,9 +14,9 @@
 #
 # The criterion stub appends one JSON object per benchmark when
 # BENCH_BASELINE_JSON is set; this script drives it through a temp file.
-# The `eval` bench is not a criterion bench: it runs through the release
-# `mdl bench-eval` subcommand, which appends the same record schema via
-# its --baseline flag.
+# The `eval` and `eye` benches are not criterion benches: they run through
+# the release `mdl bench-eval` / `mdl bench-eye` subcommands, which append
+# the same record schema via their --baseline flag.
 #
 # Usage: scripts/bench-baseline.sh [bench-name]   (default: table1)
 set -euo pipefail
@@ -32,6 +32,8 @@ trap 'rm -f "$fresh"' EXIT
 
 if [ "$bench" = "eval" ]; then
     cargo run --release -q -p emc-bench --bin mdl -- bench-eval --baseline "$fresh"
+elif [ "$bench" = "eye" ]; then
+    cargo run --release -q -p emc-bench --bin mdl -- bench-eye --baseline "$fresh"
 else
     BENCH_BASELINE_JSON="$fresh" cargo bench -p emc-bench --bench "$bench"
 fi

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Signal-integrity smoke: extracts the md1 PW-RBF driver, runs the
+# standard `mdl eye` PRBS workload twice with the same seed, and checks
+#
+#   determinism      both JSON outcomes must be byte-identical — the seed
+#                    is the only entropy source in the whole SI path
+#   eye quality      the worst-lane eye must be open, with height > 0 V
+#                    and width > 0.5 UI (the acceptance floor for the
+#                    standard extracted driver)
+#   Monte Carlo      a short `mdl mc` statistical sweep must pass its
+#                    yield gates with zero closed eyes
+#   failure paths    a different seed must change the outcome, and a
+#                    missing artifact must exit non-zero
+#
+# Usage: scripts/eye-smoke.sh
+set -euo pipefail
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+mdl() {
+    cargo run --release -q -p emc-bench --bin mdl -- "$@"
+}
+
+artifact="$workdir/md1-pwrbf.mdlx"
+mdl extract md1 --fast --out "$artifact"
+
+# Human-readable run once for the CI log: ASCII raster plus metrics.
+mdl eye "$artifact" --seed 11
+
+mdl eye "$artifact" --seed 11 --json > "$workdir/eye-a.json"
+mdl eye "$artifact" --seed 11 --json > "$workdir/eye-b.json"
+if ! cmp -s "$workdir/eye-a.json" "$workdir/eye-b.json"; then
+    echo "same-seed eye runs differ:" >&2
+    diff "$workdir/eye-a.json" "$workdir/eye-b.json" >&2 || true
+    exit 1
+fi
+
+mdl eye "$artifact" --seed 12 --json > "$workdir/eye-c.json"
+if cmp -s "$workdir/eye-a.json" "$workdir/eye-c.json"; then
+    echo "different seeds produced identical eye outcomes" >&2
+    exit 1
+fi
+
+python3 - "$workdir/eye-a.json" <<'EOF'
+import json
+import sys
+
+m = json.load(open(sys.argv[1]))
+if not m["open"]:
+    sys.exit("standard driver eye reported closed")
+if m["eye_height"] <= 0.0:
+    sys.exit(f"degenerate eye height {m['eye_height']}")
+if m["eye_width_ui"] <= 0.5:
+    sys.exit(f"eye width {m['eye_width_ui']} UI below the 0.5 UI floor")
+print(
+    f"eye ok: height {m['eye_height']:.4f} V, "
+    f"width {m['eye_width_ui']:.3f} UI, "
+    f"jitter pp {m['jitter_pp_s'] * 1e12:.1f} ps"
+)
+EOF
+
+mdl mc "$artifact" --trials 6 --seed 7 --json > "$workdir/mc.json"
+python3 - "$workdir/mc.json" <<'EOF'
+import json
+import sys
+
+s = json.load(open(sys.argv[1]))
+if not s["pass"]:
+    sys.exit("Monte-Carlo sweep failed its yield gates")
+if s["closed_eyes"] != 0:
+    sys.exit(f"{s['closed_eyes']} closed eye(s) in the MC population")
+print(
+    f"mc ok: {s['trials']} trials, eye height min {s['eye_height_min']:.4f} V, "
+    f"jitter q {s['jitter_pp_q_s'] * 1e12:.1f} ps"
+)
+EOF
+
+# A missing artifact must surface as a non-zero exit, not a silent pass.
+if mdl eye "$workdir/does-not-exist.mdlx" --json 2>/dev/null; then
+    echo "eye on a missing artifact exited zero" >&2
+    exit 1
+fi
+
+echo "signal-integrity smoke: ok"

@@ -10,7 +10,9 @@
 //! * [`refdev`] — transistor-level reference drivers/receivers and the IBIS
 //!   baseline;
 //! * [`sysid`] — ARX / RBF / OLS identification machinery;
-//! * [`macromodel`] — the PW-RBF driver and parametric receiver models.
+//! * [`macromodel`] — the PW-RBF driver and parametric receiver models;
+//! * [`si`] — signal-integrity workloads: PRBS stimulus, eye-diagram
+//!   analysis, channel topologies, and Monte-Carlo sweeps.
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@ pub use circuit;
 pub use macromodel;
 pub use numkit;
 pub use refdev;
+pub use si;
 pub use sysid;
 
 /// Commonly used items, one `use` away.

@@ -111,8 +111,12 @@ fn fleet_store_validates_and_sweeps_green() {
     // plus one mixed-backend bus cell.
     let report = sweep_store(&store, &standard_scenarios(true));
     let driver_models = 4; // pwrbf + three IBIS corners
+    let driver_scenarios = 5; // r50, linecap, bus-ladder, eye-prbs7, mc-channel
     let load_models = 2; // receiver + C–R̂
-    assert_eq!(report.cells.len(), driver_models * 3 + load_models + 1);
+    assert_eq!(
+        report.cells.len(),
+        driver_models * driver_scenarios + load_models + 1
+    );
     assert!(
         report.all_passed(),
         "sweep failures: {:?}",
@@ -127,10 +131,25 @@ fn fleet_store_validates_and_sweeps_green() {
     assert_eq!(stats.symbolic_analyses, 1, "one symbolic analysis per net");
     assert!(stats.unknowns > 100, "four-lane ladder is a real circuit");
 
-    // The machine-readable report round-trips the cell count.
+    // Every driver model contributes one eye and one Monte-Carlo
+    // aggregate, and all of them clear their gates on real extractions.
+    assert_eq!(report.eyes.len(), driver_models);
+    assert!(report
+        .eyes
+        .iter()
+        .all(|e| e.outcome.metrics.open && e.outcome.metrics.eye_height > 0.0));
+    assert_eq!(report.mc.len(), driver_models);
+    assert!(report.mc.iter().all(|m| m.summary.pass));
+
+    // The machine-readable report round-trips the cell count (cells plus
+    // the eye/mc aggregate entries each carry one "scenario" key).
     let json = report.to_json();
     assert!(json.contains("\"all_passed\": true"));
-    assert_eq!(json.matches("\"scenario\":").count(), report.cells.len());
+    assert!(json.contains("\"schema\": 2"));
+    assert_eq!(
+        json.matches("\"scenario\":").count(),
+        report.cells.len() + report.eyes.len() + report.mc.len()
+    );
 
     // A registry flattened from the store serves lookups by name.
     let registry = store.to_registry();
