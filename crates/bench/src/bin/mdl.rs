@@ -66,9 +66,10 @@ use emc_bench::serve::{
     McWorkload,
 };
 use emc_bench::server::{self, LoadGenConfig, ServeConfig};
+use macromodel::exchange::binary::{is_binary, save_artifact_bin, save_artifact_bin_to_path};
 use macromodel::exchange::{
-    load_artifact_from_path, load_model_from_path, save_artifact, save_artifact_to_path, AnyModel,
-    Artifact,
+    load_artifact_bytes, load_artifact_from_path, load_model_from_path, save_artifact,
+    save_artifact_to_path, AnyModel, Artifact,
 };
 use macromodel::validate::{print_csv, DEFAULT_VALIDATION_DT};
 use macromodel::{ExtractionSession, Macromodel, ModelStore, PortStimulus, TestFixture};
@@ -77,7 +78,7 @@ type CliResult<T> = Result<T, Box<dyn std::error::Error + Send + Sync>>;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr] [--out PATH] [--fast] [--v2] [--corners]\n  mdl info <file.mdlx>\n  mdl lint <file.mdlx>|<dir> [--json] [--deny CODE] [--allow CODE]\n  mdl validate <file.mdlx> [--rms-limit V] [--timing-limit S] [--fast]\n  mdl simulate <file.mdlx> [--fixture r50|linecap|pulse] [--pattern BITS] [--bit-time S] [--t-stop S]\n  mdl eye <file.mdlx> [--prbs 7|15|31] [--bits N] [--seed S] [--lanes N] [--bit-time S] [--json]\n  mdl mc <file.mdlx> [--trials N] [--seed S] [--prbs 7|15|31] [--bits N] [--json]\n  mdl store ls <dir>\n  mdl store validate <dir> [--fast] [--json PATH]\n  mdl store sweep <dir> [--fast] [--json PATH]\n  mdl serve <dir> --socket PATH [--poll-ms N] [--fast]\n  mdl bench-serve <dir>|--socket PATH [--clients N] [--requests N] [--sweep-every N] [--validate-every N] [--json PATH] [--baseline PATH] [--full]\n  mdl bench-eval [--steps N] [--reps N] [--lanes N] [--centers N] [--json] [--baseline PATH]\n  mdl bench-eye [--prbs-bits N] [--fold-bits N] [--channel-bits N] [--lanes N] [--reps N] [--json] [--baseline PATH]\n  mdl request --socket PATH <request line...>"
+        "usage:\n  mdl extract <md1|md2|md3|md4> [--kind pwrbf|ibis|receiver|cr] [--out PATH] [--fast] [--v2] [--corners] [--bin]\n  mdl convert <in.mdlx|in.mdlxb> <out> [--to text|binary]\n  mdl info <file.mdlx|file.mdlxb>\n  mdl lint <file.mdlx>|<dir> [--json] [--deny CODE] [--allow CODE]\n  mdl validate <file.mdlx|file.mdlxb> [--rms-limit V] [--timing-limit S] [--fast]\n  mdl simulate <file.mdlx> [--fixture r50|linecap|pulse] [--pattern BITS] [--bit-time S] [--t-stop S]\n  mdl eye <file.mdlx> [--prbs 7|15|31] [--bits N] [--seed S] [--lanes N] [--bit-time S] [--json]\n  mdl mc <file.mdlx> [--trials N] [--seed S] [--prbs 7|15|31] [--bits N] [--json]\n  mdl store ls <dir> [--json]\n  mdl store validate <dir> [--fast] [--json PATH]\n  mdl store sweep <dir> [--fast] [--json PATH]\n  mdl serve <dir> --socket PATH [--poll-ms N] [--fast]\n  mdl bench-serve <dir>|--socket PATH [--clients N] [--requests N] [--sweep-every N] [--validate-every N] [--json PATH] [--baseline PATH] [--full]\n  mdl bench-eval [--steps N] [--reps N] [--lanes N] [--centers N] [--json] [--baseline PATH]\n  mdl bench-eye [--prbs-bits N] [--fold-bits N] [--channel-bits N] [--lanes N] [--reps N] [--json] [--baseline PATH]\n  mdl bench-store [--entries N] [--centers N] [--reps N] [--min-speedup X] [--json] [--baseline PATH]\n  mdl request --socket PATH <request line...>"
     );
     std::process::exit(2);
 }
@@ -118,10 +119,74 @@ fn parse_multi_opt(args: &mut Vec<String>, key: &str) -> Vec<String> {
     out
 }
 
+/// Saves an artifact in the chosen container (text `mdlx` or the binary
+/// `mdlxb` framing) — the artifact's own version (1 or 2) rides along in
+/// either case.
+fn save_any(artifact: &Artifact, path: &str, bin: bool) -> CliResult<()> {
+    if bin {
+        save_artifact_bin_to_path(artifact, path)?;
+    } else {
+        save_artifact_to_path(artifact, path)?;
+    }
+    Ok(())
+}
+
+fn cmd_convert(mut args: Vec<String>) -> CliResult<()> {
+    let to = parse_opt(&mut args, "--to");
+    let [input, output] = args.as_slice() else {
+        usage()
+    };
+    let original = std::fs::read(input)?;
+    let artifact = load_artifact_bytes(&original)?;
+    let to_binary = match to.as_deref() {
+        Some("binary" | "bin") => true,
+        Some("text") => false,
+        Some(other) => {
+            eprintln!("--to must be 'text' or 'binary', got '{other}'");
+            usage();
+        }
+        None => std::path::Path::new(output)
+            .extension()
+            .is_some_and(|ext| ext == "mdlxb"),
+    };
+    save_any(&artifact, output, to_binary)?;
+
+    // Prove the detour is lossless before reporting success: load the
+    // converted file back and re-save it in the *source* container — the
+    // bytes must reproduce the input exactly (both writers are
+    // deterministic and floats travel as identical bit patterns).
+    let converted = std::fs::read(output)?;
+    let back = load_artifact_bytes(&converted)?;
+    let round_trip = if is_binary(&original) {
+        save_artifact_bin(&back)?
+    } else {
+        save_artifact(&back)?.into_bytes()
+    };
+    if round_trip != original {
+        return Err(format!(
+            "round-trip through {output} is not byte-identical to {input}; not trusting the conversion"
+        )
+        .into());
+    }
+    println!(
+        "converted {input} ({} bytes, {}) -> {output} ({} bytes, {}); round-trip verified",
+        original.len(),
+        if is_binary(&original) {
+            "binary"
+        } else {
+            "text"
+        },
+        converted.len(),
+        if to_binary { "binary" } else { "text" },
+    );
+    Ok(())
+}
+
 fn cmd_extract(mut args: Vec<String>) -> CliResult<()> {
     let fast = parse_flag(&mut args, "--fast");
     let v2 = parse_flag(&mut args, "--v2");
     let corners = parse_flag(&mut args, "--corners");
+    let bin = parse_flag(&mut args, "--bin");
     let kind = parse_opt(&mut args, "--kind");
     let out = parse_opt(&mut args, "--out");
     let [device] = args.as_slice() else { usage() };
@@ -134,7 +199,8 @@ fn cmd_extract(mut args: Vec<String>) -> CliResult<()> {
     if corners && kind != "ibis" {
         return Err("--corners requires --kind ibis".into());
     }
-    let out = out.unwrap_or_else(|| format!("{device}-{kind}.mdlx"));
+    let ext = if bin { "mdlxb" } else { "mdlx" };
+    let out = out.unwrap_or_else(|| format!("{device}-{kind}.{ext}"));
 
     let t0 = std::time::Instant::now();
     let estimated = match kind {
@@ -203,11 +269,11 @@ fn cmd_extract(mut args: Vec<String>) -> CliResult<()> {
             .provenance()
             .clone()
             .with_param("corners", "Typical,Slow,Fast");
-        save_artifact_to_path(&Artifact::bundle(models, Some(provenance)), &out)?;
+        save_any(&Artifact::bundle(models, Some(provenance)), &out, bin)?;
     } else if v2 {
-        estimated.save_v2(&out)?;
+        save_any(&estimated.to_artifact(), &out, bin)?;
     } else {
-        estimated.save(&out)?;
+        save_any(&Artifact::single(estimated.model().clone()), &out, bin)?;
     }
     println!("extracted {} in {est_s:.2} s", estimated.summary());
     println!("saved {out}");
@@ -216,8 +282,17 @@ fn cmd_extract(mut args: Vec<String>) -> CliResult<()> {
 
 fn cmd_info(args: Vec<String>) -> CliResult<()> {
     let [path] = args.as_slice() else { usage() };
-    let artifact = load_artifact_from_path(path)?;
-    println!("format    mdlx {}", artifact.version);
+    let bytes = std::fs::read(path)?;
+    let artifact = load_artifact_bytes(&bytes)?;
+    println!(
+        "format    mdlx {}{}",
+        artifact.version,
+        if is_binary(&bytes) {
+            " (binary container)"
+        } else {
+            ""
+        }
+    );
     if let Some(p) = &artifact.provenance {
         println!("tool      {} {}", p.tool, p.tool_version);
         println!("digest    {}", p.config_digest);
@@ -318,17 +393,23 @@ fn cmd_validate(mut args: Vec<String>) -> CliResult<()> {
     let [path] = args.as_slice() else { usage() };
 
     // 1. Load with strict validation, then check the bit-exact re-save
-    // guarantee against the original file bytes (either format version).
-    let original = std::fs::read_to_string(path)?;
-    let artifact = load_artifact_from_path(path)?;
-    let re_saved = save_artifact(&artifact)?;
+    // guarantee against the original file bytes (either format version,
+    // text or binary container alike).
+    let original = std::fs::read(path)?;
+    let artifact = load_artifact_bytes(&original)?;
+    let re_saved = if is_binary(&original) {
+        save_artifact_bin(&artifact)?
+    } else {
+        save_artifact(&artifact)?.into_bytes()
+    };
     if re_saved != original {
         return Err(format!("{path}: re-save is not byte-identical to the artifact").into());
     }
     println!(
-        "round-trip  ok ({} bytes, mdlx {}, bit-exact re-save)",
+        "round-trip  ok ({} bytes, mdlx {}{}, bit-exact re-save)",
         original.len(),
-        artifact.version
+        artifact.version,
+        if is_binary(&original) { " binary" } else { "" }
     );
 
     // 2. Re-simulate every bundled model against its transistor-level
@@ -402,16 +483,86 @@ fn finish_fleet(report: &FleetReport, json: Option<String>) -> CliResult<()> {
     Ok(())
 }
 
+/// Renders `store ls` as one JSON document (shape asserted by the CLI
+/// tests): load mode, per-entry format/version/bytes/digest, flattened
+/// model list, and the error string of unloadable entries.
+fn store_ls_json(store: &ModelStore) -> String {
+    use emc_bench::serve::json_str;
+    let mut out = format!(
+        "{{\"root\":{},\"mode\":\"lazy\",\"entries\":[",
+        json_str(&store.root().display().to_string())
+    );
+    let mut models = 0usize;
+    for (i, entry) in store.entries().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"path\":{},\"format\":\"{}\"",
+            json_str(&entry.path().display().to_string()),
+            entry.format()
+        ));
+        match (entry.index(), entry.artifact()) {
+            (Ok(index), Ok(artifact)) => {
+                models += index.models.len();
+                out.push_str(&format!(
+                    ",\"version\":{},\"bytes\":{},\"digest\":{},\"models\":[",
+                    index.version,
+                    index.bytes,
+                    json_str(&index.digest)
+                ));
+                for (j, (kind, name)) in index.models.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"kind\":{},\"name\":{}}}",
+                        json_str(kind.tag()),
+                        json_str(name)
+                    ));
+                }
+                let prov = artifact
+                    .provenance
+                    .as_ref()
+                    .map(|p| json_str(&p.config_digest))
+                    .unwrap_or_else(|| "null".into());
+                out.push_str(&format!("],\"provenance_digest\":{prov},\"error\":null}}"));
+            }
+            (index, artifact) => {
+                let error = index
+                    .err()
+                    .or(artifact.err())
+                    .expect("one side failed in this branch");
+                out.push_str(&format!(",\"error\":{}}}", json_str(&error.to_string())));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "],\"artifacts\":{},\"models\":{models},\"load_failures\":{}}}",
+        store.len(),
+        store.failures().len()
+    ));
+    out
+}
+
 fn cmd_store(mut args: Vec<String>) -> CliResult<()> {
     if args.is_empty() {
         usage();
     }
     let sub = args.remove(0);
     let fast = parse_flag(&mut args, "--fast");
-    let json = parse_opt(&mut args, "--json");
+    // For `ls`, --json is a flag (print the listing as JSON); the fleet
+    // subcommands take --json PATH to write their report file.
+    let json_flag = sub == "ls" && parse_flag(&mut args, "--json");
+    let json = if sub == "ls" {
+        None
+    } else {
+        parse_opt(&mut args, "--json")
+    };
     let [dir] = args.as_slice() else { usage() };
-    // `ls` opens lazily (listing must not pay an eager parse of a large
-    // library up front) and surfaces each entry's failure as it iterates;
+    // `ls` opens lazily — binary entries inventory from their section
+    // headers — then forces a full integrity pass entry by entry (a
+    // listing that hides corrupt artifacts is worse than a slow one);
     // the fleet engines force a full load in their report header anyway.
     let mode = if sub == "ls" {
         macromodel::LoadMode::Lazy
@@ -421,34 +572,50 @@ fn cmd_store(mut args: Vec<String>) -> CliResult<()> {
     let store = ModelStore::open_with_mode(dir, mode)?;
     match sub.as_str() {
         "ls" => {
-            for entry in store.entries() {
-                match entry.artifact() {
-                    Ok(artifact) => {
-                        let prov = artifact
-                            .provenance
-                            .as_ref()
-                            .map(|p| format!(" digest {}", p.config_digest))
-                            .unwrap_or_default();
-                        for model in &artifact.models {
-                            println!(
-                                "{:<40} mdlx {} {:<14} {}{prov}",
-                                entry.path().display(),
-                                artifact.version,
-                                model.kind().tag(),
-                                model.name(),
-                            );
+            if json_flag {
+                println!("{}", store_ls_json(&store));
+            } else {
+                println!("mode lazy (entries indexed from headers, verified on touch)");
+                for entry in store.entries() {
+                    match (entry.index(), entry.artifact()) {
+                        (Ok(index), Ok(artifact)) => {
+                            let prov = artifact
+                                .provenance
+                                .as_ref()
+                                .map(|p| format!(" prov {}", p.config_digest))
+                                .unwrap_or_default();
+                            for (kind, name) in &index.models {
+                                println!(
+                                    "{:<40} {:<6} mdlx {} {:>8} B {} {:<14} {}{prov}",
+                                    entry.path().display(),
+                                    index.format,
+                                    index.version,
+                                    index.bytes,
+                                    index.digest,
+                                    kind.tag(),
+                                    name,
+                                );
+                            }
+                        }
+                        (index, artifact) => {
+                            let error = index
+                                .err()
+                                .or(artifact.err())
+                                .expect("one side failed in this branch");
+                            println!("{:<40} LOAD FAIL: {error}", entry.path().display());
                         }
                     }
-                    Err(e) => println!("{:<40} LOAD FAIL: {e}", entry.path().display()),
                 }
             }
             let failures = store.failures();
-            println!(
-                "{} artifacts, {} models, {} load failures",
-                store.len(),
-                store.models().len(),
-                failures.len()
-            );
+            if !json_flag {
+                println!(
+                    "{} artifacts, {} models, {} load failures",
+                    store.len(),
+                    store.models().len(),
+                    failures.len()
+                );
+            }
             if !failures.is_empty() {
                 return Err(format!("{} artifacts failed to load", failures.len()).into());
             }
@@ -766,6 +933,58 @@ fn cmd_bench_eval(mut args: Vec<String>) -> CliResult<()> {
     Ok(())
 }
 
+fn cmd_bench_store(mut args: Vec<String>) -> CliResult<()> {
+    use emc_bench::storebench::{run_store_bench, speedup, summarize, StoreBenchConfig};
+
+    let json = parse_flag(&mut args, "--json");
+    let baseline = parse_opt(&mut args, "--baseline");
+    let min_speedup = parse_f64_opt(&mut args, "--min-speedup");
+    let mut cfg = StoreBenchConfig::default();
+    if let Some(n) = parse_f64_opt(&mut args, "--entries") {
+        cfg.entries = (n as usize).max(1);
+    }
+    if let Some(n) = parse_f64_opt(&mut args, "--centers") {
+        cfg.centers = (n as usize).max(1);
+    }
+    if let Some(n) = parse_f64_opt(&mut args, "--reps") {
+        cfg.reps = (n as usize).max(1);
+    }
+    if !args.is_empty() {
+        usage();
+    }
+
+    let records = run_store_bench(&cfg)?;
+    if json {
+        for r in &records {
+            println!("{}", r.to_json());
+        }
+    } else {
+        print!("{}", summarize(&records));
+    }
+    if let Some(path) = baseline {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        for r in &records {
+            writeln!(f, "{}", r.to_json())?;
+        }
+        println!("baseline records appended to {path}");
+    }
+    if let Some(min) = min_speedup {
+        let s = speedup(&records).ok_or("store bench produced no speedup ratio")?;
+        if s < min {
+            return Err(format!(
+                "lazy binary open speedup {s:.1}x is below the required {min:.1}x"
+            )
+            .into());
+        }
+        println!("speedup gate ok: {s:.1}x >= {min:.1}x");
+    }
+    Ok(())
+}
+
 fn cmd_bench_eye(mut args: Vec<String>) -> CliResult<()> {
     use emc_bench::eyebench::{run_eye_bench, summarize, EyeBenchConfig};
 
@@ -838,6 +1057,7 @@ fn main() {
     let cmd = args.remove(0);
     let result = match cmd.as_str() {
         "extract" => cmd_extract(args),
+        "convert" => cmd_convert(args),
         "info" => cmd_info(args),
         "lint" => cmd_lint(args),
         "validate" => cmd_validate(args),
@@ -849,6 +1069,7 @@ fn main() {
         "bench-serve" => cmd_bench_serve(args),
         "bench-eval" => cmd_bench_eval(args),
         "bench-eye" => cmd_bench_eye(args),
+        "bench-store" => cmd_bench_store(args),
         "request" => cmd_request(args),
         _ => usage(),
     };

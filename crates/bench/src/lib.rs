@@ -29,6 +29,7 @@ pub mod evalbench;
 pub mod eyebench;
 pub mod serve;
 pub mod server;
+pub mod storebench;
 
 /// Shared result alias (boxed error keeps the harness code terse; `Send +
 /// Sync` so experiment results can cross scoped-worker boundaries).

@@ -5,7 +5,7 @@
 //! * the **listener** accepts connections on the socket and spawns a
 //!   handler per client;
 //! * the **watcher** polls artifact [`FileFingerprint`]s through
-//!   [`ModelStore::refresh`] and publishes a new [`Generation`] when
+//!   [`ModelStore::refresh`] and publishes a new `Generation` when
 //!   anything on disk changed;
 //! * the **scheduler runner** drains the batched cell queue
 //!   ([`super::scheduler`]).
@@ -16,11 +16,13 @@
 //! generation without invalidating anything in flight — the old instance
 //! lives until its last request releases it.
 //!
-//! Parsing is keyed by **content digest** (FNV-1a over the raw file
-//! bytes, [`macromodel::content_digest`]): a reload hashes each file and
-//! only re-parses artifacts whose bytes actually changed. A `touch`ed but
-//! identical file is a cache hit; the `stats` request reports the
-//! hit/miss counters.
+//! Parsing is keyed by **artifact digest**
+//! ([`macromodel::artifact_digest`]): for text files the FNV-1a hash of
+//! the raw bytes, for binary `.mdlxb` containers the body digest embedded
+//! in the file header (a fixed-offset read — no hash pass at all). A
+//! reload therefore only re-parses artifacts whose bytes actually
+//! changed; a `touch`ed but identical file is a cache hit, and the
+//! `stats` request reports the hit/miss counters.
 //!
 //! [`FileFingerprint`]: macromodel::FileFingerprint
 
@@ -33,7 +35,9 @@ use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use macromodel::{content_digest, load_artifact, LoadMode, Macromodel, ModelKind, ModelStore};
+use macromodel::{
+    artifact_digest, load_artifact_bytes, LoadMode, Macromodel, ModelKind, ModelStore,
+};
 
 use crate::serve::{
     json_f64, json_opt, json_str, mc_summary_json, standard_scenarios, Applicability, CellReport,
@@ -273,14 +277,14 @@ fn publish_generation(inner: &Inner) {
                 continue;
             }
         };
-        let digest = content_digest(&bytes);
+        // Binary containers carry their body digest in the header, so a
+        // cache key costs a fixed-offset read instead of a hash pass.
+        let digest = artifact_digest(&bytes);
         let served = if let Some(cached) = cache.get(&digest) {
             inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             cached
         } else {
-            let parsed = String::from_utf8(bytes)
-                .map_err(|e| e.to_string())
-                .and_then(|text| load_artifact(&text).map_err(|e| e.to_string()));
+            let parsed = load_artifact_bytes(&bytes).map_err(|e| e.to_string());
             let artifact = match parsed {
                 Ok(a) => a,
                 Err(e) => {

@@ -1,0 +1,217 @@
+//! `mdl store ls` and `mdl convert` end to end: the built binary run
+//! against a mixed text + binary store directory, pinning the documented
+//! `--json` shape (load mode, per-entry format/version/bytes/digest,
+//! flattened model list, per-entry error field) and the byte-exact
+//! text ⇄ binary conversion contract.
+
+use macromodel::driver::{PwRbfDriverModel, WeightSequence};
+use macromodel::exchange::binary::save_artifact_bin_to_path;
+use macromodel::exchange::{save_artifact_to_path, save_model_to_path, AnyModel, Artifact};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use sysid::narx::{NarxModel, NarxOrders};
+use sysid::rbf::RbfNetwork;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("store_cli_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn mdl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mdl"))
+        .args(args)
+        .output()
+        .unwrap()
+}
+
+fn driver(name: &str) -> AnyModel {
+    let narx = || {
+        NarxModel::from_network(
+            NarxOrders::dynamic(1),
+            RbfNetwork::affine(0.0, vec![0.01, 0.0, 0.2]),
+        )
+        .unwrap()
+    };
+    AnyModel::PwRbfDriver(PwRbfDriverModel {
+        name: name.into(),
+        ts: 25e-12,
+        vdd: 1.8,
+        i_high: narx(),
+        i_low: narx(),
+        up: WeightSequence::new(vec![0.0, 1.0], vec![1.0, 0.0]).unwrap(),
+        down: WeightSequence::new(vec![1.0, 0.0], vec![0.0, 1.0]).unwrap(),
+    })
+}
+
+/// A store with one text artifact, one binary artifact, and one corrupt
+/// file — the three cases every listing has to represent.
+fn mixed_store(tag: &str) -> PathBuf {
+    let dir = temp_dir(tag);
+    save_model_to_path(&driver("text_drv"), dir.join("text_drv.mdlx")).unwrap();
+    save_artifact_bin_to_path(
+        &Artifact::single(driver("bin_drv")),
+        dir.join("bin_drv.mdlxb"),
+    )
+    .unwrap();
+    std::fs::write(dir.join("broken.mdlx"), "mdlx 1 pwrbf-driver\nname x\n").unwrap();
+    dir
+}
+
+#[test]
+fn store_ls_json_shape() {
+    let dir = mixed_store("json");
+    let out = mdl(&["store", "ls", dir.to_str().unwrap(), "--json"]);
+    // Unloadable entries are reported in-band (the document still renders
+    // completely) while the exit status stays nonzero, same as human mode.
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(!out.status.success(), "unloadable artifact fails ls");
+
+    // Document-level shape.
+    assert!(
+        text.starts_with("{\"root\":"),
+        "leads with the root: {text}"
+    );
+    assert!(
+        text.contains("\"mode\":\"lazy\""),
+        "documents the load mode: {text}"
+    );
+    assert!(
+        text.contains("\"artifacts\":3"),
+        "counts all entries: {text}"
+    );
+    assert!(
+        text.contains("\"models\":2"),
+        "counts loadable models: {text}"
+    );
+    assert!(
+        text.contains("\"load_failures\":1"),
+        "counts failures: {text}"
+    );
+
+    // Per-entry shape: formats, versions, models, and the digest/bytes
+    // fields that make the listing a usable inventory.
+    assert!(text.contains("\"format\":\"text\""), "{text}");
+    assert!(text.contains("\"format\":\"binary\""), "{text}");
+    assert!(text.contains("\"version\":1"), "{text}");
+    assert!(
+        text.contains("{\"kind\":\"pwrbf-driver\",\"name\":\"text_drv\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("{\"kind\":\"pwrbf-driver\",\"name\":\"bin_drv\"}"),
+        "{text}"
+    );
+    assert!(text.contains("\"provenance_digest\":null"), "{text}");
+    assert!(text.contains("\"error\":null"), "{text}");
+
+    // Each loadable entry carries its byte size and 16-hex-digit digest.
+    for name in ["text_drv.mdlx", "bin_drv.mdlxb"] {
+        let entry = text.split("{\"path\":").find(|e| e.contains(name)).unwrap();
+        let bytes = entry.split("\"bytes\":").nth(1).unwrap();
+        let bytes: u64 = bytes[..bytes.find(',').unwrap()].parse().unwrap();
+        assert!(bytes > 0, "entry {name} has a real byte size");
+        let digest = entry.split("\"digest\":\"").nth(1).unwrap();
+        let digest = &digest[..digest.find('"').unwrap()];
+        assert_eq!(
+            digest.len(),
+            16,
+            "FNV-1a 64 digest is 16 hex chars: {digest}"
+        );
+        assert!(digest.chars().all(|c| c.is_ascii_hexdigit()), "{digest}");
+    }
+
+    // The broken entry reports its typed error in-band.
+    let broken = text
+        .split("{\"path\":")
+        .find(|e| e.contains("broken.mdlx"))
+        .unwrap();
+    assert!(
+        broken.contains("\"error\":\""),
+        "broken entry carries the error: {broken}"
+    );
+    assert!(!broken.contains("\"error\":null"), "{broken}");
+}
+
+#[test]
+fn store_ls_human_output_documents_mode_and_sizes() {
+    let dir = mixed_store("human");
+    let out = mdl(&["store", "ls", dir.to_str().unwrap()]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("mode lazy"),
+        "documents the load mode: {text}"
+    );
+    assert!(text.contains(" B "), "per-entry byte sizes: {text}");
+    assert!(text.contains("binary"), "binary entries labeled: {text}");
+    assert!(text.contains("text"), "text entries labeled: {text}");
+    // The corrupt entry makes the listing exit nonzero in human mode.
+    assert!(!out.status.success(), "unloadable artifact fails ls");
+}
+
+#[test]
+fn convert_round_trips_byte_exactly() {
+    let dir = temp_dir("convert");
+    let text_path = dir.join("m.mdlx");
+    let bin_path = dir.join("m.mdlxb");
+    let back_path = dir.join("m.back.mdlx");
+    save_model_to_path(&driver("conv"), &text_path).unwrap();
+
+    let out = mdl(&[
+        "convert",
+        text_path.to_str().unwrap(),
+        bin_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = mdl(&[
+        "convert",
+        bin_path.to_str().unwrap(),
+        back_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let original = std::fs::read(&text_path).unwrap();
+    let round_tripped = std::fs::read(&back_path).unwrap();
+    assert_eq!(
+        original, round_tripped,
+        "text -> binary -> text must be byte-exact"
+    );
+}
+
+#[test]
+fn convert_v2_bundle_round_trips() {
+    let dir = temp_dir("convert_v2");
+    let text_path = dir.join("b.mdlx");
+    let bin_path = dir.join("b.mdlxb");
+    let back_path = dir.join("b.back.mdlx");
+    let artifact = Artifact::bundle(vec![driver("a"), driver("b")], None);
+    save_artifact_to_path(&artifact, &text_path).unwrap();
+
+    assert!(mdl(&[
+        "convert",
+        text_path.to_str().unwrap(),
+        bin_path.to_str().unwrap()
+    ])
+    .status
+    .success());
+    assert!(mdl(&[
+        "convert",
+        bin_path.to_str().unwrap(),
+        back_path.to_str().unwrap()
+    ])
+    .status
+    .success());
+    assert_eq!(
+        std::fs::read(&text_path).unwrap(),
+        std::fs::read(&back_path).unwrap()
+    );
+}

@@ -103,7 +103,7 @@ impl Circuit {
 
     /// Adds a device and returns its handle.
     ///
-    /// Branch unknowns are laid out lazily (see [`Circuit::finalize`]), so
+    /// Branch unknowns are laid out lazily (see `Circuit::finalize`), so
     /// nodes and devices may be interleaved freely during construction.
     pub fn add<D: Device + 'static>(&mut self, device: D) -> DeviceId {
         let id = DeviceId(self.devices.len());

@@ -67,10 +67,28 @@
 //! produces and `mdl validate` enforces, remains LF with no trailing
 //! blank line).
 //!
+//! # Binary container
+//!
+//! The same artifacts also ship in a length-framed binary container
+//! (**`mdlx-bin 1`**, extension `.mdlxb`) defined in the [`binary`]
+//! submodule: a fixed 32-byte file header, then one section per
+//! provenance block / model, each framed by its byte length and guarded
+//! by an FNV-1a 64 digest, so a reader can inventory or verify a file
+//! without decoding payloads. [`load_artifact_bytes`] dispatches on the
+//! leading magic and accepts either encoding; text ⇄ binary conversion
+//! is lossless and byte-exact in both directions because text floats use
+//! shortest round-trip notation and binary floats are the raw IEEE-754
+//! bits. The normative specification of all three encodings — grammar,
+//! field tables, error taxonomy, version migration — is
+//! `docs/FORMAT.md` at the repository root.
+//!
 //! # Example
 //!
 //! ```no_run
-//! use macromodel::exchange::{load_model_from_path, save_model_to_path, AnyModel};
+//! use macromodel::exchange::binary::save_artifact_bin_to_path;
+//! use macromodel::exchange::{
+//!     load_artifact_auto_from_path, load_model_from_path, save_model_to_path, AnyModel, Artifact,
+//! };
 //! use macromodel::pipeline::{estimate_driver, DriverEstimationConfig};
 //!
 //! # fn main() -> Result<(), macromodel::Error> {
@@ -78,9 +96,17 @@
 //! save_model_to_path(&AnyModel::from(model), "md1.mdlx")?;
 //! let loaded = load_model_from_path("md1.mdlx")?;
 //! println!("{}", macromodel::Macromodel::summary(&loaded));
+//!
+//! // The same artifact in binary framing; the auto loader dispatches on
+//! // the leading magic, so both paths read back identically.
+//! save_artifact_bin_to_path(&Artifact::single(loaded), "md1.mdlxb")?;
+//! let artifact = load_artifact_auto_from_path("md1.mdlxb")?;
+//! assert_eq!(artifact.models.len(), 1);
 //! # Ok(())
 //! # }
 //! ```
+
+pub mod binary;
 
 use crate::driver::{PwRbfDriverModel, WeightSequence};
 use crate::macromodel::{Macromodel, ModelKind, PortStimulus, TestFixture};
@@ -154,6 +180,29 @@ pub enum ExchangeError {
         /// The OS error text.
         message: String,
     },
+    /// A binary container whose leading bytes are not the `mdlxb` magic.
+    BadMagic {
+        /// Hex rendering of the bytes found where the magic was expected.
+        found: String,
+    },
+    /// A binary section whose stored FNV-1a digest does not match its
+    /// bytes — the container was corrupted after writing.
+    DigestMismatch {
+        /// Which section failed (`body`, or `model <name>`).
+        section: String,
+        /// The digest stored in the container, hex.
+        expected: String,
+        /// The digest recomputed over the bytes, hex.
+        found: String,
+    },
+    /// A binary record failed to decode (impossible count, trailing
+    /// bytes, malformed string).
+    Corrupt {
+        /// Byte offset of the offending record.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ExchangeError {
@@ -179,6 +228,20 @@ impl std::fmt::Display for ExchangeError {
             }
             ExchangeError::Invalid { message } => write!(f, "invalid model data: {message}"),
             ExchangeError::Io { path, message } => write!(f, "{path}: {message}"),
+            ExchangeError::BadMagic { found } => {
+                write!(f, "not an mdlxb container (leading bytes {found})")
+            }
+            ExchangeError::DigestMismatch {
+                section,
+                expected,
+                found,
+            } => write!(
+                f,
+                "digest mismatch in {section}: stored {expected}, computed {found}"
+            ),
+            ExchangeError::Corrupt { offset, message } => {
+                write!(f, "byte {offset}: {message}")
+            }
         }
     }
 }
@@ -290,12 +353,31 @@ impl Macromodel for AnyModel {
 /// without re-reading the grammar. (Contrast [`config_digest`], which
 /// identifies the extraction *configuration* embedded in provenance.)
 pub fn content_digest(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a(bytes))
+}
+
+/// The raw FNV-1a 64-bit hash behind every digest of the exchange layer —
+/// [`content_digest`], [`config_digest`], and the per-section digests of
+/// the binary container ([`binary`]).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &byte in bytes {
         hash ^= u64::from(byte);
         hash = hash.wrapping_mul(0x100_0000_01b3);
     }
-    format!("{hash:016x}")
+    hash
+}
+
+/// The digest a serving layer should key caches with, for a file of
+/// *either* container: the embedded body digest of a binary `mdlxb` file
+/// (read from its header, no hashing), or [`content_digest`] over the raw
+/// bytes of a text artifact.
+///
+/// Two files with equal digests parse into identical models (binary body
+/// digests cover every section, and parsing verifies them), so a parsed
+/// instance can be reused across touches and hot-reloads.
+pub fn artifact_digest(bytes: &[u8]) -> String {
+    binary::embedded_digest(bytes).unwrap_or_else(|| content_digest(bytes))
 }
 
 /// FNV-1a 64-bit digest of a configuration's `Debug` rendering, hex-encoded.
@@ -569,8 +651,8 @@ fn write_model_records(w: &mut Writer, model: &AnyModel) -> std::result::Result<
 ///
 /// # Errors
 ///
-/// Returns [`Error::Exchange`] for non-serializable data (non-finite values,
-/// multi-line names) and [`Error::InvalidModel`] when the model fails its
+/// Returns [`crate::Error::Exchange`] for non-serializable data (non-finite values,
+/// multi-line names) and [`crate::Error::InvalidModel`] when the model fails its
 /// own validation — nothing invalid is ever written.
 pub fn save_model(model: &AnyModel) -> Result<String> {
     model.validate()?;
@@ -1033,7 +1115,7 @@ fn read_provenance(r: &mut Reader) -> ExResult<Provenance> {
 ///
 /// # Errors
 ///
-/// Returns [`Error::Exchange`] with the precise [`ExchangeError`], or the
+/// Returns [`crate::Error::Exchange`] with the precise [`ExchangeError`], or the
 /// first assembled model's own validation failure.
 pub fn load_artifact(text: &str) -> Result<Artifact> {
     let mut r = Reader::new(text);
@@ -1130,6 +1212,40 @@ pub fn load_model_from_path(path: impl AsRef<Path>) -> Result<AnyModel> {
         message: e.to_string(),
     })?;
     load_model(&text)
+}
+
+/// Deserializes an artifact from raw bytes of *either* container,
+/// dispatching on content: the binary `mdlxb` magic selects
+/// [`binary::load_artifact_bin`], anything else parses as UTF-8 exchange
+/// text via [`load_artifact`].
+///
+/// # Errors
+///
+/// The selected loader's failures; non-UTF-8 bytes without the binary
+/// magic are [`ExchangeError::Corrupt`].
+pub fn load_artifact_bytes(bytes: &[u8]) -> Result<Artifact> {
+    if binary::is_binary(bytes) {
+        return binary::load_artifact_bin(bytes);
+    }
+    let text = std::str::from_utf8(bytes).map_err(|e| ExchangeError::Corrupt {
+        offset: e.valid_up_to(),
+        message: "artifact is neither an mdlxb container nor UTF-8 exchange text".into(),
+    })?;
+    load_artifact(text)
+}
+
+/// Loads an artifact of either container from a file (see
+/// [`load_artifact_bytes`]).
+///
+/// # Errors
+///
+/// [`load_artifact_bytes`] failures plus [`ExchangeError::Io`].
+pub fn load_artifact_auto_from_path(path: impl AsRef<Path>) -> Result<Artifact> {
+    let bytes = std::fs::read(path.as_ref()).map_err(|e| ExchangeError::Io {
+        path: path.as_ref().display().to_string(),
+        message: e.to_string(),
+    })?;
+    load_artifact_bytes(&bytes)
 }
 
 #[cfg(test)]
@@ -1556,5 +1672,222 @@ mod tests {
             expected: "end".into(),
         };
         assert!(e.to_string().contains("end"));
+    }
+
+    mod binary_tests {
+        use super::*;
+
+        fn v2_bundle() -> Artifact {
+            Artifact::bundle(
+                all_models(),
+                Some(Provenance {
+                    tool: "mdl-extract".into(),
+                    tool_version: "0.9".into(),
+                    config_digest: content_digest(b"cfg"),
+                    params: vec![
+                        ("order".into(), "2".into()),
+                        ("note".into(), "two words fine".into()),
+                    ],
+                }),
+            )
+        }
+
+        #[test]
+        fn text_binary_text_byte_identical_v1() {
+            for model in all_models() {
+                let artifact = Artifact::single(model);
+                let text = save_artifact(&artifact).unwrap();
+                let bin = binary::save_artifact_bin(&artifact).unwrap();
+                let back = binary::load_artifact_bin(&bin).unwrap();
+                assert_eq!(back.version, FORMAT_VERSION);
+                assert_eq!(save_artifact(&back).unwrap(), text);
+            }
+        }
+
+        #[test]
+        fn text_binary_text_byte_identical_v2() {
+            let artifact = v2_bundle();
+            let text = save_artifact(&artifact).unwrap();
+            let bin = binary::save_artifact_bin(&artifact).unwrap();
+            let back = binary::load_artifact_bin(&bin).unwrap();
+            assert_eq!(back.version, BUNDLE_FORMAT_VERSION);
+            assert_eq!(back.provenance, artifact.provenance);
+            assert_eq!(save_artifact(&back).unwrap(), text);
+        }
+
+        #[test]
+        fn binary_save_is_deterministic() {
+            let artifact = v2_bundle();
+            let a = binary::save_artifact_bin(&artifact).unwrap();
+            let b = binary::save_artifact_bin(&artifact).unwrap();
+            assert_eq!(a, b);
+        }
+
+        #[test]
+        fn embedded_digest_matches_body_hash() {
+            let bin = binary::save_artifact_bin(&v2_bundle()).unwrap();
+            let embedded = binary::embedded_digest(&bin).unwrap();
+            let computed = format!("{:016x}", fnv1a(&bin[binary::FILE_HEADER_LEN..]));
+            assert_eq!(embedded, computed);
+            assert_eq!(artifact_digest(&bin), embedded);
+            assert!(binary::embedded_digest(b"mdlx 1\n").is_none());
+        }
+
+        #[test]
+        fn index_lists_models_without_decoding() {
+            let bin = binary::save_artifact_bin(&v2_bundle()).unwrap();
+            let index = binary::index_bytes(&bin).unwrap();
+            assert_eq!(index.text_version, BUNDLE_FORMAT_VERSION);
+            assert_eq!(index.sections.len(), 5);
+            assert!(index.sections[0].kind.is_none());
+            let names: Vec<&str> = index.models().map(|s| s.name.as_str()).collect();
+            assert_eq!(names, ["md_test", "rx_test", "cr_test", "ibis_test"]);
+            let kinds: Vec<ModelKind> = index.models().map(|s| s.kind.unwrap()).collect();
+            assert_eq!(kinds, ModelKind::ALL);
+        }
+
+        #[test]
+        fn single_section_decodes_independently() {
+            let bin = binary::save_artifact_bin(&v2_bundle()).unwrap();
+            let index = binary::index_bytes(&bin).unwrap();
+            let section = index.models().find(|s| s.name == "cr_test").unwrap();
+            let model = binary::decode_model(&bin, section).unwrap();
+            assert_eq!(model.kind(), ModelKind::CrBaseline);
+            let prov = binary::decode_provenance_section(&bin, &index.sections[0]).unwrap();
+            assert_eq!(prov.tool, "mdl-extract");
+        }
+
+        #[test]
+        fn index_path_matches_index_bytes() {
+            let dir = std::env::temp_dir().join("mdlxb_index_test");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("bundle.mdlxb");
+            let artifact = v2_bundle();
+            binary::save_artifact_bin_to_path(&artifact, &path).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            let from_path = binary::index_path(&path).unwrap();
+            let from_bytes = binary::index_bytes(&bytes).unwrap();
+            assert_eq!(from_path, from_bytes);
+            let loaded = load_artifact_auto_from_path(&path).unwrap();
+            assert_eq!(loaded.models.len(), 4);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+
+        #[test]
+        fn bad_magic_rejected() {
+            let e = load_artifact_bytes(&[0xff, 0xfe, 0x00, 0x01]).unwrap_err();
+            match e {
+                Error::Exchange(ExchangeError::Corrupt { .. }) => {}
+                other => panic!("expected corrupt (not UTF-8), got {other:?}"),
+            }
+            let mut bin = binary::save_artifact_bin(&v2_bundle()).unwrap();
+            bin[0] ^= 0x20;
+            let e = binary::load_artifact_bin(&bin).unwrap_err();
+            assert!(matches!(e, Error::Exchange(ExchangeError::BadMagic { .. })));
+        }
+
+        #[test]
+        fn truncated_container_rejected() {
+            let bin = binary::save_artifact_bin(&v2_bundle()).unwrap();
+            for cut in [10, binary::FILE_HEADER_LEN + 5, bin.len() - 3] {
+                let e = binary::load_artifact_bin(&bin[..cut]).unwrap_err();
+                assert!(
+                    matches!(e, Error::Exchange(ExchangeError::Truncated { .. })),
+                    "cut at {cut}: {e:?}"
+                );
+            }
+        }
+
+        #[test]
+        fn flipped_payload_byte_fails_digest() {
+            let mut bin = binary::save_artifact_bin(&v2_bundle()).unwrap();
+            let index = binary::index_bytes(&bin).unwrap();
+            let target = index.models().next().unwrap().payload_offset + 3;
+            bin[target] ^= 0x01;
+            let e = binary::load_artifact_bin(&bin).unwrap_err();
+            match e {
+                Error::Exchange(ExchangeError::DigestMismatch { section, .. }) => {
+                    // The body digest covers everything, so it trips first.
+                    assert_eq!(section, "body");
+                }
+                other => panic!("expected digest mismatch, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn flipped_digest_byte_fails_section_check() {
+            let bin = binary::save_artifact_bin(&v2_bundle()).unwrap();
+            let index = binary::index_bytes(&bin).unwrap();
+            let section = index.models().next().unwrap().clone();
+            let mut corrupted = section.clone();
+            corrupted.digest = {
+                let mut d = section.digest.clone().into_bytes();
+                d[0] = if d[0] == b'0' { b'1' } else { b'0' };
+                String::from_utf8(d).unwrap()
+            };
+            let e = binary::decode_model(&bin, &corrupted).unwrap_err();
+            assert!(matches!(
+                e,
+                Error::Exchange(ExchangeError::DigestMismatch { .. })
+            ));
+        }
+
+        #[test]
+        fn unknown_kind_code_rejected() {
+            let mut bin = binary::save_artifact_bin(&v2_bundle()).unwrap();
+            let index = binary::index_bytes(&bin).unwrap();
+            let section = index.models().next().unwrap();
+            // Kind code byte sits 20 bytes before the name start
+            // (section header is 24 bytes, kind at +4).
+            let header_start =
+                section.payload_offset - section.name.len() - binary::SECTION_HEADER_LEN;
+            bin[header_start + 4] = 99;
+            let e = binary::index_bytes(&bin).unwrap_err();
+            assert!(matches!(
+                e,
+                Error::Exchange(ExchangeError::UnknownKind { .. })
+            ));
+        }
+
+        #[test]
+        fn unsupported_versions_rejected() {
+            let mut bin = binary::save_artifact_bin(&v2_bundle()).unwrap();
+            bin[8] = 9;
+            assert!(matches!(
+                binary::load_artifact_bin(&bin).unwrap_err(),
+                Error::Exchange(ExchangeError::UnsupportedVersion { .. })
+            ));
+            let mut bin = binary::save_artifact_bin(&v2_bundle()).unwrap();
+            bin[12] = 7;
+            assert!(matches!(
+                binary::load_artifact_bin(&bin).unwrap_err(),
+                Error::Exchange(ExchangeError::UnsupportedVersion { .. })
+            ));
+        }
+
+        #[test]
+        fn v1_shape_enforced_in_binary() {
+            let mut artifact = Artifact::single(all_models().remove(2));
+            artifact.provenance = Some(Provenance {
+                tool: "t".into(),
+                tool_version: "1".into(),
+                config_digest: content_digest(b"x"),
+                params: vec![],
+            });
+            assert!(binary::save_artifact_bin(&artifact).is_err());
+        }
+
+        #[test]
+        fn auto_loader_dispatches_on_magic() {
+            let artifact = v2_bundle();
+            let text = save_artifact(&artifact).unwrap();
+            let bin = binary::save_artifact_bin(&artifact).unwrap();
+            let from_text = load_artifact_bytes(text.as_bytes()).unwrap();
+            let from_bin = load_artifact_bytes(&bin).unwrap();
+            assert_eq!(
+                save_artifact(&from_text).unwrap(),
+                save_artifact(&from_bin).unwrap()
+            );
+        }
     }
 }

@@ -1,0 +1,1113 @@
+//! The binary `mdlx` container (`mdlx-bin 1`, conventional extension
+//! `.mdlxb`): a length-framed, sectioned byte layout that round-trips the
+//! exact information content of the text format while letting a reader
+//! **skip or verify any section without parsing it**.
+//!
+//! Text artifacts are human-auditable but pay a full lexer pass per load;
+//! a store of thousands of models pays that linearly even for entries it
+//! never touches. The binary container moves every model behind a
+//! fixed-width section header carrying the model's kind, name, byte
+//! length and FNV-1a content digest — so an index of the whole file costs
+//! a handful of small reads ([`index_path`]) and a single model
+//! materializes by slicing and decoding one section ([`decode_model`]).
+//!
+//! # Layout
+//!
+//! All integers are **little-endian**; all floats are IEEE-754 binary64
+//! written as their raw bit pattern (`f64::to_bits`), so text → binary →
+//! text conversion is byte-identical (the text float syntax is the
+//! shortest round-trip form of the same bits). The normative field tables
+//! live in `docs/FORMAT.md`; in summary:
+//!
+//! ```text
+//! file header (32 bytes)
+//!   0..8    magic  "mdlxbin\0"
+//!   8..12   u32    container version (1)
+//!   12..16  u32    text format version the artifact round-trips to (1|2)
+//!   16..20  u32    section count
+//!   20..28  u64    body digest: FNV-1a over every byte from offset 32
+//!   28..32  u32    reserved (0)
+//! section (repeated; 24-byte header + name + payload)
+//!   0..4    tag    "PROV" | "MODL"
+//!   4..5    u8     model kind code (PROV: 0)
+//!   5..6    u8     reserved (0)
+//!   6..8    u16    name length n (PROV: 0)
+//!   8..16   u64    payload length
+//!   16..24  u64    section digest: FNV-1a over name bytes ++ payload
+//!   24..    name bytes, then payload
+//! ```
+//!
+//! A `PROV` section (at most one, first) carries the v2 provenance block;
+//! each `MODL` section carries one model body in the same record order as
+//! the text grammar, with `u32` length prefixes in place of decimal
+//! counts. Loading is as strict as the text reader: bad magic, digest
+//! mismatches, truncation, impossible counts, non-finite floats, unknown
+//! kind codes and trailing bytes all fail with typed [`ExchangeError`]s,
+//! and every assembled model passes its own validation.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use macromodel::exchange::binary::{load_artifact_bin_from_path, save_artifact_bin_to_path};
+//! use macromodel::exchange::load_artifact_from_path;
+//!
+//! # fn main() -> Result<(), macromodel::Error> {
+//! let artifact = load_artifact_from_path("md1.mdlx")?;         // text in
+//! save_artifact_bin_to_path(&artifact, "md1.mdlxb")?;          // binary out
+//! let back = load_artifact_bin_from_path("md1.mdlxb")?;        // binary in
+//! assert_eq!(back.models.len(), artifact.models.len());
+//! # Ok(())
+//! # }
+//! ```
+
+use super::{
+    fnv1a, AnyModel, Artifact, ExchangeError, Provenance, BUNDLE_FORMAT_VERSION, FORMAT_VERSION,
+    MAX_DECLARED_COUNT,
+};
+use crate::driver::{PwRbfDriverModel, WeightSequence};
+use crate::macromodel::{Macromodel, ModelKind};
+use crate::receiver::{CrModel, ReceiverModel};
+use crate::Result;
+use numkit::interp::Pwl;
+use refdev::IbisModel;
+use std::io::Read;
+use std::path::Path;
+use sysid::arx::{ArxModel, ArxOrders};
+use sysid::narx::{NarxModel, NarxOrders};
+use sysid::rbf::RbfNetwork;
+
+/// Leading magic of every binary container.
+pub const MAGIC: [u8; 8] = *b"mdlxbin\0";
+
+/// Container revision this module writes and reads.
+pub const BIN_FORMAT_VERSION: u32 = 1;
+
+/// Byte length of the file header.
+pub const FILE_HEADER_LEN: usize = 32;
+
+/// Byte length of a section header, name excluded.
+pub const SECTION_HEADER_LEN: usize = 24;
+
+/// Section tag of the provenance block.
+const TAG_PROV: [u8; 4] = *b"PROV";
+
+/// Section tag of a model body.
+const TAG_MODL: [u8; 4] = *b"MODL";
+
+/// Whether `bytes` begin with the binary-container magic.
+pub fn is_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
+}
+
+/// The body digest stored in a binary container's file header, hex — read
+/// from the fixed header offset without hashing or parsing anything.
+/// `None` when the bytes are not a binary container (or are shorter than
+/// the header). The digest is *trusted* here; [`load_artifact_bin`]
+/// verifies it.
+pub fn embedded_digest(bytes: &[u8]) -> Option<String> {
+    if !is_binary(bytes) || bytes.len() < FILE_HEADER_LEN {
+        return None;
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[20..28]);
+    Some(format!("{:016x}", u64::from_le_bytes(raw)))
+}
+
+/// Wire code of a model kind inside a `MODL` section header.
+fn kind_code(kind: ModelKind) -> u8 {
+    match kind {
+        ModelKind::PwRbfDriver => 1,
+        ModelKind::Receiver => 2,
+        ModelKind::CrBaseline => 3,
+        ModelKind::Ibis => 4,
+    }
+}
+
+/// Parses a wire kind code.
+fn kind_from_code(code: u8) -> Option<ModelKind> {
+    match code {
+        1 => Some(ModelKind::PwRbfDriver),
+        2 => Some(ModelKind::Receiver),
+        3 => Some(ModelKind::CrBaseline),
+        4 => Some(ModelKind::Ibis),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Little-endian record writer for one section payload.
+#[derive(Default)]
+struct BinWriter {
+    out: Vec<u8>,
+}
+
+impl BinWriter {
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn count(&mut self, v: usize, what: &str) -> std::result::Result<(), ExchangeError> {
+        if v > MAX_DECLARED_COUNT {
+            return Err(ExchangeError::Invalid {
+                message: format!("'{what}' count {v} exceeds the format bound"),
+            });
+        }
+        self.u32(v as u32);
+        Ok(())
+    }
+
+    fn f64(&mut self, v: f64, what: &str) -> std::result::Result<(), ExchangeError> {
+        if !v.is_finite() {
+            return Err(ExchangeError::Invalid {
+                message: format!("'{what}' is not finite: {v}"),
+            });
+        }
+        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
+        Ok(())
+    }
+
+    fn vector(&mut self, vs: &[f64], what: &str) -> std::result::Result<(), ExchangeError> {
+        self.count(vs.len(), what)?;
+        for &v in vs {
+            self.f64(v, what)?;
+        }
+        Ok(())
+    }
+
+    fn string(&mut self, s: &str, what: &str) -> std::result::Result<(), ExchangeError> {
+        if s.contains('\n') || s.contains('\r') {
+            return Err(ExchangeError::Invalid {
+                message: format!("'{what}' must not contain line breaks"),
+            });
+        }
+        self.count(s.len(), what)?;
+        self.out.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+
+    fn narx(&mut self, m: &NarxModel, label: &str) -> std::result::Result<(), ExchangeError> {
+        let net = m.network();
+        self.count(m.orders().input_lags, label)?;
+        self.count(m.orders().output_lags, label)?;
+        self.count(net.n_centers(), label)?;
+        self.f64(net.bias(), label)?;
+        self.vector(net.linear(), label)?;
+        for c in net.centers() {
+            // Center rows are dim-implied: n_centers × dim flat floats.
+            for &v in c {
+                self.f64(v, label)?;
+            }
+        }
+        self.vector(net.widths(), label)?;
+        self.vector(net.weights(), label)?;
+        Ok(())
+    }
+}
+
+/// Encodes one model body — everything the text grammar carries between
+/// `name` and the terminator, name excluded (it lives in the section
+/// header).
+fn encode_model(model: &AnyModel) -> std::result::Result<Vec<u8>, ExchangeError> {
+    let mut w = BinWriter::default();
+    match model {
+        AnyModel::PwRbfDriver(m) => {
+            w.f64(m.ts, "ts")?;
+            w.f64(m.vdd, "vdd")?;
+            w.narx(&m.i_high, "i_high")?;
+            w.narx(&m.i_low, "i_low")?;
+            for seq in [&m.up, &m.down] {
+                w.vector(seq.w_high(), "wh")?;
+                w.vector(seq.w_low(), "wl")?;
+            }
+        }
+        AnyModel::Receiver(m) => {
+            w.f64(m.ts, "ts")?;
+            w.f64(m.vdd, "vdd")?;
+            w.count(m.linear.orders().na, "arx")?;
+            w.count(m.linear.orders().nb, "arx")?;
+            w.vector(m.linear.a(), "a")?;
+            w.vector(m.linear.b(), "b")?;
+            w.narx(&m.up, "up")?;
+            w.narx(&m.down, "down")?;
+        }
+        AnyModel::Cr(m) => {
+            w.f64(m.c, "c")?;
+            w.vector(m.static_iv.x(), "iv_x")?;
+            w.vector(m.static_iv.y(), "iv_y")?;
+        }
+        AnyModel::Ibis(m) => {
+            w.f64(m.vdd, "vdd")?;
+            w.f64(m.c_comp, "c_comp")?;
+            w.f64(m.dt, "dt")?;
+            w.vector(m.pullup.x(), "pullup_x")?;
+            w.vector(m.pullup.y(), "pullup_y")?;
+            w.vector(m.pulldown.x(), "pulldown_x")?;
+            w.vector(m.pulldown.y(), "pulldown_y")?;
+            w.vector(&m.ku_rise, "ku_rise")?;
+            w.vector(&m.kd_rise, "kd_rise")?;
+            w.vector(&m.ku_fall, "ku_fall")?;
+            w.vector(&m.kd_fall, "kd_fall")?;
+        }
+    }
+    Ok(w.out)
+}
+
+/// Encodes the provenance block as a `PROV` payload.
+fn encode_provenance(p: &Provenance) -> std::result::Result<Vec<u8>, ExchangeError> {
+    p.check_serializable()?;
+    let mut w = BinWriter::default();
+    w.string(&p.tool, "tool")?;
+    w.string(&p.tool_version, "toolver")?;
+    w.string(&p.config_digest, "digest")?;
+    w.count(p.params.len(), "params")?;
+    for (k, v) in &p.params {
+        w.string(k, "param key")?;
+        w.string(v, "param value")?;
+    }
+    Ok(w.out)
+}
+
+/// Appends one section (header + name + payload) to `body`.
+fn push_section(body: &mut Vec<u8>, tag: [u8; 4], kind: u8, name: &str, payload: &[u8]) {
+    let mut digest_input = Vec::with_capacity(name.len() + payload.len());
+    digest_input.extend_from_slice(name.as_bytes());
+    digest_input.extend_from_slice(payload);
+    body.extend_from_slice(&tag);
+    body.push(kind);
+    body.push(0);
+    body.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    body.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    body.extend_from_slice(&fnv1a(&digest_input).to_le_bytes());
+    body.extend_from_slice(name.as_bytes());
+    body.extend_from_slice(payload);
+}
+
+/// Serializes an artifact into the binary container.
+///
+/// The same artifacts that [`super::save_artifact`] accepts are accepted
+/// here — v1 is exactly one provenance-free model, v2 is one or more
+/// models with optional provenance — and the text version is recorded in
+/// the header, so converting back to text re-saves the original version.
+///
+/// # Errors
+///
+/// [`ExchangeError::Invalid`] for empty bundles, v1 shape violations,
+/// non-finite values, over-long names, or models failing their own
+/// validation.
+pub fn save_artifact_bin(artifact: &Artifact) -> Result<Vec<u8>> {
+    match artifact.version {
+        FORMAT_VERSION => {
+            if artifact.provenance.is_some() {
+                return Err(ExchangeError::Invalid {
+                    message: "format v1 cannot carry a provenance block".into(),
+                }
+                .into());
+            }
+            if artifact.models.len() != 1 {
+                return Err(ExchangeError::Invalid {
+                    message: format!(
+                        "format v1 holds exactly one model, got {}",
+                        artifact.models.len()
+                    ),
+                }
+                .into());
+            }
+        }
+        BUNDLE_FORMAT_VERSION => {
+            if artifact.models.is_empty() {
+                return Err(ExchangeError::Invalid {
+                    message: "a bundle must hold at least one model".into(),
+                }
+                .into());
+            }
+        }
+        other => {
+            return Err(ExchangeError::Invalid {
+                message: format!("cannot write unknown format version {other}"),
+            }
+            .into())
+        }
+    }
+    let mut body = Vec::new();
+    let mut sections = 0u32;
+    if let Some(p) = &artifact.provenance {
+        push_section(&mut body, TAG_PROV, 0, "", &encode_provenance(p)?);
+        sections += 1;
+    }
+    for model in &artifact.models {
+        model.validate()?;
+        let name = model.name();
+        if name.len() > u16::MAX as usize {
+            return Err(ExchangeError::Invalid {
+                message: format!("model name is {} bytes; the format caps 65535", name.len()),
+            }
+            .into());
+        }
+        if name.contains('\n') || name.contains('\r') {
+            return Err(ExchangeError::Invalid {
+                message: "model name must not contain line breaks".into(),
+            }
+            .into());
+        }
+        let payload = encode_model(model)?;
+        push_section(&mut body, TAG_MODL, kind_code(model.kind()), name, &payload);
+        sections += 1;
+    }
+    let mut out = Vec::with_capacity(FILE_HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&BIN_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&artifact.version.to_le_bytes());
+    out.extend_from_slice(&sections.to_le_bytes());
+    out.extend_from_slice(&fnv1a(&body).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Saves an artifact as a binary container file (see
+/// [`save_artifact_bin`]); the conventional extension is `.mdlxb`.
+///
+/// # Errors
+///
+/// [`save_artifact_bin`] failures plus [`ExchangeError::Io`].
+pub fn save_artifact_bin_to_path(artifact: &Artifact, path: impl AsRef<Path>) -> Result<()> {
+    let bytes = save_artifact_bin(artifact)?;
+    std::fs::write(path.as_ref(), bytes).map_err(|e| ExchangeError::Io {
+        path: path.as_ref().display().to_string(),
+        message: e.to_string(),
+    })?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+type ExResult<T> = std::result::Result<T, ExchangeError>;
+
+/// Little-endian cursor over a byte slice, reporting absolute offsets in
+/// its errors (`base` shifts them when the slice is a section cut out of
+/// a larger file).
+struct BinReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    base: usize,
+}
+
+impl<'a> BinReader<'a> {
+    fn new(bytes: &'a [u8], base: usize) -> Self {
+        BinReader {
+            bytes,
+            pos: 0,
+            base,
+        }
+    }
+
+    fn offset(&self) -> usize {
+        self.base + self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> ExResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(ExchangeError::Truncated {
+                expected: what.to_string(),
+            });
+        };
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self, what: &str) -> ExResult<u32> {
+        let raw = self.take(4, what)?;
+        Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes taken")))
+    }
+
+    fn u64(&mut self, what: &str) -> ExResult<u64> {
+        let raw = self.take(8, what)?;
+        Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes taken")))
+    }
+
+    fn count(&mut self, what: &str) -> ExResult<usize> {
+        let offset = self.offset();
+        let v = self.u32(what)? as usize;
+        if v > MAX_DECLARED_COUNT {
+            return Err(ExchangeError::Corrupt {
+                offset,
+                message: format!("'{what}' count {v} exceeds the format bound"),
+            });
+        }
+        Ok(v)
+    }
+
+    fn f64(&mut self, what: &str) -> ExResult<f64> {
+        let offset = self.offset();
+        let v = f64::from_bits(self.u64(what)?);
+        if !v.is_finite() {
+            return Err(ExchangeError::NonFinite {
+                line: offset,
+                field: what.to_string(),
+            });
+        }
+        Ok(v)
+    }
+
+    fn f64s(&mut self, n: usize, what: &str) -> ExResult<Vec<f64>> {
+        // Bound the pre-allocation by the bytes actually present; a lying
+        // count runs into Truncated, never a pathological allocation.
+        let mut vs = Vec::with_capacity(n.min(self.bytes.len() / 8 + 1));
+        for _ in 0..n {
+            vs.push(self.f64(what)?);
+        }
+        Ok(vs)
+    }
+
+    fn vector(&mut self, what: &str) -> ExResult<Vec<f64>> {
+        let n = self.count(what)?;
+        self.f64s(n, what)
+    }
+
+    fn string(&mut self, what: &str) -> ExResult<String> {
+        let offset = self.offset();
+        let n = self.count(what)?;
+        let raw = self.take(n, what)?;
+        let s = std::str::from_utf8(raw).map_err(|_| ExchangeError::Corrupt {
+            offset,
+            message: format!("'{what}' is not valid UTF-8"),
+        })?;
+        if s.contains('\n') || s.contains('\r') {
+            return Err(ExchangeError::Corrupt {
+                offset,
+                message: format!("'{what}' contains line breaks"),
+            });
+        }
+        Ok(s.to_string())
+    }
+
+    fn narx(&mut self, label: &str) -> ExResult<NarxModel> {
+        let orders = NarxOrders {
+            input_lags: self.count(label)?,
+            output_lags: self.count(label)?,
+        };
+        let dim = orders.dim();
+        let n_centers = self.count(label)?;
+        let offset = self.offset();
+        if dim
+            .checked_mul(n_centers)
+            .is_none_or(|cells| cells > MAX_DECLARED_COUNT)
+        {
+            return Err(ExchangeError::Corrupt {
+                offset,
+                message: format!("'{label}' declares an impossible center block"),
+            });
+        }
+        let bias = self.f64(label)?;
+        let linear = self.vector(label)?;
+        let mut centers = Vec::with_capacity(n_centers.min(1024));
+        for _ in 0..n_centers {
+            centers.push(self.f64s(dim, label)?);
+        }
+        let widths = self.vector(label)?;
+        let weights = self.vector(label)?;
+        let net = RbfNetwork::from_parts(dim, centers, widths, weights, bias, linear)
+            .map_err(super::invalid)?;
+        NarxModel::from_network(orders, net).map_err(super::invalid)
+    }
+
+    /// Fails unless every byte has been consumed.
+    fn finish(&self, what: &str) -> ExResult<()> {
+        if self.pos != self.bytes.len() {
+            return Err(ExchangeError::Corrupt {
+                offset: self.offset(),
+                message: format!(
+                    "{} trailing bytes after {what}",
+                    self.bytes.len() - self.pos
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one `MODL` payload into a model (name from the section
+/// header). The assembled model passes its structural constructors; its
+/// own `validate()` runs in the callers.
+fn decode_model_payload(
+    kind: ModelKind,
+    name: &str,
+    payload: &[u8],
+    base: usize,
+) -> ExResult<AnyModel> {
+    let mut r = BinReader::new(payload, base);
+    let name = name.to_string();
+    let model = match kind {
+        ModelKind::PwRbfDriver => {
+            let ts = r.f64("ts")?;
+            let vdd = r.f64("vdd")?;
+            let i_high = r.narx("i_high")?;
+            let i_low = r.narx("i_low")?;
+            let mut seqs = Vec::with_capacity(2);
+            for label in ["up", "down"] {
+                let wh = r.vector(label)?;
+                let wl = r.vector(label)?;
+                seqs.push(WeightSequence::new(wh, wl).map_err(super::invalid)?);
+            }
+            let down = seqs.pop().expect("two transitions decoded");
+            let up = seqs.pop().expect("two transitions decoded");
+            AnyModel::PwRbfDriver(PwRbfDriverModel {
+                name,
+                ts,
+                vdd,
+                i_high,
+                i_low,
+                up,
+                down,
+            })
+        }
+        ModelKind::Receiver => {
+            let ts = r.f64("ts")?;
+            let vdd = r.f64("vdd")?;
+            let na = r.count("arx")?;
+            let nb = r.count("arx")?;
+            let a = r.vector("a")?;
+            let b = r.vector("b")?;
+            let linear =
+                ArxModel::from_coefficients(ArxOrders { na, nb }, a, b).map_err(super::invalid)?;
+            let up = r.narx("up")?;
+            let down = r.narx("down")?;
+            AnyModel::Receiver(ReceiverModel {
+                name,
+                ts,
+                vdd,
+                linear,
+                up,
+                down,
+            })
+        }
+        ModelKind::CrBaseline => {
+            let c = r.f64("c")?;
+            let x = r.vector("iv_x")?;
+            let y = r.vector("iv_y")?;
+            let static_iv = Pwl::new(x, y).map_err(super::invalid)?;
+            AnyModel::Cr(CrModel::new(name, c, static_iv).map_err(super::invalid)?)
+        }
+        ModelKind::Ibis => {
+            let vdd = r.f64("vdd")?;
+            let c_comp = r.f64("c_comp")?;
+            let dt = r.f64("dt")?;
+            let pullup =
+                Pwl::new(r.vector("pullup_x")?, r.vector("pullup_y")?).map_err(super::invalid)?;
+            let pulldown = Pwl::new(r.vector("pulldown_x")?, r.vector("pulldown_y")?)
+                .map_err(super::invalid)?;
+            let ku_rise = r.vector("ku_rise")?;
+            let kd_rise = r.vector("kd_rise")?;
+            let ku_fall = r.vector("ku_fall")?;
+            let kd_fall = r.vector("kd_fall")?;
+            AnyModel::Ibis(IbisModel {
+                name,
+                vdd,
+                pullup,
+                pulldown,
+                c_comp,
+                dt,
+                ku_rise,
+                kd_rise,
+                ku_fall,
+                kd_fall,
+            })
+        }
+    };
+    r.finish("the model body")?;
+    Ok(model)
+}
+
+/// Decodes a `PROV` payload.
+fn decode_provenance(payload: &[u8], base: usize) -> ExResult<Provenance> {
+    let mut r = BinReader::new(payload, base);
+    let tool = r.string("tool")?;
+    let tool_version = r.string("toolver")?;
+    let config_digest = r.string("digest")?;
+    let n_params = r.count("params")?;
+    let mut params = Vec::with_capacity(n_params.min(1024));
+    for _ in 0..n_params {
+        let offset = r.offset();
+        let key = r.string("param key")?;
+        if key.is_empty() || key.chars().any(|c| c.is_whitespace()) {
+            return Err(ExchangeError::Corrupt {
+                offset,
+                message: format!("provenance param key '{key}' must be one non-empty token"),
+            });
+        }
+        let value = r.string("param value")?;
+        params.push((key, value));
+    }
+    r.finish("the provenance block")?;
+    Ok(Provenance {
+        tool,
+        tool_version,
+        config_digest,
+        params,
+    })
+}
+
+/// One section located inside a binary container: everything a reader
+/// needs to skip it, verify it, or materialize it — without decoding its
+/// payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinSection {
+    /// Model kind (`None` for the provenance section).
+    pub kind: Option<ModelKind>,
+    /// Model name (empty for the provenance section).
+    pub name: String,
+    /// Stored section digest (FNV-1a over name bytes ++ payload), hex.
+    pub digest: String,
+    /// Absolute byte offset of the payload within the file.
+    pub payload_offset: usize,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+/// The section directory of a binary container: the text version it
+/// round-trips to, the embedded body digest, and one [`BinSection`] per
+/// section — model names and kinds included, payloads untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinIndex {
+    /// Text format version the artifact converts back to (1 or 2).
+    pub text_version: u32,
+    /// Embedded body digest, hex (trusted at index time; verified on
+    /// full load).
+    pub body_digest: String,
+    /// Every section, in file order (`PROV` first when present).
+    pub sections: Vec<BinSection>,
+}
+
+impl BinIndex {
+    /// The model sections only, in file order.
+    pub fn models(&self) -> impl Iterator<Item = &BinSection> {
+        self.sections.iter().filter(|s| s.kind.is_some())
+    }
+}
+
+/// Reads exactly `buf.len()` bytes at the reader's current position.
+fn read_exact_or_truncated<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> ExResult<()> {
+    r.read_exact(buf).map_err(|_| ExchangeError::Truncated {
+        expected: what.to_string(),
+    })
+}
+
+/// Parses the fixed file header from its 32 bytes.
+fn parse_file_header(header: &[u8; FILE_HEADER_LEN]) -> ExResult<(u32, u64, u32)> {
+    if header[..MAGIC.len()] != MAGIC {
+        let found: String = header[..MAGIC.len()]
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        return Err(ExchangeError::BadMagic { found });
+    }
+    let word = |at: usize| u32::from_le_bytes(header[at..at + 4].try_into().expect("4 bytes"));
+    let container = word(8);
+    if container != BIN_FORMAT_VERSION {
+        return Err(ExchangeError::UnsupportedVersion {
+            found: format!("mdlx-bin {container}"),
+        });
+    }
+    let text_version = word(12);
+    if text_version != FORMAT_VERSION && text_version != BUNDLE_FORMAT_VERSION {
+        return Err(ExchangeError::UnsupportedVersion {
+            found: format!("mdlx {text_version}"),
+        });
+    }
+    let n_sections = word(16);
+    if n_sections as usize > MAX_DECLARED_COUNT {
+        return Err(ExchangeError::Corrupt {
+            offset: 16,
+            message: format!("section count {n_sections} exceeds the format bound"),
+        });
+    }
+    if word(28) != 0 {
+        return Err(ExchangeError::Corrupt {
+            offset: 28,
+            message: "reserved header word is not zero".into(),
+        });
+    }
+    let digest = u64::from_le_bytes(header[20..28].try_into().expect("8 bytes"));
+    Ok((text_version, digest, n_sections))
+}
+
+/// Parses one section header (+ name) and returns the section meta; the
+/// caller positions past the payload itself.
+fn parse_section_header(
+    header: &[u8; SECTION_HEADER_LEN],
+    name: &[u8],
+    offset: usize,
+    payload_offset: usize,
+) -> ExResult<BinSection> {
+    let tag: [u8; 4] = header[..4].try_into().expect("4 bytes");
+    let kind = match tag {
+        TAG_PROV => {
+            if header[4] != 0 {
+                return Err(ExchangeError::Corrupt {
+                    offset,
+                    message: "provenance section carries a model kind code".into(),
+                });
+            }
+            None
+        }
+        TAG_MODL => Some(kind_from_code(header[4]).ok_or(ExchangeError::UnknownKind {
+            tag: format!("#{}", header[4]),
+        })?),
+        other => {
+            return Err(ExchangeError::UnknownField {
+                line: offset,
+                field: String::from_utf8_lossy(&other).into_owned(),
+            })
+        }
+    };
+    if header[5] != 0 {
+        return Err(ExchangeError::Corrupt {
+            offset,
+            message: "reserved section byte is not zero".into(),
+        });
+    }
+    let name = std::str::from_utf8(name).map_err(|_| ExchangeError::Corrupt {
+        offset,
+        message: "section name is not valid UTF-8".into(),
+    })?;
+    if kind.is_none() && !name.is_empty() {
+        return Err(ExchangeError::Corrupt {
+            offset,
+            message: "provenance section carries a name".into(),
+        });
+    }
+    let payload_len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let digest = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    Ok(BinSection {
+        kind,
+        name: name.to_string(),
+        digest: format!("{digest:016x}"),
+        payload_offset,
+        payload_len: payload_len as usize,
+    })
+}
+
+/// Structural walk shared by [`index_bytes`] and [`load_artifact_bin`]:
+/// validates the header and section framing against the byte length
+/// without touching payloads.
+fn index_from_bytes(bytes: &[u8]) -> ExResult<BinIndex> {
+    if bytes.len() < FILE_HEADER_LEN {
+        if !is_binary(bytes) && !bytes.is_empty() {
+            let shown = &bytes[..bytes.len().min(MAGIC.len())];
+            return Err(ExchangeError::BadMagic {
+                found: shown.iter().map(|b| format!("{b:02x}")).collect(),
+            });
+        }
+        return Err(ExchangeError::Truncated {
+            expected: "the 32-byte file header".to_string(),
+        });
+    }
+    let header: &[u8; FILE_HEADER_LEN] = bytes[..FILE_HEADER_LEN].try_into().expect("32 bytes");
+    let (text_version, body_digest, n_sections) = parse_file_header(header)?;
+    let mut sections = Vec::with_capacity((n_sections as usize).min(1024));
+    let mut pos = FILE_HEADER_LEN;
+    for i in 0..n_sections {
+        let mut r = BinReader::new(bytes, 0);
+        r.pos = pos;
+        let header_bytes = r.take(SECTION_HEADER_LEN, "a section header")?;
+        let header: &[u8; SECTION_HEADER_LEN] = header_bytes.try_into().expect("24 bytes");
+        let name_len = u16::from_le_bytes(header[6..8].try_into().expect("2 bytes")) as usize;
+        let payload_len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        if payload_len as usize > bytes.len() {
+            return Err(ExchangeError::Truncated {
+                expected: format!("{payload_len} payload bytes of section {i}"),
+            });
+        }
+        let name = r.take(name_len, "a section name")?;
+        let section = parse_section_header(header, name, pos, r.pos)?;
+        if section.kind.is_none() && (i != 0) {
+            return Err(ExchangeError::Corrupt {
+                offset: pos,
+                message: "provenance must be the first section".into(),
+            });
+        }
+        r.take(section.payload_len, "a section payload")?;
+        pos = r.pos;
+        sections.push(section);
+    }
+    if pos != bytes.len() {
+        return Err(ExchangeError::Corrupt {
+            offset: pos,
+            message: format!(
+                "{} trailing bytes after the last section",
+                bytes.len() - pos
+            ),
+        });
+    }
+    let index = BinIndex {
+        text_version,
+        body_digest: format!("{body_digest:016x}"),
+        sections,
+    };
+    check_shape(&index)?;
+    Ok(index)
+}
+
+/// The v1/v2 shape rules, shared with the text reader's semantics.
+fn check_shape(index: &BinIndex) -> ExResult<()> {
+    let n_models = index.models().count();
+    let has_prov = index.sections.iter().any(|s| s.kind.is_none());
+    if index.sections.iter().filter(|s| s.kind.is_none()).count() > 1 {
+        return Err(ExchangeError::Corrupt {
+            offset: FILE_HEADER_LEN,
+            message: "more than one provenance section".into(),
+        });
+    }
+    if n_models == 0 {
+        return Err(ExchangeError::Invalid {
+            message: "a container must hold at least one model".into(),
+        });
+    }
+    if index.text_version == FORMAT_VERSION && (has_prov || n_models != 1) {
+        return Err(ExchangeError::Invalid {
+            message: format!(
+                "format v1 holds exactly one provenance-free model, got {n_models} model(s){}",
+                if has_prov { " plus provenance" } else { "" }
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Builds the section directory of a binary container held in memory.
+/// Validates framing (magic, versions, section bounds, v1/v2 shape) but
+/// does **not** hash or decode payloads — that is the point: indexing a
+/// file costs O(sections), not O(bytes parsed).
+///
+/// # Errors
+///
+/// [`ExchangeError::BadMagic`], [`ExchangeError::UnsupportedVersion`],
+/// [`ExchangeError::Truncated`], [`ExchangeError::Corrupt`],
+/// [`ExchangeError::UnknownKind`] / [`ExchangeError::UnknownField`] for
+/// unknown codes and tags.
+pub fn index_bytes(bytes: &[u8]) -> Result<BinIndex> {
+    Ok(index_from_bytes(bytes)?)
+}
+
+/// Builds the section directory of a binary container file using seeks:
+/// only the file header and each section header (+ name) are read, and
+/// payloads are skipped over — a 1 000-model store indexes with a few KiB
+/// of I/O per file regardless of model sizes.
+///
+/// # Errors
+///
+/// See [`index_bytes`], plus [`ExchangeError::Io`].
+pub fn index_path(path: impl AsRef<Path>) -> Result<BinIndex> {
+    index_path_with_len(path, None)
+}
+
+/// [`index_path`] with the file length supplied by a caller that already
+/// statted the file (a store scan captures it in the fingerprint); saves
+/// the `fstat` per file, which is a measurable share of a 1 000-entry
+/// lazy open. The length is only a framing bound — a wrong value surfaces
+/// as [`ExchangeError::Truncated`] / [`ExchangeError::Corrupt`], exactly
+/// as if the file had changed size underneath a plain [`index_path`].
+///
+/// # Errors
+///
+/// See [`index_path`].
+pub fn index_path_with_len(path: impl AsRef<Path>, known_len: Option<u64>) -> Result<BinIndex> {
+    let path = path.as_ref();
+    let io_err = |e: std::io::Error| ExchangeError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    };
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    let file_len = match known_len {
+        Some(len) => len,
+        None => file.metadata().map_err(io_err)?.len(),
+    };
+    // One buffered reader sized so a typical single-model container's
+    // whole header run (file header + section header + name) arrives in
+    // one read without copying kilobytes of payload along with it;
+    // `seek_relative` skips payloads without a syscall while the target
+    // stays inside the buffer, so indexing a small file costs an open
+    // and a single sub-KiB read.
+    let mut file = std::io::BufReader::with_capacity(512, file);
+    let mut header = [0u8; FILE_HEADER_LEN];
+    read_exact_or_truncated(&mut file, &mut header, "the 32-byte file header")?;
+    let (text_version, body_digest, n_sections) = parse_file_header(&header)?;
+    let mut sections = Vec::with_capacity((n_sections as usize).min(1024));
+    let mut pos = FILE_HEADER_LEN as u64;
+    for i in 0..n_sections {
+        let mut sh = [0u8; SECTION_HEADER_LEN];
+        read_exact_or_truncated(&mut file, &mut sh, "a section header")?;
+        let name_len = u16::from_le_bytes(sh[6..8].try_into().expect("2 bytes")) as usize;
+        let payload_len = u64::from_le_bytes(sh[8..16].try_into().expect("8 bytes"));
+        let mut name = vec![0u8; name_len];
+        read_exact_or_truncated(&mut file, &mut name, "a section name")?;
+        let payload_offset = pos + (SECTION_HEADER_LEN + name_len) as u64;
+        let end = payload_offset.checked_add(payload_len);
+        if end.is_none_or(|e| e > file_len) {
+            return Err(ExchangeError::Truncated {
+                expected: format!("{payload_len} payload bytes of section {i}"),
+            }
+            .into());
+        }
+        let section = parse_section_header(&sh, &name, pos as usize, payload_offset as usize)?;
+        if section.kind.is_none() && i != 0 {
+            return Err(ExchangeError::Corrupt {
+                offset: pos as usize,
+                message: "provenance must be the first section".into(),
+            }
+            .into());
+        }
+        pos = payload_offset + payload_len;
+        if i + 1 < n_sections {
+            // The last payload needs no skip: the trailing-bytes check
+            // below compares the declared end against the file length.
+            file.seek_relative(payload_len as i64).map_err(io_err)?;
+        }
+        sections.push(section);
+    }
+    if pos != file_len {
+        return Err(ExchangeError::Corrupt {
+            offset: pos as usize,
+            message: format!("{} trailing bytes after the last section", file_len - pos),
+        }
+        .into());
+    }
+    let index = BinIndex {
+        text_version,
+        body_digest: format!("{body_digest:016x}"),
+        sections,
+    };
+    check_shape(&index)?;
+    Ok(index)
+}
+
+/// Verifies one section's digest against the file bytes, then decodes its
+/// payload: a model for `MODL` sections, an error for `PROV` (use
+/// [`decode_provenance_section`]). The decoded model passes its own
+/// validation.
+///
+/// # Errors
+///
+/// [`ExchangeError::DigestMismatch`] on corruption, the decode failures
+/// of the payload grammar, or the model's own validation failure.
+pub fn decode_model(bytes: &[u8], section: &BinSection) -> Result<AnyModel> {
+    let Some(kind) = section.kind else {
+        return Err(ExchangeError::Invalid {
+            message: "cannot decode the provenance section as a model".into(),
+        }
+        .into());
+    };
+    let payload = section_payload(bytes, section)?;
+    verify_section_digest(section, payload)?;
+    let model = decode_model_payload(kind, &section.name, payload, section.payload_offset)?;
+    model.validate()?;
+    Ok(model)
+}
+
+/// Verifies and decodes the provenance section.
+///
+/// # Errors
+///
+/// See [`decode_model`].
+pub fn decode_provenance_section(bytes: &[u8], section: &BinSection) -> Result<Provenance> {
+    if section.kind.is_some() {
+        return Err(ExchangeError::Invalid {
+            message: "cannot decode a model section as provenance".into(),
+        }
+        .into());
+    }
+    let payload = section_payload(bytes, section)?;
+    verify_section_digest(section, payload)?;
+    Ok(decode_provenance(payload, section.payload_offset)?)
+}
+
+fn section_payload<'a>(bytes: &'a [u8], section: &BinSection) -> Result<&'a [u8]> {
+    let end = section
+        .payload_offset
+        .checked_add(section.payload_len)
+        .filter(|&e| e <= bytes.len());
+    let Some(end) = end else {
+        return Err(ExchangeError::Truncated {
+            expected: format!("{} payload bytes", section.payload_len),
+        }
+        .into());
+    };
+    Ok(&bytes[section.payload_offset..end])
+}
+
+fn verify_section_digest(section: &BinSection, payload: &[u8]) -> Result<()> {
+    let mut input = Vec::with_capacity(section.name.len() + payload.len());
+    input.extend_from_slice(section.name.as_bytes());
+    input.extend_from_slice(payload);
+    let found = format!("{:016x}", fnv1a(&input));
+    if found != section.digest {
+        let what = if section.kind.is_some() {
+            format!("model {}", section.name)
+        } else {
+            "provenance".to_string()
+        };
+        return Err(ExchangeError::DigestMismatch {
+            section: what,
+            expected: section.digest.clone(),
+            found,
+        }
+        .into());
+    }
+    Ok(())
+}
+
+/// Deserializes a whole binary container, verifying the body digest and
+/// every section digest, decoding every model, and running each model's
+/// own validation — the strict mirror of [`super::load_artifact`].
+///
+/// # Errors
+///
+/// All of [`index_bytes`]'s framing errors, plus
+/// [`ExchangeError::DigestMismatch`], the payload decode failures, and
+/// model validation failures.
+pub fn load_artifact_bin(bytes: &[u8]) -> Result<Artifact> {
+    let index = index_from_bytes(bytes)?;
+    let found = format!("{:016x}", fnv1a(&bytes[FILE_HEADER_LEN..]));
+    if found != index.body_digest {
+        return Err(ExchangeError::DigestMismatch {
+            section: "body".into(),
+            expected: index.body_digest,
+            found,
+        }
+        .into());
+    }
+    let mut provenance = None;
+    let mut models = Vec::with_capacity(index.models().count().min(1024));
+    for section in &index.sections {
+        if section.kind.is_some() {
+            models.push(decode_model(bytes, section)?);
+        } else {
+            provenance = Some(decode_provenance_section(bytes, section)?);
+        }
+    }
+    Ok(Artifact {
+        version: index.text_version,
+        provenance,
+        models,
+    })
+}
+
+/// Loads a binary container from a file (see [`load_artifact_bin`]).
+///
+/// # Errors
+///
+/// [`load_artifact_bin`] failures plus [`ExchangeError::Io`].
+pub fn load_artifact_bin_from_path(path: impl AsRef<Path>) -> Result<Artifact> {
+    let bytes = std::fs::read(path.as_ref()).map_err(|e| ExchangeError::Io {
+        path: path.as_ref().display().to_string(),
+        message: e.to_string(),
+    })?;
+    load_artifact_bin(&bytes)
+}

@@ -43,6 +43,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod device;
 pub mod driver;
@@ -61,15 +62,19 @@ pub use evalrt::{
     compile, CompiledCr, CompiledDriver, CompiledIbis, CompiledModel, CompiledReceiver,
     DriverLanes, EvalScratch, LaneStim, ReceiverLanes,
 };
+pub use exchange::binary::{
+    load_artifact_bin, load_artifact_bin_from_path, save_artifact_bin, save_artifact_bin_to_path,
+};
 pub use exchange::{
-    content_digest, load_artifact, load_artifact_from_path, load_model, load_model_from_path,
-    save_artifact, save_artifact_to_path, save_model, save_model_to_path, AnyModel, Artifact,
-    Provenance,
+    artifact_digest, content_digest, load_artifact, load_artifact_auto_from_path,
+    load_artifact_bytes, load_artifact_from_path, load_model, load_model_from_path, save_artifact,
+    save_artifact_to_path, save_model, save_model_to_path, AnyModel, Artifact, Provenance,
 };
 pub use lint::{lint_artifact, lint_model, lint_model_full, LintConfig, LintReport, Severity};
 pub use macromodel::{Macromodel, ModelKind, ModelRegistry, PortStimulus, TestFixture};
 pub use modelstore::{
-    FileFingerprint, LoadMode, ModelStore, StoreEntry, StoreFailure, StoreRefresh,
+    ArtifactFormat, EntryIndex, FileFingerprint, LoadMode, ModelStore, StoreEntry, StoreFailure,
+    StoreRefresh,
 };
 pub use receiver::{CrModel, ReceiverModel};
 pub use session::{EstimatedModel, ExtractionSession};

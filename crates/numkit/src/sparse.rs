@@ -16,7 +16,7 @@
 //!      discovers the fill pattern, a sparse triangular solve produces the
 //!      numeric column, and *partial threshold pivoting* picks the pivot —
 //!      the diagonal of the fill ordering when it is within
-//!      [`PIVOT_THRESHOLD`] of the column maximum, otherwise the
+//!      `PIVOT_THRESHOLD` of the column maximum, otherwise the
 //!      threshold-eligible candidate with the fewest original-row nonzeros
 //!      (Markowitz-style tie-breaking, magnitude as the final tie-break).
 //!

@@ -1,7 +1,7 @@
 //! Flat, allocation-free evaluation kernels.
 //!
-//! The estimation-side structures ([`RbfNetwork`](crate::rbf::RbfNetwork),
-//! [`ArxModel`](crate::arx::ArxModel), [`NarxModel`](crate::narx::NarxModel))
+//! The estimation-side structures ([`RbfNetwork`],
+//! [`ArxModel`], [`NarxModel`])
 //! are optimized for construction and validation: centers live in
 //! `Vec<Vec<f64>>`, histories are rebuilt per call, gradients allocate. This
 //! module holds their *compiled* counterparts for the per-timestep hot path:
@@ -33,7 +33,7 @@ use crate::arx::ArxModel;
 use crate::narx::NarxModel;
 use crate::rbf::RbfNetwork;
 
-/// A [`RbfNetwork`](crate::rbf::RbfNetwork) compiled into contiguous slabs.
+/// A [`RbfNetwork`] compiled into contiguous slabs.
 ///
 /// ```
 /// use sysid::flat::FlatRbf;
@@ -377,7 +377,7 @@ impl LaneRing {
     }
 }
 
-/// An [`ArxModel`](crate::arx::ArxModel) compiled for ring-buffer stepping.
+/// An [`ArxModel`] compiled for ring-buffer stepping.
 ///
 /// ```
 /// use sysid::arx::{ArxModel, ArxOrders};
@@ -475,7 +475,7 @@ impl FlatArx {
     }
 }
 
-/// A [`NarxModel`](crate::narx::NarxModel) compiled for lane-major stepping:
+/// A [`NarxModel`] compiled for lane-major stepping:
 /// a [`FlatRbf`] plus the regressor gather from ring-buffer histories.
 #[derive(Debug, Clone)]
 pub struct FlatNarx {

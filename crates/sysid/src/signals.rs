@@ -279,7 +279,7 @@ pub fn trapezoid(
 }
 
 /// A random bit string of `n` bits (reproducible via `seed`), formatted as
-/// a `'0'`/`'1'` string for [`circuit`] bit-pattern sources.
+/// a `'0'`/`'1'` string for `circuit` bit-pattern sources.
 pub fn random_bits(n: usize, seed: u64) -> String {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)

@@ -34,6 +34,11 @@ if [ "$bench" = "eval" ]; then
     cargo run --release -q -p emc-bench --bin mdl -- bench-eval --baseline "$fresh"
 elif [ "$bench" = "eye" ]; then
     cargo run --release -q -p emc-bench --bin mdl -- bench-eye --baseline "$fresh"
+elif [ "$bench" = "store" ]; then
+    # The store bench also enforces the absolute tentpole floor (lazy
+    # binary open >= 10x the eager text parse) on top of the relative
+    # trajectory gate below.
+    cargo run --release -q -p emc-bench --bin mdl -- bench-store --min-speedup 10 --baseline "$fresh"
 else
     BENCH_BASELINE_JSON="$fresh" cargo bench -p emc-bench --bench "$bench"
 fi

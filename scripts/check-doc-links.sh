@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Link check for the hand-written docs: every relative markdown link in
+# README.md and docs/*.md must point at a file that exists (anchors are
+# checked against the target's headings). External http(s) links are not
+# fetched — CI must not depend on the network — only their syntax is
+# required to parse. Exits nonzero listing every broken link.
+#
+# Usage: scripts/check-doc-links.sh [file...]   (default: README.md docs/*.md)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    files=(README.md docs/*.md)
+fi
+
+python3 - "${files[@]}" <<'EOF'
+import os
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#+\s+(.*)$", re.M)
+
+
+def anchors(path):
+    """GitHub-style anchor slugs for every heading in a markdown file."""
+    out = set()
+    with open(path, encoding="utf-8") as f:
+        for heading in HEADING.findall(f.read()):
+            heading = re.sub(r"[`*_]", "", heading.strip().lower())
+            slug = re.sub(r"[^\w\- ]", "", heading, flags=re.UNICODE)
+            out.add(slug.replace(" ", "-"))
+    return out
+
+
+broken = []
+for src in sys.argv[1:]:
+    base = os.path.dirname(src)
+    with open(src, encoding="utf-8") as f:
+        text = f.read()
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, anchor = target.partition("#")
+        if not target:  # same-file anchor
+            target_path = src
+        else:
+            target_path = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(target_path):
+            broken.append(f"{src}: link target not found: {target or anchor}")
+            continue
+        if anchor and target_path.endswith(".md") and anchor not in anchors(target_path):
+            broken.append(f"{src}: missing anchor #{anchor} in {target_path}")
+
+if broken:
+    print("\n".join(broken))
+    sys.exit(f"{len(broken)} broken doc link(s)")
+print(f"doc links ok ({len(sys.argv) - 1} file(s) checked)")
+EOF

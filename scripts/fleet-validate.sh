@@ -17,10 +17,15 @@
 # Usage: scripts/fleet-validate.sh [store-dir]
 set -euo pipefail
 
+# Temp dirs to remove on exit (a user-supplied store dir is never listed).
+scratch=()
+cleanup() { if [ ${#scratch[@]} -gt 0 ]; then rm -rf "${scratch[@]}"; fi; }
+trap cleanup EXIT
+
 store="${1:-}"
 if [ -z "$store" ]; then
     store="$(mktemp -d)"
-    trap 'rm -rf "$store"' EXIT
+    scratch+=("$store")
 fi
 report_dir="${FLEET_REPORT_DIR:-fleet-reports}"
 mkdir -p "$report_dir"
@@ -43,5 +48,58 @@ mdl store validate "$store" --fast --json "$report_dir/fleet-validate.json"
 
 echo "== scenario-matrix sweep"
 mdl store sweep "$store" --fast --json "$report_dir/fleet-sweep.json"
+
+# The binary-container leg: convert two of the fleet artifacts to the
+# .mdlxb container (convert verifies text -> binary -> text byte-identity
+# itself; the cmp below re-asserts it end to end through separate
+# invocations), build a mixed text+binary store with them, and require
+# the sweep to produce the identical report — the container must be a
+# pure encoding change, invisible to every result downstream.
+echo "== binary container round-trip + mixed-store sweep"
+bin_store="$(mktemp -d)"
+scratch+=("$bin_store")
+cp "$store"/*.mdlx "$bin_store/"
+mdl convert "$bin_store/md1-pwrbf.mdlx" "$bin_store/md1-pwrbf.mdlxb"
+mdl convert "$bin_store/md4-receiver.mdlx" "$bin_store/md4-receiver.mdlxb"
+mdl convert "$bin_store/md1-pwrbf.mdlxb" "$bin_store/md1-pwrbf.roundtrip.mdlx"
+cmp "$bin_store/md1-pwrbf.mdlx" "$bin_store/md1-pwrbf.roundtrip.mdlx"
+rm "$bin_store/md1-pwrbf.mdlx" "$bin_store/md4-receiver.mdlx" \
+   "$bin_store/md1-pwrbf.roundtrip.mdlx"
+
+mdl store ls "$bin_store"
+mdl store sweep "$bin_store" --fast --json "$report_dir/fleet-sweep-bin.json"
+
+# Identical up to the volatile fields: the store root (a throwaway temp
+# dir each run) and per-cell wall-clock times. Every numerical result —
+# waveforms, eye metrics, MC aggregates, solver statistics — must match
+# the text run exactly.
+python3 - "$report_dir/fleet-sweep.json" "$report_dir/fleet-sweep-bin.json" <<'EOF'
+import json
+import sys
+
+
+def normalize(node):
+    if isinstance(node, dict):
+        return {
+            k: normalize(v)
+            for k, v in node.items()
+            if k not in ("store", "elapsed_s")
+        }
+    if isinstance(node, list):
+        out = [normalize(v) for v in node]
+        if all(isinstance(v, dict) and "model" in v for v in out):
+            out.sort(key=lambda c: (c["model"], c.get("scenario", "")))
+        return out
+    return node
+
+
+with open(sys.argv[1]) as f:
+    text_report = normalize(json.load(f))
+with open(sys.argv[2]) as f:
+    bin_report = normalize(json.load(f))
+if text_report != bin_report:
+    sys.exit("binary-store sweep report differs from the text-store report")
+print("binary-store sweep report matches the text-store report")
+EOF
 
 echo "model fleet: ok (reports in $report_dir/)"

@@ -6,7 +6,7 @@
 //! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
 //! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
 //! * numeric-range and tuple strategies, [`strategy::Just`],
-//! * [`collection::vec`](prop::collection::vec) and [`arbitrary::any`],
+//! * [`collection::vec`] and [`arbitrary::any`],
 //! * [`prop_assert!`] / [`prop_assert_eq!`].
 //!
 //! Differences from upstream: inputs are drawn from a deterministic
